@@ -1,0 +1,101 @@
+"""A1 — ablations of the design choices DESIGN.md §5 calls out.
+
+1. **Branching factor τ** (Algorithm 1): at a fixed correctness target, τ
+   trades probes per round against rounds — τ = 2 is binary search (many
+   rounds, 1 probe each), the paper's τ ≈ (log d)^{1/k} balances them, and
+   τ > L degenerates to the non-adaptive completion-only scheme.  The
+   total-probe minimum sits at intermediate τ, exactly the tradeoff the
+   two theorems formalize.
+2. **LSH table count L**: recall climbs with L while probes grow linearly
+   — the n^ρ table budget is what buys LSH its constant recall, which is
+   the cost Algorithm 1's polynomial tables eliminate.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.tradeoff import evaluate_scheme
+from repro.baselines.lsh import LSHParams, LSHScheme
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters, worst_case_shrinking_rounds
+
+D, GAMMA = 2048, 4.0
+TAUS = [2, 3, 5, 8, 13]
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(report_table):
+    wl = cached_planted(n=250, d=D, queries=14, max_flips=100, seed=14)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=D, gamma=GAMMA, c1=8.0)
+
+    tau_rows = []
+    for tau in TAUS:
+        rounds_needed = worst_case_shrinking_rounds(base.levels, tau) + 1
+        params = Algorithm1Params(base, k=max(2, rounds_needed), tau_override=tau)
+        scheme = SimpleKRoundScheme(db, params, seed=3)
+        s = evaluate_scheme(scheme, wl, GAMMA)
+        tau_rows.append(
+            {
+                "tau": tau,
+                "rounds(max)": s.max_rounds,
+                "probes(mean)": round(s.mean_probes, 1),
+                "probes/round": round(s.mean_probes / max(1.0, s.mean_rounds), 2),
+                "success": round(s.success_rate, 2),
+            }
+        )
+    report_table("A1a: Algorithm 1 branching-factor (τ) ablation", tau_rows)
+
+    lsh_rows = []
+    for tables in (1, 2, 4, 8):
+        scheme = LSHScheme(
+            db, LSHParams(gamma=GAMMA, tables_override=tables), seed=5
+        )
+        s = evaluate_scheme(scheme, wl, GAMMA)
+        lsh_rows.append(
+            {
+                "L (tables/level)": tables,
+                "probes(mean)": round(s.mean_probes, 1),
+                "success": round(s.success_rate, 2),
+            }
+        )
+    report_table("A1b: LSH table-count (L) ablation", lsh_rows)
+    return {"tau": tau_rows, "lsh": lsh_rows}
+
+
+def test_a1_tau2_maximizes_rounds(ablation_rows):
+    rows = ablation_rows["tau"]
+    assert rows[0]["tau"] == 2
+    assert rows[0]["rounds(max)"] == max(r["rounds(max)"] for r in rows)
+    assert rows[0]["probes/round"] <= 2.0
+
+
+def test_a1_rounds_decrease_with_tau(ablation_rows):
+    rounds = [r["rounds(max)"] for r in ablation_rows["tau"]]
+    assert all(b <= a for a, b in zip(rounds, rounds[1:]))
+
+
+def test_a1_correctness_independent_of_tau(ablation_rows):
+    """τ only moves cost around; the γ-guarantee is threshold-driven."""
+    rates = [r["success"] for r in ablation_rows["tau"]]
+    assert min(rates) >= 0.75
+
+
+def test_a1_lsh_probes_scale_with_tables(ablation_rows):
+    rows = ablation_rows["lsh"]
+    assert rows[-1]["probes(mean)"] > rows[0]["probes(mean)"]
+
+
+def test_a1_lsh_recall_monotone_in_tables(ablation_rows):
+    rows = ablation_rows["lsh"]
+    assert rows[-1]["success"] >= rows[0]["success"]
+
+
+def test_a1_ablation_latency(benchmark, ablation_rows):
+    wl = cached_planted(n=250, d=D, queries=14, max_flips=100, seed=14)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=D, gamma=GAMMA, c1=8.0)
+    params = Algorithm1Params(base, k=3)
+    scheme = SimpleKRoundScheme(db, params, seed=3)
+    scheme.query(wl.queries[0])
+    benchmark(lambda: scheme.query(wl.queries[1]))

@@ -1,0 +1,66 @@
+"""E10 / Fig. 5 — Proposition 18 and Lemma 5/Prop. 6 accounting on real
+query traces: k probe rounds → 2k communication rounds with
+a_i = t_i⌈log s⌉ and b_i = t_i·w; the private-coin table blowup is O(dn·s).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.lowerbound.newman import proposition6_cells
+from repro.lowerbound.protocol import trace_to_protocol
+from repro.utils.intmath import ilog2_ceil
+
+D, GAMMA = 1024, 4.0
+KS = [1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def e10_rows(report_table):
+    wl = cached_planted(n=250, d=D, queries=8, max_flips=60, seed=10)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=D, gamma=GAMMA, c1=8.0)
+    rows = []
+    for k in KS:
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=0)
+        report = scheme.size_report()
+        res = scheme.query(wl.queries[0])
+        shape = trace_to_protocol(res.accountant, report.table_cells, report.word_bits)
+        rows.append(
+            {
+                "k": k,
+                "probe rounds": res.rounds,
+                "comm rounds": shape.communication_rounds,
+                "alice bits": int(shape.alice_bits),
+                "bob bits": int(shape.bob_bits),
+                "addr bits ⌈log s⌉": ilog2_ceil(report.table_cells),
+                "private-coin cells (Prop.6)": f"{proposition6_cells(report.table_cells, len(db), D):.2e}",
+            }
+        )
+    report_table("E10 (Fig. 5): Prop. 18 protocol sizes from real traces", rows)
+    return rows
+
+
+def test_e10_comm_rounds_twice_probe_rounds(e10_rows):
+    for r in e10_rows:
+        assert r["comm rounds"] == 2 * r["probe rounds"]
+        assert r["comm rounds"] <= 2 * r["k"]
+
+
+def test_e10_bob_dominates_alice(e10_rows):
+    """Word size O(d) ≫ address size O(log n): the asymmetric regime the
+    round-elimination argument is built for."""
+    for r in e10_rows:
+        assert r["bob bits"] > r["alice bits"]
+
+
+def test_e10_conversion_latency(benchmark, e10_rows):
+    wl = cached_planted(n=250, d=D, queries=8, max_flips=60, seed=10)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=D, gamma=GAMMA, c1=8.0)
+    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+    report = scheme.size_report()
+    res = scheme.query(wl.queries[1])
+    benchmark(lambda: trace_to_protocol(res.accountant, report.table_cells, report.word_bits))

@@ -1,0 +1,54 @@
+"""E11 — simulator wall-clock micro-benchmarks.
+
+Not a paper claim (the paper's cost model is probes, not seconds); this
+bench tracks the simulator's own performance across n, d, and k so
+regressions in the vectorized substrate are caught.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.lambda_ann import OneProbeNearNeighborScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.sketch.parity import ParitySketch
+
+import numpy as np
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_e11_query_vs_k(benchmark, k):
+    wl = cached_planted(n=300, d=2048, queries=8, max_flips=100, seed=11)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
+    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=0)
+    scheme.query(wl.queries[0])  # warm level caches
+    benchmark(lambda: scheme.query(wl.queries[1]))
+
+
+@pytest.mark.parametrize("d", [512, 4096])
+def test_e11_query_vs_d(benchmark, d):
+    wl = cached_planted(n=200, d=d, queries=8, max_flips=d // 20, seed=12)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=d, gamma=4.0, c1=8.0)
+    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+    scheme.query(wl.queries[0])
+    benchmark(lambda: scheme.query(wl.queries[1]))
+
+
+def test_e11_sketch_apply_many(benchmark):
+    rng = np.random.default_rng(0)
+    from repro.hamming.sampling import random_points
+
+    pts = random_points(rng, 1000, 2048)
+    sk = ParitySketch(rows=64, d=2048, p=0.01, rng=rng)
+    benchmark(lambda: sk.apply_many(pts))
+
+
+def test_e11_one_probe_scheme(benchmark):
+    wl = cached_planted(n=300, d=2048, queries=8, max_flips=64, seed=13)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
+    scheme = OneProbeNearNeighborScheme(db, base, lam=16.0, seed=0)
+    scheme.query(wl.queries[0])
+    benchmark(lambda: scheme.query(wl.queries[1]))

@@ -1,0 +1,93 @@
+"""E14 — the introduction's adaptivity ladder, measured on one workload.
+
+Section 1's narrative: non-adaptive LSH (1 round) < data-dependent LSH
+(2 rounds: a data-dependent hash is retrieved before the second, mutually
+non-adaptive, round) < the polynomial-table schemes < fully adaptive.
+On a clustered database the data-dependent probe saving is visible: the
+round-1 dispatch confines round 2 to one part of size n_p ≪ n, whose LSH
+needs only ~n_p^ρ tables.
+"""
+
+import pytest
+
+from repro.analysis.tradeoff import evaluate_scheme
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.baselines.data_dependent_lsh import (
+    DataDependentLSHParams,
+    DataDependentLSHScheme,
+)
+from repro.baselines.lsh import LSHParams, LSHScheme
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+GAMMA = 4.0
+
+
+@pytest.fixture(scope="module")
+def e14_rows(report_table):
+    wl = make_workload(
+        "clustered", WorkloadSpec(n=400, d=1024, num_queries=16, seed=9),
+        clusters=8, cluster_radius=24,
+    )
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=GAMMA, c1=8.0)
+    contenders = [
+        ("LSH (non-adaptive)", LSHScheme(db, LSHParams(gamma=GAMMA), seed=3)),
+        ("data-dependent LSH (2 rounds)",
+         DataDependentLSHScheme(db, DataDependentLSHParams(gamma=GAMMA, parts=8), seed=3)),
+        ("Alg1 k=2", SimpleKRoundScheme(db, Algorithm1Params(base, k=2), seed=3)),
+        ("fully adaptive", FullyAdaptiveScheme(db, base, seed=3)),
+    ]
+    rows = []
+    for label, scheme in contenders:
+        s = evaluate_scheme(scheme, wl, GAMMA)
+        rows.append(
+            {
+                "scheme": label,
+                "rounds(max)": s.max_rounds,
+                "probes(mean)": round(s.mean_probes, 1),
+                "success": round(s.success_rate, 2),
+            }
+        )
+    report_table("E14: the adaptivity ladder on a clustered workload", rows)
+    return rows
+
+
+def _probes(rows, label):
+    return next(r["probes(mean)"] for r in rows if r["scheme"].startswith(label))
+
+
+def test_e14_data_dependent_beats_global_lsh(e14_rows):
+    assert _probes(e14_rows, "data-dependent") < _probes(e14_rows, "LSH (non-adaptive)")
+
+
+def test_e14_polynomial_tables_beat_both(e14_rows):
+    assert _probes(e14_rows, "Alg1") < _probes(e14_rows, "data-dependent")
+
+
+def test_e14_ladder_monotone_in_adaptivity(e14_rows):
+    """More adaptivity, fewer probes — the introduction's picture."""
+    ladder = [
+        _probes(e14_rows, "LSH (non-adaptive)"),
+        _probes(e14_rows, "data-dependent"),
+        _probes(e14_rows, "Alg1"),
+        _probes(e14_rows, "fully adaptive"),
+    ]
+    assert all(b < a for a, b in zip(ladder, ladder[1:]))
+
+
+def test_e14_success_floors(e14_rows):
+    assert all(r["success"] >= 0.7 for r in e14_rows)
+
+
+def test_e14_dd_query_latency(benchmark, e14_rows):
+    wl = make_workload(
+        "clustered", WorkloadSpec(n=400, d=1024, num_queries=4, seed=9),
+        clusters=8, cluster_radius=24,
+    )
+    scheme = DataDependentLSHScheme(
+        wl.database, DataDependentLSHParams(gamma=GAMMA, parts=8), seed=3
+    )
+    scheme.query(wl.queries[0])
+    benchmark(lambda: scheme.query(wl.queries[1]))

@@ -1,0 +1,71 @@
+"""E1 / Fig. 1 — Theorem 2: Algorithm 1 uses O(k (log d)^{1/k}) probes.
+
+Regenerates the round/probe tradeoff curve: mean and max probes per query
+as k sweeps 1..8 at two dimensions, printed next to the analytic envelope
+k·(log₂ d)^{1/k}.  Shape criteria (asserted): probes fall monotonically in
+k, max probes stay within a constant multiple of the envelope, and every
+query respects its round budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import sweep_algorithm1
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.lowerbound.bounds import ub_algorithm1
+
+KS = [1, 2, 3, 4, 6, 8]
+DIMS = [1024, 4096]
+
+
+@pytest.fixture(scope="module")
+def e1_rows(bench_gamma, report_table):
+    rows = []
+    for d in DIMS:
+        wl = cached_planted(n=300, d=d, queries=16, max_flips=d // 16)
+        for summary in sweep_algorithm1(wl, bench_gamma, ks=KS, c1=8.0):
+            k = summary.extras["k"]
+            envelope = ub_algorithm1(k, d)
+            rows.append(
+                {
+                    "d": d,
+                    "k": k,
+                    "tau": summary.extras["tau"],
+                    "probes(mean)": round(summary.mean_probes, 1),
+                    "probes(max)": summary.max_probes,
+                    "rounds(max)": summary.max_rounds,
+                    "envelope": round(envelope, 1),
+                    "max/envelope": round(summary.max_probes / envelope, 2),
+                    "success": round(summary.success_rate, 2),
+                }
+            )
+    report_table("E1 (Fig. 1): Algorithm 1 probes vs rounds k", rows)
+    return rows
+
+
+def test_e1_shape_monotone_in_k(e1_rows):
+    for d in DIMS:
+        series = [r for r in e1_rows if r["d"] == d]
+        probes = [r["probes(mean)"] for r in series]
+        # Weakly decreasing with 10% tolerance for sampling noise.
+        assert all(b <= a * 1.1 for a, b in zip(probes, probes[1:]))
+
+
+def test_e1_probes_track_envelope(e1_rows):
+    assert all(r["max/envelope"] <= 6.0 for r in e1_rows)
+
+
+def test_e1_rounds_respect_budget(e1_rows):
+    assert all(r["rounds(max)"] <= r["k"] for r in e1_rows)
+
+
+def test_e1_query_latency_k3(benchmark, bench_gamma, e1_rows):
+    """Wall-clock of one k=3 query (simulator throughput, not a paper claim)."""
+    wl = cached_planted(n=300, d=4096, queries=16, max_flips=256)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=bench_gamma, c1=8.0)
+    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+    scheme.query(wl.queries[0])  # warm sketch caches
+    benchmark(lambda: scheme.query(wl.queries[1]))

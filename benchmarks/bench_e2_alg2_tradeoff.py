@@ -1,0 +1,102 @@
+"""E2 / Fig. 2 — Theorem 3: Algorithm 2 uses O(k + ((log d)/k)^{c/k})
+probes, reaching O(1) probes per round at k = Θ(log log d / log log log d).
+
+Uses γ=2 (α=√2) so the level count exceeds the completion cut and the
+shrinking-phase machinery actually runs.  Reports probes, probes/round,
+and the phase/case structure; compares the fully-adaptive τ=2 extreme of
+Algorithm 1 against Algorithm 2's one-probe-per-round regime (the paper's
+"phase transition" discussion).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm2
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.core.params import BaseParameters
+from repro.lowerbound.bounds import phase_transition_k
+
+KS = [16, 20, 24, 32]
+D = 4096
+GAMMA = 2.0
+
+
+@pytest.fixture(scope="module")
+def e2_rows(report_table):
+    wl = cached_planted(n=250, d=D, queries=14, max_flips=200, seed=2)
+    rows = []
+    for summary in sweep_algorithm2(wl, GAMMA, ks=KS, c=3.0, c1=10.0, c2=10.0):
+        rows.append(
+            {
+                "scheme": "Alg 2",
+                "k": summary.extras["k"],
+                "tau": summary.extras["tau"],
+                "s": summary.extras["s"],
+                "probes(mean)": round(summary.mean_probes, 1),
+                "probes/round": summary.extras["probes_per_round"],
+                "rounds(max)": summary.max_rounds,
+                "success": round(summary.success_rate, 2),
+                "violations": summary.extras.get("budget_violations", 0),
+            }
+        )
+    base = BaseParameters(n=len(wl.database), d=D, gamma=GAMMA, c1=10.0)
+    adaptive = FullyAdaptiveScheme(wl.database, base, seed=0)
+    summary = evaluate_scheme(adaptive, wl, GAMMA)
+    rows.append(
+        {
+            "scheme": "Alg 1 τ=2 (fully adaptive)",
+            "k": adaptive.k,
+            "tau": 2,
+            "probes(mean)": round(summary.mean_probes, 1),
+            "probes/round": round(summary.mean_probes / max(1.0, summary.mean_rounds), 2),
+            "rounds(max)": summary.max_rounds,
+            "success": round(summary.success_rate, 2),
+        }
+    )
+    report_table(
+        f"E2 (Fig. 2): Algorithm 2 at large k (d={D}, γ={GAMMA}); "
+        f"phase-transition k ≈ {phase_transition_k(D)} in the paper's asymptotic scale",
+        rows,
+    )
+    return rows
+
+
+def test_e2_probes_per_round_order_one(e2_rows):
+    """Toward the paper's 1-probe-per-round extreme.
+
+    The true O(1)-probes/round regime is k = Θ(log log d / log log log d)
+    *asymptotically*; at laptop scale the completion round (≤ max(3τ, k)
+    probes) dominates the average.  The checkable shape facts: per-phase
+    probe counts stay at the constant ⌈(τ−1)/s⌉ + 2, total probes stay
+    under phases·per-phase + one completion round, and the fully-adaptive
+    τ=2 extreme already runs at ~1 probe per round.
+    """
+    alg2 = [r for r in e2_rows if r["scheme"] == "Alg 2"]
+    assert alg2, "no admissible k produced rows"
+    for r in alg2:
+        per_phase_cap = (r["tau"] - 1 + r["s"] - 1) // r["s"] + 2
+        completion_cap = max(3 * r["tau"], r["k"])
+        assert r["probes(mean)"] <= r["rounds(max)"] * per_phase_cap + completion_cap
+    adaptive = [r for r in e2_rows if r["scheme"].startswith("Alg 1")]
+    assert adaptive and adaptive[0]["probes/round"] <= 2.0
+
+
+def test_e2_no_budget_violations(e2_rows):
+    assert all(r.get("violations", 0) == 0 for r in e2_rows if r["scheme"] == "Alg 2")
+
+
+def test_e2_success_floor(e2_rows):
+    assert all(r["success"] >= 0.7 for r in e2_rows)
+
+
+def test_e2_query_latency(benchmark, e2_rows):
+    from repro.core.algorithm2 import LargeKScheme
+    from repro.core.params import Algorithm2Params
+
+    wl = cached_planted(n=250, d=D, queries=14, max_flips=200, seed=2)
+    db = wl.database
+    base = BaseParameters(n=len(db), d=D, gamma=GAMMA, c1=10.0, c2=10.0)
+    scheme = LargeKScheme(db, Algorithm2Params(base, k=17), seed=0)
+    scheme.query(wl.queries[0])  # warm caches
+    benchmark(lambda: scheme.query(wl.queries[1]))

@@ -1,0 +1,73 @@
+"""E3 / Fig. 3 — Theorem 4 vs Theorems 2/3: the tradeoff sandwich.
+
+Prints, per k: the lower-bound envelope (1/k)(log_γ d)^{1/k}, Algorithm 1's
+measured probes, Algorithm 2's measured probes (where admissible), and the
+Chakrabarti–Regev fully-adaptive bound.  Shape criteria: measured probes
+sit between lb and a constant multiple of ub; the lb→ub gap at constant k
+is the paper's k² factor.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import sweep_algorithm1
+from repro.lowerbound.bounds import (
+    cr_fully_adaptive_bound,
+    lb_tradeoff,
+    lb_valid_k_max,
+    ub_algorithm1,
+)
+
+D = 4096
+GAMMA = 4.0
+KS = [1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def e3_rows(report_table):
+    wl = cached_planted(n=300, d=D, queries=16, max_flips=200, seed=3)
+    measured = {
+        s.extras["k"]: s for s in sweep_algorithm1(wl, GAMMA, ks=KS, c1=8.0)
+    }
+    rows = []
+    for k in KS:
+        rows.append(
+            {
+                "k": k,
+                "lower bound": round(lb_tradeoff(k, D, GAMMA), 2),
+                "Alg1 measured(mean)": round(measured[k].mean_probes, 1),
+                "Alg1 envelope": round(ub_algorithm1(k, D), 1),
+                "ub/lb (≈k²)": round(ub_algorithm1(k, D) / lb_tradeoff(k, D, GAMMA), 1),
+            }
+        )
+    report_table(
+        f"E3 (Fig. 3): lower vs upper bounds, d={D}, γ={GAMMA} "
+        f"(lb valid for k ≤ {lb_valid_k_max(D)}; CR fully-adaptive bound "
+        f"= {cr_fully_adaptive_bound(D):.1f})",
+        rows,
+    )
+    return rows
+
+
+def test_e3_measured_within_sandwich(e3_rows):
+    """Measured probes ≥ a constant fraction of lb and ≤ a constant
+    multiple of the envelope."""
+    for r in e3_rows:
+        assert r["Alg1 measured(mean)"] >= 0.2 * r["lower bound"]
+        assert r["Alg1 measured(mean)"] <= 6.0 * r["Alg1 envelope"]
+
+
+def test_e3_gap_is_k_squared(e3_rows):
+    """ub/lb = k² · (log₂d / log_γd)^{1/k}: the paper's k² optimality gap
+    up to the log-base conversion factor."""
+    import math
+
+    base_factor = math.log2(D) / math.log(D, GAMMA)
+    for r in e3_rows:
+        expected = r["k"] ** 2 * base_factor ** (1.0 / r["k"])
+        assert r["ub/lb (≈k²)"] == pytest.approx(expected, rel=0.1)
+
+
+def test_e3_lb_curve_latency(benchmark, e3_rows):
+    benchmark(lambda: [lb_tradeoff(k, D, GAMMA) for k in range(1, 5)])

@@ -1,0 +1,86 @@
+"""E4 / Tab. 1 — Lemma 8: the sandwich B_i ⊆ C_i ⊆ B_{i+1} holds with
+probability ≥ 3/4, and the coarse-set fractions stay below n^{-1/s}.
+
+Sweeps the accurate-sketch row count to locate the concentration knee, and
+runs the DESIGN.md ablation: the gap-only threshold (the paper's literal
+δ·rows reading) destroys the lower inclusion, the midpoint preserves it.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.analysis.sandwich import verify_lemma8
+from repro.core.delta import collision_rate, delta_gap, level_radius, bernoulli_rate
+from repro.hamming.distance import hamming_distance_many
+from repro.sketch.family import SketchFamily
+from repro.sketch.parity import ParitySketch
+from repro.utils.rng import RngTree
+
+D = 1024
+ROWS_SWEEP = [32, 64, 128, 256, 512]
+
+
+@pytest.fixture(scope="module")
+def e4_report(report_table):
+    wl = cached_planted(n=200, d=D, queries=12, max_flips=64, seed=4)
+    rows = []
+    reports = {}
+    for rows_count in ROWS_SWEEP:
+        fam = SketchFamily(D, 2.0, 10, rows_count, coarse_rows=max(8, rows_count // 8),
+                           rng_tree=RngTree(21))
+        report = verify_lemma8(wl.database, fam, wl.queries, s_exponent=2.0,
+                               coarse_level_pairs=[(8, 6), (10, 10)])
+        reports[rows_count] = report
+        rows.append(
+            {
+                "accurate rows": rows_count,
+                "P[sandwich all levels]": round(report.simultaneous_rate, 3),
+                "coarse miss ok": f"{report.coarse_miss_ok}/{report.coarse_checked}",
+                "coarse leak ok": f"{report.coarse_leak_ok}/{report.coarse_checked}",
+            }
+        )
+    report_table("E4 (Tab. 1): Lemma 8 sandwich probability vs sketch rows", rows)
+    return reports
+
+
+def test_e4_probability_floor_at_wide_rows(e4_report):
+    assert e4_report[ROWS_SWEEP[-1]].simultaneous_rate >= 0.75
+
+
+def test_e4_monotone_in_rows(e4_report):
+    rates = [e4_report[r].simultaneous_rate for r in ROWS_SWEEP]
+    assert rates[-1] >= rates[0]
+
+
+def test_e4_coarse_fractions(e4_report):
+    rep = e4_report[ROWS_SWEEP[-1]]
+    assert rep.coarse_miss_ok >= 0.7 * rep.coarse_checked
+    assert rep.coarse_leak_ok >= 0.7 * rep.coarse_checked
+
+
+def test_e4_ablation_gap_only_threshold_breaks_sandwich():
+    """DESIGN.md ablation: thresholding at δ·rows alone (instead of the
+    midpoint μ_near + δ/2) rejects genuinely-near points."""
+    rng = np.random.default_rng(5)
+    level, rows = 5, 512
+    alpha = 2.0
+    p = bernoulli_rate(alpha, level)
+    sk = ParitySketch(rows=rows, d=D, p=p, rng=rng)
+    from repro.hamming.sampling import flip_random_bits, random_points
+
+    x = random_points(rng, 1, D)[0]
+    near = flip_random_bits(rng, x, int(level_radius(alpha, level)), D)  # in B_i
+    dist = hamming_distance_many(sk.apply(x), sk.apply(near)[None, :])[0]
+    gap_threshold = delta_gap(level_radius(alpha, level), alpha) * rows
+    midpoint = (collision_rate(p, level_radius(alpha, level))
+                + collision_rate(p, level_radius(alpha, level + 1))) / 2 * rows
+    assert dist > gap_threshold  # gap-only: near point REJECTED (broken)
+    assert dist <= midpoint + 3 * np.sqrt(rows)  # midpoint: accepted (±3σ)
+
+
+def test_e4_verification_latency(benchmark, e4_report):
+    wl = cached_planted(n=200, d=D, queries=4, max_flips=64, seed=4)
+    fam = SketchFamily(D, 2.0, 10, 64, rng_tree=RngTree(3))
+    benchmark(lambda: verify_lemma8(wl.database, fam, wl.queries[:2]))

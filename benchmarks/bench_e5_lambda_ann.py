@@ -1,0 +1,66 @@
+"""E5 / Tab. 2 — Theorem 11: λ-ANNS with exactly 1 probe, success ≥ 3/4.
+
+Planted near instances (distance ≤ λ) and far instances (uniform queries,
+nearest ≫ γλ) measured separately; promise-gap inputs excluded from the
+score exactly as the problem definition allows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import cached_uniform_db
+from repro.analysis.reporting import print_table
+from repro.core.lambda_ann import OneProbeNearNeighborScheme
+from repro.core.params import BaseParameters
+from repro.hamming.sampling import flip_random_bits, random_points
+
+D, N, GAMMA = 1024, 300, 4.0
+LAMBDAS = [4.0, 8.0, 16.0, 32.0]
+
+
+@pytest.fixture(scope="module")
+def e5_rows(report_table):
+    db = cached_uniform_db(N, D, seed=6)
+    base = BaseParameters(n=N, d=D, gamma=GAMMA, c1=10.0)
+    rng = np.random.default_rng(17)
+    rows = []
+    for lam in LAMBDAS:
+        scheme = OneProbeNearNeighborScheme(db, base, lam=lam, seed=9)
+        near_ok = near_total = far_ok = far_total = 0
+        for t in range(40):
+            if t % 2 == 0:
+                q = flip_random_bits(rng, db.row(int(rng.integers(0, N))), int(lam // 2), D)
+                res = scheme.query(q)
+                near_total += 1
+                near_ok += OneProbeNearNeighborScheme.decision_correct(db, q, lam, GAMMA, res)
+            else:
+                q = random_points(rng, 1, D)[0]
+                res = scheme.query(q)
+                far_total += 1
+                far_ok += OneProbeNearNeighborScheme.decision_correct(db, q, lam, GAMMA, res)
+            assert res.probes == 1 and res.rounds == 1
+        rows.append(
+            {
+                "λ": lam,
+                "level i": scheme.level,
+                "near correct": f"{near_ok}/{near_total}",
+                "far correct": f"{far_ok}/{far_total}",
+                "overall": round((near_ok + far_ok) / (near_total + far_total), 3),
+            }
+        )
+    report_table("E5 (Tab. 2): 1-probe λ-ANNS promise correctness", rows)
+    return rows
+
+
+def test_e5_success_floor(e5_rows):
+    assert all(r["overall"] >= 0.75 for r in e5_rows)
+
+
+def test_e5_single_probe_latency(benchmark, e5_rows):
+    db = cached_uniform_db(N, D, seed=6)
+    base = BaseParameters(n=N, d=D, gamma=GAMMA, c1=10.0)
+    scheme = OneProbeNearNeighborScheme(db, base, lam=16.0, seed=9)
+    rng = np.random.default_rng(1)
+    q = flip_random_bits(rng, db.row(0), 8, D)
+    scheme.query(q)  # warm
+    benchmark(lambda: scheme.query(q))

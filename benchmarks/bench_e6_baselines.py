@@ -1,0 +1,89 @@
+"""E6 / Tab. 3 — the introduction's comparison: non-adaptive LSH
+(O~(n^ρ·levels) probes, O~(n^{1+ρ}) cells) vs Algorithm 1 at k=1
+(O(log d) probes, larger polynomial cells) vs linear scan vs the fully
+adaptive extreme.
+
+Shape criteria: at one round, Algorithm 1's probe count beats LSH's by a
+growing factor as n grows, while its logical table exponent is larger —
+the paper's probes-for-space trade.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_planted
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import evaluate_scheme
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.baselines.lsh import LSHParams, LSHScheme
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+
+D, GAMMA = 1024, 4.0
+NS = [150, 300, 600]
+
+
+@pytest.fixture(scope="module")
+def e6_rows(report_table):
+    rows = []
+    for n in NS:
+        wl = cached_planted(n=n, d=D, queries=12, max_flips=60, seed=7)
+        db = wl.database
+        base = BaseParameters(n=n, d=D, gamma=GAMMA, c1=8.0)
+        contenders = [
+            ("LSH nonadaptive", LSHScheme(db, LSHParams(gamma=GAMMA, table_boost=1.5), seed=2)),
+            ("Alg1 k=1", SimpleKRoundScheme(db, Algorithm1Params(base, k=1), seed=2)),
+            ("Alg1 k=3", SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=2)),
+            ("fully adaptive", FullyAdaptiveScheme(db, base, seed=2)),
+            ("linear scan", LinearScanScheme(db)),
+        ]
+        for label, scheme in contenders:
+            s = evaluate_scheme(scheme, wl, GAMMA)
+            rows.append(
+                {
+                    "n": n,
+                    "scheme": label,
+                    "probes(mean)": round(s.mean_probes, 1),
+                    "rounds(max)": s.max_rounds,
+                    "success": round(s.success_rate, 2),
+                    "cells=n^c": round(scheme.size_report().cells_log_n(n), 1),
+                }
+            )
+    report_table(f"E6 (Tab. 3): baselines at d={D}, γ={GAMMA}", rows)
+    return rows
+
+
+def _by(rows, n, scheme):
+    return next(r for r in rows if r["n"] == n and r["scheme"] == scheme)
+
+
+def test_e6_alg1_beats_lsh_probes_at_one_round(e6_rows):
+    for n in NS:
+        assert _by(e6_rows, n, "Alg1 k=1")["probes(mean)"] < _by(e6_rows, n, "LSH nonadaptive")["probes(mean)"]
+
+
+def test_e6_lsh_probe_gap_grows_with_n(e6_rows):
+    """LSH probes grow ~ n^ρ while Alg 1 (k=1) stays ~ log d."""
+    gaps = [
+        _by(e6_rows, n, "LSH nonadaptive")["probes(mean)"]
+        / _by(e6_rows, n, "Alg1 k=1")["probes(mean)"]
+        for n in NS
+    ]
+    assert gaps[-1] > gaps[0]
+
+
+def test_e6_linear_scan_probes_are_n(e6_rows):
+    for n in NS:
+        assert _by(e6_rows, n, "linear scan")["probes(mean)"] == n
+
+
+def test_e6_space_ordering(e6_rows):
+    """Alg 1's table exponent exceeds LSH's (probes-for-space trade)."""
+    for n in NS:
+        assert _by(e6_rows, n, "Alg1 k=1")["cells=n^c"] > _by(e6_rows, n, "LSH nonadaptive")["cells=n^c"]
+
+
+def test_e6_lsh_query_latency(benchmark, e6_rows):
+    wl = cached_planted(n=300, d=D, queries=12, max_flips=60, seed=7)
+    scheme = LSHScheme(wl.database, LSHParams(gamma=GAMMA), seed=2)
+    benchmark(lambda: scheme.query(wl.queries[0]))

@@ -1,0 +1,87 @@
+"""E7 / Tab. 4 — Lemmas 14–16: the γ-separated ball tree exists (with all
+five invariants machine-verified) and the LPM → ANNS reduction preserves
+answers end to end, both under an exact solver and under the paper's own
+Algorithm 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import print_table
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.hamming.balls import nearest_neighbor
+from repro.lowerbound.balltree import SeparatedBallTree
+from repro.lowerbound.lpm import random_lpm_instance
+from repro.lowerbound.reduction import LPMToANNSReduction
+
+CASES = [
+    # (d, gamma, fanout, depth, sigma, n)
+    (1024, 2.0, 3, 2, 3, 8),
+    (2048, 2.0, 4, 2, 4, 12),
+    (4096, 3.0, 4, 2, 4, 12),
+]
+
+
+def _exact(db, x):
+    idx, _ = nearest_neighbor(db, x)
+    return db.row(idx)
+
+
+@pytest.fixture(scope="module")
+def e7_rows(report_table):
+    rows = []
+    for d, gamma, fanout, depth, sigma, n in CASES:
+        rng = np.random.default_rng(d)
+        tree = SeparatedBallTree(d=d, gamma=gamma, fanout=fanout, depth=depth, rng=rng)
+        checks = tree.verify()
+        inst, queries = random_lpm_instance(rng, m=depth, n=n, sigma=sigma, skew=0.8)
+        red = LPMToANNSReduction(inst, tree)
+        exact_ok = sum(red.solve_with(_exact, q).correct for q in queries)
+
+        db = red.database
+        base = BaseParameters(n=len(db), d=d, gamma=gamma, c1=10.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=1)
+
+        def alg1(database, x, scheme=scheme):
+            return scheme.query(x).answer_packed
+
+        alg1_ok = sum(red.solve_with(alg1, q).correct for q in queries)
+        rows.append(
+            {
+                "d": d,
+                "γ": gamma,
+                "fanout": fanout,
+                "depth": depth,
+                "invariants": "all" if all(checks.values()) else str(checks),
+                "sep margin": round(tree.verification_margin(), 2),
+                "exact recovers": f"{exact_ok}/{len(queries)}",
+                "Alg1 recovers": f"{alg1_ok}/{len(queries)}",
+            }
+        )
+    report_table("E7 (Tab. 4): LPM→ANNS reduction validity", rows)
+    return rows
+
+
+def test_e7_invariants_hold(e7_rows):
+    assert all(r["invariants"] == "all" for r in e7_rows)
+
+
+def test_e7_exact_recovery_perfect(e7_rows):
+    for r in e7_rows:
+        ok, total = map(int, r["exact recovers"].split("/"))
+        assert ok == total
+
+
+def test_e7_alg1_recovery_floor(e7_rows):
+    for r in e7_rows:
+        ok, total = map(int, r["Alg1 recovers"].split("/"))
+        assert ok / total >= 0.75
+
+
+def test_e7_tree_build_latency(benchmark, e7_rows):
+    benchmark(
+        lambda: SeparatedBallTree(
+            d=1024, gamma=2.0, fanout=3, depth=2, rng=np.random.default_rng(0)
+        )
+    )

@@ -1,0 +1,66 @@
+"""E8 / Tab. 5 — Theorem 24 / Claim 25: the round-elimination recurrence
+derives its contradiction exactly when t = O((1/k) m^{1/k}).
+
+Replays the ledger at asymptotic scales (log₂ d up to 10⁸) and reports the
+largest t for which the contradiction derives (the implied lower bound t*)
+against the theorem's scale ξ = m^{1/k}/k.  Shape criterion: t*/ξ is a
+positive, scale-stable constant for every k inside the regime.
+"""
+
+import pytest
+
+from repro.analysis.reporting import print_table
+from repro.lowerbound.roundelim import RoundEliminationLedger
+
+SCALES = [1e6, 1e7, 1e8]  # log2 d
+KS = [1, 2]
+
+
+@pytest.fixture(scope="module")
+def e8_rows(report_table):
+    rows = []
+    for log2_d in SCALES:
+        for k in KS + ([3] if log2_d >= 1e8 else []):
+            ledger = RoundEliminationLedger(
+                gamma=3.0, k=k, log2_n=log2_d**2, log2_d=log2_d, c1=2.0, c2=1.0
+            )
+            t_star, result = ledger.implied_lower_bound()
+            rows.append(
+                {
+                    "log2 d": f"{log2_d:.0e}",
+                    "k": k,
+                    "m": ledger.m,
+                    "regime_ok": ledger.regime_ok,
+                    "ξ=(1/k)m^{1/k}": round(result.xi, 2),
+                    "t* (implied lb)": round(t_star, 4),
+                    "t*/ξ": round(t_star / result.xi, 4) if result.xi else None,
+                    "final error": round(result.steps[-1].error, 3) if result.steps else None,
+                }
+            )
+    report_table("E8 (Tab. 5): round-elimination ledger (Claim 25 replay)", rows)
+    return rows
+
+
+def test_e8_contradiction_derivable_in_regime(e8_rows):
+    in_regime = [r for r in e8_rows if r["regime_ok"]]
+    assert in_regime
+    assert all(r["t* (implied lb)"] > 0 for r in in_regime)
+
+
+def test_e8_ratio_scale_stable(e8_rows):
+    """t*/ξ varies by < 10× across two orders of magnitude in log d."""
+    for k in KS:
+        ratios = [r["t*/ξ"] for r in e8_rows if r["k"] == k and r["regime_ok"]]
+        if len(ratios) >= 2:
+            assert max(ratios) / min(ratios) < 10.0
+
+
+def test_e8_error_stays_below_seven_eighths(e8_rows):
+    for r in e8_rows:
+        if r["t* (implied lb)"] > 0 and r["final error"] is not None:
+            assert r["final error"] <= 7.0 / 8.0 + 1e-6
+
+
+def test_e8_ledger_latency(benchmark, e8_rows):
+    ledger = RoundEliminationLedger(gamma=3.0, k=2, log2_n=1e12, log2_d=1e6)
+    benchmark(lambda: ledger.run(1.0))

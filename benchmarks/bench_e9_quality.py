@@ -1,0 +1,81 @@
+"""E9 / Fig. 4 — approximation quality and success boosting (Section 2).
+
+Measures the achieved approximation-ratio distribution on the adversarial
+geometric-shell workload and shows the parallel-repetition boost: success
+probability climbs toward 1 with independent copies while the round count
+stays at k.
+"""
+
+import pytest
+
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import evaluate_scheme
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.boosting import BoostedScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+GAMMA = 4.0
+COPIES = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def e9_rows(report_table):
+    wl = make_workload(
+        "shells", WorkloadSpec(n=240, d=1024, num_queries=16, seed=8),
+        alpha=2.0, centers=4,
+    )
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=GAMMA, c1=8.0)
+    params = Algorithm1Params(base, k=3)
+    rows = []
+    for copies in COPIES:
+        if copies == 1:
+            scheme = SimpleKRoundScheme(db, params, seed=0)
+        else:
+            scheme = BoostedScheme(
+                lambda s: SimpleKRoundScheme(db, params, seed=s),
+                seeds=list(range(copies)),
+            )
+        s = evaluate_scheme(scheme, wl, GAMMA)
+        rows.append(
+            {
+                "copies": copies,
+                "probes(mean)": round(s.mean_probes, 1),
+                "rounds(max)": s.max_rounds,
+                "success": round(s.success_rate, 3),
+                "ratio(mean)": s.mean_ratio and round(s.mean_ratio, 2),
+            }
+        )
+    report_table("E9 (Fig. 4): quality and parallel-repetition boosting (shells workload)", rows)
+    return rows
+
+
+def test_e9_boost_improves_success(e9_rows):
+    assert e9_rows[-1]["success"] >= e9_rows[0]["success"]
+
+
+def test_e9_boost_preserves_rounds(e9_rows):
+    assert e9_rows[-1]["rounds(max)"] <= e9_rows[0]["rounds(max)"] + 0
+
+
+def test_e9_probes_scale_linearly(e9_rows):
+    base_probes = e9_rows[0]["probes(mean)"]
+    assert e9_rows[-1]["probes(mean)"] <= 4.5 * base_probes
+
+
+def test_e9_ratio_within_gamma(e9_rows):
+    boosted = e9_rows[-1]
+    assert boosted["ratio(mean)"] is None or boosted["ratio(mean)"] <= GAMMA + 1.0
+
+
+def test_e9_boosted_query_latency(benchmark, e9_rows):
+    wl = make_workload("shells", WorkloadSpec(n=240, d=1024, num_queries=4, seed=8))
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=GAMMA, c1=8.0)
+    params = Algorithm1Params(base, k=3)
+    scheme = BoostedScheme(
+        lambda s: SimpleKRoundScheme(db, params, seed=s), seeds=[0, 1]
+    )
+    scheme.query(wl.queries[0])
+    benchmark(lambda: scheme.query(wl.queries[1]))

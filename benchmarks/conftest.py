@@ -1,0 +1,75 @@
+"""Shared benchmark helpers.
+
+Each ``bench_eN_*.py`` module reproduces one experiment of DESIGN.md's
+index: a module-scoped fixture computes the experiment's rows once and
+prints the markdown table (these are the rows EXPERIMENTS.md records), and
+``test_*`` functions additionally time a representative operation through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+
+@functools.lru_cache(maxsize=16)
+def cached_planted(n: int, d: int, queries: int, max_flips: int, seed: int = 0):
+    """Planted workload, cached across bench modules."""
+    return make_workload(
+        "planted",
+        WorkloadSpec(n=n, d=d, num_queries=queries, seed=seed),
+        max_flips=max_flips,
+    )
+
+
+@functools.lru_cache(maxsize=8)
+def cached_uniform_db(n: int, d: int, seed: int = 0) -> PackedPoints:
+    rng = np.random.default_rng(seed)
+    return PackedPoints(random_points(rng, n, d), d)
+
+
+def planted_query(db: PackedPoints, flips: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    base = db.row(int(rng.integers(0, len(db))))
+    return flip_random_bits(rng, base, flips, db.d)
+
+
+@pytest.fixture(scope="session")
+def bench_gamma() -> float:
+    return 4.0
+
+
+@pytest.fixture(scope="session")
+def report_table(pytestconfig):
+    """Print an experiment table to the live terminal (bypassing pytest's
+    capture) and append it to ``results/experiment_tables.md`` so the rows
+    can be transcribed into EXPERIMENTS.md."""
+    import pathlib
+
+    from repro.analysis.reporting import format_markdown_table
+
+    out_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    out_file = out_dir / "experiment_tables.md"
+    out_file.unlink(missing_ok=True)  # fresh file per session
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _report(title: str, rows, columns=None) -> str:
+        text = f"\n### {title}\n\n" + format_markdown_table(rows, columns) + "\n"
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text)
+        else:  # pragma: no cover - capture disabled runs
+            print(text)
+        with out_file.open("a") as fh:
+            fh.write(text)
+        return text
+
+    return _report

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The round/probe tradeoff (Theorems 2, 3, 4) on one database.
+
+Sweeps the round budget k for Algorithm 1 and Algorithm 2, measures total
+probes per query, and prints them next to the analytic envelopes:
+
+    upper (Alg 1):  k (log d)^{1/k}
+    upper (Alg 2):  k + ((log d)/k)^{c/k}
+    lower bound:    (1/k)(log_γ d)^{1/k}
+
+Run:  python examples/adaptivity_tradeoff.py
+"""
+
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import sweep_algorithm1, sweep_algorithm2
+from repro.lowerbound.bounds import lb_tradeoff, ub_algorithm1
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+
+def main() -> None:
+    gamma = 4.0
+    wl = make_workload(
+        "planted", WorkloadSpec(n=400, d=4096, num_queries=24, seed=5), max_flips=200
+    )
+    print(f"Workload: {wl.description}; n={len(wl.database)}, d={wl.database.d}, γ={gamma}")
+
+    rows = []
+    for summary in sweep_algorithm1(wl, gamma, ks=[1, 2, 3, 4, 6, 8], c1=8.0):
+        k = summary.extras["k"]
+        rows.append(
+            {
+                "k": k,
+                "scheme": "Alg 1",
+                "τ": summary.extras["tau"],
+                "probes(mean)": round(summary.mean_probes, 1),
+                "probes(max)": summary.max_probes,
+                "rounds(max)": summary.max_rounds,
+                "envelope k·(log d)^{1/k}": round(ub_algorithm1(k, wl.database.d), 1),
+                "lower bound (1/k)(log_γ d)^{1/k}": round(
+                    lb_tradeoff(k, wl.database.d, gamma), 2
+                ),
+                "success": round(summary.success_rate, 2),
+            }
+        )
+    for summary in sweep_algorithm2(wl, gamma, ks=[16, 24, 32], c=3.0, c1=8.0, c2=8.0):
+        rows.append(
+            {
+                "k": summary.extras["k"],
+                "scheme": "Alg 2",
+                "τ": summary.extras["tau"],
+                "probes(mean)": round(summary.mean_probes, 1),
+                "probes(max)": summary.max_probes,
+                "rounds(max)": summary.max_rounds,
+                "envelope k·(log d)^{1/k}": summary.extras["envelope"],
+                "success": round(summary.success_rate, 2),
+            }
+        )
+    print_table("Adaptivity/probe tradeoff", rows)
+    print(
+        "Shape check: Alg 1's probes fall steeply from k=1 (≈ log d) and "
+        "flatten; Alg 2 takes over for large k where its k + o(k) envelope wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

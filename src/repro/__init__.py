@@ -1,0 +1,50 @@
+"""repro — reproduction of *Randomized Approximate Nearest Neighbor Search
+with Limited Adaptivity* (Liu, Pan, Yin; SPAA 2016, arXiv:1602.04421).
+
+The package provides:
+
+* :class:`~repro.core.index.ANNIndex` — the public facade over the paper's
+  two k-round cell-probing schemes (Theorems 2/9 and 3/10);
+* :class:`~repro.core.lambda_ann.OneProbeNearNeighborScheme` — the 1-probe
+  λ-ANNS folklore scheme (Theorem 11);
+* a faithful **cell-probe model simulator** (:mod:`repro.cellprobe`) with
+  exact probe/round accounting and structurally enforced limited adaptivity;
+* the Hamming-space and sketching substrates (:mod:`repro.hamming`,
+  :mod:`repro.sketch`);
+* baselines the paper positions against (:mod:`repro.baselines`): LSH,
+  linear scan, fully-adaptive binary search;
+* the lower-bound machinery (:mod:`repro.lowerbound`): LPM, the
+  γ-separated ball-tree reduction, protocol accounting, and a numeric
+  round-elimination ledger for Theorem 4;
+* the experiment harness (:mod:`repro.analysis`, :mod:`repro.workloads`)
+  behind the benches in ``benchmarks/``.
+"""
+
+from repro.core import (
+    ANNIndex,
+    Algorithm1Params,
+    Algorithm2Params,
+    BaseParameters,
+    BoostedScheme,
+    LargeKScheme,
+    OneProbeNearNeighborScheme,
+    QueryResult,
+    SimpleKRoundScheme,
+)
+from repro.hamming import PackedPoints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANNIndex",
+    "Algorithm1Params",
+    "Algorithm2Params",
+    "BaseParameters",
+    "BoostedScheme",
+    "LargeKScheme",
+    "OneProbeNearNeighborScheme",
+    "PackedPoints",
+    "QueryResult",
+    "SimpleKRoundScheme",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: statistics, workload evaluation sweeps, Lemma 8
+verification, and report rendering used by the benches."""
+
+from repro.analysis.exponents import ExponentFit, fit_probe_exponent
+from repro.analysis.sandwich import SandwichReport, verify_lemma8
+from repro.analysis.stats import loglog_slope, mean_ci, summarize, wilson_interval
+from repro.analysis.tradeoff import EvalSummary, evaluate_scheme, sweep_algorithm1, sweep_algorithm2
+from repro.analysis.reporting import format_markdown_table, print_table
+
+__all__ = [
+    "EvalSummary",
+    "ExponentFit",
+    "fit_probe_exponent",
+    "SandwichReport",
+    "evaluate_scheme",
+    "format_markdown_table",
+    "loglog_slope",
+    "mean_ci",
+    "print_table",
+    "summarize",
+    "sweep_algorithm1",
+    "sweep_algorithm2",
+    "verify_lemma8",
+    "wilson_interval",
+]

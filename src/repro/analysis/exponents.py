@@ -1,0 +1,60 @@
+"""Growth-exponent fitting for the tradeoff claims.
+
+Theorem 2's bound is `O(k (log d)^{1/k})`: at fixed k, the probe count
+should grow like `(log d)^{1/k}` as the dimension sweeps.  Fitting the
+log-log slope of probes against `log d` therefore recovers `1/k` — the
+sharpest scalar check of the claim that doesn't depend on constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.stats import loglog_slope
+
+__all__ = ["ExponentFit", "fit_probe_exponent"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """A fitted growth exponent with its theoretical target."""
+
+    k: int
+    slope: float            # fitted d(log probes)/d(log log d)
+    target: float           # 1/k
+    dims: tuple
+    probes: tuple
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.slope - self.target)
+
+    def as_row(self) -> dict:
+        return {
+            "k": self.k,
+            "fitted exponent": round(self.slope, 3),
+            "target 1/k": round(self.target, 3),
+            "|error|": round(self.absolute_error, 3),
+        }
+
+
+def fit_probe_exponent(k: int, dims: Sequence[int], probes: Sequence[float]) -> ExponentFit:
+    """Fit `probes ~ (log₂ d)^e` and report ``e`` against the target 1/k.
+
+    ``probes`` should be the *envelope-tracking* statistic (max probes per
+    query works best: the completion round's ±1 noise averages out), taken
+    at the same k across the dimension sweep.
+    """
+    if len(dims) != len(probes) or len(dims) < 3:
+        raise ValueError("need >= 3 paired (d, probes) points")
+    log_dims = [math.log2(d) for d in dims]
+    slope = loglog_slope(log_dims, probes)
+    return ExponentFit(
+        k=int(k),
+        slope=slope,
+        target=1.0 / k,
+        dims=tuple(int(d) for d in dims),
+        probes=tuple(float(p) for p in probes),
+    )

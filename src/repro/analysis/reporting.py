@@ -1,0 +1,45 @@
+"""Plain-text / markdown table rendering for bench output.
+
+Benches print the same rows EXPERIMENTS.md records; keeping the renderer
+here means the bench scripts stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_markdown_table", "print_table"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_markdown_table(rows: Sequence[Dict[str, object]], columns: List[str] | None = None) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+        for row in rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = "| " + " | ".join(columns) + " |"
+    divider = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(_cell(row.get(col)) for col in columns) + " |" for row in rows
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]], columns: List[str] | None = None) -> str:
+    """Print (and return) a titled markdown table; benches call this so the
+    rows appear in the pytest output for EXPERIMENTS.md transcription."""
+    text = f"\n### {title}\n\n" + format_markdown_table(rows, columns) + "\n"
+    print(text)
+    return text

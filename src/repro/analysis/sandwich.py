@@ -1,0 +1,145 @@
+"""Empirical verification of Lemma 8 (experiment E4).
+
+For a database, a sketch family, and a batch of query points, measure:
+
+1. the probability that the sandwich ``B_i ⊆ C_i ⊆ B_{i+1}`` holds
+   *simultaneously for all levels* (Lemma 8 claims ≥ 3/4 together with the
+   coarse property);
+2. per-level failure rates for each inclusion separately, to show where the
+   concentration knee sits as the row count grows;
+3. the coarse-set fractions of Lemma 8's second property:
+   ``|B_j \\ D_{i,j}| / |B_j| ≤ n^{-1/s}`` and
+   ``|D_{i,j} ∩ (C_i \\ B_{j+1})| / |C_i \\ B_{j+1}| ≤ n^{-1/s}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hamming.points import PackedPoints
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+
+__all__ = ["SandwichReport", "verify_lemma8"]
+
+
+@dataclass
+class SandwichReport:
+    """Aggregated Lemma 8 measurements."""
+
+    num_queries: int
+    levels: int
+    simultaneous_ok: int
+    lower_failures_by_level: List[int]  # B_i ⊄ C_i events
+    upper_failures_by_level: List[int]  # C_i ⊄ B_{i+1} events
+    coarse_checked: int = 0
+    coarse_miss_ok: int = 0  # |B_j \ D_ij| fraction within n^{-1/s}
+    coarse_leak_ok: int = 0  # far-point leak fraction within n^{-1/s}
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def simultaneous_rate(self) -> float:
+        """Fraction of queries whose sandwich held at every level."""
+        return self.simultaneous_ok / self.num_queries
+
+    def rows(self) -> List[dict]:
+        """Per-level failure-rate rows for reporting."""
+        out = []
+        for i in range(self.levels + 1):
+            out.append(
+                {
+                    "level": i,
+                    "P[B_i ⊄ C_i]": self.lower_failures_by_level[i] / self.num_queries,
+                    "P[C_i ⊄ B_{i+1}]": self.upper_failures_by_level[i] / self.num_queries,
+                }
+            )
+        return out
+
+
+def verify_lemma8(
+    database: PackedPoints,
+    family: SketchFamily,
+    queries: np.ndarray,
+    s_exponent: Optional[float] = None,
+    coarse_level_pairs: Optional[List[tuple]] = None,
+) -> SandwichReport:
+    """Measure Lemma 8's properties over ``queries``.
+
+    Parameters
+    ----------
+    s_exponent : the ``s`` of the coarse bound ``n^{-1/s}``; coarse checks
+        run only when the family has coarse sketches and this is given.
+    coarse_level_pairs : explicit ``(i, j)`` pairs to check (default: a
+        diagonal band ``j ∈ {i, i−2}``).
+    """
+    sketches = LevelSketches(database, family)
+    evaluator = ApproxBallEvaluator(sketches)
+    levels = family.levels
+    alpha = family.alpha
+    q = np.asarray(queries, dtype=np.uint64)
+    if q.ndim == 1:
+        q = q[None, :]
+    m = q.shape[0]
+
+    lower_fail = [0] * (levels + 1)
+    upper_fail = [0] * (levels + 1)
+    simultaneous_ok = 0
+    coarse_checked = coarse_miss_ok = coarse_leak_ok = 0
+    n = len(database)
+    has_coarse = family.coarse_rows is not None and s_exponent is not None
+    cut = n ** (-1.0 / s_exponent) if has_coarse else None
+
+    for qi in range(m):
+        x = q[qi]
+        dists = database.distances_from(x)
+        all_ok = True
+        c_masks = []
+        for i in range(levels + 1):
+            address = family.accurate_address(i, x)
+            c_mask = evaluator.c_mask(i, address)
+            c_masks.append((address, c_mask))
+            b_i = dists <= alpha**i
+            b_next = dists <= alpha ** (i + 1)
+            if np.any(b_i & ~c_mask):
+                lower_fail[i] += 1
+                all_ok = False
+            if np.any(c_mask & ~b_next):
+                upper_fail[i] += 1
+                all_ok = False
+        if all_ok:
+            simultaneous_ok += 1
+
+        if has_coarse:
+            pairs = coarse_level_pairs
+            if pairs is None:
+                pairs = [(i, j) for i in range(levels + 1) for j in (i, i - 2) if 0 <= j <= i]
+            for i, j in pairs:
+                address, c_mask = c_masks[i]
+                w = family.coarse_address(j, x)
+                d_mask = evaluator.d_mask(i, address, j, w)
+                b_j = dists <= alpha**j
+                b_j1 = dists <= alpha ** (j + 1)
+                coarse_checked += 1
+                nb = int(b_j.sum())
+                if nb == 0 or int((b_j & ~d_mask).sum()) <= cut * nb:
+                    coarse_miss_ok += 1
+                far = c_mask & ~b_j1
+                nf = int(far.sum())
+                if nf == 0 or int((d_mask & far).sum()) <= cut * nf:
+                    coarse_leak_ok += 1
+
+    return SandwichReport(
+        num_queries=m,
+        levels=levels,
+        simultaneous_ok=simultaneous_ok,
+        lower_failures_by_level=lower_fail,
+        upper_failures_by_level=upper_fail,
+        coarse_checked=coarse_checked,
+        coarse_miss_ok=coarse_miss_ok,
+        coarse_leak_ok=coarse_leak_ok,
+        extras={"accurate_rows": family.accurate_rows, "coarse_rows": family.coarse_rows},
+    )

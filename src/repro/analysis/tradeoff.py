@@ -1,0 +1,181 @@
+"""Scheme evaluation sweeps: run a scheme over a workload, collect probe,
+round, and quality statistics; sweep ``k`` for both algorithms.
+
+This module is the engine behind experiments E1–E3 and E6: every bench
+calls :func:`evaluate_scheme` (or a sweep) and renders the summary rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize, wilson_interval
+from repro.cellprobe.scheme import CellProbingScheme
+from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.algorithm2 import LargeKScheme
+from repro.workloads.spec import Workload
+
+__all__ = ["EvalSummary", "evaluate_scheme", "sweep_algorithm1", "sweep_algorithm2"]
+
+
+@dataclass
+class EvalSummary:
+    """Aggregated outcome of running one scheme over one workload."""
+
+    scheme: str
+    workload: str
+    num_queries: int
+    mean_probes: float
+    max_probes: int
+    mean_rounds: float
+    max_rounds: int
+    success_rate: float
+    success_ci: tuple
+    answered_rate: float
+    mean_ratio: Optional[float]
+    table_cells: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat row for table rendering."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "queries": self.num_queries,
+            "probes(mean)": round(self.mean_probes, 2),
+            "probes(max)": self.max_probes,
+            "rounds(mean)": round(self.mean_rounds, 2),
+            "rounds(max)": self.max_rounds,
+            "success": round(self.success_rate, 3),
+            "answered": round(self.answered_rate, 3),
+            "ratio(mean)": None if self.mean_ratio is None else round(self.mean_ratio, 3),
+            "cells": self.table_cells,
+            **self.extras,
+        }
+
+
+def evaluate_scheme(
+    scheme: CellProbingScheme,
+    workload: Workload,
+    gamma: float,
+    max_queries: Optional[int] = None,
+) -> EvalSummary:
+    """Run every workload query through ``scheme`` and aggregate.
+
+    *Success* means: the scheme answered and the achieved ratio is ≤ γ
+    (with the distance-0 convention of
+    :func:`repro.core.result.achieved_ratio`).
+    """
+    queries = workload.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    db = workload.database
+    probes: List[int] = []
+    rounds: List[int] = []
+    ratios: List[float] = []
+    successes = 0
+    answered = 0
+    extras: Dict[str, object] = {}
+    violations = 0
+    for qi in range(queries.shape[0]):
+        x = queries[qi]
+        res = scheme.query(x)
+        probes.append(res.probes)
+        rounds.append(res.rounds)
+        if res.meta.get("budget_violated"):
+            violations += 1
+        ratio = res.ratio(db, x)
+        if ratio is not None:
+            answered += 1
+            if np.isfinite(ratio):
+                ratios.append(float(ratio))
+            if ratio <= gamma:
+                successes += 1
+    m = queries.shape[0]
+    p_summary = summarize(probes)
+    r_summary = summarize(rounds)
+    if violations:
+        extras["budget_violations"] = violations
+    return EvalSummary(
+        scheme=scheme.scheme_name,
+        workload=workload.name,
+        num_queries=m,
+        mean_probes=p_summary.mean,
+        max_probes=int(p_summary.maximum),
+        mean_rounds=r_summary.mean,
+        max_rounds=int(r_summary.maximum),
+        success_rate=successes / m,
+        success_ci=wilson_interval(successes, m),
+        answered_rate=answered / m,
+        mean_ratio=(sum(ratios) / len(ratios)) if ratios else None,
+        table_cells=scheme.size_report().table_cells,
+        extras=extras,
+    )
+
+
+def sweep_algorithm1(
+    workload: Workload,
+    gamma: float,
+    ks: Sequence[int],
+    seed: int = 0,
+    c1: float = 6.0,
+    scheme_factory: Optional[Callable[[Algorithm1Params], CellProbingScheme]] = None,
+) -> List[EvalSummary]:
+    """Evaluate Algorithm 1 at each round budget in ``ks``."""
+    db = workload.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1)
+    out: List[EvalSummary] = []
+    for k in ks:
+        params = Algorithm1Params(base, k=int(k))
+        scheme = (
+            scheme_factory(params)
+            if scheme_factory is not None
+            else SimpleKRoundScheme(db, params, seed=seed)
+        )
+        summary = evaluate_scheme(scheme, workload, gamma)
+        summary.extras.update({"k": int(k), "tau": params.tau,
+                               "envelope": round(params.theoretical_probe_curve(), 2)})
+        out.append(summary)
+    return out
+
+
+def sweep_algorithm2(
+    workload: Workload,
+    gamma: float,
+    ks: Sequence[int],
+    seed: int = 0,
+    c: float = 3.0,
+    c1: float = 6.0,
+    c2: float = 6.0,
+    s_override: Optional[int] = None,
+) -> List[EvalSummary]:
+    """Evaluate Algorithm 2 at each round budget in ``ks``.
+
+    Round budgets whose ``s < 1`` constraint fails are skipped (recorded
+    nowhere — Theorem 10 simply does not cover them).
+    """
+    db = workload.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1, c2=c2)
+    out: List[EvalSummary] = []
+    for k in ks:
+        try:
+            params = Algorithm2Params(base, k=int(k), c=c, s_override=s_override)
+        except ValueError:
+            continue
+        scheme = LargeKScheme(db, params, seed=seed)
+        summary = evaluate_scheme(scheme, workload, gamma)
+        summary.extras.update(
+            {
+                "k": int(k),
+                "tau": params.tau,
+                "s": params.s,
+                "envelope": round(params.theoretical_probe_curve(), 2),
+                "probes_per_round": round(summary.mean_probes / max(1.0, summary.mean_rounds), 2),
+            }
+        )
+        out.append(summary)
+    return out

@@ -1,0 +1,33 @@
+"""Baselines the paper positions against (Section 1).
+
+* :class:`~repro.baselines.linear_scan.LinearScanScheme` — exact NN by
+  reading every database cell; ``n`` probes, 1 round.
+* :class:`~repro.baselines.lsh.LSHScheme` — classic bit-sampling
+  locality-sensitive hashing (Indyk–Motwani) with ``O~(n^ρ)`` probes per
+  radius on tables of size ``O~(n^{1+ρ})``; non-adaptive (1 round) or
+  level-adaptive modes.
+* :class:`~repro.baselines.data_dependent_lsh.DataDependentLSHScheme` —
+  the "little more adaptive" middle regime the introduction describes
+  (Andoni et al.): a data-dependent hash retrieved in round 1 confines
+  round 2's non-adaptive probes to one part of the database.
+* :class:`~repro.baselines.adaptive.FullyAdaptiveScheme` — the fully
+  adaptive extreme of Algorithm 1 (τ = 2 binary search over levels,
+  1 probe/round, ``O(log log d)`` probes).
+"""
+
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.baselines.data_dependent_lsh import (
+    DataDependentLSHParams,
+    DataDependentLSHScheme,
+)
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.baselines.lsh import LSHParams, LSHScheme
+
+__all__ = [
+    "DataDependentLSHParams",
+    "DataDependentLSHScheme",
+    "FullyAdaptiveScheme",
+    "LSHParams",
+    "LSHScheme",
+    "LinearScanScheme",
+]

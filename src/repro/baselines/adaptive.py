@@ -1,0 +1,29 @@
+"""The fully adaptive extreme (Section 1 discussion).
+
+Algorithm 1 with ``τ = 2`` degenerates into binary search over the
+``L = ⌈log_α d⌉`` levels: one probe per round, ``O(log L) = O(log log d)``
+probes and rounds.  The paper notes this is *not* optimal for fully
+adaptive algorithms (Chakrabarti–Regev achieve
+``Θ(log log d / log log log d)``), which is exactly what Algorithm 2's
+1-probe-per-round extreme improves on; experiment E2 plots both.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters, worst_case_shrinking_rounds
+from repro.hamming.points import PackedPoints
+
+__all__ = ["FullyAdaptiveScheme"]
+
+
+class FullyAdaptiveScheme(SimpleKRoundScheme):
+    """Binary search over levels: τ=2, one probe per shrinking round."""
+
+    scheme_name = "fully-adaptive"
+
+    def __init__(self, database: PackedPoints, base: BaseParameters, seed=None):
+        rounds = worst_case_shrinking_rounds(base.levels, 2) + 1
+        params = Algorithm1Params(base, k=rounds, tau_override=2)
+        super().__init__(database, params, seed=seed)
+        self.k = rounds

@@ -1,0 +1,72 @@
+"""Exact nearest neighbor by linear scan, in cell-probe accounting.
+
+The trivial data structure: one cell per database point (``n`` cells, word
+size ``d``), probed entirely in a single non-adaptive round.  This is the
+exactness/space anchor of experiment E6: 1 round like LSH and Algorithm 1
+(k=1), but ``n`` probes and ratio exactly 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.table import LazyTable
+from repro.cellprobe.words import PointWord
+from repro.core.result import QueryResult
+from repro.hamming.distance import hamming_distance
+from repro.hamming.points import PackedPoints
+
+__all__ = ["LinearScanScheme"]
+
+
+class LinearScanScheme(CellProbingScheme):
+    """Reads all ``n`` point cells in one round; returns the exact NN."""
+
+    scheme_name = "linear-scan"
+    k = 1
+
+    def __init__(self, database: PackedPoints):
+        if len(database) == 0:
+            raise ValueError("database must be non-empty")
+        self.database = database
+        self.table = LazyTable(
+            name="points",
+            logical_cells=len(database),
+            word_size_bits=1 + database.d,
+            content_fn=self._content,
+        )
+
+    def _content(self, address: int) -> PointWord:
+        idx = int(address)
+        return PointWord.from_packed(idx, self.database.row(idx), self.database.d)
+
+    def query(self, x: np.ndarray) -> QueryResult:
+        accountant = ProbeAccountant(max_rounds=1, max_probes=len(self.database))
+        session = ProbeSession(accountant)
+        requests = [ProbeRequest(self.table, i) for i in range(len(self.database))]
+        contents = session.parallel_read(requests)
+        best_idx, best_dist = None, None
+        for content in contents:
+            assert isinstance(content, PointWord)
+            dist = hamming_distance(x, content.packed_array())
+            if best_dist is None or dist < best_dist:
+                best_idx, best_dist = content.index, dist
+        assert best_idx is not None
+        return QueryResult(
+            answer_index=best_idx,
+            answer_packed=self.database.row(best_idx).copy(),
+            accountant=accountant,
+            scheme=self.scheme_name,
+            meta={"exact_distance": best_dist},
+        )
+
+    def size_report(self) -> SchemeSizeReport:
+        return SchemeSizeReport(
+            table_cells=self.table.logical_cells,
+            word_bits=self.table.word_size_bits,
+            table_names=[("points", self.table.logical_cells)],
+            notes="exact baseline; linear space, linear probes",
+        )

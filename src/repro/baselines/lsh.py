@@ -1,0 +1,302 @@
+"""Bit-sampling locality-sensitive hashing for Hamming space
+(Indyk–Motwani), with cell-probe accounting.
+
+The paper's introduction contrasts its polynomial-size tables against LSH's
+``O~(d n^ρ)`` probes on ``O~(n^{1+ρ})`` cells.  This module implements the
+classic construction so experiment E6 can measure that contrast:
+
+* For a radius ``r``, the bit-sampling family ``h(x) = x_j`` has
+  ``p₁ = 1 − r/d`` (collision probability within distance ``r``) and
+  ``p₂ = 1 − γr/d`` (beyond ``γr``), giving ``ρ = ln(1/p₁)/ln(1/p₂)``.
+* One radius level uses ``L ≈ n^ρ`` hash tables of ``K ≈ log_{1/p₂} n``
+  sampled bits each; a query probes its bucket in every table.
+* Nearest-neighbor search runs the near-neighbor structure at the
+  geometric radii ``αⁱ``; **non-adaptive** mode probes all levels' buckets
+  in a single round, **adaptive** mode binary-searches the levels
+  (``O(log levels)`` rounds, one level's buckets per round).
+
+Bucket cells store up to ``bucket_capacity`` points (a standard
+multi-point word; the word-size note in the size report records the
+capacity).  Overflowing buckets drop the excess — the standard LSH failure
+mode; larger ``L`` compensates, and the measured recall is what E6 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.table import DictTable
+from repro.core.result import QueryResult
+from repro.hamming.distance import hamming_distance
+from repro.hamming.points import PackedPoints
+from repro.utils.intmath import ceil_log
+from repro.utils.rng import RngTree
+
+__all__ = ["LSHParams", "LSHScheme", "sampled_bits_hash"]
+
+
+def sampled_bits_hash(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Hash keys for a packed batch under bit sampling.
+
+    Gathers the sampled bit positions of every row (vectorized shifts) and
+    folds them into arbitrary-precision integer keys, 64 bits at a time.
+    Shared by the classic and data-dependent LSH baselines.
+    """
+    word_idx = (positions // 64).astype(np.int64)
+    bit_idx = (positions % 64).astype(np.uint64)
+    bits = (words[:, word_idx] >> bit_idx[None, :]) & np.uint64(1)
+    keys = np.zeros(bits.shape[0], dtype=object)
+    for start in range(0, bits.shape[1], 64):
+        chunk = bits[:, start : start + 64]
+        weights = np.uint64(1) << np.arange(chunk.shape[1], dtype=np.uint64)
+        folded = (chunk * weights[None, :]).sum(axis=1, dtype=np.uint64)
+        keys = keys + (np.array([int(v) for v in folded], dtype=object) << start)
+    return keys
+
+
+@dataclass(frozen=True)
+class LSHParams:
+    """Sizing knobs for the LSH baseline.
+
+    ``tables_override``/``bits_override`` pin L and K directly (used by the
+    ablation bench); otherwise the classic formulas apply with the safety
+    multiplier ``table_boost`` on L.
+    """
+
+    gamma: float = 4.0
+    bucket_capacity: int = 16
+    table_boost: float = 1.0
+    tables_override: Optional[int] = None
+    bits_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1:
+            raise ValueError(f"gamma must be > 1, got {self.gamma}")
+        if self.bucket_capacity < 1:
+            raise ValueError("bucket_capacity must be >= 1")
+
+
+def lsh_rho(d: int, r: float, gamma: float) -> float:
+    """The LSH exponent ``ρ = ln(1/p₁)/ln(1/p₂)`` for bit sampling.
+
+    Capped at 1: an exponent above 1 would mean more tables than points,
+    at which point a linear scan dominates and the construction is moot
+    (this happens only in the degenerate ``γr ≥ d`` regime handled by
+    :func:`level_sizing`).
+    """
+    p1 = max(1e-9, 1.0 - r / d)
+    p2 = max(1e-9, 1.0 - min(d - 1, gamma * r) / d)
+    if p2 >= 1.0 or p1 >= 1.0:
+        return 1.0
+    return min(1.0, math.log(1.0 / p1) / math.log(1.0 / p2))
+
+
+def level_sizing(n: int, d: int, r: float, params: LSHParams) -> Tuple[int, int, float]:
+    """``(K, L, ρ)`` for one radius level.
+
+    The degenerate regime ``γr ≥ d`` (the top geometric levels) is
+    trivially satisfiable — *every* database point is a ``γr``-near
+    neighbor — so a single 1-bit table suffices there.
+    """
+    if params.gamma * r >= d:
+        return 1, 1, 1.0
+    rho = lsh_rho(d, r, params.gamma)
+    if params.bits_override is not None:
+        K = params.bits_override
+    else:
+        p2 = max(1e-9, 1.0 - min(d - 1, params.gamma * r) / d)
+        K = max(1, math.ceil(math.log(n) / math.log(1.0 / p2)))
+    if params.tables_override is not None:
+        L = params.tables_override
+    else:
+        L = min(max(1, n), max(1, math.ceil(params.table_boost * (n**rho))))
+    return K, L, rho
+
+
+class _BucketWord:
+    """Contents of one bucket cell: up to ``capacity`` (index, packed) pairs."""
+
+    __slots__ = ("entries", "overflowed")
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[int, np.ndarray]] = []
+        self.overflowed = False
+
+
+class LSHScheme(CellProbingScheme):
+    """LSH for γ-approximate NN search over geometric radii.
+
+    Parameters
+    ----------
+    database : the packed database
+    params : :class:`LSHParams`
+    mode : "nonadaptive" (all levels in one round) or "adaptive"
+        (binary search over levels, one level per round)
+    seed : randomness for the sampled bit positions
+    """
+
+    scheme_name = "lsh"
+
+    def __init__(
+        self,
+        database: PackedPoints,
+        params: LSHParams = LSHParams(),
+        mode: str = "nonadaptive",
+        seed=None,
+    ):
+        if mode not in ("nonadaptive", "adaptive"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if len(database) < 2:
+            raise ValueError("database must have >= 2 points")
+        self.database = database
+        self.params = params
+        self.mode = mode
+        self.alpha = math.sqrt(min(4.0, params.gamma))
+        self.levels = ceil_log(float(database.d), self.alpha)
+        self._rng_tree = RngTree(seed)
+        n, d = len(database), database.d
+        self._level_meta: Dict[int, Tuple[int, int, float]] = {}
+        # Per (level, table) sampled bit positions and bucket directory.
+        self._positions: Dict[Tuple[int, int], np.ndarray] = {}
+        self._tables: Dict[Tuple[int, int], DictTable] = {}
+        self._total_cells = 0
+        for i in range(self.levels + 1):
+            r = self.alpha**i
+            K, L, rho = level_sizing(n, d, r, params)
+            self._level_meta[i] = (K, L, rho)
+            for t in range(L):
+                self._build_table(i, t, K)
+
+    # -- construction ------------------------------------------------------
+    def _build_table(self, level: int, t: int, K: int) -> None:
+        rng = self._rng_tree.generator("positions", level, t)
+        d = self.database.d
+        positions = rng.choice(d, size=min(K, d), replace=False)
+        self._positions[(level, t)] = positions
+        keys = self._hash_batch(self.database.words, positions)
+        buckets: Dict[int, _BucketWord] = {}
+        for idx, key in enumerate(keys):
+            bucket = buckets.setdefault(int(key), _BucketWord())
+            if len(bucket.entries) < self.params.bucket_capacity:
+                bucket.entries.append((idx, self.database.row(idx)))
+            else:
+                bucket.overflowed = True
+        table = DictTable(
+            name=f"lsh-L{level}-T{t}",
+            logical_cells=len(self.database),  # hashed directory of ~n cells
+            word_size_bits=self.params.bucket_capacity * (1 + d),
+            cells={k: v for k, v in buckets.items()},
+            default=_BucketWord(),
+        )
+        self._tables[(level, t)] = table
+        self._total_cells += table.logical_cells
+
+    @staticmethod
+    def _hash_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        return sampled_bits_hash(words, positions)
+
+    def _hash_query(self, level: int, t: int, x: np.ndarray) -> int:
+        key = self._hash_batch(
+            np.asarray(x, dtype=np.uint64)[None, :], self._positions[(level, t)]
+        )
+        return int(key[0])
+
+    # -- querying ------------------------------------------------------------
+    def _level_requests(self, level: int, x: np.ndarray) -> List[ProbeRequest]:
+        _, L, _ = self._level_meta[level]
+        return [
+            ProbeRequest(self._tables[(level, t)], self._hash_query(level, t, x))
+            for t in range(L)
+        ]
+
+    def _scan_contents(
+        self, x: np.ndarray, contents: List[object], radius: float
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Best candidate within ``γ·radius`` among bucket contents."""
+        best_idx, best_dist = None, None
+        limit = self.params.gamma * radius
+        for bucket in contents:
+            assert isinstance(bucket, _BucketWord)
+            for idx, packed in bucket.entries:
+                dist = hamming_distance(x, packed)
+                if dist <= limit and (best_dist is None or dist < best_dist):
+                    best_idx, best_dist = idx, dist
+        return best_idx, best_dist
+
+    def query(self, x: np.ndarray) -> QueryResult:
+        if self.mode == "nonadaptive":
+            return self._query_nonadaptive(x)
+        return self._query_adaptive(x)
+
+    def _query_nonadaptive(self, x: np.ndarray) -> QueryResult:
+        """All levels' buckets in one parallel round (k = 1)."""
+        accountant = ProbeAccountant(max_rounds=1)
+        session = ProbeSession(accountant)
+        requests: List[ProbeRequest] = []
+        spans: List[Tuple[int, int, int]] = []  # (level, start, stop)
+        for i in range(self.levels + 1):
+            reqs = self._level_requests(i, x)
+            spans.append((i, len(requests), len(requests) + len(reqs)))
+            requests.extend(reqs)
+        contents = session.parallel_read(requests)
+        for i, start, stop in spans:  # smallest succeeding radius wins
+            idx, dist = self._scan_contents(x, contents[start:stop], self.alpha**i)
+            if idx is not None:
+                return QueryResult(
+                    idx, self.database.row(idx).copy(), accountant,
+                    scheme=self.scheme_name, meta={"level": i, "distance": dist},
+                )
+        return QueryResult(None, None, accountant, scheme=self.scheme_name,
+                           meta={"failed": "no-candidate"})
+
+    def _query_adaptive(self, x: np.ndarray) -> QueryResult:
+        """Binary search over radius levels; one level's buckets per round."""
+        accountant = ProbeAccountant()
+        session = ProbeSession(accountant)
+        lo, hi = 0, self.levels
+        best: Optional[Tuple[int, int, int]] = None  # (level, idx, dist)
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            contents = session.parallel_read(self._level_requests(mid, x))
+            idx, dist = self._scan_contents(x, contents, self.alpha**mid)
+            if idx is not None:
+                best = (mid, idx, dist)
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        if best is None:
+            return QueryResult(None, None, accountant, scheme=self.scheme_name,
+                               meta={"failed": "no-candidate"})
+        level, idx, dist = best
+        return QueryResult(
+            idx, self.database.row(idx).copy(), accountant,
+            scheme=self.scheme_name, meta={"level": level, "distance": dist},
+        )
+
+    # -- sizing ----------------------------------------------------------------
+    def probes_per_query(self) -> int:
+        """Non-adaptive probe count: ``Σ_i L_i`` (exact, data-independent)."""
+        return sum(self._level_meta[i][1] for i in range(self.levels + 1))
+
+    def size_report(self) -> SchemeSizeReport:
+        names = [
+            (f"level{i}", self._level_meta[i][1] * len(self.database))
+            for i in range(self.levels + 1)
+        ]
+        return SchemeSizeReport(
+            table_cells=self._total_cells,
+            word_bits=self.params.bucket_capacity * (1 + self.database.d),
+            table_names=names,
+            notes=(
+                f"bit-sampling LSH; per-level (K, L, ρ): "
+                f"{[self._level_meta[i] for i in range(min(3, self.levels + 1))]}..."
+                f"; bucket capacity {self.params.bucket_capacity}"
+            ),
+        )

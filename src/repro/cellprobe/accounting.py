@@ -1,0 +1,106 @@
+"""Probe and round accounting.
+
+The accountant is the simulator's cost meter: every cell read is charged to
+exactly one round, rounds are sequential, and optional budgets turn the
+paper's complexity claims into runtime assertions (tests run schemes under
+their theoretical probe/round budgets and fail loudly on violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["ProbeAccountant", "ProbeBudgetExceeded", "RoundRecord"]
+
+
+class ProbeBudgetExceeded(RuntimeError):
+    """A scheme exceeded its declared probe or round budget."""
+
+
+@dataclass
+class RoundRecord:
+    """Addresses probed in one round: list of ``(table_name, address)``."""
+
+    index: int
+    probes: List[Tuple[str, object]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.probes)
+
+
+class ProbeAccountant:
+    """Tracks rounds of parallel probes for one query execution.
+
+    Parameters
+    ----------
+    max_rounds : optional hard cap on rounds (the scheme's ``k``)
+    max_probes : optional hard cap on total probes
+
+    Notes
+    -----
+    The accountant does not *enforce* non-adaptivity by itself — that is the
+    job of :class:`~repro.cellprobe.session.ProbeSession`, which only lets
+    algorithms read cells through whole-round batches.
+    """
+
+    def __init__(self, max_rounds: Optional[int] = None, max_probes: Optional[int] = None):
+        self.max_rounds = max_rounds
+        self.max_probes = max_probes
+        self.rounds: List[RoundRecord] = []
+
+    # -- recording ---------------------------------------------------------
+    def begin_round(self) -> RoundRecord:
+        """Open a new round; raises if the round budget would be exceeded."""
+        if self.max_rounds is not None and len(self.rounds) >= self.max_rounds:
+            raise ProbeBudgetExceeded(
+                f"round budget exceeded: {len(self.rounds) + 1} > {self.max_rounds}"
+            )
+        record = RoundRecord(index=len(self.rounds))
+        self.rounds.append(record)
+        return record
+
+    def charge(self, record: RoundRecord, table_name: str, address: object) -> None:
+        """Charge one probe to ``record``."""
+        if self.max_probes is not None and self.total_probes >= self.max_probes:
+            raise ProbeBudgetExceeded(
+                f"probe budget exceeded: {self.total_probes + 1} > {self.max_probes}"
+            )
+        record.probes.append((table_name, address))
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def total_probes(self) -> int:
+        """Total cell-probes charged so far."""
+        return sum(r.size for r in self.rounds)
+
+    @property
+    def total_rounds(self) -> int:
+        """Number of non-empty rounds (empty rounds are not charged)."""
+        return sum(1 for r in self.rounds if r.size > 0)
+
+    @property
+    def probes_per_round(self) -> List[int]:
+        """Probe counts per recorded round (including any empty rounds)."""
+        return [r.size for r in self.rounds]
+
+    def merge_parallel(self, other: "ProbeAccountant") -> None:
+        """Merge another accountant that ran *in parallel* with this one.
+
+        Round ``i`` of ``other`` is folded into round ``i`` of ``self``;
+        this models independent repetitions executed side by side (success
+        boosting, Section 2), which add probes but not rounds.
+        """
+        for i, rec in enumerate(other.rounds):
+            while len(self.rounds) <= i:
+                self.rounds.append(RoundRecord(index=len(self.rounds)))
+            self.rounds[i].probes.extend(rec.probes)
+
+    def as_dict(self) -> dict:
+        """Summary dictionary for reports."""
+        return {
+            "total_probes": self.total_probes,
+            "total_rounds": self.total_rounds,
+            "probes_per_round": self.probes_per_round,
+        }

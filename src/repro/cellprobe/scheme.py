@@ -1,0 +1,95 @@
+"""The cell-probing-scheme abstraction shared by all algorithms.
+
+A scheme is the pair (table structure, cell-probing algorithm) of the
+model: :meth:`CellProbingScheme.preprocess` builds the tables for a
+database (public randomness included), and :meth:`CellProbingScheme.query`
+answers one query through a :class:`~repro.cellprobe.session.ProbeSession`.
+
+Every scheme also reports its *logical* size parameters — table size ``s``
+(cells), word size ``w`` — so experiments can tabulate the space side of
+each theorem.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["CellProbingScheme", "SchemeSizeReport"]
+
+
+@dataclass(frozen=True)
+class SchemeSizeReport:
+    """Logical size accounting for a scheme's data structure.
+
+    Attributes
+    ----------
+    table_cells : total number of cells ``s`` across all tables
+    word_bits : word size ``w``
+    table_names : per-table breakdown (name, cells)
+    notes : human-readable remarks (e.g. Newman blowup applied or not)
+    """
+
+    table_cells: int
+    word_bits: int
+    table_names: List[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def total_bits(self) -> int:
+        return self.table_cells * self.word_bits
+
+    def cells_log_n(self, n: int) -> float:
+        """Exponent ``c`` with ``s = n^c`` (how polynomial the size is).
+
+        Uses arbitrary-precision ``int.bit_length`` so the astronomically
+        large (but exact) auxiliary-table cell counts don't overflow.
+        """
+        if n <= 1:
+            return float("nan")
+        cells = max(2, int(self.table_cells))
+        # log2 via bit_length with a float correction on the top 53 bits.
+        bits = cells.bit_length()
+        if bits <= 53:
+            log2_cells = math.log2(cells)
+        else:
+            log2_cells = math.log2(cells >> (bits - 53)) + (bits - 53)
+        return log2_cells / math.log2(n)
+
+
+class CellProbingScheme(abc.ABC):
+    """Abstract base for all cell-probing schemes in the package.
+
+    Concrete schemes are constructed with their parameters and a database,
+    perform all preprocessing eagerly or lazily as they choose, and answer
+    queries exclusively through probe sessions so that probe/round
+    accounting is exact.
+    """
+
+    #: human-readable scheme identifier used by the experiment harness
+    scheme_name: str = "abstract"
+
+    @abc.abstractmethod
+    def query(self, x: np.ndarray) -> "object":
+        """Answer a query point; returns a QueryResult (see repro.core.result)."""
+
+    @abc.abstractmethod
+    def size_report(self) -> SchemeSizeReport:
+        """Logical size accounting for the data structure."""
+
+    # -- shared conveniences -------------------------------------------------
+    def query_many(self, queries: np.ndarray) -> List[object]:
+        """Answer a batch of packed query rows; returns a list of results."""
+        arr = np.asarray(queries, dtype=np.uint64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        return [self.query(arr[i]) for i in range(arr.shape[0])]
+
+    @property
+    def rounds(self) -> Optional[int]:
+        """Declared round budget ``k`` (None = unbounded/fully adaptive)."""
+        return getattr(self, "k", None)

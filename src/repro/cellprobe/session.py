@@ -1,0 +1,95 @@
+"""Probe sessions: structurally enforced limited adaptivity.
+
+A :class:`ProbeSession` is created per query.  The *only* way for an
+algorithm to read cells is :meth:`ProbeSession.parallel_read`, which takes
+the complete list of a round's ``(table, address)`` requests and returns
+all contents at once.  Addresses in a round therefore cannot depend on the
+round's own contents — exactly the paper's lookup-function formulation
+(``L_i`` maps the query and *previous* rounds' contents to this round's
+addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.table import Table
+
+__all__ = ["ProbeRequest", "ProbeSession"]
+
+
+@dataclass(frozen=True)
+class ProbeRequest:
+    """One cell-probe request: a table and an address within it."""
+
+    table: Table
+    address: Hashable
+
+
+class ProbeSession:
+    """Executes rounds of parallel probes against a set of tables.
+
+    Parameters
+    ----------
+    accountant : the per-query cost meter (budgets included)
+
+    Notes
+    -----
+    Duplicate addresses within a round are charged once per request — the
+    model allows an algorithm to avoid duplicates itself, and the paper's
+    algorithms never issue them; tests assert our implementations do not
+    either (via :attr:`last_round_had_duplicates`).
+    """
+
+    def __init__(self, accountant: ProbeAccountant):
+        self.accountant = accountant
+        self.last_round_had_duplicates = False
+
+    def parallel_read(self, requests: Sequence[ProbeRequest]) -> List[object]:
+        """Execute one round of parallel probes; returns contents in order.
+
+        An empty request list does not open a round (the paper's rounds
+        have ``t_i > 0``).
+        """
+        if not requests:
+            return []
+        record = self.accountant.begin_round()
+        seen = set()
+        self.last_round_had_duplicates = False
+        contents: List[object] = []
+        # First charge every probe (addresses are fixed before any content
+        # is revealed), then fetch contents.
+        for req in requests:
+            key = (req.table.name, req.address)
+            if key in seen:
+                self.last_round_had_duplicates = True
+            seen.add(key)
+            self.accountant.charge(record, req.table.name, req.address)
+        for req in requests:
+            contents.append(req.table.read(req.address))
+        return contents
+
+    def read_one(self, table: Table, address: Hashable) -> object:
+        """Convenience wrapper: a round consisting of a single probe."""
+        return self.parallel_read([ProbeRequest(table, address)])[0]
+
+
+class SerializedProbeSession(ProbeSession):
+    """Executes every probe as its own one-probe round.
+
+    Serializing a parallel round into singleton rounds is always legal in
+    the model — later rounds are *allowed* to depend on earlier contents
+    and simply don't — so any k-round scheme becomes a fully adaptive
+    t-round, 1-probe-per-round scheme with identical answers.  This is how
+    the paper's remark after Theorem 3 is realized: for large enough
+    ``k = Θ(log log d / log log log d)``, Algorithm 2's probe count is
+    small enough that "every round contains only 1 cell-probe".
+    """
+
+    def parallel_read(self, requests: Sequence[ProbeRequest]) -> List[object]:
+        contents: List[object] = []
+        for req in requests:
+            contents.extend(super().parallel_read([req]))
+        return contents

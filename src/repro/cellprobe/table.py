@@ -1,0 +1,133 @@
+"""Tables of the cell-probe model.
+
+A :class:`Table` exposes read-only cells addressed by hashable addresses.
+:class:`LazyTable` materializes cells on first read from a deterministic
+content function — the exact content eager preprocessing would have stored
+— and memoizes it, so repeated probes of the same address are consistent
+(and property tests verify determinism across fresh instances).
+
+Tables carry *logical* size metadata (cell count, word size) taken from the
+scheme's closed-form accounting; the simulator never allocates ``n^{O(1)}``
+cells.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.cellprobe.words import word_bits
+
+__all__ = ["LazyTable", "Table"]
+
+
+class Table:
+    """Abstract read-only table.
+
+    Parameters
+    ----------
+    name : identifier used in probe traces
+    logical_cells : number of cells the table has in the model (may be an
+        astronomically large int; only used for size accounting)
+    word_size_bits : the model's word size ``w`` for this table
+    """
+
+    def __init__(self, name: str, logical_cells: int, word_size_bits: int):
+        self.name = str(name)
+        self.logical_cells = int(logical_cells)
+        self.word_size_bits = int(word_size_bits)
+
+    def read(self, address: Hashable) -> object:
+        """Return the content of ``address`` (no probe accounting here —
+        reads must go through a :class:`~repro.cellprobe.session.ProbeSession`)."""
+        raise NotImplementedError
+
+    def size_bits(self) -> int:
+        """Logical table size in bits (cells × word size)."""
+        return self.logical_cells * self.word_size_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, cells={self.logical_cells}, "
+            f"w={self.word_size_bits})"
+        )
+
+
+class LazyTable(Table):
+    """A table whose cells are computed on demand by ``content_fn``.
+
+    ``content_fn(address)`` must be a pure function of the address (given
+    the database and randomness captured in its closure): the memo cache
+    makes repeated reads cheap, and the purity requirement makes the lazy
+    simulation indistinguishable from an eager build.
+
+    The optional ``validate_words`` flag asserts each produced word fits
+    the declared word size — tests enable it to check the ``O(d)`` word
+    bound of every scheme.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        logical_cells: int,
+        word_size_bits: int,
+        content_fn: Callable[[Hashable], object],
+        validate_words: bool = True,
+    ):
+        super().__init__(name, logical_cells, word_size_bits)
+        self._content_fn = content_fn
+        self._cache: Dict[Hashable, object] = {}
+        self._validate_words = bool(validate_words)
+        self.materialized_reads = 0  # content-function invocations (stats)
+
+    def read(self, address: Hashable) -> object:
+        try:
+            return self._cache[address]
+        except KeyError:
+            pass
+        content = self._content_fn(address)
+        if self._validate_words:
+            bits = word_bits(content)
+            if bits > self.word_size_bits:
+                raise ValueError(
+                    f"table {self.name!r}: word of {bits} bits exceeds "
+                    f"declared word size {self.word_size_bits}"
+                )
+        self._cache[address] = content
+        self.materialized_reads += 1
+        return content
+
+    def cached_cells(self) -> int:
+        """Number of cells materialized so far (simulator statistic)."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop memoized cells (tests use this to re-check determinism)."""
+        self._cache.clear()
+
+
+class DictTable(Table):
+    """A fully materialized table backed by a dict; absent addresses map to
+    ``default``.  Used by small structures (perfect-hash membership tables
+    in tests) and by the LSH baseline's bucket directory."""
+
+    def __init__(
+        self,
+        name: str,
+        logical_cells: int,
+        word_size_bits: int,
+        cells: Optional[Dict[Hashable, object]] = None,
+        default: object = None,
+    ):
+        super().__init__(name, logical_cells, word_size_bits)
+        self._cells: Dict[Hashable, object] = dict(cells or {})
+        self._default = default
+
+    def read(self, address: Hashable) -> object:
+        return self._cells.get(address, self._default)
+
+    def store(self, address: Hashable, content: object) -> None:
+        """Preprocessing-time write (never charged as a probe)."""
+        self._cells[address] = content
+
+    def stored_cells(self) -> int:
+        return len(self._cells)

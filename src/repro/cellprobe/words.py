@@ -1,0 +1,88 @@
+"""Cell contents ("words") and their bit-size accounting.
+
+The model's word size ``w`` bounds how many bits one cell may hold.  The
+paper's schemes use words of ``O(d)`` bits: a cell stores either a database
+point (``d`` bits plus an index tag), a small integer (the auxiliary tables
+store a value in ``[1, s+1]``), or the distinguished EMPTY symbol.
+
+Words are immutable value objects; :func:`word_bits` reports the bit count
+a word occupies so schemes can assert they respect their declared ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["EMPTY", "EmptyWord", "IntWord", "PointWord", "Word", "word_bits"]
+
+
+@dataclass(frozen=True)
+class EmptyWord:
+    """The distinguished EMPTY symbol (1 tag bit)."""
+
+    def __repr__(self) -> str:
+        return "EMPTY"
+
+
+EMPTY = EmptyWord()
+
+
+@dataclass(frozen=True)
+class PointWord:
+    """A database point stored in a cell.
+
+    Stores the packed bits (the ``d``-bit payload the model charges for)
+    together with the database index, which is convenience metadata for the
+    simulator — the paper's cells store the point itself.
+    """
+
+    index: int
+    packed: tuple  # tuple of ints for hashability
+    d: int
+
+    @classmethod
+    def from_packed(cls, index: int, packed: np.ndarray, d: int) -> "PointWord":
+        return cls(int(index), tuple(int(v) for v in np.asarray(packed).ravel()), int(d))
+
+    def packed_array(self) -> np.ndarray:
+        """The stored point as a packed uint64 row."""
+        return np.array(self.packed, dtype=np.uint64)
+
+    def __repr__(self) -> str:
+        return f"PointWord(index={self.index}, d={self.d})"
+
+
+@dataclass(frozen=True)
+class IntWord:
+    """A small non-negative integer stored in a cell (aux tables)."""
+
+    value: int
+    max_value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value <= self.max_value):
+            raise ValueError(f"IntWord value {self.value} outside [0, {self.max_value}]")
+
+    def __repr__(self) -> str:
+        return f"IntWord({self.value})"
+
+
+Word = Optional[object]  # EmptyWord | PointWord | IntWord
+
+
+def word_bits(word: object) -> int:
+    """Bits occupied by ``word`` under the model's accounting.
+
+    EMPTY costs 1 tag bit; a point costs ``d`` payload bits plus the tag;
+    an integer in ``[0, M]`` costs ``ceil(log2(M+1))`` bits plus the tag.
+    """
+    if isinstance(word, EmptyWord):
+        return 1
+    if isinstance(word, PointWord):
+        return 1 + word.d
+    if isinstance(word, IntWord):
+        return 1 + max(1, int(word.max_value).bit_length())
+    raise TypeError(f"not a word: {word!r}")

@@ -1,0 +1,183 @@
+"""Command-line interface: run the headline experiments without pytest.
+
+Usage::
+
+    python -m repro tradeoff   --d 4096 --n 300 --gamma 4 --ks 1 2 3 4
+    python -m repro baselines  --d 1024 --n 300
+    python -m repro lemma8     --d 1024 --n 200 --rows 64 128 256
+    python -m repro ledger     --log2d 1e8 --ks 1 2 3
+    python -m repro demo
+
+Each subcommand prints the same markdown tables the corresponding bench
+target produces (see DESIGN.md's experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import print_table
+from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm1, sweep_algorithm2
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+__all__ = ["main"]
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    wl = make_workload(
+        "planted",
+        WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
+        max_flips=max(1, args.d // 16),
+    )
+    drop = ("workload", "queries", "scheme")
+    rows = []
+    for s in sweep_algorithm1(wl, args.gamma, ks=args.ks, c1=args.c1):
+        rows.append({"scheme": "Alg1", **{k: v for k, v in s.row().items() if k not in drop}})
+    if args.alg2_ks:
+        for s in sweep_algorithm2(wl, args.gamma, ks=args.alg2_ks, c1=args.c1, c2=args.c1):
+            rows.append({"scheme": "Alg2", **{k: v for k, v in s.row().items() if k not in drop}})
+    print_table(f"Tradeoff (n={args.n}, d={args.d}, γ={args.gamma})", rows)
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    from repro.baselines.adaptive import FullyAdaptiveScheme
+    from repro.baselines.linear_scan import LinearScanScheme
+    from repro.baselines.lsh import LSHParams, LSHScheme
+    from repro.core.algorithm1 import SimpleKRoundScheme
+    from repro.core.params import Algorithm1Params, BaseParameters
+
+    wl = make_workload(
+        "planted",
+        WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
+        max_flips=max(1, args.d // 16),
+    )
+    db = wl.database
+    base = BaseParameters(n=len(db), d=db.d, gamma=args.gamma, c1=args.c1)
+    contenders = [
+        ("LSH", LSHScheme(db, LSHParams(gamma=args.gamma), seed=args.seed)),
+        ("Alg1 k=1", SimpleKRoundScheme(db, Algorithm1Params(base, k=1), seed=args.seed)),
+        ("Alg1 k=3", SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=args.seed)),
+        ("fully-adaptive", FullyAdaptiveScheme(db, base, seed=args.seed)),
+        ("linear-scan", LinearScanScheme(db)),
+    ]
+    rows = []
+    for label, scheme in contenders:
+        s = evaluate_scheme(scheme, wl, args.gamma)
+        rows.append({"scheme": label, "probes": round(s.mean_probes, 1),
+                     "rounds": s.max_rounds, "success": round(s.success_rate, 2),
+                     "cells=n^c": round(scheme.size_report().cells_log_n(len(db)), 1)})
+    print_table(f"Baselines (n={args.n}, d={args.d}, γ={args.gamma})", rows)
+    return 0
+
+
+def _cmd_lemma8(args: argparse.Namespace) -> int:
+    from repro.analysis.sandwich import verify_lemma8
+    from repro.sketch.family import SketchFamily
+    from repro.utils.intmath import num_levels
+    from repro.utils.rng import RngTree
+    import math
+
+    wl = make_workload(
+        "planted",
+        WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
+        max_flips=max(1, args.d // 16),
+    )
+    alpha = math.sqrt(min(4.0, args.gamma))
+    levels = num_levels(args.d, alpha)
+    rows = []
+    for rows_count in args.rows:
+        fam = SketchFamily(args.d, alpha, levels, rows_count, rng_tree=RngTree(args.seed))
+        report = verify_lemma8(wl.database, fam, wl.queries)
+        rows.append({"rows": rows_count,
+                     "P[sandwich]": round(report.simultaneous_rate, 3)})
+    print_table(f"Lemma 8 sandwich (n={args.n}, d={args.d})", rows)
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.lowerbound.roundelim import RoundEliminationLedger
+
+    rows = []
+    for k in args.ks:
+        ledger = RoundEliminationLedger(
+            gamma=args.gamma, k=k, log2_n=args.log2d**2, log2_d=args.log2d
+        )
+        t_star, result = ledger.implied_lower_bound()
+        rows.append({"k": k, "m": ledger.m, "regime_ok": ledger.regime_ok,
+                     "xi": round(result.xi, 3), "t*": round(t_star, 4),
+                     "t*/xi": round(t_star / result.xi, 4) if result.xi else None})
+    print_table(f"Round-elimination ledger (log2 d = {args.log2d:g})", rows)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import ANNIndex, PackedPoints
+    from repro.hamming.sampling import flip_random_bits, random_points
+
+    rng = np.random.default_rng(2016)
+    n, d = 300, 1024
+    db = PackedPoints(random_points(rng, n, d), d)
+    index = ANNIndex.build(db, gamma=4.0, rounds=3, seed=7, c1=8.0)
+    rows = []
+    for i in range(8):
+        q = flip_random_bits(rng, db.row(int(rng.integers(0, n))), int(rng.integers(0, 40)), d)
+        res = index.query_packed(q)
+        rows.append({"query": i, "probes": res.probes, "rounds": res.rounds,
+                     "ratio": res.ratio(db, q), "path": res.meta.get("path")})
+    print_table(f"Demo: k=3 rounds, n={n}, d={d}, γ=4", rows)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Limited-adaptivity ANNS reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=300)
+        p.add_argument("--d", type=int, default=1024)
+        p.add_argument("--gamma", type=float, default=4.0)
+        p.add_argument("--queries", type=int, default=16)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--c1", type=float, default=8.0)
+
+    p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")
+    common(p)
+    p.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument("--alg2-ks", type=int, nargs="*", default=[])
+    p.set_defaults(fn=_cmd_tradeoff)
+
+    p = sub.add_parser("baselines", help="LSH / scans / adaptive (E6)")
+    common(p)
+    p.set_defaults(fn=_cmd_baselines)
+
+    p = sub.add_parser("lemma8", help="sandwich probability vs rows (E4)")
+    common(p)
+    p.add_argument("--rows", type=int, nargs="+", default=[64, 128, 256])
+    p.set_defaults(fn=_cmd_lemma8)
+
+    p = sub.add_parser("ledger", help="round-elimination ledger (E8)")
+    p.add_argument("--log2d", type=float, default=1e8)
+    p.add_argument("--gamma", type=float, default=3.0)
+    p.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3])
+    p.set_defaults(fn=_cmd_ledger)
+
+    p = sub.add_parser("demo", help="run the quickstart example")
+    p.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: k-round randomized cell-probing
+schemes for approximate nearest neighbor search (Theorems 9–11)."""
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.boosting import BoostedScheme
+from repro.core.index import ANNIndex
+from repro.core.invariants import InvariantChecker, InvariantTrace
+from repro.core.lambda_ann import OneProbeNearNeighborScheme
+from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+from repro.core.result import QueryResult, achieved_ratio
+
+__all__ = [
+    "ANNIndex",
+    "Algorithm1Params",
+    "Algorithm2Params",
+    "BaseParameters",
+    "BoostedScheme",
+    "InvariantChecker",
+    "InvariantTrace",
+    "LargeKScheme",
+    "OneProbeNearNeighborScheme",
+    "QueryResult",
+    "SimpleKRoundScheme",
+    "achieved_ratio",
+]

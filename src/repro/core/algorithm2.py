@@ -1,0 +1,317 @@
+"""Algorithm 2 (Theorem 10): the large-k scheme with
+``O(k + ((log d)/k)^{c/k})`` total cell-probes.
+
+Each *shrinking phase* spends at most two rounds:
+
+* **Round A** probes ``T_u[M_u x]`` plus ``⌈(τ−1)/s⌉`` auxiliary cells,
+  batching the ``τ − 1`` coarse density tests
+  ``|D_{u,ρ(r)}| > n^{-1/s} |C_u|`` into groups of ``s``.  The smallest
+  dense position ``r*`` (or ``τ``) drives the phase.
+* **Round B** (skipped when ``r* = 1``) probes ``T_{ρ(r*−1)−1}[·]`` and
+  selects among the paper's three cases:
+
+  - CASE 1 (``r* = 1``): ``u ← ρ(1) + 1`` — gap shrinks.
+  - CASE 2 (probe EMPTY): ``l ← ρ(r*−1) − 1``; if ``r* < τ`` also
+    ``u ← ρ(r*) + 1`` — gap shrinks; the density evidence guarantees
+    ``C_{ρ(r*)+1} ≠ ∅`` via Lemma 8's second property.
+  - CASE 3 (probe non-EMPTY): ``u ← ρ(r*−1) − 1`` — the gap may barely
+    move but ``|C_u|`` provably shrinks by ``n^{-1/(2s)}``; at most ``2s``
+    such phases can occur.
+
+Once ``u − l < max(3τ, k)`` a completion round finishes as in Algorithm 1.
+Budgets (``⌊(k−1)/2⌋`` phases, probe counts) are tracked as soft flags in
+the result metadata: the paper's counting arguments are asymptotic, and at
+laptop scale experiments report violations instead of crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.session import ProbeRequest, ProbeSession, SerializedProbeSession
+from repro.cellprobe.words import EmptyWord, IntWord, PointWord
+from repro.core.degenerate import DegenerateCaseHandler
+from repro.core.invariants import InvariantChecker
+from repro.core.params import Algorithm2Params
+from repro.core.result import QueryResult
+from repro.hamming.points import PackedPoints
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.structures.aux_table import AuxCountTable, rho
+from repro.structures.main_table import MainLevelTable
+from repro.utils.intmath import ceil_div
+from repro.utils.rng import RngTree
+
+__all__ = ["LargeKScheme"]
+
+
+class LargeKScheme(CellProbingScheme):
+    """Theorem 10's scheme for a fixed database.
+
+    Parameters
+    ----------
+    database : the packed database ``B``
+    params : validated :class:`~repro.core.params.Algorithm2Params`
+    seed : public-coin randomness root
+    """
+
+    scheme_name = "algorithm2"
+
+    def __init__(
+        self,
+        database: PackedPoints,
+        params: Algorithm2Params,
+        seed=None,
+        check_invariants: bool = False,
+        one_probe_per_round: bool = False,
+    ):
+        if len(database) != params.base.n:
+            raise ValueError(
+                f"database has {len(database)} points but params.n={params.base.n}"
+            )
+        if database.d != params.base.d:
+            raise ValueError(f"database d={database.d} but params.d={params.base.d}")
+        self.database = database
+        self.params = params
+        self.k = params.k
+        rng_tree = RngTree(seed)
+        self.family = SketchFamily(
+            d=params.base.d,
+            alpha=params.base.alpha,
+            levels=params.base.levels,
+            accurate_rows=params.base.accurate_rows,
+            coarse_rows=params.base.coarse_rows(params.s_real if params.s_override is None else params.s),
+            rng_tree=rng_tree.child("sketches"),
+        )
+        self.level_sketches = LevelSketches(database, self.family)
+        self.evaluator = ApproxBallEvaluator(self.level_sketches)
+        levels = params.base.levels
+        self.tables: Dict[int, MainLevelTable] = {
+            i: MainLevelTable(self.evaluator, i) for i in range(levels + 1)
+        }
+        frac = params.s_real if params.s_override is None else float(params.s)
+        self.aux_tables: Dict[int, AuxCountTable] = {
+            i: AuxCountTable(self.evaluator, i, params.tau, params.s, max(1.0, frac))
+            for i in range(levels + 1)
+        }
+        self.degenerate = DegenerateCaseHandler(database)
+        # Optional out-of-band invariant oracle (charges no probes).
+        self.invariant_checker = (
+            InvariantChecker(self.evaluator, self.family) if check_invariants else None
+        )
+        # The paper's remark after Theorem 3: at the transition k the
+        # scheme can run with one probe per round; serializing rounds is
+        # always legal (it only adds unused adaptivity).
+        self.one_probe_per_round = bool(one_probe_per_round)
+        self._address_cache: Dict[Tuple[str, int, bytes], tuple] = {}
+
+    # -- address memoization ----------------------------------------------
+    def _acc_address(self, i: int, x: np.ndarray) -> tuple:
+        key = ("a", i, np.asarray(x, dtype=np.uint64).tobytes())
+        addr = self._address_cache.get(key)
+        if addr is None:
+            addr = self.family.accurate_address(i, x)
+            self._address_cache[key] = addr
+        return addr
+
+    def _coarse_address(self, i: int, x: np.ndarray) -> tuple:
+        key = ("c", i, np.asarray(x, dtype=np.uint64).tobytes())
+        addr = self._address_cache.get(key)
+        if addr is None:
+            addr = self.family.coarse_address(i, x)
+            self._address_cache[key] = addr
+        return addr
+
+    # -- helpers ----------------------------------------------------------
+    def _phase_round_a_requests(
+        self, x: np.ndarray, l: int, u: int
+    ) -> Tuple[List[ProbeRequest], List[int]]:
+        """Build round-A requests: T_u plus the grouped auxiliary probes.
+
+        Returns the requests and the per-group first global position so the
+        caller can map a group's stored value back to a global ``r``.
+        """
+        params = self.params
+        tau, s = params.tau, params.s
+        acc_addr = self._acc_address(u, x)
+        requests: List[ProbeRequest] = [
+            ProbeRequest(self.tables[u].table, acc_addr)
+        ]
+        group_starts: List[int] = []
+        num_groups = ceil_div(tau - 1, s)
+        aux = self.aux_tables[u]
+        for g in range(1, num_groups + 1):
+            start_r = 1 + (g - 1) * s
+            w0 = min(s, (tau - 1) - (g - 1) * s)
+            coarse_addrs = [
+                self._coarse_address(rho(l, u, tau, start_r + q), x) for q in range(w0)
+            ]
+            requests.append(
+                ProbeRequest(aux.table, aux.address(acc_addr, l, u, g, coarse_addrs))
+            )
+            group_starts.append(start_r)
+        return requests, group_starts
+
+    @staticmethod
+    def _decode_r_star(
+        contents: List[object], group_starts: List[int], s: int, tau: int
+    ) -> int:
+        """Smallest global ``r`` with a dense ``D_{u,ρ(r)}``, else ``τ``."""
+        sentinel = s + AuxCountTable.SENTINEL_OFFSET
+        for content, start in zip(contents, group_starts):
+            assert isinstance(content, IntWord)
+            if content.value != sentinel:
+                return start + content.value - 1
+        return tau
+
+    def _finish(
+        self,
+        accountant: ProbeAccountant,
+        index: Optional[int],
+        packed: Optional[np.ndarray],
+        inv_trace=None,
+        **meta: object,
+    ) -> QueryResult:
+        if inv_trace is not None:
+            meta["invariants"] = inv_trace.as_dict()
+        meta.setdefault("probe_budget_ok", accountant.total_probes <= self.params.probe_budget)
+        # Under round serialization the round count equals the probe count
+        # by construction, so it is judged against the probe budget.
+        round_cap = (
+            self.params.probe_budget if self.one_probe_per_round else self.params.round_budget
+        )
+        meta.setdefault("round_budget_ok", accountant.total_rounds <= round_cap)
+        return QueryResult(
+            answer_index=index,
+            answer_packed=packed,
+            accountant=accountant,
+            scheme=self.scheme_name,
+            meta=meta,
+        )
+
+    # -- the cell-probing algorithm -----------------------------------------
+    def query(self, x: np.ndarray) -> QueryResult:
+        """Answer one query with soft budget flags in the metadata."""
+        params = self.params
+        accountant = ProbeAccountant()  # soft budgets; flags set in _finish
+        session_cls = SerializedProbeSession if self.one_probe_per_round else ProbeSession
+        session = session_cls(accountant)
+        self._address_cache.clear()
+
+        l, u = 0, params.base.levels
+        tau, s = params.tau, params.s
+        cut = params.completion_cut
+        first_round = True
+        phases = 0
+        case_counts = {"case1": 0, "case2": 0, "case3": 0}
+        budget_violated = False
+        inv_trace = self.invariant_checker.start() if self.invariant_checker else None
+        if self.invariant_checker:
+            self.invariant_checker.record(inv_trace, x, l, u)
+
+        while u - l >= cut:
+            if phases >= params.phase_budget:
+                budget_violated = True
+                break
+            phases += 1
+
+            requests, group_starts = self._phase_round_a_requests(x, l, u)
+            if first_round:
+                requests = self.degenerate.requests_for(x) + requests
+            contents = session.parallel_read(requests)
+            if first_round:
+                degenerate_hit = self.degenerate.interpret(contents[:2])
+                contents = contents[2:]
+                first_round = False
+                if degenerate_hit is not None:
+                    idx, packed, which = degenerate_hit
+                    return self._finish(
+                        accountant, idx, packed, path=f"degenerate-{which}",
+                        phases=phases - 1,
+                    )
+            tu_content = contents[0]
+            r_star = self._decode_r_star(contents[1:], group_starts, s, tau)
+
+            if r_star == 1:
+                case_counts["case1"] += 1
+                u = rho(l, u, tau, 1) + 1
+                if self.invariant_checker:
+                    self.invariant_checker.record(inv_trace, x, l, u)
+                continue
+
+            probe_level = rho(l, u, tau, r_star - 1) - 1
+            content = session.read_one(self.tables[probe_level].table,
+                                       self._acc_address(probe_level, x))
+            if isinstance(content, EmptyWord):
+                case_counts["case2"] += 1
+                new_l = probe_level
+                new_u = rho(l, u, tau, r_star) + 1 if r_star < tau else u
+                l, u = new_l, new_u
+            else:
+                case_counts["case3"] += 1
+                u = probe_level
+            if self.invariant_checker:
+                self.invariant_checker.record(inv_trace, x, l, u)
+            del tu_content  # read per the paper; control flow needs only r*
+
+        # Completion round over the remaining gap.
+        levels = list(range(l + 1, u + 1))
+        requests = [
+            ProbeRequest(self.tables[i].table, self._acc_address(i, x)) for i in levels
+        ]
+        if first_round:
+            requests = self.degenerate.requests_for(x) + requests
+        contents = session.parallel_read(requests)
+        if first_round:
+            degenerate_hit = self.degenerate.interpret(contents[:2])
+            contents = contents[2:]
+            if degenerate_hit is not None:
+                idx, packed, which = degenerate_hit
+                return self._finish(accountant, idx, packed, path="degenerate-" + which)
+        answer_pos: Optional[int] = None
+        for pos, content in enumerate(contents):
+            if isinstance(content, PointWord):
+                answer_pos = pos
+                break
+        meta = {
+            "path": "main",
+            "phases": phases,
+            "budget_violated": budget_violated,
+            **case_counts,
+        }
+        if answer_pos is None:
+            return self._finish(
+                accountant, None, None, failed="empty-completion",
+                inv_trace=inv_trace, **meta,
+            )
+        word = contents[answer_pos]
+        assert isinstance(word, PointWord)
+        return self._finish(
+            accountant, word.index, word.packed_array(),
+            answer_level=levels[answer_pos], inv_trace=inv_trace, **meta,
+        )
+
+    # -- size accounting ------------------------------------------------------
+    def size_report(self) -> SchemeSizeReport:
+        levels = self.params.base.levels
+        main_cells = (levels + 1) * self.tables[0].table.logical_cells
+        aux_cells = (levels + 1) * self.aux_tables[0].table.logical_cells
+        degenerate_cells = self.degenerate.logical_cells()
+        return SchemeSizeReport(
+            table_cells=main_cells + aux_cells + degenerate_cells,
+            word_bits=1 + self.database.d,
+            table_names=[
+                ("main-levels", main_cells),
+                ("aux-levels", aux_cells),
+                ("degenerate", degenerate_cells),
+            ],
+            notes=(
+                f"tau={self.params.tau}, s={self.params.s}, "
+                f"phase_budget={self.params.phase_budget}; public-coin sizes"
+            ),
+        )

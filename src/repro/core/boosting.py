@@ -1,0 +1,89 @@
+"""Success amplification by parallel repetition (Section 2 remark).
+
+For nearest-neighbor search, once the query is fixed there is a monotone
+order of answer quality (closer is better), so any constant success
+probability boosts to ``1 − ε`` by running ``O(log 1/ε)`` independent
+copies of the scheme *in parallel* and returning the best answer.  The
+repetitions share rounds — round ``i`` of every copy executes together —
+so the round complexity is unchanged while probes scale linearly.
+
+The wrapper re-instantiates the underlying scheme with independent
+public-coin seeds; probe accounting merges per-round via
+:meth:`~repro.cellprobe.accounting.ProbeAccountant.merge_parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.core.result import QueryResult
+from repro.hamming.distance import hamming_distance
+
+__all__ = ["BoostedScheme"]
+
+
+class BoostedScheme(CellProbingScheme):
+    """Runs ``copies`` independent instances in parallel, keeps the best.
+
+    Parameters
+    ----------
+    factory : builds one scheme instance given a seed (copies use seeds
+        ``seed_base + 0..copies-1`` derived by the caller)
+    seeds : the per-copy public-coin seeds
+    """
+
+    scheme_name = "boosted"
+
+    def __init__(self, factory: Callable[[int], CellProbingScheme], seeds: List[int]):
+        if not seeds:
+            raise ValueError("need at least one seed / copy")
+        self.copies: List[CellProbingScheme] = [factory(s) for s in seeds]
+        self.inner_name = self.copies[0].scheme_name
+        self.scheme_name = f"boosted({self.inner_name}×{len(seeds)})"
+
+    @property
+    def k(self) -> Optional[int]:
+        return getattr(self.copies[0], "k", None)
+
+    def query(self, x: np.ndarray) -> QueryResult:
+        """All copies answer; the closest returned point wins."""
+        results = [copy.query(x) for copy in self.copies]
+        merged = ProbeAccountant()
+        for res in results:
+            merged.merge_parallel(res.accountant)
+        best: Optional[QueryResult] = None
+        best_dist: Optional[int] = None
+        for res in results:
+            if res.answer_packed is None:
+                continue
+            dist = hamming_distance(x, res.answer_packed)
+            if best_dist is None or dist < best_dist:
+                best, best_dist = res, dist
+        answered = sum(1 for r in results if r.answered)
+        meta = {
+            "copies": len(self.copies),
+            "copies_answered": answered,
+            "inner": self.inner_name,
+        }
+        if best is None:
+            return QueryResult(None, None, merged, scheme=self.scheme_name, meta=meta)
+        return QueryResult(
+            best.answer_index,
+            best.answer_packed,
+            merged,
+            scheme=self.scheme_name,
+            meta={**meta, "winner_meta": dict(best.meta)},
+        )
+
+    def size_report(self) -> SchemeSizeReport:
+        reports = [c.size_report() for c in self.copies]
+        return SchemeSizeReport(
+            table_cells=sum(r.table_cells for r in reports),
+            word_bits=max(r.word_bits for r in reports),
+            table_names=[(f"copy{i}", r.table_cells) for i, r in enumerate(reports)],
+            notes=f"{len(reports)} parallel copies of {self.inner_name}",
+        )

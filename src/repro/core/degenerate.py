@@ -1,0 +1,55 @@
+"""Degenerate-case handling shared by both algorithms (Section 3.1).
+
+Before the main multi-way search may assume ``B₀ = B₁ = ∅`` (Assumption 1),
+the query fires two 1-probe membership structures *in parallel with its
+first round*: exact membership in ``B`` and membership in the
+1-neighborhood ``N₁(B)``.  A hit on either answers the query exactly (the
+returned point is a true nearest neighbor, since its distance is 0 or 1 and
+a distance-1 answer is only used when no exact match exists).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cellprobe.session import ProbeRequest
+from repro.cellprobe.words import PointWord
+from repro.hamming.points import PackedPoints
+from repro.structures.perfect_hash import MembershipStructure
+
+__all__ = ["DegenerateCaseHandler"]
+
+
+class DegenerateCaseHandler:
+    """Owns the two 1-probe membership structures and their protocol."""
+
+    def __init__(self, database: PackedPoints):
+        self.exact = MembershipStructure(database, radius=0, name="B0-membership")
+        self.near = MembershipStructure(database, radius=1, name="B1-membership")
+
+    def requests_for(self, x: np.ndarray) -> List[ProbeRequest]:
+        """The two probe requests to fold into the query's first round."""
+        return [
+            ProbeRequest(self.exact.table, self.exact.address_for(x)),
+            ProbeRequest(self.near.table, self.near.address_for(x)),
+        ]
+
+    @staticmethod
+    def interpret(contents: List[object]) -> Optional[Tuple[int, np.ndarray, str]]:
+        """Interpret the two degenerate answers.
+
+        Returns ``(index, packed_point, which)`` on a hit (preferring the
+        exact structure) or None when the main search must decide.
+        """
+        exact_content, near_content = contents
+        if isinstance(exact_content, PointWord):
+            return exact_content.index, exact_content.packed_array(), "exact"
+        if isinstance(near_content, PointWord):
+            return near_content.index, near_content.packed_array(), "near"
+        return None
+
+    def logical_cells(self) -> int:
+        """Combined logical size of both structures."""
+        return self.exact.table.logical_cells + self.near.table.logical_cells

@@ -1,0 +1,108 @@
+"""Sketch separation math: collision rates, the paper's ``δ(β, α)``, and
+the operational decision thresholds (Definition 7 / Lemma 8).
+
+The accurate sketch at level ``i`` is a random GF(2) parity map whose mask
+entries are i.i.d. Bernoulli(``p_i``) with ``p_i = 1/(4αⁱ)``.  For two
+points at Hamming distance ``D``, each sketch output bit differs with
+probability
+
+    μ(p, D) = (1 − (1 − 2p)^D) / 2,
+
+the standard parity-collision rate.  Writing ``β = αⁱ`` one checks that the
+paper's
+
+    δ(β, α) = ½ (1 − 1/(2β))^β · [1 − (1 − 1/(2β))^{(α−1)β}]
+
+equals exactly ``μ(p_i, αβ) − μ(p_i, β)`` — the *gap* between the expected
+differing-bit fractions at distances ``αⁱ⁺¹`` and ``αⁱ`` (a property test
+verifies the identity).  The operational membership test for ``C_i``
+therefore thresholds at the midpoint
+
+    θ_i = (μ(p_i, αⁱ) + μ(p_i, αⁱ⁺¹)) / 2 = μ(p_i, αⁱ) + δ(αⁱ, α)/2,
+
+which is the Chernoff-separated test that makes Lemma 8's sandwich
+``B_i ⊆ C_i ⊆ B_{i+1}`` hold; see DESIGN.md ("Substitutions") for why the
+paper's literal ``δ·rows`` reading cannot be the intended absolute
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bernoulli_rate",
+    "collision_rate",
+    "delta_gap",
+    "level_radius",
+    "midpoint_threshold",
+    "sandwich_margin_rows",
+]
+
+
+def level_radius(alpha: float, i: int) -> float:
+    """Radius ``αⁱ`` of level ``i``."""
+    if i < 0:
+        raise ValueError(f"level must be >= 0, got {i}")
+    return float(alpha) ** i
+
+
+def bernoulli_rate(alpha: float, i: int) -> float:
+    """Mask entry probability ``p_i = 1/(4αⁱ)`` of Definition 7."""
+    return 1.0 / (4.0 * level_radius(alpha, i))
+
+
+def collision_rate(p: float, distance: float) -> float:
+    """Probability ``μ(p, D)`` that one parity bit differs between points
+    at Hamming distance ``D`` under a Bernoulli(``p``) mask row.
+
+    Exact for integer ``D``; for the fractional radii ``αⁱ`` it is the
+    same analytic expression the paper's δ uses.
+    """
+    if not (0.0 <= p <= 0.5):
+        raise ValueError(f"mask probability must be in [0, 1/2], got {p}")
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    return 0.5 * (1.0 - (1.0 - 2.0 * p) ** distance)
+
+
+def delta_gap(beta: float, alpha: float) -> float:
+    """The paper's ``δ(β, α)`` (Definition 7), verbatim.
+
+    Equals ``μ(1/(4β), αβ) − μ(1/(4β), β)``; the identity is exercised by
+    a hypothesis test.
+    """
+    if beta < 1:
+        raise ValueError(f"β must be >= 1, got {beta}")
+    if alpha <= 1:
+        raise ValueError(f"α must be > 1, got {alpha}")
+    base = 1.0 - 1.0 / (2.0 * beta)
+    return 0.5 * (base**beta) * (1.0 - base ** ((alpha - 1.0) * beta))
+
+
+def midpoint_threshold(alpha: float, i: int) -> float:
+    """Fractional threshold ``θ_i`` for level-``i`` membership tests.
+
+    A point ``z`` is accepted iff ``dist(sketch(x), sketch(z)) ≤ θ_i·rows``.
+    """
+    p = bernoulli_rate(alpha, i)
+    near = collision_rate(p, level_radius(alpha, i))
+    far = collision_rate(p, level_radius(alpha, i + 1))
+    return 0.5 * (near + far)
+
+
+def sandwich_margin_rows(alpha: float, i: int, failure_prob: float) -> int:
+    """Rows needed for one point's level-``i`` test to err with probability
+    at most ``failure_prob`` (two-sided Hoeffding).
+
+    The deviation that must not occur is ``δ(αⁱ, α)/2`` per row, so
+    ``rows ≥ 2 ln(2/failure_prob) / δ²``.  Used by the parameter objects to
+    size the ``c₁ log n`` row counts in `theory` mode and to explain the
+    empirical knee measured in experiment E4.
+    """
+    if not (0 < failure_prob < 1):
+        raise ValueError(f"failure_prob must be in (0,1), got {failure_prob}")
+    delta = delta_gap(level_radius(alpha, i), alpha)
+    if delta <= 0:
+        raise ValueError("degenerate separation gap")
+    return int(math.ceil(2.0 * math.log(2.0 / failure_prob) / (delta * delta)))

@@ -1,0 +1,139 @@
+"""The public facade: :class:`ANNIndex`.
+
+Wraps database packing, parameter derivation, scheme selection and optional
+success boosting behind one constructor, so downstream users can write::
+
+    from repro import ANNIndex
+    index = ANNIndex.build(points_bits, gamma=4.0, rounds=3, seed=7)
+    result = index.query(query_bits)
+    result.answer_index, result.probes, result.rounds
+
+Accepts either raw 0/1 bit arrays or pre-packed
+:class:`~repro.hamming.points.PackedPoints`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.boosting import BoostedScheme
+from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+from repro.core.result import QueryResult
+from repro.hamming.packing import pack_bits
+from repro.hamming.points import PackedPoints
+from repro.utils.rng import RngTree
+
+__all__ = ["ANNIndex"]
+
+DatabaseLike = Union[PackedPoints, np.ndarray]
+
+
+def _coerce_database(database: DatabaseLike) -> PackedPoints:
+    if isinstance(database, PackedPoints):
+        return database
+    arr = np.asarray(database)
+    if arr.dtype == np.uint64:
+        raise TypeError(
+            "raw uint64 arrays are ambiguous; wrap packed data in PackedPoints"
+        )
+    return PackedPoints.from_bits(arr)
+
+
+class ANNIndex:
+    """γ-approximate nearest-neighbor index with a k-round probe budget.
+
+    Use :meth:`build`; the constructor takes an already-constructed scheme.
+    """
+
+    def __init__(self, database: PackedPoints, scheme: CellProbingScheme):
+        self.database = database
+        self.scheme = scheme
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: DatabaseLike,
+        gamma: float = 4.0,
+        rounds: int = 2,
+        algorithm: str = "auto",
+        boost: int = 1,
+        seed: Optional[int] = None,
+        c1: float = 6.0,
+        c2: float = 6.0,
+        profile: str = "empirical",
+        algorithm2_c: float = 3.0,
+        algorithm2_s: Optional[int] = None,
+    ) -> "ANNIndex":
+        """Build an index.
+
+        Parameters
+        ----------
+        database : ``(n, d)`` bit array or :class:`PackedPoints`
+        gamma : approximation ratio γ > 1
+        rounds : the adaptivity budget ``k``
+        algorithm : "algorithm1", "algorithm2", or "auto" (algorithm2 when
+            its ``s ≥ 1`` constraint admits the requested ``k``, else
+            algorithm1)
+        boost : number of parallel repetitions (≥ 1); probes scale
+            linearly, rounds stay at ``k``
+        seed : public-coin randomness root
+        """
+        db = _coerce_database(database)
+        base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1, c2=c2, profile=profile)
+        tree = RngTree(seed)
+
+        def pick(algorithm_name: str):
+            if algorithm_name == "algorithm1":
+                params = Algorithm1Params(base, k=rounds)
+                return lambda s: SimpleKRoundScheme(db, params, seed=s)
+            if algorithm_name == "algorithm2":
+                params = Algorithm2Params(
+                    base, k=rounds, c=algorithm2_c, s_override=algorithm2_s
+                )
+                return lambda s: LargeKScheme(db, params, seed=s)
+            raise ValueError(f"unknown algorithm {algorithm_name!r}")
+
+        if algorithm == "auto":
+            try:
+                Algorithm2Params(base, k=rounds, c=algorithm2_c, s_override=algorithm2_s)
+                algorithm = "algorithm2"
+            except ValueError:
+                algorithm = "algorithm1"
+        factory = pick(algorithm)
+
+        if boost < 1:
+            raise ValueError(f"boost must be >= 1, got {boost}")
+        if boost == 1:
+            scheme = factory(tree.generator("copy", 0))
+        else:
+            seeds = [tree.generator("copy", i) for i in range(boost)]
+            scheme = BoostedScheme(lambda s: factory(s), seeds)
+        return cls(db, scheme)
+
+    # -- querying ----------------------------------------------------------
+    def query(self, x: Union[np.ndarray, list]) -> QueryResult:
+        """Answer one query given as a length-d bit vector or packed row."""
+        arr = np.asarray(x)
+        if arr.dtype != np.uint64:
+            arr = pack_bits(arr.astype(np.uint8), self.database.d)
+        return self.scheme.query(arr)
+
+    def query_packed(self, x: np.ndarray) -> QueryResult:
+        """Answer one query given as a packed uint64 row."""
+        return self.scheme.query(np.asarray(x, dtype=np.uint64))
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def rounds(self) -> Optional[int]:
+        """The scheme's declared round budget ``k``."""
+        return getattr(self.scheme, "k", None)
+
+    def size_report(self) -> SchemeSizeReport:
+        """Logical table-size accounting of the underlying scheme."""
+        return self.scheme.size_report()

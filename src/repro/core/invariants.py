@@ -1,0 +1,81 @@
+"""Debug-time invariant checking for the multi-way searches.
+
+Both algorithms maintain the loop invariant ``C_l = ∅ ∧ C_u ≠ ∅`` across
+every threshold update (Section 3).  The checker evaluates the *actual*
+``C_i`` sets through the table-side evaluator after each update — an
+out-of-band oracle that charges no probes — and records violations.
+
+A violation is not a bug in the implementation: the invariant only holds
+*conditioned on* Assumptions 1–2 (Lemma 8's sandwich), which fail with
+probability ≤ 1/4 over the public randomness.  The checker therefore
+reports violation *rates*, which tests bound, rather than asserting zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+
+__all__ = ["InvariantChecker", "InvariantTrace"]
+
+
+@dataclass
+class InvariantTrace:
+    """Per-query record of invariant evaluations.
+
+    ``steps`` holds ``(l, u, lower_ok, upper_ok)`` per threshold update,
+    where ``lower_ok ⇔ C_l = ∅`` and ``upper_ok ⇔ C_u ≠ ∅``.
+    """
+
+    steps: List[Tuple[int, int, bool, bool]] = field(default_factory=list)
+
+    @property
+    def checked(self) -> int:
+        return len(self.steps)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for _, _, lo, up in self.steps if not (lo and up))
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def as_dict(self) -> dict:
+        return {"checked": self.checked, "violations": self.violations}
+
+
+class InvariantChecker:
+    """Evaluates the ``C_l = ∅ ∧ C_u ≠ ∅`` invariant out of band.
+
+    Parameters
+    ----------
+    evaluator : the scheme's table-side evaluator (shares its randomness)
+    family : the scheme's sketch family (to compute addresses for ``x``)
+    """
+
+    def __init__(self, evaluator: ApproxBallEvaluator, family: SketchFamily):
+        self.evaluator = evaluator
+        self.family = family
+
+    def start(self) -> InvariantTrace:
+        """A fresh per-query trace."""
+        return InvariantTrace()
+
+    def record(self, trace: Optional[InvariantTrace], x: np.ndarray, l: int, u: int) -> None:
+        """Evaluate and record the invariant at thresholds ``(l, u)``.
+
+        Level ``l = 0`` is checked like any other (the initial ``C_0 = ∅``
+        requires Assumptions 1–2 too); ``no-op`` when ``trace`` is None so
+        schemes can make checking optional at zero cost.
+        """
+        if trace is None:
+            return
+        lower_ok = self.evaluator.c_count(l, self.family.accurate_address(l, x)) == 0
+        upper_ok = self.evaluator.c_count(u, self.family.accurate_address(u, x)) > 0
+        trace.steps.append((int(l), int(u), lower_ok, upper_ok))

@@ -1,0 +1,130 @@
+"""The 1-probe λ-ANNS scheme (Theorem 11, folklore).
+
+For the approximate λ-near-neighbor *search* problem, the table structure
+of Theorem 9 already suffices: with ``i = ⌈log_α λ⌉`` (so ``αⁱ ≥ λ`` and
+``α^{i+1} ≤ γλ``), a single probe of ``T_i[M_i x]`` returns a point of
+``C_i`` when one exists.  Under the sandwich Assumption 2:
+
+* if some database point is within distance λ, then ``B_i ⊇ B_{⌈log λ⌉}``
+  is nonempty, hence ``C_i ⊇ B_i`` is nonempty and a point is returned;
+  the returned point lies in ``B_{i+1}``, i.e. within ``α^{i+1} ≤ γλ``;
+* if no database point is within ``γλ``, then ``B_{i+1} = ∅ ⊇ C_i`` and
+  the probe finds EMPTY — answer NO.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.session import ProbeSession
+from repro.cellprobe.words import PointWord
+from repro.core.params import BaseParameters
+from repro.core.result import QueryResult
+from repro.hamming.points import PackedPoints
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.structures.main_table import MainLevelTable
+from repro.utils.intmath import ceil_log
+from repro.utils.rng import RngTree
+
+__all__ = ["OneProbeNearNeighborScheme"]
+
+
+class OneProbeNearNeighborScheme(CellProbingScheme):
+    """λ-ANNS with exactly one cell-probe per query (Theorem 11).
+
+    Parameters
+    ----------
+    database : the packed database
+    base : shared parameters (γ, sketch sizing)
+    lam : the near-neighbor radius λ > 0
+    seed : public-coin randomness root
+    """
+
+    scheme_name = "lambda-ann"
+
+    def __init__(self, database: PackedPoints, base: BaseParameters, lam: float, seed=None):
+        if lam <= 0:
+            raise ValueError(f"λ must be > 0, got {lam}")
+        if len(database) != base.n or database.d != base.d:
+            raise ValueError("database does not match parameters")
+        self.database = database
+        self.base = base
+        self.lam = float(lam)
+        self.level = min(base.levels, ceil_log(max(1.0, lam), base.alpha))
+        rng_tree = RngTree(seed)
+        self.family = SketchFamily(
+            d=base.d,
+            alpha=base.alpha,
+            levels=base.levels,
+            accurate_rows=base.accurate_rows,
+            coarse_rows=None,
+            rng_tree=rng_tree.child("sketches"),
+        )
+        self.level_sketches = LevelSketches(database, self.family)
+        self.evaluator = ApproxBallEvaluator(self.level_sketches)
+        self.tables: Dict[int, MainLevelTable] = {
+            self.level: MainLevelTable(self.evaluator, self.level)
+        }
+
+    @property
+    def k(self) -> int:
+        """Non-adaptive: a single round."""
+        return 1
+
+    def query(self, x: np.ndarray) -> QueryResult:
+        """One probe; answer is the near point or a NO (answer_index=None)."""
+        accountant = ProbeAccountant(max_rounds=1, max_probes=1)
+        session = ProbeSession(accountant)
+        address = self.family.accurate_address(self.level, x)
+        content = session.read_one(self.tables[self.level].table, address)
+        if isinstance(content, PointWord):
+            return QueryResult(
+                answer_index=content.index,
+                answer_packed=content.packed_array(),
+                accountant=accountant,
+                scheme=self.scheme_name,
+                meta={"level": self.level, "decision": "YES"},
+            )
+        return QueryResult(
+            answer_index=None,
+            answer_packed=None,
+            accountant=accountant,
+            scheme=self.scheme_name,
+            meta={"level": self.level, "decision": "NO"},
+        )
+
+    def guarantee_radius(self) -> float:
+        """The YES side's distance guarantee ``α^{level+1} (≤ γλ)``."""
+        return self.base.alpha ** (self.level + 1)
+
+    def size_report(self) -> SchemeSizeReport:
+        table = self.tables[self.level].table
+        return SchemeSizeReport(
+            table_cells=table.logical_cells,
+            word_bits=1 + self.database.d,
+            table_names=[(table.name, table.logical_cells)],
+            notes=f"single level i=⌈log_α λ⌉={self.level} of the Theorem 9 structure",
+        )
+
+    @staticmethod
+    def decision_correct(
+        database: PackedPoints, x: np.ndarray, lam: float, gamma: float, result: QueryResult
+    ) -> bool:
+        """Ground-truth promise check for λ-ANN (analysis only).
+
+        Correct means: YES answers return a point within ``γλ``; NO answers
+        only occur when no point is within ``λ``.  Inputs in the promise gap
+        (nearest distance in ``(λ, γλ]``) accept either answer.
+        """
+        dmin = int(database.distances_from(x).min())
+        if result.answered:
+            got = result.distance_to(x)
+            return got is not None and got <= gamma * lam
+        return dmin > lam

@@ -1,0 +1,296 @@
+"""Scheme parameters: validation and the derived constants of Theorems 9/10.
+
+Two profiles exist for the sketch row counts:
+
+* ``theory`` — rows sized by the Hoeffding bound of
+  :func:`repro.core.delta.sandwich_margin_rows` with a union bound over all
+  points and levels, mirroring the paper's ``c₁, c₂ > 64/(1−e^{(1−α)/2})²``
+  constants.  Guarantees Lemma 8 at any scale but makes sketches wide.
+* ``empirical`` — user-supplied (or default) ``c₁, c₂`` multipliers of
+  ``log₂ n``, sized so the measured success probability already clears the
+  paper's 3/4 floor at laptop scale (experiment E4 maps the knee).
+
+Both algorithms share :class:`BaseParameters`; the per-algorithm classes
+add the round bookkeeping: ``τ`` for Algorithm 1 (Theorem 9's
+``τ(τ/2)^{k−1} ≥ ⌈log_α d⌉``), and ``(τ, s)`` plus the phase budgets for
+Algorithm 2 (Theorem 10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.delta import sandwich_margin_rows
+from repro.utils.intmath import ceil_div, num_levels
+
+__all__ = [
+    "Algorithm1Params",
+    "Algorithm2Params",
+    "BaseParameters",
+    "worst_case_shrinking_rounds",
+]
+
+#: γ is clamped to (1, 4): the paper assumes γ < 4 WLOG (a larger γ only
+#: weakens the requested guarantee, and the α = √γ < 2 machinery covers it).
+GAMMA_CAP = 4.0
+
+
+def worst_case_shrinking_rounds(levels: int, tau: int) -> int:
+    """Shrinking rounds Algorithm 1 needs in the worst case.
+
+    One shrinking round turns a gap ``g ≥ τ`` into at most
+    ``⌊g/τ⌋ + 1``; iterate from ``g = levels`` until ``g < τ``.
+    """
+    if tau < 2:
+        raise ValueError(f"tau must be >= 2, got {tau}")
+    g = int(levels)
+    rounds = 0
+    while g >= tau:
+        g_next = g // tau + 1
+        if g_next >= g:  # tau == 2 and g == 2 edge: gap 2 -> 2; forbid stall
+            g_next = g - 1
+        g = g_next
+        rounds += 1
+        if rounds > 10_000:  # pragma: no cover - safety net
+            raise RuntimeError("shrinking-round recurrence failed to converge")
+    return rounds
+
+
+@dataclass(frozen=True)
+class BaseParameters:
+    """Shared problem/scheme parameters.
+
+    Parameters
+    ----------
+    n : database size (must exceed 1)
+    d : Hamming-cube dimension
+    gamma : approximation ratio γ > 1 (clamped to < 4 internally)
+    c1 : accurate-sketch row multiplier (``rows = max(8, round(c1·log₂ n))``)
+    c2 : coarse-sketch row multiplier (Algorithm 2 only)
+    profile : "empirical" (default) or "theory" (Hoeffding-sized rows)
+    failure_prob : target simultaneous failure probability for Lemma 8 in
+        theory profile (paper: 1/4)
+    """
+
+    n: int
+    d: int
+    gamma: float = 4.0
+    c1: float = 6.0
+    c2: float = 6.0
+    profile: str = "empirical"
+    failure_prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if self.d < 4:
+            raise ValueError(f"d must be >= 4, got {self.d}")
+        if self.gamma <= 1.0:
+            raise ValueError(f"gamma must be > 1, got {self.gamma}")
+        if self.profile not in ("empirical", "theory"):
+            raise ValueError(f"unknown profile {self.profile!r}")
+        if self.c1 <= 0 or self.c2 <= 0:
+            raise ValueError("c1 and c2 must be positive")
+
+    # -- derived geometry ---------------------------------------------------
+    @property
+    def effective_gamma(self) -> float:
+        """γ after the WLOG cap at 4."""
+        return min(self.gamma, GAMMA_CAP)
+
+    @property
+    def alpha(self) -> float:
+        """Level base ``α = √γ`` (with the γ < 4 cap, so α < 2)."""
+        return math.sqrt(self.effective_gamma)
+
+    @property
+    def levels(self) -> int:
+        """Top level ``L = ⌈log_α d⌉``; level radii are ``αⁱ, i = 0..L``."""
+        return num_levels(self.d, self.alpha)
+
+    # -- sketch sizing ------------------------------------------------------
+    @property
+    def accurate_rows(self) -> int:
+        """Output bits of each accurate sketch ``M_i``."""
+        if self.profile == "theory":
+            # Union bound over n points × (levels+1) levels, split evenly.
+            per_event = self.failure_prob / (self.n * (self.levels + 1) * 2.0)
+            # Level 0 has the smallest separation gap -> widest requirement.
+            return sandwich_margin_rows(self.alpha, 0, per_event)
+        return max(8, round(self.c1 * math.log2(self.n)))
+
+    def coarse_rows(self, s: float) -> int:
+        """Output bits of each coarse sketch ``N_j`` for real-valued ``s``."""
+        if s <= 0:
+            raise ValueError(f"s must be positive, got {s}")
+        if self.profile == "theory":
+            per_event = self.n ** (-1.0 / s)
+            return sandwich_margin_rows(self.alpha, 0, max(1e-12, min(0.5, per_event)))
+        return max(4, round(self.c2 * math.log2(self.n) / s))
+
+
+@dataclass(frozen=True)
+class Algorithm1Params:
+    """Parameters of Theorem 9's simple k-round scheme."""
+
+    base: BaseParameters
+    k: int = 2
+    tau_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.tau_override is not None and self.tau_override < 2:
+            raise ValueError(f"tau must be >= 2, got {self.tau_override}")
+
+    @property
+    def tau(self) -> int:
+        """The branching factor ``τ``.
+
+        The smallest integer with ``τ(τ/2)^{k−1} ≥ L + 1`` (the strict
+        version of Theorem 9's condition, so the gap is strictly below τ
+        after k−1 shrinking rounds); matches the closed form
+        ``τ = Θ((log d)^{1/k})``.
+        """
+        if self.tau_override is not None:
+            return self.tau_override
+        target = self.base.levels + 1
+        if self.k == 1:
+            return target + 1  # no shrinking rounds: completion must cover L
+        tau = 3
+        while tau * (tau / 2.0) ** (self.k - 1) < target:
+            tau += 1
+        return tau
+
+    @property
+    def shrinking_round_budget(self) -> int:
+        """Worst-case shrinking rounds (must be ≤ k − 1 for paper-τ)."""
+        return worst_case_shrinking_rounds(self.base.levels, self.tau)
+
+    @property
+    def probe_budget(self) -> int:
+        """Total probe budget: shrinking rounds × (τ−1) + completion (≤ τ−1)
+        + 2 degenerate probes."""
+        return self.shrinking_round_budget * (self.tau - 1) + (self.tau - 1) + 2
+
+    @property
+    def round_budget(self) -> int:
+        """Round budget ``k`` (degenerate probes fold into round 1)."""
+        return max(1, self.shrinking_round_budget + 1)
+
+    def theoretical_probe_curve(self) -> float:
+        """The claim's envelope ``k · (log₂ d)^{1/k}`` for reporting."""
+        return self.k * (math.log2(self.base.d)) ** (1.0 / self.k)
+
+
+@dataclass(frozen=True)
+class Algorithm2Params:
+    """Parameters of Theorem 10's large-k scheme.
+
+    ``theory_strict=True`` enforces the paper's ``k > 5c²/(c−2)`` regime;
+    the default accepts any ``k`` large enough that ``s ≥ 1`` so the scheme
+    can also be exercised (and measured) at laptop-scale round counts, with
+    phase-budget violations surfaced in query metadata rather than hidden.
+    """
+
+    base: BaseParameters
+    k: int = 16
+    c: float = 3.0
+    s_override: Optional[int] = None
+    theory_strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.c <= 2:
+            raise ValueError(f"c must be > 2, got {self.c}")
+        if self.k < 3:
+            raise ValueError(f"k must be >= 3, got {self.k}")
+        if self.theory_strict:
+            bound = 5.0 * self.c * self.c / (self.c - 2.0)
+            if self.k <= bound:
+                raise ValueError(
+                    f"theory_strict requires k > 5c²/(c−2) = {bound:.1f}, got {self.k}"
+                )
+        if self.s_override is not None and self.s_override < 1:
+            raise ValueError(f"s must be >= 1, got {self.s_override}")
+        if self.s_override is None and self.s_real < 1.0:
+            raise ValueError(
+                f"k={self.k}, c={self.c} give s={self.s_real:.3f} < 1; "
+                f"increase k (need k ≥ {math.ceil((1.25 + 1) / (0.25 - 0.5 / self.c))}) "
+                "or pass s_override"
+            )
+
+    @property
+    def s_real(self) -> float:
+        """The paper's ``s = (1/4 − 1/(2c))k − 1/4``."""
+        return (0.25 - 0.5 / self.c) * self.k - 0.25
+
+    @property
+    def s(self) -> int:
+        """Integer group capacity (coarse sets per auxiliary probe)."""
+        if self.s_override is not None:
+            return self.s_override
+        return max(1, math.floor(self.s_real))
+
+    @property
+    def phase_budget(self) -> int:
+        """Maximum shrinking phases ``⌊(k−1)/2⌋``."""
+        return (self.k - 1) // 2
+
+    @property
+    def size_shrink_budget(self) -> int:
+        """Phases in which ``|C_u|`` may shrink instead of the gap: ``2s``."""
+        return 2 * self.s
+
+    @property
+    def gap_shrink_budget(self) -> int:
+        """Phases available for shrinking the gap ``u − l``."""
+        return max(0, self.phase_budget - self.size_shrink_budget)
+
+    @property
+    def completion_cut(self) -> int:
+        """Completion triggers when ``u − l < max(3τ, k)``."""
+        return max(3 * self.tau, self.k)
+
+    @property
+    def tau(self) -> int:
+        """Branching factor: smallest ``τ ≥ 3`` whose gap-shrink budget
+        brings the gap below the completion cut.
+
+        Matches Theorem 10's ``(τ/2)^{(k−1)/2 − 2s} ≥ ⌈log_α d / k⌉``
+        condition; when the gap-shrink budget is zero the completion cut
+        itself must cover all levels, handled by widening τ.
+        """
+        levels = self.base.levels
+        budget = self.gap_shrink_budget
+        if budget <= 0:
+            # Completion must trigger immediately: max(3τ, k) > L.
+            if self.k > levels:
+                return 3
+            return max(3, ceil_div(levels + 1, 3))
+        target = ceil_div(levels + 1, max(3, self.k))
+        tau = 3
+        while (tau / 2.0) ** budget < target:
+            tau += 1
+        return tau
+
+    @property
+    def groups_per_phase(self) -> int:
+        """Auxiliary probes per phase: ``⌈(τ−1)/s⌉``."""
+        return ceil_div(max(1, self.tau - 1), self.s)
+
+    @property
+    def probe_budget(self) -> int:
+        """Total probes: phases × (groups + 2) + completion + degenerate."""
+        per_phase = self.groups_per_phase + 2  # +Tu probe, +2nd-round probe
+        return self.phase_budget * per_phase + self.completion_cut + 2
+
+    @property
+    def round_budget(self) -> int:
+        """Round budget: 2 per phase + completion."""
+        return 2 * self.phase_budget + 1
+
+    def theoretical_probe_curve(self) -> float:
+        """The claim's envelope ``k + ((log₂ d)/k)^{c/k}`` for reporting."""
+        return self.k + (math.log2(self.base.d) / self.k) ** (self.c / self.k)

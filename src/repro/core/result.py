@@ -1,0 +1,97 @@
+"""Query results and execution traces.
+
+Every scheme returns a :class:`QueryResult` carrying the answer, exact
+probe/round accounting, and scheme-specific metadata (which path answered,
+budget flags, the level the witness came from).  Ground-truth helpers
+compute achieved approximation ratios for the analysis harness — the
+schemes themselves never look at ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.hamming.distance import hamming_distance
+from repro.hamming.points import PackedPoints
+
+__all__ = ["QueryResult", "achieved_ratio"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one cell-probe query execution.
+
+    Attributes
+    ----------
+    answer_index : database index of the returned point (None = no answer)
+    answer_packed : the returned point itself, packed (None = no answer)
+    accountant : the probe/round meter that recorded the execution
+    scheme : name of the scheme that produced this result
+    meta : free-form metadata (path taken, levels, violation flags...)
+    """
+
+    answer_index: Optional[int]
+    answer_packed: Optional[np.ndarray]
+    accountant: ProbeAccountant
+    scheme: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- accounting shortcuts ---------------------------------------------
+    @property
+    def probes(self) -> int:
+        """Total cell-probes used."""
+        return self.accountant.total_probes
+
+    @property
+    def rounds(self) -> int:
+        """Rounds of parallel probes used."""
+        return self.accountant.total_rounds
+
+    @property
+    def probes_per_round(self) -> List[int]:
+        return self.accountant.probes_per_round
+
+    @property
+    def answered(self) -> bool:
+        """Whether the scheme produced an answer at all."""
+        return self.answer_index is not None
+
+    # -- ground-truth evaluation (analysis only) ----------------------------
+    def distance_to(self, x: np.ndarray) -> Optional[int]:
+        """Hamming distance from the query to the returned point."""
+        if self.answer_packed is None:
+            return None
+        return hamming_distance(x, self.answer_packed)
+
+    def ratio(self, database: PackedPoints, x: np.ndarray) -> Optional[float]:
+        """Achieved approximation ratio against the exact nearest neighbor."""
+        if self.answer_packed is None:
+            return None
+        return achieved_ratio(database, x, self.answer_packed)
+
+    def as_dict(self) -> dict:
+        """Flat summary for reporting."""
+        return {
+            "scheme": self.scheme,
+            "answer_index": self.answer_index,
+            "probes": self.probes,
+            "rounds": self.rounds,
+            "probes_per_round": self.probes_per_round,
+            **{f"meta_{k}": v for k, v in self.meta.items()},
+        }
+
+
+def achieved_ratio(database: PackedPoints, x: np.ndarray, answer: np.ndarray) -> float:
+    """``dist(x, answer) / min_z dist(x, z)`` with the convention that an
+    exact hit on a distance-0 nearest neighbor has ratio 1.0, and any
+    answer at distance > 0 against a distance-0 optimum has ratio +inf."""
+    dists = database.distances_from(x)
+    opt = int(dists.min())
+    got = hamming_distance(x, answer)
+    if opt == 0:
+        return 1.0 if got == 0 else float("inf")
+    return got / opt

@@ -1,0 +1,57 @@
+"""Hamming-space substrate: bit-packed points, vectorized distances, balls,
+and workload sampling over the d-dimensional cube {0,1}^d.
+
+Everything downstream (sketches, tables, algorithms, baselines) operates on
+the packed ``uint64`` representation produced here; Python-level loops never
+touch individual bits on hot paths.
+"""
+
+from repro.hamming.balls import (
+    ball_members,
+    ball_sizes_by_level,
+    min_distance,
+    nearest_neighbor,
+    within_distance_one,
+)
+from repro.hamming.distance import (
+    hamming_distance,
+    hamming_distance_many,
+    pairwise_distances,
+    popcount_rows,
+)
+from repro.hamming.packing import (
+    PackedArrayError,
+    pack_bits,
+    packed_words,
+    random_packed,
+    unpack_bits,
+)
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import (
+    flip_random_bits,
+    point_at_distance,
+    random_points,
+    shell_points,
+)
+
+__all__ = [
+    "PackedArrayError",
+    "PackedPoints",
+    "ball_members",
+    "ball_sizes_by_level",
+    "flip_random_bits",
+    "hamming_distance",
+    "hamming_distance_many",
+    "min_distance",
+    "nearest_neighbor",
+    "pack_bits",
+    "packed_words",
+    "pairwise_distances",
+    "point_at_distance",
+    "popcount_rows",
+    "random_packed",
+    "random_points",
+    "shell_points",
+    "unpack_bits",
+    "within_distance_one",
+]

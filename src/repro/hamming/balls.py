@@ -1,0 +1,71 @@
+"""Exact Hamming-ball queries against a database.
+
+These are *ground truth* helpers: the schemes themselves never call them at
+query time (they only see table cells), but tests, Lemma 8 verification and
+the experiment harness need the true ``B_i`` sets, nearest distances and
+ball-size profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamming.points import PackedPoints
+
+__all__ = [
+    "ball_members",
+    "ball_sizes_by_level",
+    "min_distance",
+    "nearest_neighbor",
+    "within_distance_one",
+]
+
+
+def ball_members(database: PackedPoints, x: np.ndarray, radius: float) -> np.ndarray:
+    """Boolean mask of database points within Hamming distance ``radius``.
+
+    Radii are allowed to be fractional (the paper's levels are ``αⁱ``); a
+    point is a member iff its integer distance is ``<= floor(radius)``
+    — equivalently ``<= radius`` since distances are integers.
+    """
+    return database.distances_from(x) <= radius
+
+
+def min_distance(database: PackedPoints, x: np.ndarray) -> int:
+    """Exact nearest-neighbor distance from ``x`` to the database."""
+    if len(database) == 0:
+        raise ValueError("database is empty")
+    return int(database.distances_from(x).min())
+
+
+def nearest_neighbor(database: PackedPoints, x: np.ndarray) -> tuple[int, int]:
+    """Return ``(index, distance)`` of an exact nearest database point."""
+    if len(database) == 0:
+        raise ValueError("database is empty")
+    dists = database.distances_from(x)
+    idx = int(dists.argmin())
+    return idx, int(dists[idx])
+
+
+def within_distance_one(database: PackedPoints, x: np.ndarray) -> int | None:
+    """Index of a database point at distance ``<= 1`` from ``x``, or None.
+
+    This is the ground truth behind the degenerate-case membership
+    structure for the 1-neighborhood ``N₁(B)`` (Section 3.1).
+    """
+    dists = database.distances_from(x)
+    hits = np.nonzero(dists <= 1)[0]
+    if hits.size == 0:
+        return None
+    # Prefer an exact match if one exists so the answer is the true NN.
+    exact = hits[dists[hits] == 0]
+    return int(exact[0]) if exact.size else int(hits[0])
+
+
+def ball_sizes_by_level(
+    database: PackedPoints, x: np.ndarray, alpha: float, levels: int
+) -> np.ndarray:
+    """Sizes ``|B_i|`` for ``i = 0..levels`` with ``B_i`` of radius ``αⁱ``."""
+    dists = database.distances_from(x)
+    radii = alpha ** np.arange(levels + 1)
+    return (dists[None, :] <= radii[:, None]).sum(axis=1)

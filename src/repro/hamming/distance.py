@@ -1,0 +1,87 @@
+"""Vectorized Hamming distances on packed uint64 arrays.
+
+All distances are exact integers computed as ``popcount(x XOR y)`` over the
+packed words.  ``np.bitwise_count`` (NumPy >= 2.0) provides the hardware
+popcount; every function chunks its work so peak memory stays bounded even
+for one-vs-a-million queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hamming_distance",
+    "hamming_distance_many",
+    "pairwise_distances",
+    "popcount_rows",
+]
+
+# Rows processed per chunk in one-vs-many computations; 1<<18 words keeps
+# the temporary XOR buffer around 2 MB regardless of database size.
+_CHUNK_WORD_BUDGET = 1 << 18
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Sum of set bits in each row of a 2-D uint64 array (returns int64)."""
+    arr = np.asarray(words, dtype=np.uint64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    return np.bitwise_count(arr).sum(axis=1, dtype=np.int64)
+
+
+def hamming_distance(x: np.ndarray, y: np.ndarray) -> int:
+    """Exact Hamming distance between two packed points (1-D uint64)."""
+    xv = np.asarray(x, dtype=np.uint64).ravel()
+    yv = np.asarray(y, dtype=np.uint64).ravel()
+    if xv.shape != yv.shape:
+        raise ValueError(f"shape mismatch: {xv.shape} vs {yv.shape}")
+    return int(np.bitwise_count(xv ^ yv).sum(dtype=np.int64))
+
+
+def hamming_distance_many(x: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """Distances from a single packed point ``x`` to every row of ``batch``.
+
+    Parameters
+    ----------
+    x : uint64 array of shape ``(W,)``
+    batch : uint64 array of shape ``(m, W)``
+
+    Returns
+    -------
+    int64 array of shape ``(m,)``
+    """
+    xv = np.asarray(x, dtype=np.uint64).ravel()
+    rows = np.asarray(batch, dtype=np.uint64)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    if rows.shape[1] != xv.shape[0]:
+        raise ValueError(f"word-count mismatch: point {xv.shape[0]}, batch {rows.shape[1]}")
+    m, w = rows.shape
+    out = np.empty(m, dtype=np.int64)
+    chunk = max(1, _CHUNK_WORD_BUDGET // max(1, w))
+    for start in range(0, m, chunk):
+        stop = min(m, start + chunk)
+        xored = rows[start:stop] ^ xv[None, :]
+        out[start:stop] = np.bitwise_count(xored).sum(axis=1, dtype=np.int64)
+    return out
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """All-pairs distance matrix between packed batches ``a`` and ``b``.
+
+    Intended for tests and small analyses (``O(len(a)·len(b))`` memory for
+    the result).  ``b`` defaults to ``a``.
+    """
+    av = np.asarray(a, dtype=np.uint64)
+    bv = av if b is None else np.asarray(b, dtype=np.uint64)
+    if av.ndim == 1:
+        av = av[None, :]
+    if bv.ndim == 1:
+        bv = bv[None, :]
+    if av.shape[1] != bv.shape[1]:
+        raise ValueError(f"word-count mismatch: {av.shape[1]} vs {bv.shape[1]}")
+    out = np.empty((av.shape[0], bv.shape[0]), dtype=np.int64)
+    for i in range(av.shape[0]):
+        out[i] = hamming_distance_many(av[i], bv)
+    return out

@@ -1,0 +1,68 @@
+"""Sampling utilities for Hamming-cube workloads.
+
+Provides uniform points, controlled-distance perturbations (exactly ``r``
+bit flips), and geometric shells — the building blocks the workload
+generators combine into the experiment inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamming.packing import packed_words, random_packed, tail_mask
+
+__all__ = [
+    "flip_random_bits",
+    "point_at_distance",
+    "random_points",
+    "shell_points",
+]
+
+
+def random_points(rng: np.random.Generator, m: int, d: int) -> np.ndarray:
+    """``m`` uniform packed points of ``{0,1}^d``."""
+    return random_packed(rng, m, d)
+
+
+def flip_random_bits(
+    rng: np.random.Generator, x: np.ndarray, count: int, d: int
+) -> np.ndarray:
+    """Return a copy of packed point ``x`` with exactly ``count`` distinct
+    uniformly chosen bit positions flipped."""
+    if count < 0 or count > d:
+        raise ValueError(f"flip count must be in [0, {d}], got {count}")
+    out = np.array(x, dtype=np.uint64, copy=True).ravel()
+    if count == 0:
+        return out
+    positions = rng.choice(d, size=count, replace=False)
+    words = positions // 64
+    bits = positions % 64
+    np.bitwise_xor.at(out, words, np.uint64(1) << bits.astype(np.uint64))
+    out[-1] &= np.uint64(tail_mask(d))
+    return out
+
+
+def point_at_distance(
+    rng: np.random.Generator, x: np.ndarray, distance: int, d: int
+) -> np.ndarray:
+    """A uniform point at exact Hamming distance ``distance`` from ``x``."""
+    return flip_random_bits(rng, x, distance, d)
+
+
+def shell_points(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    radii: np.ndarray,
+    d: int,
+) -> np.ndarray:
+    """Points at the exact distances ``radii`` (one per radius) from
+    ``center``; returns a packed ``(len(radii), W)`` batch.
+
+    Used by the geometric-shell workload: database points planted on shells
+    of radius ``αⁱ`` exercise every level of the scheme's multi-way search.
+    """
+    w = packed_words(d)
+    out = np.empty((len(radii), w), dtype=np.uint64)
+    for i, r in enumerate(np.asarray(radii)):
+        out[i] = flip_random_bits(rng, center, int(r), d)
+    return out

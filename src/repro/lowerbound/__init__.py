@@ -1,0 +1,57 @@
+"""Lower-bound machinery of Section 4 (Theorem 4 / Theorem 12).
+
+The lower bound is a proof; what this package makes executable is every
+machine-checkable ingredient of it:
+
+* :mod:`~repro.lowerbound.lpm` — the longest-prefix-match data-structure
+  problem, with an exact trie solver and instance generators;
+* :mod:`~repro.lowerbound.balltree` — the γ-separated Hamming-ball tree
+  behind the reduction (Lemmas 15/16), constructed explicitly with its
+  separation invariant programmatically verified;
+* :mod:`~repro.lowerbound.reduction` — the LPM → ANNS instance mapping
+  (Lemma 14) with end-to-end answer recovery;
+* :mod:`~repro.lowerbound.protocol` — the cell-probe-scheme ⇒
+  communication-protocol view (Proposition 18) with non-uniform message
+  sizes, executable on real query traces;
+* :mod:`~repro.lowerbound.roundelim` — a numeric ledger replaying the
+  round-elimination recurrence of Lemma 19 / Claim 25;
+* :mod:`~repro.lowerbound.bounds` — closed-form curves for the tradeoff
+  plots (lower bound, both upper bounds, Chakrabarti–Regev);
+* :mod:`~repro.lowerbound.newman` — Lemma 5 / Proposition 6 private-coin
+  table-size accounting.
+"""
+
+from repro.lowerbound.balltree import SeparatedBallTree
+from repro.lowerbound.claim26 import best_silent_success, simulate_silent_protocol
+from repro.lowerbound.bounds import (
+    cr_fully_adaptive_bound,
+    lb_tradeoff,
+    phase_transition_k,
+    ub_algorithm1,
+    ub_algorithm2,
+)
+from repro.lowerbound.lpm import LPMInstance, LPMTrie, random_lpm_instance
+from repro.lowerbound.newman import newman_private_coin_cells, proposition6_cells
+from repro.lowerbound.protocol import ProtocolShape, trace_to_protocol
+from repro.lowerbound.reduction import LPMToANNSReduction
+from repro.lowerbound.roundelim import RoundEliminationLedger
+
+__all__ = [
+    "LPMInstance",
+    "LPMToANNSReduction",
+    "LPMTrie",
+    "ProtocolShape",
+    "RoundEliminationLedger",
+    "SeparatedBallTree",
+    "best_silent_success",
+    "simulate_silent_protocol",
+    "cr_fully_adaptive_bound",
+    "lb_tradeoff",
+    "newman_private_coin_cells",
+    "phase_transition_k",
+    "proposition6_cells",
+    "random_lpm_instance",
+    "trace_to_protocol",
+    "ub_algorithm1",
+    "ub_algorithm2",
+]

@@ -1,0 +1,221 @@
+"""The γ-separated Hamming-ball tree behind the LPM → ANNS reduction
+(Lemmas 15 and 16).
+
+The paper's tree has fan-out ``⌈2^{d^{0.99}}⌉`` — existential, never
+materialized.  The machine-checkable content of Lemma 16 is the invariant
+list:
+
+1. children are nested inside their parents,
+2. every non-leaf has exactly ``fanout`` children,
+3. depth-``i`` balls have radius ``d/(8γ)^i``,
+4. depth-``i`` balls form a γ-separated family (pairwise point-to-point
+   distance across distinct balls exceeds ``γ`` times any ball diameter),
+5. leaves sit at a prescribed depth.
+
+We build such a tree explicitly for fan-outs that fit in memory: child
+centers are the parent's center with ``⌊radius/2⌋`` random bit flips,
+accepted greedily while every same-depth pair of centers keeps distance
+``> 2·r_child·(γ + 1)`` — by the triangle inequality that implies property
+4 exactly (two points in distinct balls are at distance
+``> 2 r (γ+1) − 2r = γ · 2r``).  :meth:`SeparatedBallTree.verify` re-checks
+all five properties from scratch; tests and experiment E7 call it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hamming.distance import hamming_distance, pairwise_distances
+from repro.hamming.packing import packed_words
+from repro.hamming.sampling import flip_random_bits, random_points
+
+__all__ = ["SeparatedBallTree", "max_feasible_depth"]
+
+
+def max_feasible_depth(d: int, gamma: float, min_radius: float = 4.0) -> int:
+    """Largest depth whose ball radius ``d/(8γ)^depth`` stays ≥ min_radius."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    depth = 0
+    r = float(d)
+    while r / (8.0 * gamma) >= min_radius:
+        r /= 8.0 * gamma
+        depth += 1
+    return depth
+
+
+@dataclass(frozen=True)
+class _Node:
+    depth: int
+    path: Tuple[int, ...]  # child indices from the root
+    center: tuple  # packed words as a tuple (hashable)
+
+
+class SeparatedBallTree:
+    """An explicit γ-separated ball tree of given fan-out and depth.
+
+    Parameters
+    ----------
+    d : ambient dimension
+    gamma : separation factor γ > 1
+    fanout : children per non-leaf (the reduction needs ``fanout ≥ |Σ|``)
+    depth : leaf depth (the reduction needs ``depth ≥ m``)
+    rng : randomness for center placement
+    max_attempts : rejection-sampling budget per child
+    """
+
+    def __init__(
+        self,
+        d: int,
+        gamma: float,
+        fanout: int,
+        depth: int,
+        rng: np.random.Generator,
+        max_attempts: int = 2000,
+    ):
+        if gamma <= 1:
+            raise ValueError(f"gamma must be > 1, got {gamma}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        feasible = max_feasible_depth(d, gamma)
+        if depth > feasible:
+            raise ValueError(
+                f"depth {depth} infeasible for d={d}, γ={gamma}: "
+                f"radius would drop below 4 (max depth {feasible})"
+            )
+        self.d = int(d)
+        self.gamma = float(gamma)
+        self.fanout = int(fanout)
+        self.depth = int(depth)
+        self._nodes: Dict[Tuple[int, ...], _Node] = {}
+        root_center = random_points(rng, 1, d)[0]
+        self._nodes[()] = _Node(0, (), tuple(int(v) for v in root_center))
+        self._build(rng, max_attempts)
+
+    # -- geometry -----------------------------------------------------------
+    def radius(self, depth: int) -> float:
+        """Ball radius at ``depth``: ``d/(8γ)^depth``."""
+        return self.d / ((8.0 * self.gamma) ** depth)
+
+    def _separation_needed(self, child_depth: int) -> float:
+        """Center separation implying γ-separation of the child balls."""
+        return 2.0 * self.radius(child_depth) * (self.gamma + 1.0)
+
+    def _build(self, rng: np.random.Generator, max_attempts: int) -> None:
+        frontier: List[Tuple[int, ...]] = [()]
+        for depth in range(self.depth):
+            child_depth = depth + 1
+            flip = max(1, int(self.radius(depth) // 2))
+            needed = self._separation_needed(child_depth)
+            next_frontier: List[Tuple[int, ...]] = []
+            for path in frontier:
+                parent = self._nodes[path]
+                parent_center = np.array(parent.center, dtype=np.uint64)
+                accepted: List[np.ndarray] = []
+                attempts = 0
+                while len(accepted) < self.fanout:
+                    attempts += 1
+                    if attempts > max_attempts * self.fanout:
+                        raise RuntimeError(
+                            f"could not place {self.fanout} separated children at "
+                            f"depth {child_depth} (d={self.d}, γ={self.gamma}); "
+                            "reduce fanout or depth"
+                        )
+                    candidate = flip_random_bits(rng, parent_center, flip, self.d)
+                    if all(
+                        hamming_distance(candidate, other) > needed for other in accepted
+                    ):
+                        accepted.append(candidate)
+                for ci, center in enumerate(accepted):
+                    child_path = path + (ci,)
+                    self._nodes[child_path] = _Node(
+                        child_depth, child_path, tuple(int(v) for v in center)
+                    )
+                    next_frontier.append(child_path)
+            frontier = next_frontier
+
+    # -- access -----------------------------------------------------------
+    def center(self, path: Tuple[int, ...]) -> np.ndarray:
+        """Packed center of the ball addressed by a child-index path."""
+        node = self._nodes[tuple(path)]
+        return np.array(node.center, dtype=np.uint64)
+
+    def leaf_center(self, symbols: Tuple[int, ...]) -> np.ndarray:
+        """Center of the leaf reached by following ``symbols``; the path
+        may be shorter than the tree depth (an internal ball center)."""
+        return self.center(tuple(symbols))
+
+    def nodes_at_depth(self, depth: int) -> List[Tuple[int, ...]]:
+        """All node paths at a given depth."""
+        return [p for p, node in self._nodes.items() if node.depth == depth]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- invariant verification (Lemma 16's property list) ---------------------
+    def verify(self) -> Dict[str, bool]:
+        """Re-check all five Lemma 16 properties; returns per-property flags."""
+        results = {
+            "nesting": True,
+            "fanout": True,
+            "radii_positive": True,
+            "separation": True,
+            "leaf_depth": True,
+        }
+        # Property 3 is definitional (radius() is the formula); check > 0.
+        for depth in range(self.depth + 1):
+            if self.radius(depth) <= 0:
+                results["radii_positive"] = False
+        # Properties 1 & 2: nesting and exact fan-out.
+        for path, node in self._nodes.items():
+            if node.depth < self.depth:
+                children = [
+                    p for p in self._nodes if len(p) == len(path) + 1 and p[: len(path)] == path
+                ]
+                if len(children) != self.fanout:
+                    results["fanout"] = False
+                parent_center = self.center(path)
+                r_parent = self.radius(node.depth)
+                r_child = self.radius(node.depth + 1)
+                for child in children:
+                    # Ball nesting: center distance + child radius ≤ parent radius.
+                    dist = hamming_distance(parent_center, self.center(child))
+                    if dist + r_child > r_parent:
+                        results["nesting"] = False
+        # Property 4: pairwise separation at every depth via center distances.
+        for depth in range(1, self.depth + 1):
+            paths = self.nodes_at_depth(depth)
+            if not paths:
+                results["leaf_depth"] = False
+                continue
+            centers = np.vstack([self.center(p) for p in paths])
+            needed = self._separation_needed(depth)
+            dmat = pairwise_distances(centers)
+            np.fill_diagonal(dmat, np.iinfo(np.int64).max)
+            if int(dmat.min()) <= needed:
+                results["separation"] = False
+        # Property 5: leaves exist exactly at self.depth.
+        if len(self.nodes_at_depth(self.depth)) != self.fanout**self.depth:
+            results["leaf_depth"] = False
+        return results
+
+    def verification_margin(self) -> float:
+        """Smallest ratio of observed center separation to the required
+        separation across depths (> 1 means the invariant holds with room)."""
+        worst = math.inf
+        for depth in range(1, self.depth + 1):
+            paths = self.nodes_at_depth(depth)
+            centers = np.vstack([self.center(p) for p in paths])
+            if centers.shape[0] < 2:
+                continue
+            dmat = pairwise_distances(centers).astype(np.float64)
+            np.fill_diagonal(dmat, np.inf)
+            worst = min(worst, float(dmat.min()) / self._separation_needed(depth))
+        return worst

@@ -1,0 +1,79 @@
+"""Closed-form bound curves for the tradeoff plots (experiments E1–E3).
+
+These are the analytic envelopes of the four statements the experiments
+compare against:
+
+* ``lb_tradeoff``       — Theorem 4's  ``Ω((1/k)(log_γ d)^{1/k})``;
+* ``ub_algorithm1``     — Theorem 2's  ``O(k (log d)^{1/k})``;
+* ``ub_algorithm2``     — Theorem 3's  ``O(k + ((log d)/k)^{c/k})``;
+* ``cr_fully_adaptive_bound`` — Chakrabarti–Regev's
+  ``Θ(log log d / log log log d)`` for unbounded rounds (Theorem 1);
+* ``phase_transition_k`` — the round count at which Theorem 3 reaches one
+  probe per round (the paper's "phase transition" regime).
+
+Constant factors are 1 by default — experiments fit shapes, not constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "cr_fully_adaptive_bound",
+    "lb_tradeoff",
+    "lb_valid_k_max",
+    "phase_transition_k",
+    "ub_algorithm1",
+    "ub_algorithm2",
+]
+
+
+def _check(d: int, k: int | None = None) -> None:
+    if d < 16:
+        raise ValueError(f"bound curves need d >= 16, got {d}")
+    if k is not None and k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+
+def lb_tradeoff(k: int, d: int, gamma: float = 2.0, c3: float = 1.0) -> float:
+    """Theorem 4's lower bound envelope ``(c₃/k)(log_γ d)^{1/k}``."""
+    _check(d, k)
+    if gamma <= 1:
+        raise ValueError("gamma must be > 1")
+    log_gamma_d = math.log(d, gamma)
+    return (c3 / k) * log_gamma_d ** (1.0 / k)
+
+
+def ub_algorithm1(k: int, d: int, c: float = 1.0) -> float:
+    """Theorem 2's upper bound envelope ``c · k (log₂ d)^{1/k}``."""
+    _check(d, k)
+    return c * k * (math.log2(d)) ** (1.0 / k)
+
+
+def ub_algorithm2(k: int, d: int, c: float = 3.0, scale: float = 1.0) -> float:
+    """Theorem 3's upper bound envelope ``scale·(k + ((log₂ d)/k)^{c/k})``."""
+    _check(d, k)
+    if c <= 2:
+        raise ValueError("Theorem 3 requires c > 2")
+    return scale * (k + (math.log2(d) / k) ** (c / k))
+
+
+def cr_fully_adaptive_bound(d: int) -> float:
+    """Theorem 1's fully-adaptive bound ``log log d / log log log d``."""
+    _check(d)
+    lld = math.log2(math.log2(d))
+    llld = math.log2(max(2.0, lld))
+    return lld / max(1.0, llld)
+
+
+def phase_transition_k(d: int) -> int:
+    """The ``k = Θ(log log d / log log log d)`` regime boundary (rounded)."""
+    return max(1, round(cr_fully_adaptive_bound(d)))
+
+
+def lb_valid_k_max(d: int) -> int:
+    """Largest ``k`` Theorem 4 covers: ``⌊log log d / (2 log log log d)⌋``."""
+    _check(d)
+    lld = math.log2(math.log2(d))
+    llld = math.log2(max(2.0, lld))
+    return max(1, math.floor(lld / (2.0 * max(1.0, llld))))

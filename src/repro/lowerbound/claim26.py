@@ -1,0 +1,79 @@
+"""Claim 26, executable: zero-communication protocols for ``LPM^Σ_{1,1}``
+succeed with probability at most ``1/|Σ|``.
+
+This is the anchor of the whole lower bound — after ``k`` round
+eliminations, the surviving protocol has no messages left, yet Claim 25
+says its error is ≤ 7/8, i.e. success ≥ 1/8 > 1/|Σ|.  Contradiction.
+
+The claim itself is a one-line averaging argument (a silent Alice can only
+output a fixed — or privately randomized — symbol, which matches a uniform
+database symbol with probability 1/|Σ|); this module makes it *measurable*
+so experiment E13 can show the gap numerically, and exposes the exact
+success bound the ledger compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["SilentProtocolResult", "best_silent_success", "simulate_silent_protocol"]
+
+
+@dataclass(frozen=True)
+class SilentProtocolResult:
+    """Measured success of a zero-communication LPM₁,₁ strategy."""
+
+    sigma: int
+    trials: int
+    successes: int
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials
+
+    @property
+    def bound(self) -> float:
+        """Claim 26's ceiling: ``1/|Σ|``."""
+        return 1.0 / self.sigma
+
+
+def best_silent_success(sigma: int) -> float:
+    """The optimal silent success probability on uniform inputs: ``1/|Σ|``.
+
+    With ``m = n = 1``, Alice must output a database symbol having seen
+    only her own query symbol; the (unseen) database symbol is uniform, so
+    any output — deterministic or randomized, query-dependent or not —
+    matches with probability exactly ``1/σ``.
+    """
+    if sigma < 2:
+        raise ValueError(f"alphabet size must be >= 2, got {sigma}")
+    return 1.0 / sigma
+
+
+def simulate_silent_protocol(
+    sigma: int,
+    trials: int,
+    rng: np.random.Generator,
+    strategy: Optional[Callable[[int], int]] = None,
+) -> SilentProtocolResult:
+    """Monte-Carlo a silent strategy against uniform LPM₁,₁ instances.
+
+    ``strategy(query_symbol) -> output_symbol`` defaults to echoing the
+    query (as good as any other silent strategy, per Claim 26).  A success
+    is an output equal to the hidden database symbol — for ``m = 1`` that
+    is the only way to realize the maximal common prefix when the database
+    symbol differs from every wrong guess, and matching it is required
+    whenever the query equals the database symbol, so symbol equality is
+    the (strictest) success criterion the claim bounds.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if strategy is None:
+        strategy = lambda q: q  # noqa: E731 - tiny default
+    queries = rng.integers(0, sigma, size=trials)
+    database = rng.integers(0, sigma, size=trials)
+    successes = sum(int(strategy(int(q)) == int(b)) for q, b in zip(queries, database))
+    return SilentProtocolResult(sigma=sigma, trials=trials, successes=successes)

@@ -1,0 +1,138 @@
+"""The longest prefix match problem ``LPM^Σ_{m,n}`` (Definition 13).
+
+Given a database of ``n`` strings of length ``m`` over alphabet ``Σ`` and
+a query string, return a database string with the longest common prefix
+with the query.  The paper reduces LPM to ANNS (Lemma 14); this module
+provides the problem itself: instances, an exact trie solver, and a brute
+force reference for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LPMInstance", "LPMTrie", "common_prefix_length", "random_lpm_instance"]
+
+String = Tuple[int, ...]
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two symbol sequences."""
+    length = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        length += 1
+    return length
+
+
+@dataclass(frozen=True)
+class LPMInstance:
+    """An LPM database: ``n`` length-``m`` strings over ``{0..sigma-1}``."""
+
+    strings: Tuple[String, ...]
+    sigma: int
+
+    def __post_init__(self) -> None:
+        if not self.strings:
+            raise ValueError("LPM database must be non-empty")
+        m = len(self.strings[0])
+        for s in self.strings:
+            if len(s) != m:
+                raise ValueError("all database strings must share one length")
+            if any(not (0 <= c < self.sigma) for c in s):
+                raise ValueError("symbol outside alphabet")
+
+    @property
+    def m(self) -> int:
+        return len(self.strings[0])
+
+    @property
+    def n(self) -> int:
+        return len(self.strings)
+
+    def brute_force(self, query: Sequence[int]) -> Tuple[int, int]:
+        """``(index, lcp)`` of a best match by exhaustive scan (reference)."""
+        best_idx, best_lcp = 0, -1
+        for i, s in enumerate(self.strings):
+            lcp = common_prefix_length(query, s)
+            if lcp > best_lcp:
+                best_idx, best_lcp = i, lcp
+        return best_idx, best_lcp
+
+
+class _TrieNode:
+    __slots__ = ("children", "string_index")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.string_index: int = -1  # any database string through this node
+
+
+class LPMTrie:
+    """Exact LPM solver: a trie over the database strings.
+
+    ``query`` walks the trie as deep as the query allows and returns any
+    database string passing through the deepest reached node — by the trie
+    invariant, a string of maximal common prefix.
+    """
+
+    def __init__(self, instance: LPMInstance):
+        self.instance = instance
+        self._root = _TrieNode()
+        for idx, s in enumerate(instance.strings):
+            node = self._root
+            if node.string_index < 0:
+                node.string_index = idx
+            for symbol in s:
+                node = node.children.setdefault(symbol, _TrieNode())
+                if node.string_index < 0:
+                    node.string_index = idx
+
+    def query(self, query: Sequence[int]) -> Tuple[int, int]:
+        """``(index, lcp)`` of a database string with maximal LCP."""
+        node = self._root
+        depth = 0
+        for symbol in query:
+            child = node.children.get(symbol)
+            if child is None:
+                break
+            node = child
+            depth += 1
+        return node.string_index, depth
+
+
+def random_lpm_instance(
+    rng: np.random.Generator, m: int, n: int, sigma: int, skew: float = 0.0
+) -> Tuple[LPMInstance, List[String]]:
+    """A random LPM database plus query strings sharing prefixes with it.
+
+    ``skew > 0`` biases queries toward copying prefixes of database strings
+    (making the LPM answer nontrivial); ``skew = 0`` gives uniform queries.
+    Returns the instance and ``n`` query strings.
+    """
+    if sigma < 2:
+        raise ValueError(f"alphabet size must be >= 2, got {sigma}")
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be >= 1")
+    seen = set()
+    strings: List[String] = []
+    while len(strings) < n:
+        s = tuple(int(v) for v in rng.integers(0, sigma, size=m))
+        if s not in seen:
+            seen.add(s)
+            strings.append(s)
+    instance = LPMInstance(tuple(strings), sigma)
+    queries: List[String] = []
+    for _ in range(n):
+        if skew > 0 and rng.random() < skew:
+            base = strings[int(rng.integers(0, n))]
+            keep = int(rng.integers(0, m + 1))
+            tail = tuple(int(v) for v in rng.integers(0, sigma, size=m - keep))
+            queries.append(base[:keep] + tail)
+        else:
+            queries.append(tuple(int(v) for v in rng.integers(0, sigma, size=m)))
+    return instance, queries

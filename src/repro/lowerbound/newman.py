@@ -1,0 +1,65 @@
+"""Newman-style public→private coin accounting (Lemma 5 / Proposition 6).
+
+Lemma 5 is a counting argument: a public-coin k-round scheme with table
+size ``s`` becomes a private-coin scheme with table size
+``(log|𝒜| + log|ℬ| + O(1)) · s`` — the public random strings are reduced
+to ``ℓ = log(log|𝒜| + log|ℬ| + O(1))`` bits by Newman's theorem and one
+table copy is stored per random string.  For ANNS (Proposition 6)
+``log|𝒜| = d`` and ``log|ℬ| = log₂ C(2^d, n) ≈ n·d``, giving the paper's
+``O(dn·s)``.  These functions compute the exact blowups the size reports
+quote; no algorithmic transformation is needed (the public-coin scheme
+stays executable).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2_database_universe",
+    "newman_private_coin_cells",
+    "newman_random_bits",
+    "proposition6_cells",
+]
+
+#: The additive O(1) slack of Lemma 5 (any constant ≥ 1 works; the paper
+#: leaves it unspecified).
+O1_SLACK = 8
+
+
+def log2_database_universe(n: int, d: int) -> float:
+    """``log₂ |ℬ| = log₂ C(2^d, n)`` via the entropy bound.
+
+    Exact binomials of ``2^d`` choose ``n`` are astronomically large; the
+    standard bound ``log₂ C(N, n) ≤ n log₂(Ne/n)`` with ``N = 2^d`` gives
+    ``n (d + log₂ e − log₂ n)``, which is tight to ``O(n)`` in this regime.
+    """
+    if n < 1 or d < 1:
+        raise ValueError("n and d must be >= 1")
+    return n * (d + math.log2(math.e) - math.log2(n))
+
+
+def newman_random_bits(log_query_universe: float, log_db_universe: float) -> float:
+    """Newman's theorem: public random bits reduce to
+    ``ℓ = log₂(log|𝒜| + log|ℬ| + O(1))``."""
+    total = log_query_universe + log_db_universe + O1_SLACK
+    if total <= 0:
+        raise ValueError("universe sizes must be positive")
+    return math.log2(total)
+
+
+def newman_private_coin_cells(
+    public_cells: int, log_query_universe: float, log_db_universe: float
+) -> int:
+    """Lemma 5's private-coin table size: ``s · 2^ℓ`` cells."""
+    if public_cells < 1:
+        raise ValueError("public table must have >= 1 cell")
+    blowup = log_query_universe + log_db_universe + O1_SLACK
+    return int(math.ceil(public_cells * blowup))
+
+
+def proposition6_cells(public_cells: int, n: int, d: int) -> int:
+    """Proposition 6's ANNS specialization: table size ``O(dn · s)``."""
+    return newman_private_coin_cells(
+        public_cells, float(d), log2_database_universe(n, d)
+    )

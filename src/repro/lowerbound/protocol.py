@@ -1,0 +1,98 @@
+"""Cell-probing schemes as communication protocols (Proposition 18).
+
+A k-round cell-probing scheme on a table of ``s`` cells and word size ``w``
+induces a ``⟨A, B, 2k⟩ᴬ`` protocol: in round ``i`` Alice (the query
+algorithm) sends the ``t_i`` probed addresses (``a_i = t_i ⌈log s⌉`` bits)
+and Bob (the table) answers with the contents (``b_i = t_i w`` bits).  The
+non-uniform message-size vectors ``A, B`` are exactly what Section 4.2's
+generalized round elimination consumes.
+
+:func:`trace_to_protocol` converts a real query trace (the probe
+accountant of a :class:`~repro.core.result.QueryResult`) into its protocol
+shape, so experiment E10 can tabulate communication costs of actual
+executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.utils.intmath import ilog2_ceil
+
+__all__ = ["ProtocolShape", "trace_to_protocol"]
+
+
+@dataclass(frozen=True)
+class ProtocolShape:
+    """Message-size vectors of a ``⟨A, B, 2k⟩ᴬ`` protocol (bits)."""
+
+    a: Tuple[float, ...]  # Alice's per-round message sizes
+    b: Tuple[float, ...]  # Bob's per-round message sizes
+
+    def __post_init__(self) -> None:
+        if len(self.a) != len(self.b):
+            raise ValueError("A and B must have the same number of rounds")
+        if any(v < 0 for v in self.a) or any(v < 0 for v in self.b):
+            raise ValueError("message sizes must be non-negative")
+
+    @property
+    def k(self) -> int:
+        """Number of cell-probe rounds (= half the communication rounds)."""
+        return len(self.a)
+
+    @property
+    def communication_rounds(self) -> int:
+        """Communication rounds: ``2k`` (Alice and Bob alternate)."""
+        return 2 * len(self.a)
+
+    @property
+    def alice_bits(self) -> float:
+        return float(sum(self.a))
+
+    @property
+    def bob_bits(self) -> float:
+        return float(sum(self.b))
+
+    @property
+    def total_bits(self) -> float:
+        return self.alice_bits + self.bob_bits
+
+    def suffix(self, start: int) -> "ProtocolShape":
+        """The sub-protocol from round ``start`` on (0-based) — the
+        ``A^{(i+1)−}`` operation of the round-elimination lemma."""
+        return ProtocolShape(self.a[start:], self.b[start:])
+
+    def scale_alice(self, factor: float) -> "ProtocolShape":
+        """Scale Alice's messages (the ``(1 + 2a₁/(δ p a₂)) A`` operation)."""
+        if factor < 1:
+            raise ValueError("scaling factor must be >= 1")
+        return ProtocolShape(tuple(factor * v for v in self.a), self.b)
+
+    def rows(self) -> List[dict]:
+        """Per-round rows for reporting."""
+        return [
+            {"round": i + 1, "alice_bits": self.a[i], "bob_bits": self.b[i]}
+            for i in range(self.k)
+        ]
+
+
+def trace_to_protocol(
+    accountant: ProbeAccountant, table_cells: int, word_bits: int
+) -> ProtocolShape:
+    """Proposition 18 applied to a recorded query execution.
+
+    Round ``i`` with ``t_i`` probes becomes ``a_i = t_i ⌈log₂ s⌉`` and
+    ``b_i = t_i w``; empty rounds are dropped (the paper requires
+    ``t_i > 0``).
+    """
+    if table_cells < 2:
+        raise ValueError("table must have at least 2 cells")
+    if word_bits < 1:
+        raise ValueError("word size must be >= 1 bit")
+    addr_bits = ilog2_ceil(table_cells)
+    sizes = [r.size for r in accountant.rounds if r.size > 0]
+    a = tuple(float(t * addr_bits) for t in sizes)
+    b = tuple(float(t * word_bits) for t in sizes)
+    return ProtocolShape(a, b)

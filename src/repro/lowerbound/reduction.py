@@ -1,0 +1,124 @@
+"""The LPM → ANNS reduction (Lemma 14), executable.
+
+Strings map to ball-tree leaf centers: database string ``s`` maps to the
+center of the ball reached by descending child ``s₁, s₂, …``; the query
+string maps the same way.  By γ-separation (Lemma 16), if two strings
+share a prefix of length ``ℓ`` their points lie in one depth-``ℓ`` ball
+(distance ``≤ 2 r_ℓ``) but distinct depth-``ℓ+1`` balls (distance
+``> γ · 2 r_{ℓ+1} = r_ℓ / 4``); consequently a deeper common prefix means
+a point more than a factor γ closer, and **any** γ-approximate nearest
+neighbor of the mapped query must realize the maximal common prefix.
+:meth:`LPMToANNSReduction.recover` inverts the point map, turning an ANNS
+answer back into an LPM answer; tests drive this end-to-end against both
+an exact solver and the paper's own Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.hamming.points import PackedPoints
+from repro.lowerbound.balltree import SeparatedBallTree
+from repro.lowerbound.lpm import LPMInstance, common_prefix_length
+
+__all__ = ["LPMToANNSReduction", "ReductionCheck"]
+
+
+@dataclass(frozen=True)
+class ReductionCheck:
+    """Outcome of one end-to-end reduction query (analysis only)."""
+
+    query: Tuple[int, ...]
+    returned_index: int
+    returned_lcp: int
+    optimal_lcp: int
+
+    @property
+    def correct(self) -> bool:
+        """LPM answered correctly iff the returned LCP is maximal."""
+        return self.returned_lcp == self.optimal_lcp
+
+
+class LPMToANNSReduction:
+    """Maps one LPM instance into an ANNS instance over ``{0,1}^d``.
+
+    Parameters
+    ----------
+    instance : the LPM database
+    tree : a γ-separated ball tree with ``fanout ≥ sigma`` and
+        ``depth ≥ m``
+    """
+
+    def __init__(self, instance: LPMInstance, tree: SeparatedBallTree):
+        if tree.fanout < instance.sigma:
+            raise ValueError(
+                f"tree fanout {tree.fanout} < alphabet size {instance.sigma}"
+            )
+        if tree.depth < instance.m:
+            raise ValueError(f"tree depth {tree.depth} < string length {instance.m}")
+        self.instance = instance
+        self.tree = tree
+        rows = [tree.leaf_center(s[: tree.depth]) for s in instance.strings]
+        self.database = PackedPoints(np.vstack(rows), tree.d)
+        self._by_point: Dict[bytes, int] = {
+            self.database.row(i).tobytes(): i for i in range(len(self.database))
+        }
+
+    # -- mapping -----------------------------------------------------------
+    def map_query(self, query: Sequence[int]) -> np.ndarray:
+        """The ANNS query point for an LPM query string."""
+        q = tuple(int(c) for c in query)
+        if len(q) != self.instance.m:
+            raise ValueError(f"query length {len(q)} != m={self.instance.m}")
+        if any(not (0 <= c < self.instance.sigma) for c in q):
+            raise ValueError("query symbol outside alphabet")
+        return self.tree.leaf_center(q)
+
+    def recover(self, answer_packed: np.ndarray) -> int:
+        """Database string index for a returned ANNS point."""
+        key = np.asarray(answer_packed, dtype=np.uint64).tobytes()
+        try:
+            return self._by_point[key]
+        except KeyError:
+            raise ValueError("returned point is not a mapped database point") from None
+
+    # -- separation guarantee (what makes the reduction sound) ----------------
+    def gamma_gap(self, query: Sequence[int]) -> float:
+        """Ratio between the closest non-maximal-LCP point and the farthest
+        maximal-LCP point (> γ certifies the instance is unconfusable)."""
+        x = self.map_query(query)
+        dists = self.database.distances_from(x)
+        lcps = np.array(
+            [common_prefix_length(query, s) for s in self.instance.strings]
+        )
+        best = int(lcps.max())
+        at_best = dists[lcps == best]
+        below = dists[lcps < best]
+        if below.size == 0:
+            return float("inf")
+        return float(below.min()) / float(max(1, at_best.max()))
+
+    # -- end-to-end ---------------------------------------------------------
+    def solve_with(
+        self,
+        ann_query: Callable[[PackedPoints, np.ndarray], np.ndarray],
+        query: Sequence[int],
+    ) -> ReductionCheck:
+        """Run an ANNS solver on the mapped instance and score the answer.
+
+        ``ann_query(database, x)`` must return the packed answer point.
+        """
+        x = self.map_query(query)
+        answer = ann_query(self.database, x)
+        idx = self.recover(answer)
+        returned_lcp = common_prefix_length(query, self.instance.strings[idx])
+        _, optimal_lcp = self.instance.brute_force(query)
+        return ReductionCheck(
+            query=tuple(int(c) for c in query),
+            returned_index=idx,
+            returned_lcp=returned_lcp,
+            optimal_lcp=optimal_lcp,
+        )

@@ -1,0 +1,289 @@
+"""A numeric ledger replaying the round-elimination argument
+(Lemma 19 → Claim 25 → Theorem 24).
+
+The lower-bound proof assumes a k-round protocol for ``LPM^Σ_{m,n}`` with
+cell-probe-induced message sizes ``a_i = c₁ t_i log n``, ``b_i = t_i d^{c₂}``
+and repeatedly eliminates its first two communication rounds, shrinking the
+problem from ``(m_i, n_i)`` to ``(m_{i+1}, n_{i+1})`` while the error grows
+by ``≤ 3δ`` per step (``δ = 1/(4k)``).  After ``k`` steps, a protocol with
+**no communication** would solve ``LPM_{1,1}`` with error ``≤ 7/8`` —
+impossible, since guessing succeeds with probability ``1/|Σ| ≪ 1/8``
+(Claim 26).  Hence no such protocol exists and ``t = Σ t_i`` must exceed
+``Θ((1/k) m^{1/k})``.
+
+The ledger tracks every quantity of Claim 25 in log space (the ``b_i`` and
+``q_i`` are astronomically large) and records, per step, whether each side
+condition of Lemma 19 holds:
+
+* ``cond_p`` — ``2 p_{i+1} ≤ m_i`` (enough string blocks to split);
+* ``cond_q`` — ``q_{i+1} ≤ |Σ|`` (enough symbols to prefix-tag);
+* ``cond_C`` — ``2 a_{i,1} / p_{i+1} ≥ C`` (message-compression premise);
+* ``cond_delta`` — ``δ' ≤ δ`` (the delicate error-growth check that the
+  choice ``t = ξ/(c₅ + 16 c₁ e¹⁶)`` makes true).
+
+``contradiction_derived`` is True when every step's conditions hold and
+the final error stays ≤ 7/8: exactly the event "the assumed protocol is
+impossible", i.e. the lower bound applies to this ``t``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["LedgerResult", "RoundEliminationLedger", "StepRecord", "lpm_string_length"]
+
+#: The universal constant ``C`` of Lemma 19 (any fixed value; the paper
+#: leaves it implicit — what matters is that it is a constant).
+UNIVERSAL_C = 64.0
+
+#: ``c₄ = 2 log 201`` from the definition of β (equation (5)).
+C4 = 2.0 * math.log2(201.0)
+
+
+def lpm_string_length(d: int, gamma: float) -> int:
+    """The reduction's string length ``m = ⌊(log d)^{ηβ}⌋`` (Lemma 14).
+
+    With ``η = 1 − log log γ / log log d`` and ``β = 1 − c₄ / log log d``;
+    the paper notes ``m = Θ(log_γ d)``.  Requires ``γ ≥ 3``.  The β factor
+    is a second-order correction that only departs from 1 when
+    ``log log d ≫ c₄ = 2 log 201 ≈ 15.3`` — i.e. for ``d > 2^{2^15}`` —
+    so at any numerically representable scale we apply β = 1 (its exact
+    value for ``d → ∞`` limits the same Θ(log_γ d) scale, which is what
+    the ledger's curves check).
+    """
+    if gamma < 3:
+        raise ValueError(f"Theorem 24 assumes γ ≥ 3, got {gamma}")
+    if d < 16:
+        raise ValueError(f"d too small: {d}")
+    return lpm_string_length_from_log(math.log2(d), gamma)
+
+
+def lpm_string_length_from_log(log2_d: float, gamma: float) -> int:
+    """As :func:`lpm_string_length` but from ``log₂ d`` directly, so the
+    ledger can run at the asymptotic scales the theorem's regime needs
+    (``m > k^{2k}`` forces ``d`` far beyond any representable integer for
+    ``k ≥ 3``)."""
+    if gamma < 3:
+        raise ValueError(f"Theorem 24 assumes γ ≥ 3, got {gamma}")
+    if log2_d < 4:
+        raise ValueError(f"log2_d too small: {log2_d}")
+    log_d = float(log2_d)
+    loglog_d = math.log2(log_d)
+    eta = 1.0 - math.log2(math.log2(gamma)) / loglog_d if math.log2(gamma) > 0 else 1.0
+    beta = 1.0 - C4 / loglog_d if loglog_d > 2.0 * C4 else 1.0
+    return max(1, math.floor(log_d ** (eta * beta)))
+
+
+@dataclass
+class StepRecord:
+    """One round-elimination step (eliminates 2 communication rounds)."""
+
+    index: int
+    log2_m: float  # log2 of the string length after the step
+    log2_n: float  # log2 of the database size after the step
+    p: float  # the block count p_{i+1} used
+    log2_q: float  # log2 of the symbol split q_{i+1}
+    a_first: float  # first-entry a_{i,1} of the inflated Alice vector
+    log2_delta_prime: float
+    error: float  # cumulative error bound after the step
+    cond_p: bool
+    cond_q: bool
+    cond_C: bool
+    cond_delta: bool
+
+    @property
+    def all_ok(self) -> bool:
+        return self.cond_p and self.cond_q and self.cond_C and self.cond_delta
+
+
+@dataclass
+class LedgerResult:
+    """Outcome of replaying all ``k`` elimination steps."""
+
+    t_total: float
+    k: int
+    m: int
+    xi: float  # the target scale ξ = m^{1/k}/k
+    trivially_large: bool  # t > m^{1/k}: nothing to prove
+    steps: List[StepRecord] = field(default_factory=list)
+
+    @property
+    def contradiction_derived(self) -> bool:
+        """All side conditions held and the final error stayed ≤ 7/8 —
+        the assumed t-probe protocol is impossible."""
+        if self.trivially_large or not self.steps:
+            return False
+        return all(s.all_ok for s in self.steps) and self.steps[-1].error <= 7.0 / 8.0 + 1e-9
+
+    @property
+    def failing_condition(self) -> Optional[str]:
+        """Name of the first failing condition, if any."""
+        for s in self.steps:
+            for name in ("cond_p", "cond_q", "cond_C", "cond_delta"):
+                if not getattr(s, name):
+                    return f"step{s.index}:{name}"
+        if self.steps and self.steps[-1].error > 7.0 / 8.0 + 1e-9:
+            return "final-error"
+        return None
+
+
+class RoundEliminationLedger:
+    """Replays Claim 25 numerically for concrete parameters.
+
+    Parameters
+    ----------
+    n, d : problem scale (the theorem's regime is ``d ≤ 2^√(log n)``,
+        ``n ≤ 2^{d^{0.99}}``; the ledger runs outside it too and simply
+        reports which condition breaks)
+    gamma : approximation ratio (γ ≥ 3 for Lemma 14's parameterization)
+    k : number of probe rounds
+    c1, c2 : the table-size/word-size exponents (``s ≤ n^{c1}``,
+        ``w ≤ d^{c2}``)
+    """
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        d: Optional[int] = None,
+        gamma: float = 3.0,
+        k: int = 2,
+        c1: float = 2.0,
+        c2: float = 1.0,
+        universal_c: float = UNIVERSAL_C,
+        log2_n: Optional[float] = None,
+        log2_d: Optional[float] = None,
+    ):
+        """Either ``(n, d)`` as integers or ``(log2_n, log2_d)`` directly —
+        the log form admits the asymptotic scales the theorem needs
+        (e.g. ``log2_d = 10^6``, i.e. d = 2^{10^6})."""
+        if log2_n is None:
+            if n is None or n < 4:
+                raise ValueError("need n >= 4 (or log2_n)")
+            log2_n = math.log2(n)
+        if log2_d is None:
+            if d is None or d < 16:
+                raise ValueError("need d >= 16 (or log2_d)")
+            log2_d = math.log2(d)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.log2_n = float(log2_n)
+        self.log2_d = float(log2_d)
+        self.gamma = float(gamma)
+        self.k = int(k)
+        self.c1 = float(c1)
+        self.c2 = float(c2)
+        self.universal_c = float(universal_c)
+        self.m = lpm_string_length_from_log(self.log2_d, gamma)
+
+    @property
+    def regime_ok(self) -> bool:
+        """The theorem's regime checks: ``d ≤ 2^√(log n)``,
+        ``n ≤ 2^{d^0.99}``, ``k ≤ log log d / (2 log log log d)``, and the
+        proof's working condition (9) ``m > k^{2k}``."""
+        lld = math.log2(self.log2_d)
+        llld = math.log2(max(2.0, lld))
+        return (
+            self.log2_d <= math.sqrt(self.log2_n)
+            and math.log2(self.log2_n) <= 0.99 * self.log2_d
+            and self.k <= lld / (2.0 * max(1.0, llld))
+            and self.m > self.k ** (2 * self.k)
+        )
+
+    def run(self, t_per_round: Sequence[float] | float) -> LedgerResult:
+        """Replay the ``k`` elimination steps for the given probe schedule.
+
+        ``t_per_round`` is either the per-round probe counts ``t_1..t_k``
+        or a single total (split uniformly).
+        """
+        if isinstance(t_per_round, (int, float)):
+            t = [float(t_per_round) / self.k] * self.k
+        else:
+            t = [float(v) for v in t_per_round]
+            if len(t) != self.k:
+                raise ValueError(f"need {self.k} per-round counts, got {len(t)}")
+        if any(v <= 0 for v in t):
+            raise ValueError("per-round probe counts must be positive")
+        total = sum(t)
+        m, k = self.m, self.k
+        xi = m ** (1.0 / k) / k
+        result = LedgerResult(
+            t_total=total,
+            k=k,
+            m=m,
+            xi=xi,
+            trivially_large=total > m ** (1.0 / k),
+        )
+        if result.trivially_large:
+            return result
+
+        log2_n = self.log2_n
+        delta = 1.0 / (4.0 * k)
+        p = m ** (1.0 / k) / 2.0
+        # Cyclic extension a_{k+1} = a_1 etc. (equation (8)).
+        t_ext = t + [t[0], t[0]]
+        a = [self.c1 * ti * log2_n for ti in t_ext]  # a_1..a_{k+2} (0-based)
+        log2_b = [math.log2(ti) + self.c2 * self.log2_d for ti in t_ext]
+
+        log2_m_i = math.log2(m)
+        log2_n_i = log2_n
+        prefix = 1.0  # Π_{j≤i} (1 + 2a_j/(a_{j+1} δ p))
+        error = 1.0 / 8.0
+        for i in range(k):
+            a_cur, a_next = a[i], a[i + 1]
+            p_next = (a_cur / a_next) * p
+            log2_q = (t_ext[i + 1] / total) * log2_n
+            a_first = a_cur * prefix
+            exponent = 2.0 * a_first / (delta * p_next)
+            log2_delta_prime = 0.5 * (log2_b[i + 1] + exponent - log2_q)
+            delta_prime = 2.0**log2_delta_prime if log2_delta_prime < 10 else 1.0
+            # The error ledger follows the proof: 2δ from Part I plus δ'
+            # from Part II (clamped at 1; when cond_delta holds, δ' ≤ δ and
+            # the step adds at most 3δ in total).
+            error = error + 2.0 * delta + min(1.0, delta_prime)
+            step = StepRecord(
+                index=i + 1,
+                log2_m=log2_m_i - math.log2(2.0 * p_next),
+                log2_n=log2_n_i - log2_q,
+                p=p_next,
+                log2_q=log2_q,
+                a_first=a_first,
+                log2_delta_prime=log2_delta_prime,
+                error=error,
+                cond_p=math.log2(max(1e-300, 2.0 * p_next)) <= log2_m_i,
+                cond_q=math.log2(max(1e-300, log2_q)) <= 0.99 * self.log2_d,
+                cond_C=2.0 * a_first / p_next >= self.universal_c,
+                cond_delta=log2_delta_prime <= math.log2(delta),
+            )
+            result.steps.append(step)
+            log2_m_i = step.log2_m
+            log2_n_i = step.log2_n
+            prefix *= 1.0 + 2.0 * a_cur / (a_next * delta * p)
+        return result
+
+    # -- bound extraction -------------------------------------------------
+    def implied_lower_bound(
+        self, t_grid: Optional[Sequence[float]] = None
+    ) -> tuple[float, LedgerResult]:
+        """Largest ``t`` on a grid for which the contradiction still derives.
+
+        Any such ``t`` is *infeasible* for a real protocol, so the returned
+        value is (the grid approximation of) the probe lower bound; compare
+        it against the theorem's scale ``ξ = m^{1/k}/k``.
+        """
+        if t_grid is None:
+            # The proof's constant 16·c₁·e¹⁶ is astronomically large, so
+            # the grid must reach far below ξ; 1500 geometric steps span
+            # ~20 orders of magnitude.
+            top = max(2.0, self.m ** (1.0 / self.k))
+            t_grid = [top * (0.97**j) for j in range(1500)]
+        best_t = 0.0
+        best_result = self.run(max(1e-6, min(t_grid)))
+        for t in sorted(t_grid):
+            if t <= 0:
+                continue
+            res = self.run(t)
+            if res.contradiction_derived and t > best_t:
+                best_t, best_result = t, res
+        return best_t, best_result

@@ -1,0 +1,19 @@
+"""Dimension-reduction substrate: the KOR/Chakrabarti–Regev style GF(2)
+parity sketches behind Definition 7, the per-level sketch family (accurate
+``M_i`` and coarse ``N_j`` matrices), cached database sketches, and the
+``C_i`` / ``D_{i,j}`` approximate-ball evaluations of Lemma 8.
+"""
+
+from repro.sketch.approx_balls import ApproxBallEvaluator, coarse_threshold_count, accurate_threshold_count
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.sketch.parity import ParitySketch
+
+__all__ = [
+    "ApproxBallEvaluator",
+    "LevelSketches",
+    "ParitySketch",
+    "SketchFamily",
+    "accurate_threshold_count",
+    "coarse_threshold_count",
+]

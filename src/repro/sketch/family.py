@@ -1,0 +1,117 @@
+"""The per-level sketch family of Definition 7.
+
+One :class:`SketchFamily` instance holds, for every level
+``i = 0..L = ⌈log_α d⌉``:
+
+* the **accurate** sketch ``M_i`` — ``accurate_rows`` output bits,
+  Bernoulli(``1/(4αⁱ)``) mask entries; used by the main tables ``T_i``;
+* optionally the **coarse** sketch ``N_i`` — ``coarse_rows`` output bits
+  (the paper's ``(c₂/s) log n``), same entry probability; used by the
+  auxiliary tables of Algorithm 2.
+
+All matrices derive from one :class:`~repro.utils.rng.RngTree` so the table
+structure and the cell-probing algorithm (public-coin model) see identical
+randomness without sharing mutable state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.delta import bernoulli_rate
+from repro.sketch.parity import ParitySketch
+from repro.utils.rng import RngTree
+
+__all__ = ["SketchFamily"]
+
+
+class SketchFamily:
+    """Accurate (and optionally coarse) sketches for all levels.
+
+    Parameters
+    ----------
+    d : dimension of the Hamming cube
+    alpha : level base (``√γ``)
+    levels : top level ``L``; sketches exist for ``i = 0..L`` inclusive
+    accurate_rows : output bits of each ``M_i`` (the paper's ``c₁ log n``)
+    coarse_rows : output bits of each ``N_i`` (``(c₂/s) log n``), or None
+        when the scheme does not use coarse sketches (Algorithm 1, λ-ANNS)
+    rng_tree : randomness root shared with the table structure
+    """
+
+    def __init__(
+        self,
+        d: int,
+        alpha: float,
+        levels: int,
+        accurate_rows: int,
+        coarse_rows: Optional[int] = None,
+        rng_tree: Optional[RngTree] = None,
+    ):
+        if levels < 0:
+            raise ValueError(f"levels must be >= 0, got {levels}")
+        if accurate_rows < 1:
+            raise ValueError(f"accurate_rows must be >= 1, got {accurate_rows}")
+        if coarse_rows is not None and coarse_rows < 1:
+            raise ValueError(f"coarse_rows must be >= 1, got {coarse_rows}")
+        self.d = int(d)
+        self.alpha = float(alpha)
+        self.levels = int(levels)
+        self.accurate_rows = int(accurate_rows)
+        self.coarse_rows = int(coarse_rows) if coarse_rows is not None else None
+        self._rng = rng_tree if rng_tree is not None else RngTree()
+        self._accurate: dict[int, ParitySketch] = {}
+        self._coarse: dict[int, ParitySketch] = {}
+
+    def _check_level(self, i: int) -> int:
+        i = int(i)
+        if not (0 <= i <= self.levels):
+            raise ValueError(f"level {i} outside [0, {self.levels}]")
+        return i
+
+    def accurate(self, i: int) -> ParitySketch:
+        """The accurate sketch ``M_i`` (lazily constructed, cached)."""
+        i = self._check_level(i)
+        sk = self._accurate.get(i)
+        if sk is None:
+            sk = ParitySketch(
+                rows=self.accurate_rows,
+                d=self.d,
+                p=bernoulli_rate(self.alpha, i),
+                rng=self._rng.generator("accurate", i),
+            )
+            self._accurate[i] = sk
+        return sk
+
+    def coarse(self, i: int) -> ParitySketch:
+        """The coarse sketch ``N_i`` (requires ``coarse_rows``)."""
+        if self.coarse_rows is None:
+            raise RuntimeError("this family was built without coarse sketches")
+        i = self._check_level(i)
+        sk = self._coarse.get(i)
+        if sk is None:
+            sk = ParitySketch(
+                rows=self.coarse_rows,
+                d=self.d,
+                p=bernoulli_rate(self.alpha, i),
+                rng=self._rng.generator("coarse", i),
+            )
+            self._coarse[i] = sk
+        return sk
+
+    # -- query-side helpers --------------------------------------------------
+    def accurate_address(self, i: int, x: np.ndarray) -> tuple:
+        """``M_i x`` as a hashable table address (tuple of packed words)."""
+        return tuple(int(v) for v in self.accurate(i).apply(x))
+
+    def coarse_address(self, i: int, x: np.ndarray) -> tuple:
+        """``N_i x`` as a hashable address component."""
+        return tuple(int(v) for v in self.coarse(i).apply(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchFamily(d={self.d}, alpha={self.alpha:.4g}, levels={self.levels}, "
+            f"accurate_rows={self.accurate_rows}, coarse_rows={self.coarse_rows})"
+        )

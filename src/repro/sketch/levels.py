@@ -1,0 +1,68 @@
+"""Cached database sketches per level.
+
+Evaluating a table cell at level ``i`` requires the distances between the
+cell's address (a sketch value) and the sketches of *all* database points
+under ``M_i`` (or ``N_i``).  Those database sketches depend only on the
+database and the public randomness — they are preprocessing, computed once
+per level on first use and cached here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.hamming.distance import hamming_distance_many
+from repro.hamming.points import PackedPoints
+from repro.sketch.family import SketchFamily
+
+__all__ = ["LevelSketches"]
+
+
+class LevelSketches:
+    """Lazily computed per-level sketches of a fixed database.
+
+    Parameters
+    ----------
+    database : the packed database ``B``
+    family : the sketch family shared with the query algorithm
+    """
+
+    def __init__(self, database: PackedPoints, family: SketchFamily):
+        self.database = database
+        self.family = family
+        self._accurate_db: Dict[int, np.ndarray] = {}
+        self._coarse_db: Dict[int, np.ndarray] = {}
+
+    # -- database sketches -----------------------------------------------
+    def accurate_db(self, i: int) -> np.ndarray:
+        """Packed ``(n, OW)`` sketches of all database points under ``M_i``."""
+        sk = self._accurate_db.get(i)
+        if sk is None:
+            sk = self.family.accurate(i).apply_many(self.database.words)
+            self._accurate_db[i] = sk
+        return sk
+
+    def coarse_db(self, i: int) -> np.ndarray:
+        """Packed ``(n, OW)`` sketches of all database points under ``N_i``."""
+        sk = self._coarse_db.get(i)
+        if sk is None:
+            sk = self.family.coarse(i).apply_many(self.database.words)
+            self._coarse_db[i] = sk
+        return sk
+
+    # -- address-vs-database distances -------------------------------------
+    def accurate_distances(self, i: int, address: tuple) -> np.ndarray:
+        """Hamming distances between an accurate address and all DB sketches."""
+        addr = np.asarray(address, dtype=np.uint64)
+        return hamming_distance_many(addr, self.accurate_db(i))
+
+    def coarse_distances(self, i: int, address: tuple) -> np.ndarray:
+        """Hamming distances between a coarse address and all DB sketches."""
+        addr = np.asarray(address, dtype=np.uint64)
+        return hamming_distance_many(addr, self.coarse_db(i))
+
+    def materialized_levels(self) -> tuple[int, int]:
+        """(accurate, coarse) level counts computed so far (statistics)."""
+        return len(self._accurate_db), len(self._coarse_db)

@@ -1,0 +1,106 @@
+"""GF(2) parity sketches with sparse Bernoulli masks.
+
+A :class:`ParitySketch` is a random Boolean matrix ``M`` of shape
+``(rows, d)`` with i.i.d. Bernoulli(``p``) entries, applied to packed
+points over GF(2): output bit ``r`` is the parity of ``popcount(mask_r AND
+x)``.  Outputs are packed uint64 rows so downstream distance tests reuse
+the same XOR+popcount kernels as raw points.
+
+The map is linear over GF(2) — ``sketch(x ⊕ y) = sketch(x) ⊕ sketch(y)`` —
+which property tests exploit, and which implies the collision-rate formula
+``μ(p, D)`` of :mod:`repro.core.delta` governs distances of sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamming.packing import pack_bits, packed_words, tail_mask
+
+__all__ = ["ParitySketch"]
+
+# Bound on the elements of the (row_block × point_block × words) AND buffer
+# used during batched application; ~2^21 uint64 ≈ 16 MB.
+_APPLY_BUFFER_ELEMENTS = 1 << 21
+
+
+class ParitySketch:
+    """A sparse random parity map ``{0,1}^d → {0,1}^rows``.
+
+    Parameters
+    ----------
+    rows : number of output bits
+    d : input dimension
+    p : per-entry mask probability (Definition 7 uses ``1/(4αⁱ)``)
+    rng : generator supplying the mask bits (public randomness)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hamming.packing import pack_bits
+    >>> sk = ParitySketch(rows=8, d=16, p=0.25, rng=np.random.default_rng(0))
+    >>> x = pack_bits(np.ones(16, dtype=np.uint8))
+    >>> sk.apply(x).shape
+    (1,)
+    """
+
+    def __init__(self, rows: int, d: int, p: float, rng: np.random.Generator):
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if not (0.0 <= p <= 0.5):
+            raise ValueError(f"p must be in [0, 1/2], got {p}")
+        self.rows = int(rows)
+        self.d = int(d)
+        self.p = float(p)
+        mask_bits = (rng.random((rows, d)) < p).astype(np.uint8)
+        self._mask = pack_bits(mask_bits, d)  # (rows, W) packed mask rows
+        self.in_words = packed_words(d)
+        self.out_words = packed_words(rows)
+        self._out_tail = np.uint64(tail_mask(rows))
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The packed mask rows (read-only use only)."""
+        return self._mask
+
+    def mask_density(self) -> float:
+        """Empirical fraction of set mask entries (≈ p)."""
+        return float(np.bitwise_count(self._mask).sum()) / (self.rows * self.d)
+
+    # -- application ---------------------------------------------------------
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Sketch a single packed point; returns packed ``(out_words,)``."""
+        return self.apply_many(np.asarray(x, dtype=np.uint64).reshape(1, -1))[0]
+
+    def apply_many(self, points: np.ndarray) -> np.ndarray:
+        """Sketch a packed batch ``(m, W)``; returns packed ``(m, OW)``.
+
+        Work is tiled over both rows and points so the intermediate AND
+        buffer stays within ``_APPLY_BUFFER_ELEMENTS`` words.
+        """
+        pts = np.asarray(points, dtype=np.uint64)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        if pts.shape[1] != self.in_words:
+            raise ValueError(
+                f"point word count {pts.shape[1]} != expected {self.in_words}"
+            )
+        m = pts.shape[0]
+        bits = np.empty((m, self.rows), dtype=np.uint8)
+        row_block = max(1, min(self.rows, _APPLY_BUFFER_ELEMENTS // max(1, self.in_words) // max(1, min(m, 1024))))
+        pt_block = max(1, _APPLY_BUFFER_ELEMENTS // max(1, self.in_words) // row_block)
+        for r0 in range(0, self.rows, row_block):
+            r1 = min(self.rows, r0 + row_block)
+            band = self._mask[r0:r1]  # (B, W)
+            for q0 in range(0, m, pt_block):
+                q1 = min(m, q0 + pt_block)
+                # (Q, B, W) AND buffer -> per-(point,row) popcount parity.
+                anded = pts[q0:q1, None, :] & band[None, :, :]
+                counts = np.bitwise_count(anded).sum(axis=2, dtype=np.int64)
+                bits[q0:q1, r0:r1] = (counts & 1).astype(np.uint8)
+        return pack_bits(bits, self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParitySketch(rows={self.rows}, d={self.d}, p={self.p:.4g})"

@@ -1,0 +1,14 @@
+"""Table structures: 1-probe membership (degenerate cases), the level
+tables ``T_i`` of Theorem 9, and the auxiliary tables ``T̃_{i,j}`` of
+Theorem 10."""
+
+from repro.structures.aux_table import AuxCountTable
+from repro.structures.main_table import MainLevelTable, main_table_logical_cells
+from repro.structures.perfect_hash import MembershipStructure
+
+__all__ = [
+    "AuxCountTable",
+    "MainLevelTable",
+    "MembershipStructure",
+    "main_table_logical_cells",
+]

@@ -1,0 +1,147 @@
+"""The auxiliary tables ``T̃_{i,j}`` of Theorem 10.
+
+For level ``i`` and accurate-sketch value ``j = M_i x``, the auxiliary
+table answers, in **one probe**, a batched question about up to ``s``
+coarse sets at once: given lower/upper thresholds ``(l, u)``, a group index
+and coarse addresses ``w_1..w_{w₀}`` (the values ``N_{ρ(r)} x`` for the
+group's levels), it returns the smallest in-group position ``q`` such that
+
+    |D_{i, ρ(r_q)}| > n^{-1/s} · |C_i(j)|,
+
+or the sentinel ``s + 1`` when no such position exists.  This is how
+Algorithm 2 scans ``τ − 1`` coarse sets with only ``⌈(τ−1)/s⌉`` probes.
+
+Addressing note (documented in DESIGN.md): the paper's cell address stores
+``(l, u, w₀, w_1..w_s)`` and has the table re-derive the group's levels via
+a *local* interpolation ``ρ(r) = ⌊l + (r−1)(u−l)/(s−1)⌋``, which does not
+reproduce the querier's global levels exactly because of floor rounding.
+Since lookup functions and the table code are two halves of one scheme and
+share its fixed parameters, our address carries ``(l, u, group_index, w₀)``
+and **both sides** derive the identical global sequence
+``ρ(r) = ⌊l + r(u−l)/τ⌋`` with the scheme constant ``τ``.  The address
+space is unchanged up to ``poly(n)`` factors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cellprobe.table import LazyTable
+from repro.cellprobe.words import IntWord
+from repro.sketch.approx_balls import ApproxBallEvaluator
+
+__all__ = ["AuxCountTable", "aux_table_logical_cells", "group_levels", "rho"]
+
+
+def rho(l: int, u: int, tau: int, r: int) -> int:
+    """The interpolated level ``ρ(r) = ⌊l + r(u−l)/τ⌋`` (both algorithms)."""
+    return l + (r * (u - l)) // tau
+
+
+def group_levels(l: int, u: int, tau: int, s: int, group_index: int, w0: int) -> list[int]:
+    """Levels ``ρ(1+(g−1)s) .. ρ(1+(g−1)s+w₀−1)`` scanned by group ``g``."""
+    start = 1 + (group_index - 1) * s
+    return [rho(l, u, tau, start + q) for q in range(w0)]
+
+
+def aux_table_logical_cells(
+    levels: int, accurate_rows: int, coarse_rows: int, s: int
+) -> int:
+    """Logical cell count of the auxiliary structure for one level ``i``.
+
+    Mirrors the paper's accounting: one sub-table per accurate-sketch value
+    (``2^{accurate_rows}``), each with ``(levels+1)² · s`` threshold/group
+    slots times ``2^{s · coarse_rows}`` coarse-address combinations.
+    (The count is reported exactly as a Python big int; nothing of this
+    size is ever materialized.)
+    """
+    per_subtable = (levels + 1) ** 2 * max(1, s) * (1 << (s * coarse_rows))
+    return (1 << accurate_rows) * per_subtable
+
+
+class AuxCountTable:
+    """Lazy simulation of the auxiliary tables for one level ``i``.
+
+    The accurate address ``j`` is folded into the cell address (equivalent
+    to the paper's family of tables indexed by ``j``).
+
+    Parameters
+    ----------
+    evaluator : table-side ball evaluator (owns the DB sketches)
+    level : the level ``i`` (Algorithm 2 always uses ``i = u``)
+    tau : the scheme constant ``τ`` (shared by querier and table)
+    s : group capacity (the paper's integer use of ``s``)
+    frac_exponent : the real-valued ``s`` used in the ``n^{-1/s}`` density
+        threshold (the paper's ``s`` before integer truncation)
+    """
+
+    SENTINEL_OFFSET = 1  # stored sentinel is s + 1
+
+    def __init__(
+        self,
+        evaluator: ApproxBallEvaluator,
+        level: int,
+        tau: int,
+        s: int,
+        frac_exponent: float,
+    ):
+        if s < 1:
+            raise ValueError(f"group capacity s must be >= 1, got {s}")
+        if tau < 2:
+            raise ValueError(f"tau must be >= 2, got {tau}")
+        if frac_exponent <= 0:
+            raise ValueError(f"frac_exponent must be > 0, got {frac_exponent}")
+        self.evaluator = evaluator
+        self.level = int(level)
+        self.tau = int(tau)
+        self.s = int(s)
+        self.frac_exponent = float(frac_exponent)
+        fam = evaluator.sketches.family
+        if fam.coarse_rows is None:
+            raise RuntimeError("auxiliary tables require coarse sketches")
+        n = max(2, len(evaluator.sketches.database))
+        self._n = n
+        self.table = LazyTable(
+            name=f"Aux{self.level}",
+            logical_cells=aux_table_logical_cells(
+                fam.levels, fam.accurate_rows, fam.coarse_rows, self.s
+            ),
+            word_size_bits=1 + max(1, (self.s + 1).bit_length()),
+            content_fn=self._content,
+        )
+
+    def address(
+        self,
+        accurate_address: tuple,
+        l: int,
+        u: int,
+        group_index: int,
+        coarse_addresses: Sequence[tuple],
+    ) -> tuple:
+        """Build the hashable cell address for one group probe."""
+        w0 = len(coarse_addresses)
+        if not (1 <= w0 <= self.s):
+            raise ValueError(f"group must contain 1..{self.s} coarse sets, got {w0}")
+        return (
+            accurate_address,
+            int(l),
+            int(u),
+            int(group_index),
+            w0,
+            tuple(tuple(a) for a in coarse_addresses),
+        )
+
+    def density_threshold(self, c_size: int) -> float:
+        """The density cut ``n^{-1/s} · |C_i|``."""
+        return (self._n ** (-1.0 / self.frac_exponent)) * c_size
+
+    def _content(self, address: tuple) -> IntWord:
+        accurate_address, l, u, group_index, w0, coarse_addresses = address
+        levels = group_levels(l, u, self.tau, self.s, group_index, w0)
+        c_size = self.evaluator.c_count(self.level, accurate_address)
+        cut = self.density_threshold(c_size)
+        for q, (lvl, w_addr) in enumerate(zip(levels, coarse_addresses), start=1):
+            d_size = self.evaluator.d_count(self.level, accurate_address, lvl, w_addr)
+            if d_size > cut:
+                return IntWord(q, self.s + self.SENTINEL_OFFSET)
+        return IntWord(self.s + self.SENTINEL_OFFSET, self.s + self.SENTINEL_OFFSET)

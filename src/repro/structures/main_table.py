@@ -1,0 +1,44 @@
+"""The level tables ``T_i`` of Theorem 9.
+
+Table ``T_i`` has one cell per possible accurate-sketch value
+``j ∈ {0,1}^{c₁ log n}``; cell ``T_i[j]`` stores a database point ``z``
+with ``dist(j, M_i z) ≤ θ_i · rows`` if one exists (i.e. a member of
+``C_i(j)``) and EMPTY otherwise.  Probing ``T_i[M_i x]`` therefore reveals
+whether ``C_i`` (for this query) is empty, and a witness when it is not —
+the primitive both algorithms' multi-way searches are built from.
+"""
+
+from __future__ import annotations
+
+from repro.cellprobe.table import LazyTable
+from repro.cellprobe.words import EMPTY, PointWord
+from repro.sketch.approx_balls import ApproxBallEvaluator
+
+__all__ = ["MainLevelTable", "main_table_logical_cells"]
+
+
+def main_table_logical_cells(accurate_rows: int) -> int:
+    """Cells per level table: ``2^{accurate_rows}`` (one per sketch value)."""
+    return 1 << int(accurate_rows)
+
+
+class MainLevelTable:
+    """Lazy simulation of one level table ``T_i``."""
+
+    def __init__(self, evaluator: ApproxBallEvaluator, level: int):
+        self.evaluator = evaluator
+        self.level = int(level)
+        db = evaluator.sketches.database
+        self.table = LazyTable(
+            name=f"T{self.level}",
+            logical_cells=main_table_logical_cells(evaluator.sketches.family.accurate_rows),
+            word_size_bits=1 + db.d,
+            content_fn=self._content,
+        )
+
+    def _content(self, address: tuple) -> object:
+        witness = self.evaluator.c_witness(self.level, address)
+        if witness is None:
+            return EMPTY
+        db = self.evaluator.sketches.database
+        return PointWord.from_packed(witness, db.row(witness), db.d)

@@ -1,0 +1,23 @@
+"""Small shared utilities: deterministic RNG trees and integer math helpers."""
+
+from repro.utils.intmath import (
+    ceil_div,
+    ceil_log,
+    ceil_pow2,
+    ilog2_ceil,
+    ilog2_floor,
+    num_levels,
+)
+from repro.utils.rng import RngTree, as_generator, spawn_generators
+
+__all__ = [
+    "RngTree",
+    "as_generator",
+    "spawn_generators",
+    "ceil_div",
+    "ceil_log",
+    "ceil_pow2",
+    "ilog2_ceil",
+    "ilog2_floor",
+    "num_levels",
+]

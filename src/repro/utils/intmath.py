@@ -1,0 +1,83 @@
+"""Exact integer math helpers used throughout the cell-probe simulator.
+
+All the level/round bookkeeping in the paper is in terms of integer
+quantities like ``⌈log_α d⌉``; computing those through floating point
+``math.log`` invites off-by-one errors at exact powers.  The helpers here
+are exact for the integer cases we care about and fall back to carefully
+rounded floats otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_div",
+    "ceil_log",
+    "ceil_pow2",
+    "ilog2_ceil",
+    "ilog2_floor",
+    "num_levels",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for integers with ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def ilog2_floor(x: int) -> int:
+    """Return ``floor(log2 x)`` exactly for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"ilog2_floor requires x > 0, got {x}")
+    return x.bit_length() - 1
+
+
+def ilog2_ceil(x: int) -> int:
+    """Return ``ceil(log2 x)`` exactly for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"ilog2_ceil requires x > 0, got {x}")
+    return (x - 1).bit_length()
+
+
+def ceil_pow2(x: int) -> int:
+    """Return the smallest power of two that is ``>= x`` (``x >= 1``)."""
+    return 1 << ilog2_ceil(max(1, x))
+
+
+def ceil_log(x: float, base: float) -> int:
+    """Return ``⌈log_base(x)⌉`` robustly for ``x >= 1`` and ``base > 1``.
+
+    Floating point logs can land just above an integer when ``x`` is an
+    exact power of ``base``; we correct by checking the neighbouring
+    integers with exponentiation.
+    """
+    if x < 1:
+        raise ValueError(f"ceil_log requires x >= 1, got {x}")
+    if base <= 1:
+        raise ValueError(f"ceil_log requires base > 1, got {base}")
+    if x == 1:
+        return 0
+    approx = math.log(x) / math.log(base)
+    candidate = math.ceil(approx)
+    # Walk down while the previous integer power still covers x.
+    while candidate > 0 and base ** (candidate - 1) >= x:
+        candidate -= 1
+    # Walk up if rounding left us short (can happen when approx is just
+    # below an integer but base**candidate underflows the comparison).
+    while base**candidate < x:
+        candidate += 1
+    return candidate
+
+
+def num_levels(d: int, alpha: float) -> int:
+    """Number of distance levels ``⌈log_α d⌉`` used by the schemes.
+
+    Level ``i`` corresponds to the Hamming ball of radius ``αⁱ``; the top
+    level always covers the full cube diameter ``d``.
+    """
+    if d < 2:
+        raise ValueError(f"dimension must be >= 2, got {d}")
+    return ceil_log(float(d), alpha)

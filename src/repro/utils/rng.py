@@ -1,0 +1,90 @@
+"""Deterministic random-number plumbing.
+
+The paper's schemes are *public-coin*: the random matrices are shared
+between the table (preprocessing) and the cell-probing algorithm.  To make
+every experiment reproducible we derive all randomness from a single root
+seed through named streams, so that e.g. the level-``i`` accurate sketch
+always sees the same bits for a given root seed regardless of evaluation
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+import numpy as np
+
+__all__ = ["RngTree", "as_generator", "spawn_generators"]
+
+SeedLike = Union[int, np.random.Generator, "RngTree", None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, RngTree):
+        return seed.generator("__default__")
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators from ``seed``."""
+    root = as_generator(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]  # type: ignore[union-attr]
+
+
+class RngTree:
+    """A tree of named, independent random streams.
+
+    Each call to :meth:`generator` with the same path returns a *fresh*
+    generator seeded identically, so components can re-derive their
+    randomness without coordinating evaluation order.
+
+    Examples
+    --------
+    >>> tree = RngTree(1234)
+    >>> g1 = tree.generator("sketch", 3)
+    >>> g2 = tree.generator("sketch", 3)
+    >>> bool((g1.integers(0, 2**32, 4) == g2.integers(0, 2**32, 4)).all())
+    True
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, RngTree):
+            self._root_entropy = seed._root_entropy
+        elif isinstance(seed, np.random.Generator):
+            # Derive a stable integer from the generator once.
+            self._root_entropy = int(seed.integers(0, 2**63 - 1))
+        elif seed is None:
+            self._root_entropy = int(np.random.SeedSequence().entropy % (2**63))
+        else:
+            self._root_entropy = int(seed)
+
+    @property
+    def root_entropy(self) -> int:
+        """The root entropy integer every stream is derived from."""
+        return self._root_entropy
+
+    def _seed_for(self, path: Iterable[object]) -> np.random.SeedSequence:
+        key = tuple(str(p) for p in path)
+        # Stable 64-bit hash of the path (Python's hash() is salted per
+        # process, so roll our own FNV-1a).
+        h = 1469598103934665603
+        for part in key:
+            for byte in part.encode("utf8"):
+                h ^= byte
+                h = (h * 1099511628211) % (1 << 64)
+        return np.random.SeedSequence(entropy=self._root_entropy, spawn_key=(h % (1 << 32), h >> 32))
+
+    def generator(self, *path: object) -> np.random.Generator:
+        """Return a fresh generator for the named stream ``path``."""
+        return np.random.default_rng(self._seed_for(path))
+
+    def child(self, *path: object) -> "RngTree":
+        """Return a subtree rooted at ``path`` (independent of siblings)."""
+        g = self.generator(*path, "__child__")
+        return RngTree(int(g.integers(0, 2**63 - 1)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngTree(root_entropy={self._root_entropy})"

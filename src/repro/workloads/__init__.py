@@ -1,0 +1,24 @@
+"""Workload generation for the experiments.
+
+A workload is a (database, queries, description) triple; the registry maps
+names to generators so benches and examples share identical inputs.
+"""
+
+from repro.workloads.generators import (
+    clustered_workload,
+    planted_workload,
+    shell_workload,
+    uniform_workload,
+)
+from repro.workloads.spec import Workload, WorkloadSpec, make_workload, registry
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "clustered_workload",
+    "make_workload",
+    "planted_workload",
+    "registry",
+    "shell_workload",
+    "uniform_workload",
+]

@@ -1,0 +1,149 @@
+"""The four workload families used across the experiments.
+
+* **uniform** — i.i.d. uniform database and queries; nearest distances
+  concentrate near ``d/2 − Θ(√(d log n))``, exercising the top levels.
+* **planted** — uniform database; each query is a database point with a
+  controlled number of flipped bits, exercising a chosen level band (the
+  workload the paper's guarantees are most meaningfully measured on).
+* **shells** — database points planted on geometric shells ``αⁱ`` around
+  hidden centers, queries at the centers: every level of the multi-way
+  search becomes load-bearing, which is the adversarial profile for the
+  shrink/completion logic.
+* **clustered** — a few tight clusters plus background noise; queries near
+  cluster centers.  Models the "realistic" skewed databases LSH-style
+  methods are tuned for.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hamming.packing import packed_words
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.workloads.spec import Workload, WorkloadSpec, register
+
+__all__ = [
+    "clustered_workload",
+    "planted_workload",
+    "shell_workload",
+    "uniform_workload",
+]
+
+
+@register("uniform")
+def uniform_workload(spec: WorkloadSpec) -> Workload:
+    """Uniform database, uniform queries."""
+    rng = np.random.default_rng(spec.seed)
+    db = PackedPoints(random_points(rng, spec.n, spec.d), spec.d)
+    queries = random_points(rng, spec.num_queries, spec.d)
+    return Workload(
+        name="uniform",
+        database=db,
+        queries=queries,
+        description="i.i.d. uniform points and queries",
+    )
+
+
+@register("planted")
+def planted_workload(
+    spec: WorkloadSpec,
+    min_flips: int = 0,
+    max_flips: int | None = None,
+) -> Workload:
+    """Queries are database points with ``[min_flips, max_flips]`` flips."""
+    rng = np.random.default_rng(spec.seed)
+    if max_flips is None:
+        max_flips = max(1, spec.d // 8)
+    if not (0 <= min_flips <= max_flips <= spec.d):
+        raise ValueError(f"bad flip range [{min_flips}, {max_flips}] for d={spec.d}")
+    db = PackedPoints(random_points(rng, spec.n, spec.d), spec.d)
+    w = packed_words(spec.d)
+    queries = np.empty((spec.num_queries, w), dtype=np.uint64)
+    flips = np.empty(spec.num_queries, dtype=np.int64)
+    for q in range(spec.num_queries):
+        base = db.row(int(rng.integers(0, spec.n)))
+        flips[q] = int(rng.integers(min_flips, max_flips + 1))
+        queries[q] = flip_random_bits(rng, base, int(flips[q]), spec.d)
+    return Workload(
+        name="planted",
+        database=db,
+        queries=queries,
+        description=f"planted near neighbors, {min_flips}..{max_flips} flips",
+        meta={"flips": flips},
+    )
+
+
+@register("shells")
+def shell_workload(spec: WorkloadSpec, alpha: float = 2.0, centers: int = 4) -> Workload:
+    """Geometric shells of radius ``αⁱ`` around hidden centers; queries at
+    the centers (their exact nearest distance is the innermost shell)."""
+    rng = np.random.default_rng(spec.seed)
+    if centers < 1:
+        raise ValueError("need at least one center")
+    levels = max(1, int(math.log(spec.d, alpha)))
+    w = packed_words(spec.d)
+    center_pts = random_points(rng, centers, spec.d)
+    rows = []
+    per_center = max(1, spec.n // centers)
+    for c in range(centers):
+        for j in range(per_center):
+            level = 1 + (j % levels)
+            radius = min(spec.d, int(round(alpha**level)))
+            rows.append(flip_random_bits(rng, center_pts[c], radius, spec.d))
+    while len(rows) < spec.n:  # top up to exactly n with uniform noise
+        rows.append(random_points(rng, 1, spec.d)[0])
+    db = PackedPoints(np.vstack(rows[: spec.n]), spec.d)
+    queries = np.empty((spec.num_queries, w), dtype=np.uint64)
+    for q in range(spec.num_queries):
+        queries[q] = center_pts[int(rng.integers(0, centers))]
+    return Workload(
+        name="shells",
+        database=db,
+        queries=queries,
+        description=f"geometric shells (α={alpha}) around {centers} centers",
+        meta={"alpha": alpha, "centers": centers},
+    )
+
+
+@register("clustered")
+def clustered_workload(
+    spec: WorkloadSpec,
+    clusters: int = 8,
+    cluster_radius: int | None = None,
+    noise_fraction: float = 0.25,
+) -> Workload:
+    """Tight clusters plus uniform background noise; queries near centers."""
+    rng = np.random.default_rng(spec.seed)
+    if cluster_radius is None:
+        cluster_radius = max(1, spec.d // 32)
+    noise = int(spec.n * noise_fraction)
+    clustered = spec.n - noise
+    center_pts = random_points(rng, clusters, spec.d)
+    rows = []
+    for j in range(clustered):
+        c = j % clusters
+        r = int(rng.integers(0, cluster_radius + 1))
+        rows.append(flip_random_bits(rng, center_pts[c], r, spec.d))
+    if noise:
+        rows.append(random_points(rng, noise, spec.d))
+        db_words = np.vstack([np.vstack(rows[:clustered]), rows[-1]])
+    else:
+        db_words = np.vstack(rows)
+    db = PackedPoints(db_words[: spec.n], spec.d)
+    w = packed_words(spec.d)
+    queries = np.empty((spec.num_queries, w), dtype=np.uint64)
+    for q in range(spec.num_queries):
+        c = int(rng.integers(0, clusters))
+        queries[q] = flip_random_bits(
+            rng, center_pts[c], int(rng.integers(0, 2 * cluster_radius + 1)), spec.d
+        )
+    return Workload(
+        name="clustered",
+        database=db,
+        queries=queries,
+        description=f"{clusters} clusters of radius ≤{cluster_radius} + noise",
+        meta={"clusters": clusters, "cluster_radius": cluster_radius},
+    )

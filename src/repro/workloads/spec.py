@@ -1,0 +1,68 @@
+"""Workload specification and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.hamming.points import PackedPoints
+
+__all__ = ["Workload", "WorkloadSpec", "make_workload", "registry"]
+
+
+@dataclass
+class Workload:
+    """A generated workload: the database and the packed query batch."""
+
+    name: str
+    database: PackedPoints
+    queries: np.ndarray  # (m, W) packed
+    description: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters shared by all workload generators."""
+
+    n: int
+    d: int
+    num_queries: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if self.d < 4:
+            raise ValueError(f"d must be >= 4, got {self.d}")
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be >= 1")
+
+
+#: name -> generator(spec, **kwargs) registry
+registry: Dict[str, Callable[..., Workload]] = {}
+
+
+def register(name: str):
+    """Decorator adding a generator to the registry."""
+
+    def wrap(fn: Callable[..., Workload]) -> Callable[..., Workload]:
+        registry[name] = fn
+        return fn
+
+    return wrap
+
+
+def make_workload(name: str, spec: WorkloadSpec, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        fn = registry[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(registry)}") from None
+    return fn(spec, **kwargs)

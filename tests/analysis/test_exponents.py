@@ -1,0 +1,43 @@
+"""Growth-exponent fitting."""
+
+import pytest
+
+from repro.analysis.exponents import ExponentFit, fit_probe_exponent
+
+
+class TestFit:
+    def test_recovers_known_exponent(self):
+        dims = [2**e for e in (8, 12, 16, 24, 32)]
+        # probes = (log2 d)^{1/2} exactly
+        probes = [(e) ** 0.5 for e in (8, 12, 16, 24, 32)]
+        fit = fit_probe_exponent(2, dims, probes)
+        assert fit.slope == pytest.approx(0.5, abs=1e-9)
+        assert fit.absolute_error < 1e-9
+
+    def test_constant_probes_zero_exponent(self):
+        dims = [256, 1024, 4096]
+        fit = fit_probe_exponent(4, dims, [7.0, 7.0, 7.0])
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_target_is_one_over_k(self):
+        fit = fit_probe_exponent(3, [256, 512, 1024], [1.0, 2.0, 3.0])
+        assert fit.target == pytest.approx(1.0 / 3.0)
+
+    def test_as_row_keys(self):
+        fit = fit_probe_exponent(1, [256, 512, 1024], [8.0, 9.0, 10.0])
+        row = fit.as_row()
+        assert set(row) == {"k", "fitted exponent", "target 1/k", "|error|"}
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_probe_exponent(1, [256, 512], [1.0, 2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_probe_exponent(1, [256, 512, 1024], [1.0, 2.0])
+
+    def test_immutability(self):
+        fit = fit_probe_exponent(1, [256, 512, 1024], [8.0, 9.0, 10.0])
+        assert isinstance(fit, ExponentFit)
+        with pytest.raises(AttributeError):
+            fit.slope = 2.0  # frozen dataclass

@@ -1,0 +1,35 @@
+"""Markdown table rendering."""
+
+from repro.analysis.reporting import format_markdown_table, print_table
+
+
+class TestFormat:
+    def test_basic_table(self):
+        text = format_markdown_table([{"a": 1, "b": 2.5}, {"a": 3, "b": None}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert "| 3 | — |" in text
+
+    def test_column_union_across_rows(self):
+        text = format_markdown_table([{"a": 1}, {"a": 2, "b": 9}])
+        assert "b" in text.splitlines()[0]
+
+    def test_explicit_columns(self):
+        text = format_markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert text.splitlines()[0] == "| b |"
+
+    def test_empty(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        text = format_markdown_table([{"x": 0.123456789}])
+        assert "0.1235" in text
+
+
+class TestPrint:
+    def test_prints_and_returns(self, capsys):
+        text = print_table("Title", [{"a": 1}])
+        out = capsys.readouterr().out
+        assert "### Title" in out
+        assert text in out + "\n"

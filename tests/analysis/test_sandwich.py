@@ -1,0 +1,47 @@
+"""Lemma 8 empirical verification harness."""
+
+import numpy as np
+
+from repro.analysis.sandwich import verify_lemma8
+from repro.sketch.family import SketchFamily
+from repro.utils.rng import RngTree
+from tests.conftest import planted_queries
+
+
+def _family(db, accurate_rows, coarse_rows=None, seed=0):
+    return SketchFamily(db.d, 2.0, 8, accurate_rows, coarse_rows, rng_tree=RngTree(seed))
+
+
+class TestVerifyLemma8:
+    def test_wide_rows_pass_floor(self, small_db):
+        queries = planted_queries(small_db, 10, max_flips=8)
+        fam = _family(small_db, accurate_rows=384)
+        report = verify_lemma8(small_db, fam, queries)
+        assert report.simultaneous_rate >= 0.75
+
+    def test_narrow_rows_fail_more(self, small_db):
+        queries = planted_queries(small_db, 10, max_flips=8)
+        wide = verify_lemma8(small_db, _family(small_db, 384), queries)
+        narrow = verify_lemma8(small_db, _family(small_db, 16), queries)
+        assert narrow.simultaneous_rate <= wide.simultaneous_rate
+
+    def test_rows_output_per_level(self, small_db):
+        queries = planted_queries(small_db, 4, max_flips=4)
+        report = verify_lemma8(small_db, _family(small_db, 64), queries)
+        rows = report.rows()
+        assert len(rows) == report.levels + 1
+        assert all(0.0 <= r["P[B_i ⊄ C_i]"] <= 1.0 for r in rows)
+
+    def test_coarse_fractions_checked_when_available(self, small_db):
+        queries = planted_queries(small_db, 4, max_flips=4)
+        fam = _family(small_db, 128, coarse_rows=24)
+        report = verify_lemma8(
+            small_db, fam, queries, s_exponent=2.0, coarse_level_pairs=[(6, 4), (8, 8)]
+        )
+        assert report.coarse_checked == 4 * 2
+        assert 0 <= report.coarse_miss_ok <= report.coarse_checked
+
+    def test_single_query_shape(self, small_db):
+        fam = _family(small_db, 64)
+        report = verify_lemma8(small_db, fam, planted_queries(small_db, 1, 2)[0])
+        assert report.num_queries == 1

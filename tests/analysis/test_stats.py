@@ -1,0 +1,78 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import loglog_slope, mean_ci, summarize, wilson_interval
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_single_value_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        mean, lo, hi = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert lo <= mean <= hi
+
+    def test_single_point_degenerate(self):
+        mean, lo, hi = mean_ci([2.0])
+        assert lo == hi == mean
+
+
+class TestWilson:
+    def test_half(self):
+        p, lo, hi = wilson_interval(50, 100)
+        assert p == 0.5
+        assert lo < 0.5 < hi
+
+    def test_bounds_clamped(self):
+        _, lo, _ = wilson_interval(0, 10)
+        _, _, hi = wilson_interval(10, 10)
+        assert lo >= 0.0
+        assert hi <= 1.0
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=100))
+    def test_interval_ordering(self, successes, trials):
+        successes = min(successes, trials)
+        p, lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+        assert lo <= p + 1e-12
+        assert p <= hi + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestLogLogSlope:
+    def test_power_law_recovered(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [x**0.5 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(0.5)
+
+    def test_constant_zero_slope(self):
+        assert loglog_slope([1.0, 2.0, 4.0], [3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            loglog_slope([2.0, 2.0], [1.0, 2.0])

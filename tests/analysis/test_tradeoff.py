@@ -1,0 +1,57 @@
+"""Evaluation sweeps."""
+
+from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm1, sweep_algorithm2
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.workloads.spec import Workload
+
+
+def _workload(db, queries):
+    return Workload(name="test", database=db, queries=queries)
+
+
+class TestEvaluateScheme:
+    def test_linear_scan_perfect(self, small_db, small_queries):
+        summary = evaluate_scheme(
+            LinearScanScheme(small_db), _workload(small_db, small_queries), gamma=4.0
+        )
+        assert summary.success_rate == 1.0
+        assert summary.answered_rate == 1.0
+        assert summary.mean_probes == len(small_db)
+        assert summary.max_rounds == 1
+
+    def test_max_queries_limits(self, small_db, small_queries):
+        summary = evaluate_scheme(
+            LinearScanScheme(small_db), _workload(small_db, small_queries),
+            gamma=4.0, max_queries=5,
+        )
+        assert summary.num_queries == 5
+
+    def test_row_rendering(self, small_db, small_queries):
+        summary = evaluate_scheme(
+            LinearScanScheme(small_db), _workload(small_db, small_queries), gamma=4.0
+        )
+        row = summary.row()
+        assert row["scheme"] == "linear-scan"
+        assert row["success"] == 1.0
+
+
+class TestSweeps:
+    def test_algorithm1_sweep_rows(self, small_db, small_queries):
+        out = sweep_algorithm1(_workload(small_db, small_queries), 4.0, ks=[1, 2], c1=8.0)
+        assert len(out) == 2
+        assert out[0].extras["k"] == 1
+        assert out[0].extras["tau"] >= out[1].extras["tau"]
+
+    def test_algorithm1_probes_decrease_with_k(self, medium_db, medium_queries):
+        out = sweep_algorithm1(_workload(medium_db, medium_queries), 4.0, ks=[1, 3], c1=8.0)
+        assert out[1].mean_probes < out[0].mean_probes
+
+    def test_algorithm2_sweep_skips_invalid_k(self, small_db, small_queries):
+        out = sweep_algorithm2(_workload(small_db, small_queries), 4.0, ks=[3, 16], c=3.0)
+        ks = [s.extras["k"] for s in out]
+        assert 3 not in ks  # s < 1 at k=3
+        assert 16 in ks
+
+    def test_algorithm2_reports_probes_per_round(self, small_db, small_queries):
+        out = sweep_algorithm2(_workload(small_db, small_queries), 4.0, ks=[16], c=3.0)
+        assert "probes_per_round" in out[0].extras

@@ -1,0 +1,34 @@
+"""Fully-adaptive (τ=2) extreme."""
+
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.core.params import BaseParameters
+
+
+class TestFullyAdaptive:
+    def test_one_probe_per_shrinking_round(self, medium_db, medium_queries, medium_base):
+        scheme = FullyAdaptiveScheme(medium_db, medium_base, seed=0)
+        res = scheme.query(medium_queries[0])
+        # Rounds after the first carry exactly one probe until completion.
+        for record in res.accountant.rounds[1:-1]:
+            assert record.size == 1
+
+    def test_rounds_loglog_scale(self, medium_db, medium_queries, medium_base):
+        scheme = FullyAdaptiveScheme(medium_db, medium_base, seed=0)
+        res = scheme.query(medium_queries[1])
+        # L = 9 levels at d=512, so ~log2(9)+1 ≈ 5 rounds suffice.
+        assert res.rounds <= scheme.k
+        assert scheme.k <= 10
+
+    def test_success(self, medium_db, medium_queries, medium_base):
+        scheme = FullyAdaptiveScheme(medium_db, medium_base, seed=0)
+        ok = 0
+        for qi in range(12):
+            res = scheme.query(medium_queries[qi])
+            ratio = res.ratio(medium_db, medium_queries[qi])
+            if ratio is not None and ratio <= 4.0:
+                ok += 1
+        assert ok >= 9
+
+    def test_tau_is_two(self, medium_db, medium_base):
+        scheme = FullyAdaptiveScheme(medium_db, medium_base, seed=0)
+        assert scheme.params.tau == 2

@@ -1,0 +1,36 @@
+"""Exact linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.hamming.balls import nearest_neighbor
+from repro.hamming.points import PackedPoints
+
+
+class TestLinearScan:
+    def test_exact_answer(self, small_db, small_queries):
+        scheme = LinearScanScheme(small_db)
+        for qi in range(6):
+            res = scheme.query(small_queries[qi])
+            _, opt = nearest_neighbor(small_db, small_queries[qi])
+            assert res.distance_to(small_queries[qi]) == opt
+
+    def test_n_probes_one_round(self, small_db, small_queries):
+        scheme = LinearScanScheme(small_db)
+        res = scheme.query(small_queries[0])
+        assert res.probes == len(small_db)
+        assert res.rounds == 1
+
+    def test_size_linear(self, small_db):
+        scheme = LinearScanScheme(small_db)
+        assert scheme.size_report().table_cells == len(small_db)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearScanScheme(PackedPoints(np.zeros((0, 2), dtype=np.uint64), 128))
+
+    def test_ratio_always_one(self, small_db, small_queries):
+        scheme = LinearScanScheme(small_db)
+        res = scheme.query(small_queries[1])
+        assert res.ratio(small_db, small_queries[1]) == 1.0

@@ -1,0 +1,101 @@
+"""LSH baseline: sizing, recall, probe accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsh import LSHParams, LSHScheme, level_sizing, lsh_rho
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(3)
+    return PackedPoints(random_points(rng, 150, 256), 256)
+
+
+def _scheme(db, mode="nonadaptive", **kw):
+    return LSHScheme(db, LSHParams(gamma=4.0, **kw), mode=mode, seed=5)
+
+
+class TestSizing:
+    def test_rho_below_one(self):
+        assert 0 < lsh_rho(256, 8.0, 4.0) < 1
+
+    def test_rho_decreases_with_gamma(self):
+        assert lsh_rho(256, 8.0, 4.0) < lsh_rho(256, 8.0, 2.0)
+
+    def test_level_sizing_positive(self):
+        K, L, rho = level_sizing(1000, 256, 8.0, LSHParams(gamma=4.0))
+        assert K >= 1 and L >= 1 and 0 < rho <= 1
+
+    def test_overrides(self):
+        params = LSHParams(gamma=4.0, tables_override=3, bits_override=7)
+        K, L, _ = level_sizing(1000, 256, 8.0, params)
+        assert (K, L) == (7, 3)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            LSHParams(gamma=1.0)
+
+
+class TestNonAdaptive:
+    def test_single_round(self, db):
+        scheme = _scheme(db)
+        rng = np.random.default_rng(0)
+        q = flip_random_bits(rng, db.row(0), 4, db.d)
+        res = scheme.query(q)
+        assert res.rounds <= 1
+
+    def test_probe_count_matches_declared(self, db):
+        scheme = _scheme(db)
+        rng = np.random.default_rng(1)
+        q = flip_random_bits(rng, db.row(3), 4, db.d)
+        res = scheme.query(q)
+        assert res.probes == scheme.probes_per_query()
+
+    def test_recall_on_planted(self, db):
+        scheme = _scheme(db, table_boost=2.0)
+        rng = np.random.default_rng(2)
+        ok = 0
+        for _ in range(15):
+            q = flip_random_bits(rng, db.row(int(rng.integers(0, len(db)))), 3, db.d)
+            res = scheme.query(q)
+            ratio = res.ratio(db, q)
+            if ratio is not None and ratio <= 4.0:
+                ok += 1
+        assert ok >= 11  # ≥ ~3/4 recall on easy planted queries
+
+    def test_exact_member_found(self, db):
+        scheme = _scheme(db)
+        res = scheme.query(db.row(11))
+        assert res.answered
+        assert res.distance_to(db.row(11)) == 0
+
+
+class TestAdaptive:
+    def test_fewer_probes_than_nonadaptive(self, db):
+        rng = np.random.default_rng(4)
+        q = flip_random_bits(rng, db.row(7), 3, db.d)
+        res_a = _scheme(db, mode="adaptive").query(q)
+        res_n = _scheme(db, mode="nonadaptive").query(q)
+        assert res_a.probes <= res_n.probes
+
+    def test_multiple_rounds(self, db):
+        rng = np.random.default_rng(5)
+        q = flip_random_bits(rng, db.row(7), 3, db.d)
+        res = _scheme(db, mode="adaptive").query(q)
+        assert res.rounds >= 1
+
+    def test_rejects_bad_mode(self, db):
+        with pytest.raises(ValueError):
+            LSHScheme(db, LSHParams(), mode="bogus")
+
+
+class TestSizeReport:
+    def test_cells_superlinear(self, db):
+        scheme = _scheme(db)
+        assert scheme.size_report().table_cells > len(db)
+
+    def test_notes_include_rho(self, db):
+        assert "ρ" in _scheme(db).size_report().notes or "rho" in _scheme(db).size_report().notes.lower()

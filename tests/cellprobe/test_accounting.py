@@ -1,0 +1,80 @@
+"""Probe/round accounting and budgets."""
+
+import pytest
+
+from repro.cellprobe.accounting import ProbeAccountant, ProbeBudgetExceeded
+
+
+class TestRecording:
+    def test_counts(self):
+        acc = ProbeAccountant()
+        r1 = acc.begin_round()
+        acc.charge(r1, "T0", 1)
+        acc.charge(r1, "T0", 2)
+        r2 = acc.begin_round()
+        acc.charge(r2, "T1", 3)
+        assert acc.total_probes == 3
+        assert acc.total_rounds == 2
+        assert acc.probes_per_round == [2, 1]
+
+    def test_empty_round_not_counted_as_round(self):
+        acc = ProbeAccountant()
+        acc.begin_round()
+        assert acc.total_rounds == 0
+        assert acc.total_probes == 0
+
+    def test_as_dict(self):
+        acc = ProbeAccountant()
+        r = acc.begin_round()
+        acc.charge(r, "T", "a")
+        summary = acc.as_dict()
+        assert summary["total_probes"] == 1
+        assert summary["total_rounds"] == 1
+
+
+class TestBudgets:
+    def test_round_budget_enforced(self):
+        acc = ProbeAccountant(max_rounds=1)
+        acc.begin_round()
+        with pytest.raises(ProbeBudgetExceeded):
+            acc.begin_round()
+
+    def test_probe_budget_enforced(self):
+        acc = ProbeAccountant(max_probes=2)
+        r = acc.begin_round()
+        acc.charge(r, "T", 1)
+        acc.charge(r, "T", 2)
+        with pytest.raises(ProbeBudgetExceeded):
+            acc.charge(r, "T", 3)
+
+    def test_budget_boundary_allowed(self):
+        acc = ProbeAccountant(max_rounds=2, max_probes=2)
+        r1 = acc.begin_round()
+        acc.charge(r1, "T", 1)
+        r2 = acc.begin_round()
+        acc.charge(r2, "T", 2)
+        assert acc.total_probes == 2
+
+
+class TestMergeParallel:
+    def test_rounds_align(self):
+        a = ProbeAccountant()
+        b = ProbeAccountant()
+        ra = a.begin_round()
+        a.charge(ra, "T", 1)
+        rb1 = b.begin_round()
+        b.charge(rb1, "T", 2)
+        rb2 = b.begin_round()
+        b.charge(rb2, "T", 3)
+        a.merge_parallel(b)
+        assert a.probes_per_round == [2, 1]
+        assert a.total_rounds == 2  # parallel copies add probes, not rounds
+
+    def test_merge_into_empty(self):
+        a = ProbeAccountant()
+        b = ProbeAccountant()
+        r = b.begin_round()
+        b.charge(r, "T", 1)
+        a.merge_parallel(b)
+        assert a.total_probes == 1
+        assert a.total_rounds == 1

@@ -1,0 +1,47 @@
+"""SchemeSizeReport accounting and CellProbingScheme conveniences."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.scheme import SchemeSizeReport
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+
+
+class TestSizeReport:
+    def test_total_bits(self):
+        report = SchemeSizeReport(table_cells=100, word_bits=8)
+        assert report.total_bits == 800
+
+    def test_cells_log_n_small(self):
+        report = SchemeSizeReport(table_cells=10_000, word_bits=8)
+        assert report.cells_log_n(100) == pytest.approx(2.0, rel=1e-6)
+
+    def test_cells_log_n_bigint(self):
+        """Astronomically large exact cell counts must not overflow."""
+        report = SchemeSizeReport(table_cells=1 << 500, word_bits=8)
+        assert report.cells_log_n(2) == pytest.approx(500.0, rel=1e-9)
+
+    def test_cells_log_n_degenerate_n(self):
+        report = SchemeSizeReport(table_cells=100, word_bits=8)
+        assert np.isnan(report.cells_log_n(1))
+
+
+class TestQueryMany:
+    def test_batch_matches_singles(self, small_db, small_queries):
+        base = BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(small_db, Algorithm1Params(base, k=2), seed=0)
+        batch = scheme.query_many(small_queries[:4])
+        singles = [scheme.query(small_queries[i]) for i in range(4)]
+        assert [r.answer_index for r in batch] == [r.answer_index for r in singles]
+
+    def test_single_row_input(self, small_db, small_queries):
+        base = BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(small_db, Algorithm1Params(base, k=2), seed=0)
+        out = scheme.query_many(small_queries[0])
+        assert len(out) == 1
+
+    def test_rounds_property(self, small_db):
+        base = BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(small_db, Algorithm1Params(base, k=2), seed=0)
+        assert scheme.rounds == 2

@@ -1,0 +1,63 @@
+"""ProbeSession: round semantics and duplicate detection."""
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.table import DictTable
+from repro.cellprobe.words import EMPTY, IntWord
+
+
+def _table():
+    t = DictTable("T", 10, 8, default=EMPTY)
+    for i in range(5):
+        t.store(i, IntWord(i, 10))
+    return t
+
+
+class TestParallelRead:
+    def test_contents_in_request_order(self):
+        t = _table()
+        session = ProbeSession(ProbeAccountant())
+        out = session.parallel_read([ProbeRequest(t, 2), ProbeRequest(t, 0)])
+        assert out[0].value == 2
+        assert out[1].value == 0
+
+    def test_one_round_per_call(self):
+        t = _table()
+        acc = ProbeAccountant()
+        session = ProbeSession(acc)
+        session.parallel_read([ProbeRequest(t, 1), ProbeRequest(t, 2)])
+        session.parallel_read([ProbeRequest(t, 3)])
+        assert acc.total_rounds == 2
+        assert acc.probes_per_round == [2, 1]
+
+    def test_empty_request_opens_no_round(self):
+        acc = ProbeAccountant()
+        session = ProbeSession(acc)
+        assert session.parallel_read([]) == []
+        assert acc.total_rounds == 0
+
+    def test_duplicates_flagged(self):
+        t = _table()
+        session = ProbeSession(ProbeAccountant())
+        session.parallel_read([ProbeRequest(t, 1), ProbeRequest(t, 1)])
+        assert session.last_round_had_duplicates
+
+    def test_no_duplicates_not_flagged(self):
+        t = _table()
+        session = ProbeSession(ProbeAccountant())
+        session.parallel_read([ProbeRequest(t, 1), ProbeRequest(t, 2)])
+        assert not session.last_round_had_duplicates
+
+    def test_read_one(self):
+        t = _table()
+        acc = ProbeAccountant()
+        session = ProbeSession(acc)
+        out = session.read_one(t, 4)
+        assert out.value == 4
+        assert acc.total_probes == 1
+        assert acc.total_rounds == 1
+
+    def test_missing_address_returns_default(self):
+        t = _table()
+        session = ProbeSession(ProbeAccountant())
+        assert session.read_one(t, 99) == EMPTY

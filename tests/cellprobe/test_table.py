@@ -1,0 +1,81 @@
+"""Lazy and dict tables: determinism, caching, word validation."""
+
+import pytest
+
+from repro.cellprobe.table import DictTable, LazyTable
+from repro.cellprobe.words import EMPTY, IntWord
+
+
+class TestLazyTable:
+    def _make(self, calls):
+        def content(addr):
+            calls.append(addr)
+            return IntWord(addr % 5, 5)
+
+        return LazyTable("T", logical_cells=100, word_size_bits=8, content_fn=content)
+
+    def test_content_memoized(self):
+        calls = []
+        table = self._make(calls)
+        a = table.read(3)
+        b = table.read(3)
+        assert a == b
+        assert calls == [3]
+
+    def test_cached_cells_counts(self):
+        calls = []
+        table = self._make(calls)
+        table.read(1)
+        table.read(2)
+        table.read(1)
+        assert table.cached_cells() == 2
+
+    def test_determinism_across_instances(self):
+        t1 = self._make([])
+        t2 = self._make([])
+        assert t1.read(4) == t2.read(4)
+
+    def test_clear_cache_recomputes_consistently(self):
+        calls = []
+        table = self._make(calls)
+        first = table.read(2)
+        table.clear_cache()
+        second = table.read(2)
+        assert first == second
+        assert len(calls) == 2
+
+    def test_word_size_validated(self):
+        table = LazyTable(
+            "T", logical_cells=4, word_size_bits=2,
+            content_fn=lambda a: IntWord(100, 1000),
+        )
+        with pytest.raises(ValueError):
+            table.read(0)
+
+    def test_word_validation_can_be_disabled(self):
+        table = LazyTable(
+            "T", logical_cells=4, word_size_bits=2,
+            content_fn=lambda a: IntWord(100, 1000), validate_words=False,
+        )
+        assert table.read(0).value == 100
+
+    def test_size_bits(self):
+        table = self._make([])
+        assert table.size_bits() == 100 * 8
+
+
+class TestDictTable:
+    def test_store_and_read(self):
+        table = DictTable("D", logical_cells=10, word_size_bits=4)
+        table.store("a", IntWord(1, 3))
+        assert table.read("a").value == 1
+
+    def test_default_for_missing(self):
+        table = DictTable("D", 10, 4, default=EMPTY)
+        assert table.read("missing") == EMPTY
+
+    def test_stored_cells(self):
+        table = DictTable("D", 10, 4)
+        table.store(1, EMPTY)
+        table.store(2, EMPTY)
+        assert table.stored_cells() == 2

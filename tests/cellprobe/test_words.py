@@ -1,0 +1,55 @@
+"""Word types and bit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.words import EMPTY, EmptyWord, IntWord, PointWord, word_bits
+
+
+class TestEmpty:
+    def test_singleton_equality(self):
+        assert EMPTY == EmptyWord()
+
+    def test_bits(self):
+        assert word_bits(EMPTY) == 1
+
+    def test_repr(self):
+        assert repr(EMPTY) == "EMPTY"
+
+
+class TestPointWord:
+    def test_roundtrip(self):
+        packed = np.array([5, 9], dtype=np.uint64)
+        w = PointWord.from_packed(3, packed, 100)
+        assert w.index == 3
+        assert (w.packed_array() == packed).all()
+
+    def test_hashable(self):
+        w1 = PointWord.from_packed(1, np.array([2], dtype=np.uint64), 10)
+        w2 = PointWord.from_packed(1, np.array([2], dtype=np.uint64), 10)
+        assert hash(w1) == hash(w2)
+        assert w1 == w2
+
+    def test_bits_are_d_plus_tag(self):
+        w = PointWord.from_packed(0, np.array([0], dtype=np.uint64), 33)
+        assert word_bits(w) == 34
+
+
+class TestIntWord:
+    def test_value_range_enforced(self):
+        IntWord(0, 5)
+        IntWord(5, 5)
+        with pytest.raises(ValueError):
+            IntWord(6, 5)
+        with pytest.raises(ValueError):
+            IntWord(-1, 5)
+
+    def test_bits(self):
+        assert word_bits(IntWord(3, 7)) == 1 + 3
+        assert word_bits(IntWord(0, 1)) == 1 + 1
+
+
+class TestWordBits:
+    def test_rejects_non_word(self):
+        with pytest.raises(TypeError):
+            word_bits("not a word")

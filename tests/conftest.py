@@ -1,0 +1,59 @@
+"""Shared fixtures: small, fast databases and query batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """n=120, d=128 uniform database (session-scoped: read-only)."""
+    gen = np.random.default_rng(7)
+    return PackedPoints(random_points(gen, 120, 128), 128)
+
+
+@pytest.fixture(scope="session")
+def medium_db():
+    """n=300, d=512 uniform database (session-scoped: read-only)."""
+    gen = np.random.default_rng(11)
+    return PackedPoints(random_points(gen, 300, 512), 512)
+
+
+@pytest.fixture(scope="session")
+def small_base(small_db):
+    return BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0, c2=8.0)
+
+
+@pytest.fixture(scope="session")
+def medium_base(medium_db):
+    return BaseParameters(n=len(medium_db), d=medium_db.d, gamma=4.0, c1=8.0, c2=8.0)
+
+
+def planted_queries(db: PackedPoints, count: int, max_flips: int, seed: int = 99):
+    """Queries near database points (helper, not a fixture)."""
+    gen = np.random.default_rng(seed)
+    rows = []
+    for _ in range(count):
+        base = db.row(int(gen.integers(0, len(db))))
+        rows.append(flip_random_bits(gen, base, int(gen.integers(0, max_flips + 1)), db.d))
+    return np.vstack(rows)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_db):
+    return planted_queries(small_db, 24, max_flips=12)
+
+
+@pytest.fixture(scope="session")
+def medium_queries(medium_db):
+    return planted_queries(medium_db, 24, max_flips=40)

@@ -1,0 +1,141 @@
+"""Algorithm 1: correctness, budgets, invariants, adaptivity structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import SimpleKRoundScheme, interpolated_levels
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.core.result import QueryResult
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+def _scheme(db, k=3, gamma=4.0, c1=8.0, seed=0):
+    base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1)
+    return SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=seed)
+
+
+class TestInterpolatedLevels:
+    def test_strictly_increasing_when_gap_ge_tau(self):
+        levels = interpolated_levels(0, 20, 5)
+        assert levels == sorted(set(levels))
+        assert len(levels) == 4
+
+    def test_within_bounds(self):
+        levels = interpolated_levels(3, 30, 4)
+        assert all(3 < v < 30 for v in levels)
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_round_and_probe_budgets_respected(self, small_db, small_queries, k):
+        scheme = _scheme(small_db, k=k)
+        params = scheme.params
+        for qi in range(small_queries.shape[0]):
+            res = scheme.query(small_queries[qi])
+            assert res.rounds <= max(1, k)
+            assert res.probes <= params.probe_budget
+
+    def test_k1_is_single_round(self, small_db, small_queries):
+        scheme = _scheme(small_db, k=1)
+        for qi in range(6):
+            res = scheme.query(small_queries[qi])
+            assert res.rounds == 1
+
+    def test_probes_shrink_as_k_grows(self, medium_db, medium_queries):
+        """More rounds, fewer total probes — the headline tradeoff."""
+        mean = {}
+        for k in (1, 3):
+            scheme = _scheme(medium_db, k=k)
+            probes = [scheme.query(medium_queries[i]).probes for i in range(10)]
+            mean[k] = sum(probes) / len(probes)
+        assert mean[3] < mean[1]
+
+
+class TestCorrectness:
+    def test_success_probability_floor(self, medium_db, medium_queries):
+        """γ-approximation holds for ≥ 3/4 of queries (paper: prob ≥ 2/3)."""
+        scheme = _scheme(medium_db, k=3)
+        ok = 0
+        m = medium_queries.shape[0]
+        for qi in range(m):
+            res = scheme.query(medium_queries[qi])
+            ratio = res.ratio(medium_db, medium_queries[qi])
+            if ratio is not None and ratio <= 4.0:
+                ok += 1
+        assert ok / m >= 0.75
+
+    def test_exact_member_answered_exactly(self, small_db):
+        scheme = _scheme(small_db)
+        res = scheme.query(small_db.row(13))
+        assert res.meta["path"] == "degenerate-exact"
+        assert res.answer_index == 13
+        assert res.rounds == 1
+
+    def test_distance_one_degenerate(self, small_db):
+        rng = np.random.default_rng(5)
+        q = flip_random_bits(rng, small_db.row(4), 1, small_db.d)
+        scheme = _scheme(small_db)
+        res = scheme.query(q)
+        if res.meta["path"].startswith("degenerate"):
+            assert res.distance_to(q) <= 1
+
+    def test_answer_point_matches_database(self, medium_db, medium_queries):
+        scheme = _scheme(medium_db)
+        res = scheme.query(medium_queries[0])
+        if res.answered:
+            assert (res.answer_packed == medium_db.row(res.answer_index)).all()
+
+
+class TestDeterminism:
+    def test_same_seed_same_answer(self, small_db, small_queries):
+        a = _scheme(small_db, seed=7)
+        b = _scheme(small_db, seed=7)
+        for qi in range(5):
+            ra = a.query(small_queries[qi])
+            rb = b.query(small_queries[qi])
+            assert ra.answer_index == rb.answer_index
+            assert ra.probes == rb.probes
+
+    def test_different_seed_may_differ_but_valid(self, small_db, small_queries):
+        a = _scheme(small_db, seed=1)
+        res = a.query(small_queries[0])
+        assert isinstance(res, QueryResult)
+
+
+class TestStructure:
+    def test_no_duplicate_addresses_within_rounds(self, medium_db, medium_queries):
+        scheme = _scheme(medium_db, k=2)
+        for qi in range(5):
+            res = scheme.query(medium_queries[qi])
+            for record in res.accountant.rounds:
+                keys = [(t, a) for t, a in record.probes]
+                assert len(keys) == len(set(keys))
+
+    def test_first_round_contains_degenerate_probes(self, medium_db, medium_queries):
+        scheme = _scheme(medium_db, k=2)
+        res = scheme.query(medium_queries[0])
+        first_tables = [t for t, _ in res.accountant.rounds[0].probes]
+        assert "B0-membership" in first_tables
+        assert "B1-membership" in first_tables
+
+    def test_validation_rejects_mismatched_db(self, small_db):
+        base = BaseParameters(n=len(small_db) + 1, d=small_db.d)
+        with pytest.raises(ValueError):
+            SimpleKRoundScheme(small_db, Algorithm1Params(base, k=2))
+
+    def test_size_report_polynomial(self, small_db):
+        scheme = _scheme(small_db)
+        report = scheme.size_report()
+        assert report.table_cells > 0
+        assert report.word_bits == 1 + small_db.d
+        # n^O(1): exponent is finite and reported.
+        assert np.isfinite(report.cells_log_n(len(small_db)))
+
+    def test_tau_2_binary_search_one_probe_rounds(self, small_db, small_queries):
+        base = BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0)
+        params = Algorithm1Params(base, k=10, tau_override=2)
+        scheme = SimpleKRoundScheme(small_db, params, seed=0)
+        res = scheme.query(small_queries[0])
+        # Every shrinking round probes exactly tau-1 = 1 main cell.
+        for record in res.accountant.rounds[1:-1]:
+            assert record.size == 1

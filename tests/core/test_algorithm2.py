@@ -1,0 +1,130 @@
+"""Algorithm 2: phases, cases, budgets, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.params import Algorithm2Params, BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+def _scheme(db, k=16, gamma=4.0, c1=8.0, c2=8.0, seed=0, **kw):
+    base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1, c2=c2)
+    return LargeKScheme(db, Algorithm2Params(base, k=k, **kw), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def deep_db():
+    """γ=2 gives α=√2 and ~24 levels at d=4096 so shrinking phases run."""
+    rng = np.random.default_rng(21)
+    return PackedPoints(random_points(rng, 200, 4096), 4096)
+
+
+def _deep_scheme(db, k=17, seed=0):
+    base = BaseParameters(n=len(db), d=db.d, gamma=2.0, c1=10.0, c2=10.0)
+    return LargeKScheme(db, Algorithm2Params(base, k=k), seed=seed)
+
+
+def _deep_queries(db, count=10, seed=3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        base = db.row(int(rng.integers(0, len(db))))
+        out.append(flip_random_bits(rng, base, int(rng.integers(0, 200)), db.d))
+    return np.vstack(out)
+
+
+class TestBudgets:
+    def test_round_budget_flagged_ok(self, medium_db, medium_queries):
+        scheme = _scheme(medium_db, k=16)
+        for qi in range(8):
+            res = scheme.query(medium_queries[qi])
+            assert res.meta["round_budget_ok"]
+            assert res.meta["probe_budget_ok"]
+            assert res.rounds <= scheme.params.round_budget
+
+    def test_phases_within_budget(self, deep_db):
+        scheme = _deep_scheme(deep_db)
+        for q in _deep_queries(deep_db, 6):
+            res = scheme.query(q)
+            assert res.meta.get("phases", 0) <= scheme.params.phase_budget
+            assert not res.meta.get("budget_violated", False)
+
+
+class TestPhases:
+    def test_shrinking_phases_execute(self, deep_db):
+        """At γ=2 the level count exceeds the completion cut, so at least
+        one shrinking phase must run."""
+        scheme = _deep_scheme(deep_db)
+        ran = 0
+        for q in _deep_queries(deep_db, 6):
+            res = scheme.query(q)
+            if res.meta.get("path", "").startswith("degenerate"):
+                continue
+            ran += res.meta["phases"]
+        assert ran > 0
+
+    def test_cases_recorded(self, deep_db):
+        scheme = _deep_scheme(deep_db)
+        for q in _deep_queries(deep_db, 4):
+            res = scheme.query(q)
+            if res.meta.get("path") == "main":
+                total = res.meta["case1"] + res.meta["case2"] + res.meta["case3"]
+                assert total == res.meta["phases"]
+
+    def test_immediate_completion_when_cut_covers_levels(self, medium_db, medium_queries):
+        """γ=4 at d=512 gives 9 levels < cut, so phases = 0 and the whole
+        query is one completion round (plus degenerate probes)."""
+        scheme = _scheme(medium_db, k=16)
+        res = scheme.query(medium_queries[0])
+        if res.meta.get("path") == "main":
+            assert res.meta["phases"] == 0
+            assert res.rounds == 1
+
+
+class TestCorrectness:
+    def test_success_probability_floor(self, deep_db):
+        scheme = _deep_scheme(deep_db)
+        queries = _deep_queries(deep_db, 16, seed=9)
+        ok = 0
+        for q in queries:
+            res = scheme.query(q)
+            ratio = res.ratio(deep_db, q)
+            if ratio is not None and ratio <= 2.0:
+                ok += 1
+        assert ok / len(queries) >= 0.75
+
+    def test_exact_member_degenerate(self, deep_db):
+        scheme = _deep_scheme(deep_db)
+        res = scheme.query(deep_db.row(3))
+        assert res.meta["path"] == "degenerate-exact"
+        assert res.answer_index == 3
+
+
+class TestValidation:
+    def test_rejects_mismatched_db(self, medium_db):
+        base = BaseParameters(n=len(medium_db) + 1, d=medium_db.d)
+        with pytest.raises(ValueError):
+            LargeKScheme(medium_db, Algorithm2Params(base, k=16))
+
+    def test_size_report_includes_aux(self, medium_db):
+        scheme = _scheme(medium_db, k=16)
+        report = scheme.size_report()
+        names = dict(report.table_names)
+        assert "aux-levels" in names
+        assert names["aux-levels"] > 0
+
+    def test_s_override_used(self, medium_db):
+        scheme = _scheme(medium_db, k=8, s_override=2)
+        assert scheme.params.s == 2
+
+
+class TestDeterminism:
+    def test_same_seed_reproducible(self, deep_db):
+        q = _deep_queries(deep_db, 1, seed=4)[0]
+        a = _deep_scheme(deep_db, seed=5).query(q)
+        b = _deep_scheme(deep_db, seed=5).query(q)
+        assert a.answer_index == b.answer_index
+        assert a.probes == b.probes
+        assert a.meta.get("phases") == b.meta.get("phases")

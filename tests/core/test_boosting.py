@@ -1,0 +1,64 @@
+"""Parallel-repetition boosting."""
+
+import pytest
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.boosting import BoostedScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+
+
+def _factory(db, k=2, c1=6.0):
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=c1)
+    params = Algorithm1Params(base, k=k)
+    return lambda seed: SimpleKRoundScheme(db, params, seed=seed)
+
+
+class TestBoosting:
+    def test_rounds_unchanged_probes_scale(self, small_db, small_queries):
+        single = _factory(small_db)(0)
+        boosted = BoostedScheme(_factory(small_db), seeds=[0, 1, 2])
+        rs = single.query(small_queries[0])
+        rb = boosted.query(small_queries[0])
+        assert rb.rounds <= max(rs.rounds, boosted.copies[1].query(small_queries[0]).rounds,
+                                boosted.copies[2].query(small_queries[0]).rounds)
+        assert rb.probes >= rs.probes  # at least as many probes as one copy
+
+    def test_best_answer_wins(self, small_db, small_queries):
+        boosted = BoostedScheme(_factory(small_db), seeds=[0, 1, 2])
+        x = small_queries[1]
+        rb = boosted.query(x)
+        if rb.answered:
+            best = min(
+                c.query(x).distance_to(x)
+                for c in boosted.copies
+                if c.query(x).answered
+            )
+            assert rb.distance_to(x) == best
+
+    def test_success_not_worse_than_single(self, medium_db, medium_queries):
+        single = _factory(medium_db)(0)
+        boosted = BoostedScheme(_factory(medium_db), seeds=[0, 1, 2])
+        def successes(scheme):
+            count = 0
+            for qi in range(10):
+                res = scheme.query(medium_queries[qi])
+                ratio = res.ratio(medium_db, medium_queries[qi])
+                if ratio is not None and ratio <= 4.0:
+                    count += 1
+            return count
+        assert successes(boosted) >= successes(single)
+
+    def test_metadata(self, small_db, small_queries):
+        boosted = BoostedScheme(_factory(small_db), seeds=[0, 1])
+        res = boosted.query(small_queries[0])
+        assert res.meta["copies"] == 2
+        assert res.scheme.startswith("boosted(")
+
+    def test_rejects_empty_seeds(self, small_db):
+        with pytest.raises(ValueError):
+            BoostedScheme(_factory(small_db), seeds=[])
+
+    def test_size_report_sums_copies(self, small_db):
+        boosted = BoostedScheme(_factory(small_db), seeds=[0, 1])
+        single = _factory(small_db)(0)
+        assert boosted.size_report().table_cells == 2 * single.size_report().table_cells

@@ -1,0 +1,78 @@
+"""Degenerate-case handler and membership structures."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.session import ProbeRequest
+from repro.core.degenerate import DegenerateCaseHandler
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.structures.perfect_hash import MembershipStructure
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    return PackedPoints(random_points(rng, 30, 128), 128)
+
+
+class TestMembershipStructure:
+    def test_exact_hit(self, db):
+        ms = MembershipStructure(db, radius=0, name="m")
+        assert ms.lookup_ground_truth(db.row(7)) == 7
+
+    def test_exact_miss(self, db):
+        rng = np.random.default_rng(1)
+        q = flip_random_bits(rng, db.row(0), 1, db.d)
+        ms = MembershipStructure(db, radius=0, name="m")
+        assert ms.lookup_ground_truth(q) is None
+
+    def test_radius_one_hit(self, db):
+        rng = np.random.default_rng(2)
+        q = flip_random_bits(rng, db.row(3), 1, db.d)
+        ms = MembershipStructure(db, radius=1, name="m")
+        idx = ms.lookup_ground_truth(q)
+        assert idx is not None
+        assert db.distances_from(q)[idx] <= 1
+
+    def test_exact_preferred_over_near(self, db):
+        ms = MembershipStructure(db, radius=1, name="m")
+        assert ms.lookup_ground_truth(db.row(9)) == 9
+
+    def test_rejects_bad_radius(self, db):
+        with pytest.raises(ValueError):
+            MembershipStructure(db, radius=2, name="m")
+
+    def test_neighborhood_size_accounting(self, db):
+        ms0 = MembershipStructure(db, radius=0, name="a")
+        ms1 = MembershipStructure(db, radius=1, name="b")
+        # Quadratic perfect hashing over n vs (d+1)n points.
+        assert ms1.table.logical_cells == ((db.d + 1) ** 2) * ms0.table.logical_cells
+
+
+class TestHandler:
+    def test_requests_are_two(self, db):
+        handler = DegenerateCaseHandler(db)
+        reqs = handler.requests_for(db.row(0))
+        assert len(reqs) == 2
+        assert all(isinstance(r, ProbeRequest) for r in reqs)
+
+    def test_interpret_exact(self, db):
+        handler = DegenerateCaseHandler(db)
+        contents = [r.table.read(r.address) for r in handler.requests_for(db.row(4))]
+        hit = handler.interpret(contents)
+        assert hit is not None
+        idx, packed, which = hit
+        assert which == "exact"
+        assert idx == 4
+
+    def test_interpret_miss(self, db):
+        rng = np.random.default_rng(3)
+        q = flip_random_bits(rng, db.row(0), 50, db.d)
+        handler = DegenerateCaseHandler(db)
+        contents = [r.table.read(r.address) for r in handler.requests_for(q)]
+        if int(db.distances_from(q).min()) > 1:
+            assert handler.interpret(contents) is None
+
+    def test_logical_cells_positive(self, db):
+        assert DegenerateCaseHandler(db).logical_cells() > 0

@@ -1,0 +1,99 @@
+"""The δ(β,α) machinery: the paper-formula identity and threshold shapes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.delta import (
+    bernoulli_rate,
+    collision_rate,
+    delta_gap,
+    level_radius,
+    midpoint_threshold,
+    sandwich_margin_rows,
+)
+
+
+class TestCollisionRate:
+    def test_zero_distance(self):
+        assert collision_rate(0.25, 0) == 0.0
+
+    def test_limit_half(self):
+        assert collision_rate(0.25, 10_000) == pytest.approx(0.5, abs=1e-6)
+
+    def test_monotone_in_distance(self):
+        rates = [collision_rate(0.1, D) for D in range(0, 50)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            collision_rate(0.6, 1)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            collision_rate(0.1, -1)
+
+
+class TestDeltaIdentity:
+    @given(
+        st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False),
+        st.floats(min_value=1.01, max_value=2.0, allow_nan=False),
+    )
+    def test_paper_delta_equals_rate_gap(self, beta, alpha):
+        """δ(β,α) == μ(1/(4β), αβ) − μ(1/(4β), β) — the identity that
+        justifies reading the paper's δ as a separation gap (DESIGN.md)."""
+        p = 1.0 / (4.0 * beta)
+        gap = collision_rate(p, alpha * beta) - collision_rate(p, beta)
+        assert delta_gap(beta, alpha) == pytest.approx(gap, rel=1e-9, abs=1e-12)
+
+    def test_positive(self):
+        assert delta_gap(4.0, 1.5) > 0
+
+    def test_grows_with_alpha(self):
+        assert delta_gap(4.0, 1.9) > delta_gap(4.0, 1.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            delta_gap(0.5, 1.5)
+        with pytest.raises(ValueError):
+            delta_gap(2.0, 1.0)
+
+    def test_converges_for_large_beta(self):
+        """δ(β, α) → ½e^{-1/2}(1 − e^{-(α−1)/2}) as β → ∞."""
+        alpha = 2.0
+        limit = 0.5 * math.exp(-0.5) * (1.0 - math.exp(-(alpha - 1.0) / 2.0))
+        assert delta_gap(1e6, alpha) == pytest.approx(limit, rel=1e-4)
+
+
+class TestThresholds:
+    def test_midpoint_between_rates(self):
+        alpha, i = 2.0, 3
+        p = bernoulli_rate(alpha, i)
+        near = collision_rate(p, level_radius(alpha, i))
+        far = collision_rate(p, level_radius(alpha, i + 1))
+        theta = midpoint_threshold(alpha, i)
+        assert near < theta < far
+
+    def test_bernoulli_rate_level_zero(self):
+        assert bernoulli_rate(2.0, 0) == 0.25
+
+    def test_level_radius(self):
+        assert level_radius(1.5, 2) == pytest.approx(2.25)
+        with pytest.raises(ValueError):
+            level_radius(1.5, -1)
+
+
+class TestMarginRows:
+    def test_smaller_failure_needs_more_rows(self):
+        assert sandwich_margin_rows(2.0, 0, 0.001) > sandwich_margin_rows(2.0, 0, 0.1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            sandwich_margin_rows(2.0, 0, 0.0)
+
+    def test_hoeffding_form(self):
+        delta = delta_gap(1.0, 2.0)
+        expected = math.ceil(2.0 * math.log(2.0 / 0.01) / delta**2)
+        assert sandwich_margin_rows(2.0, 0, 0.01) == expected

@@ -1,0 +1,113 @@
+"""Invariant instrumentation: the C_l = ∅ ∧ C_u ≠ ∅ loop invariant."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.invariants import InvariantChecker, InvariantTrace
+from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+
+
+def _alg1(db, k=3, c1=10.0, seed=0):
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=c1)
+    return SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=seed,
+                              check_invariants=True)
+
+
+class TestInvariantTrace:
+    def test_empty_trace_ok(self):
+        trace = InvariantTrace()
+        assert trace.ok
+        assert trace.checked == 0
+
+    def test_violation_counting(self):
+        trace = InvariantTrace()
+        trace.steps.append((0, 5, True, True))
+        trace.steps.append((1, 4, False, True))
+        assert trace.checked == 2
+        assert trace.violations == 1
+        assert not trace.ok
+
+    def test_as_dict(self):
+        trace = InvariantTrace()
+        trace.steps.append((0, 3, True, True))
+        assert trace.as_dict() == {"checked": 1, "violations": 0}
+
+
+class TestAlgorithm1Instrumentation:
+    def test_metadata_present_when_enabled(self, medium_db, medium_queries):
+        scheme = _alg1(medium_db)
+        res = scheme.query(medium_queries[0])
+        if res.meta.get("path") == "main":
+            assert "invariants" in res.meta
+            assert res.meta["invariants"]["checked"] >= 1
+
+    def test_metadata_absent_when_disabled(self, medium_db, medium_queries):
+        base = BaseParameters(n=len(medium_db), d=medium_db.d, gamma=4.0, c1=10.0)
+        scheme = SimpleKRoundScheme(medium_db, Algorithm1Params(base, k=3), seed=0)
+        res = scheme.query(medium_queries[0])
+        assert "invariants" not in res.meta
+
+    def test_violation_rate_bounded(self, medium_db, medium_queries):
+        """Violations happen only when Lemma 8's assumptions fail, i.e. on
+        at most ~1/4 of (query, randomness) pairs with wide sketches."""
+        scheme = _alg1(medium_db, c1=12.0)
+        violating = total = 0
+        for qi in range(12):
+            res = scheme.query(medium_queries[qi])
+            inv = res.meta.get("invariants")
+            if inv is None:
+                continue  # degenerate path: no main search ran
+            total += 1
+            violating += inv["violations"] > 0
+        if total:
+            assert violating / total <= 0.34
+
+    def test_checker_charges_no_probes(self, medium_db, medium_queries):
+        base = BaseParameters(n=len(medium_db), d=medium_db.d, gamma=4.0, c1=10.0)
+        plain = SimpleKRoundScheme(medium_db, Algorithm1Params(base, k=3), seed=0)
+        checked = _alg1(medium_db, c1=10.0, seed=0)
+        for qi in range(6):
+            a = plain.query(medium_queries[qi])
+            b = checked.query(medium_queries[qi])
+            assert a.probes == b.probes
+            assert a.rounds == b.rounds
+            assert a.answer_index == b.answer_index
+
+
+class TestAlgorithm2Instrumentation:
+    def test_metadata_present(self, medium_db, medium_queries):
+        base = BaseParameters(n=len(medium_db), d=medium_db.d, gamma=4.0, c1=10.0, c2=10.0)
+        scheme = LargeKScheme(medium_db, Algorithm2Params(base, k=16), seed=0,
+                              check_invariants=True)
+        res = scheme.query(medium_queries[0])
+        if res.meta.get("path") == "main":
+            assert res.meta["invariants"]["checked"] >= 1
+
+
+class TestCheckerUnit:
+    def test_record_none_trace_noop(self, medium_db):
+        from repro.sketch.approx_balls import ApproxBallEvaluator
+        from repro.sketch.family import SketchFamily
+        from repro.sketch.levels import LevelSketches
+        from repro.utils.rng import RngTree
+
+        fam = SketchFamily(medium_db.d, 2.0, 9, 64, rng_tree=RngTree(0))
+        checker = InvariantChecker(ApproxBallEvaluator(LevelSketches(medium_db, fam)), fam)
+        checker.record(None, medium_db.row(0), 0, 9)  # must not raise
+
+    def test_record_top_level_nonempty(self, medium_db):
+        """C_L contains the whole database (threshold at diameter scale),
+        so upper_ok holds at the initial (0, L) thresholds for db points."""
+        from repro.sketch.approx_balls import ApproxBallEvaluator
+        from repro.sketch.family import SketchFamily
+        from repro.sketch.levels import LevelSketches
+        from repro.utils.rng import RngTree
+
+        fam = SketchFamily(medium_db.d, 2.0, 9, 96, rng_tree=RngTree(0))
+        checker = InvariantChecker(ApproxBallEvaluator(LevelSketches(medium_db, fam)), fam)
+        trace = checker.start()
+        checker.record(trace, medium_db.row(3), 0, 9)
+        _, _, _, upper_ok = trace.steps[0]
+        assert upper_ok

@@ -1,0 +1,82 @@
+"""The 1-probe λ-ANNS scheme (Theorem 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_ann import OneProbeNearNeighborScheme
+from repro.core.params import BaseParameters
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+def _scheme(db, lam, c1=10.0, seed=0):
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=c1)
+    return OneProbeNearNeighborScheme(db, base, lam=lam, seed=seed)
+
+
+class TestOneProbe:
+    def test_exactly_one_probe_one_round(self, medium_db, medium_queries):
+        scheme = _scheme(medium_db, lam=16.0)
+        for qi in range(8):
+            res = scheme.query(medium_queries[qi])
+            assert res.probes == 1
+            assert res.rounds == 1
+
+    def test_level_choice(self, medium_db):
+        scheme = _scheme(medium_db, lam=16.0)
+        # i = ceil(log_2 16) = 4 for alpha = 2.
+        assert scheme.level == 4
+        assert scheme.guarantee_radius() == pytest.approx(32.0)
+
+    def test_lambda_below_one_uses_level_zero(self, medium_db):
+        assert _scheme(medium_db, lam=0.5).level == 0
+
+    def test_rejects_nonpositive_lambda(self, medium_db):
+        base = BaseParameters(n=len(medium_db), d=medium_db.d)
+        with pytest.raises(ValueError):
+            OneProbeNearNeighborScheme(medium_db, base, lam=0.0)
+
+
+class TestDecisionQuality:
+    def test_planted_near_mostly_yes(self, medium_db):
+        rng = np.random.default_rng(3)
+        scheme = _scheme(medium_db, lam=16.0)
+        yes = 0
+        for _ in range(20):
+            q = flip_random_bits(rng, medium_db.row(int(rng.integers(0, len(medium_db)))), 8, medium_db.d)
+            res = scheme.query(q)
+            if res.answered:
+                yes += 1
+                assert res.distance_to(q) <= 4.0 * 16.0
+        assert yes >= 15
+
+    def test_far_mostly_no(self, medium_db):
+        rng = np.random.default_rng(4)
+        scheme = _scheme(medium_db, lam=4.0)
+        correct = 0
+        for _ in range(20):
+            q = random_points(rng, 1, medium_db.d)[0]  # ~d/2 from everything
+            res = scheme.query(q)
+            if OneProbeNearNeighborScheme.decision_correct(medium_db, q, 4.0, 4.0, res):
+                correct += 1
+        assert correct >= 15
+
+    def test_promise_gap_accepts_either(self, medium_db):
+        """Inputs with nearest distance in (λ, γλ] are unconstrained."""
+        rng = np.random.default_rng(5)
+        scheme = _scheme(medium_db, lam=8.0)
+        q = flip_random_bits(rng, medium_db.row(0), 20, medium_db.d)  # 8 < 20 ≤ 32
+        res = scheme.query(q)
+        dmin = int(medium_db.distances_from(q).min())
+        if 8.0 < dmin <= 32.0 and not res.answered:
+            assert OneProbeNearNeighborScheme.decision_correct(medium_db, q, 8.0, 4.0, res)
+
+
+class TestSizing:
+    def test_single_level_table(self, medium_db):
+        scheme = _scheme(medium_db, lam=16.0)
+        report = scheme.size_report()
+        assert len(report.table_names) == 1
+        assert report.word_bits == 1 + medium_db.d
+
+    def test_nonadaptive_k(self, medium_db):
+        assert _scheme(medium_db, lam=4.0).k == 1

@@ -1,0 +1,84 @@
+"""The one-probe-per-round mode of Algorithm 2 (remark after Theorem 3)
+and the SerializedProbeSession it is built on."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.session import ProbeRequest, SerializedProbeSession
+from repro.cellprobe.table import DictTable
+from repro.cellprobe.words import EMPTY, IntWord
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.params import Algorithm2Params, BaseParameters
+
+
+class TestSerializedSession:
+    def test_one_round_per_probe(self):
+        t = DictTable("T", 10, 8, default=EMPTY)
+        for i in range(4):
+            t.store(i, IntWord(i, 10))
+        acc = ProbeAccountant()
+        session = SerializedProbeSession(acc)
+        contents = session.parallel_read([ProbeRequest(t, i) for i in range(4)])
+        assert [c.value for c in contents] == [0, 1, 2, 3]
+        assert acc.total_rounds == 4
+        assert acc.probes_per_round == [1, 1, 1, 1]
+
+    def test_empty_batch(self):
+        session = SerializedProbeSession(ProbeAccountant())
+        assert session.parallel_read([]) == []
+
+
+class TestOneProbePerRoundScheme:
+    @pytest.fixture(scope="class")
+    def db_and_queries(self):
+        from repro.hamming.points import PackedPoints
+        from repro.hamming.sampling import flip_random_bits, random_points
+
+        rng = np.random.default_rng(31)
+        db = PackedPoints(random_points(rng, 150, 1024), 1024)
+        queries = np.vstack([
+            flip_random_bits(rng, db.row(int(rng.integers(0, 150))), 50, 1024)
+            for _ in range(10)
+        ])
+        return db, queries
+
+    def _schemes(self, db):
+        base = BaseParameters(n=len(db), d=db.d, gamma=2.0, c1=10.0, c2=10.0)
+        params = Algorithm2Params(base, k=17)
+        parallel = LargeKScheme(db, params, seed=1)
+        serialized = LargeKScheme(db, params, seed=1, one_probe_per_round=True)
+        return parallel, serialized
+
+    def test_rounds_equal_probes(self, db_and_queries):
+        db, queries = db_and_queries
+        _, serialized = self._schemes(db)
+        for qi in range(4):
+            res = serialized.query(queries[qi])
+            assert res.rounds == res.probes
+            assert all(s == 1 for s in res.probes_per_round)
+
+    def test_same_answers_as_parallel(self, db_and_queries):
+        """Serialization only adds unused adaptivity: identical results."""
+        db, queries = db_and_queries
+        parallel, serialized = self._schemes(db)
+        for qi in range(6):
+            a = parallel.query(queries[qi])
+            b = serialized.query(queries[qi])
+            assert a.answer_index == b.answer_index
+            assert a.probes == b.probes  # same probes, just spread out
+
+    def test_round_budget_flag_uses_probe_budget(self, db_and_queries):
+        db, queries = db_and_queries
+        _, serialized = self._schemes(db)
+        res = serialized.query(queries[0])
+        assert res.meta["round_budget_ok"]
+
+    def test_success_preserved(self, db_and_queries):
+        db, queries = db_and_queries
+        _, serialized = self._schemes(db)
+        ok = 0
+        for qi in range(queries.shape[0]):
+            ratio = serialized.query(queries[qi]).ratio(db, queries[qi])
+            ok += ratio is not None and ratio <= 2.0
+        assert ok / queries.shape[0] >= 0.75

@@ -1,0 +1,175 @@
+"""Parameter derivation: τ, s, budgets, validation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    Algorithm1Params,
+    Algorithm2Params,
+    BaseParameters,
+    worst_case_shrinking_rounds,
+)
+
+
+def _base(n=256, d=1024, gamma=4.0, **kw):
+    return BaseParameters(n=n, d=d, gamma=gamma, **kw)
+
+
+class TestBaseParameters:
+    def test_alpha_is_sqrt_gamma(self):
+        assert _base(gamma=2.25).alpha == pytest.approx(1.5)
+
+    def test_gamma_capped_at_four(self):
+        assert _base(gamma=9.0).alpha == pytest.approx(2.0)
+        assert _base(gamma=9.0).effective_gamma == 4.0
+
+    def test_levels_cover_dimension(self):
+        base = _base()
+        assert base.alpha**base.levels >= base.d
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            _base(gamma=1.0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            BaseParameters(n=1, d=64)
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            BaseParameters(n=10, d=64, profile="bogus")
+
+    def test_empirical_rows_scale_with_c1(self):
+        a = BaseParameters(n=1024, d=64, c1=4.0).accurate_rows
+        b = BaseParameters(n=1024, d=64, c1=8.0).accurate_rows
+        assert b == 2 * a
+
+    def test_theory_rows_exceed_empirical(self):
+        emp = BaseParameters(n=1024, d=64).accurate_rows
+        theory = BaseParameters(n=1024, d=64, profile="theory").accurate_rows
+        assert theory > emp
+
+    def test_coarse_rows_shrink_with_s(self):
+        base = _base()
+        assert base.coarse_rows(4.0) < base.coarse_rows(1.0)
+
+    def test_coarse_rows_rejects_bad_s(self):
+        with pytest.raises(ValueError):
+            _base().coarse_rows(0.0)
+
+
+class TestWorstCaseShrinkingRounds:
+    def test_gap_below_tau_needs_none(self):
+        assert worst_case_shrinking_rounds(2, 3) == 0
+
+    def test_binary_search_log(self):
+        rounds = worst_case_shrinking_rounds(64, 2)
+        assert rounds <= 8  # ~log2(64) plus slack
+
+    def test_large_tau_one_round(self):
+        assert worst_case_shrinking_rounds(100, 101) == 0
+        assert worst_case_shrinking_rounds(100, 60) == 1
+
+    def test_rejects_tau_one(self):
+        with pytest.raises(ValueError):
+            worst_case_shrinking_rounds(10, 1)
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers(min_value=2, max_value=64))
+    def test_terminates_and_bounds(self, levels, tau):
+        rounds = worst_case_shrinking_rounds(levels, tau)
+        assert 0 <= rounds <= levels + 1
+
+
+class TestAlgorithm1Params:
+    def test_k1_tau_covers_all_levels(self):
+        p = Algorithm1Params(_base(), k=1)
+        assert p.tau > p.base.levels
+        assert p.shrinking_round_budget == 0
+
+    def test_paper_inequality_holds(self):
+        for k in (1, 2, 3, 4, 6):
+            p = Algorithm1Params(_base(d=4096), k=k)
+            assert p.tau * (p.tau / 2.0) ** (k - 1) >= p.base.levels + 1
+
+    def test_shrink_budget_within_k(self):
+        for k in (1, 2, 3, 4, 6, 8):
+            p = Algorithm1Params(_base(d=4096), k=k)
+            assert p.shrinking_round_budget <= k - 1 or k == 1
+
+    def test_tau_decreases_with_k(self):
+        taus = [Algorithm1Params(_base(d=4096), k=k).tau for k in (1, 2, 3, 4)]
+        assert all(b <= a for a, b in zip(taus, taus[1:]))
+
+    def test_tau_override(self):
+        p = Algorithm1Params(_base(), k=10, tau_override=2)
+        assert p.tau == 2
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            Algorithm1Params(_base(), k=0)
+
+    def test_rejects_tau_one(self):
+        with pytest.raises(ValueError):
+            Algorithm1Params(_base(), k=2, tau_override=1)
+
+    def test_probe_budget_matches_claim_scale(self):
+        """Probe budget tracks the k(log d)^{1/k} envelope within a
+        constant factor."""
+        for k in (1, 2, 3, 4):
+            p = Algorithm1Params(_base(d=4096), k=k)
+            envelope = p.theoretical_probe_curve()
+            assert p.probe_budget <= 14 * envelope + 8
+
+    def test_round_budget_at_least_one(self):
+        assert Algorithm1Params(_base(), k=1).round_budget == 1
+
+
+class TestAlgorithm2Params:
+    def test_s_formula(self):
+        p = Algorithm2Params(_base(), k=16, c=3.0)
+        assert p.s_real == pytest.approx((0.25 - 1.0 / 6.0) * 16 - 0.25)
+        assert p.s == math.floor(p.s_real)
+
+    def test_rejects_small_k_without_override(self):
+        with pytest.raises(ValueError):
+            Algorithm2Params(_base(), k=8, c=3.0)
+
+    def test_s_override_allows_small_k(self):
+        p = Algorithm2Params(_base(), k=8, c=3.0, s_override=1)
+        assert p.s == 1
+
+    def test_rejects_c_le_2(self):
+        with pytest.raises(ValueError):
+            Algorithm2Params(_base(), k=16, c=2.0)
+
+    def test_theory_strict_bound(self):
+        with pytest.raises(ValueError):
+            Algorithm2Params(_base(), k=30, c=3.0, theory_strict=True)
+        Algorithm2Params(_base(), k=46, c=3.0, theory_strict=True)
+
+    def test_phase_budgets(self):
+        p = Algorithm2Params(_base(), k=17, c=3.0)
+        assert p.phase_budget == 8
+        assert p.size_shrink_budget == 2 * p.s
+        assert p.gap_shrink_budget == p.phase_budget - p.size_shrink_budget
+
+    def test_completion_cut(self):
+        p = Algorithm2Params(_base(), k=17, c=3.0)
+        assert p.completion_cut == max(3 * p.tau, 17)
+
+    def test_tau_at_least_three(self):
+        for k in (16, 20, 32):
+            assert Algorithm2Params(_base(d=2048), k=k).tau >= 3
+
+    def test_probe_budget_positive(self):
+        p = Algorithm2Params(_base(), k=16)
+        assert p.probe_budget > 0
+        assert p.round_budget == 2 * p.phase_budget + 1
+
+    def test_envelope_curve(self):
+        p = Algorithm2Params(_base(d=4096), k=16, c=3.0)
+        expected = 16 + (math.log2(4096) / 16) ** (3.0 / 16)
+        assert p.theoretical_probe_curve() == pytest.approx(expected)

@@ -1,0 +1,68 @@
+"""QueryResult and ratio conventions."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.core.result import QueryResult, achieved_ratio
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    return PackedPoints(random_points(rng, 20, 128), 128)
+
+
+def _result(answer_idx, db):
+    acc = ProbeAccountant()
+    r = acc.begin_round()
+    acc.charge(r, "T", 0)
+    packed = db.row(answer_idx).copy() if answer_idx is not None else None
+    return QueryResult(answer_idx, packed, acc, scheme="test")
+
+
+class TestQueryResult:
+    def test_accounting_shortcuts(self, db):
+        res = _result(0, db)
+        assert res.probes == 1
+        assert res.rounds == 1
+        assert res.probes_per_round == [1]
+
+    def test_answered_flag(self, db):
+        assert _result(0, db).answered
+        assert not _result(None, db).answered
+
+    def test_distance_none_when_unanswered(self, db):
+        assert _result(None, db).distance_to(db.row(0)) is None
+
+    def test_ratio_none_when_unanswered(self, db):
+        assert _result(None, db).ratio(db, db.row(0)) is None
+
+    def test_as_dict(self, db):
+        res = _result(2, db)
+        res.meta["path"] = "main"
+        flat = res.as_dict()
+        assert flat["scheme"] == "test"
+        assert flat["meta_path"] == "main"
+
+
+class TestAchievedRatio:
+    def test_exact_hit_ratio_one(self, db):
+        assert achieved_ratio(db, db.row(3), db.row(3)) == 1.0
+
+    def test_miss_on_exact_optimum_is_inf(self, db):
+        rng = np.random.default_rng(1)
+        wrong = flip_random_bits(rng, db.row(3), 5, db.d)
+        # Query IS db point 3 (optimum 0) but answer is 5 away.
+        assert achieved_ratio(db, db.row(3), wrong) == float("inf")
+
+    def test_ratio_definition(self, db):
+        rng = np.random.default_rng(2)
+        q = flip_random_bits(rng, db.row(4), 10, db.d)
+        dists = db.distances_from(q)
+        opt = int(dists.min())
+        far_idx = int(dists.argmax())
+        expected = int(dists[far_idx]) / opt
+        assert achieved_ratio(db, q, db.row(far_idx)) == pytest.approx(expected)

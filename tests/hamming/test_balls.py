@@ -1,0 +1,85 @@
+"""Ground-truth ball helpers."""
+
+import numpy as np
+import pytest
+
+from repro.hamming.balls import (
+    ball_members,
+    ball_sizes_by_level,
+    min_distance,
+    nearest_neighbor,
+    within_distance_one,
+)
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    return PackedPoints(random_points(rng, 50, 128), 128)
+
+
+class TestBalls:
+    def test_ball_members_radius_zero(self, db):
+        mask = ball_members(db, db.row(7), 0)
+        assert mask[7]
+        assert mask.sum() >= 1
+
+    def test_ball_members_full_radius(self, db):
+        mask = ball_members(db, db.row(0), 128)
+        assert mask.all()
+
+    def test_fractional_radius_equals_floor(self, db):
+        x = db.row(3)
+        assert (ball_members(db, x, 10.9) == ball_members(db, x, 10)).all()
+
+    def test_min_distance_zero_for_member(self, db):
+        assert min_distance(db, db.row(5)) == 0
+
+    def test_nearest_neighbor_planted(self, db):
+        rng = np.random.default_rng(1)
+        q = flip_random_bits(rng, db.row(9), 3, db.d)
+        idx, dist = nearest_neighbor(db, q)
+        assert dist <= 3
+        if dist == 3:
+            assert idx == 9 or db.distances_from(q)[idx] == 3
+
+    def test_empty_db_raises(self):
+        empty = PackedPoints(np.zeros((0, 2), dtype=np.uint64), 128)
+        with pytest.raises(ValueError):
+            min_distance(empty, np.zeros(2, dtype=np.uint64))
+
+
+class TestWithinOne:
+    def test_exact_match_preferred(self, db):
+        assert within_distance_one(db, db.row(4)) == 4
+
+    def test_distance_one(self, db):
+        rng = np.random.default_rng(2)
+        q = flip_random_bits(rng, db.row(8), 1, db.d)
+        idx = within_distance_one(db, q)
+        assert idx is not None
+        assert db.distances_from(q)[idx] <= 1
+
+    def test_far_point_none(self, db):
+        rng = np.random.default_rng(3)
+        q = flip_random_bits(rng, db.row(0), 60, db.d)
+        # 60 flips from one point is w.h.p. > 1 from every point.
+        if min_distance(db, q) > 1:
+            assert within_distance_one(db, q) is None
+
+
+class TestLevelSizes:
+    def test_monotone_in_level(self, db):
+        sizes = ball_sizes_by_level(db, db.row(0), alpha=2.0, levels=7)
+        assert (np.diff(sizes) >= 0).all()
+
+    def test_top_level_is_n(self, db):
+        sizes = ball_sizes_by_level(db, db.row(0), alpha=2.0, levels=7)
+        assert sizes[-1] == len(db)
+
+    def test_level_zero_counts_radius_one(self, db):
+        sizes = ball_sizes_by_level(db, db.row(0), alpha=2.0, levels=7)
+        dists = db.distances_from(db.row(0))
+        assert sizes[0] == (dists <= 1).sum()

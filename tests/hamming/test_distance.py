@@ -1,0 +1,103 @@
+"""Metric correctness of the vectorized Hamming distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.distance import (
+    hamming_distance,
+    hamming_distance_many,
+    pairwise_distances,
+    popcount_rows,
+)
+from repro.hamming.packing import pack_bits
+
+
+def _random_bits(seed, m, d):
+    return np.random.default_rng(seed).integers(0, 2, size=(m, d)).astype(np.uint8)
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        x = pack_bits(np.ones(100, dtype=np.uint8))
+        assert hamming_distance(x, x) == 0
+
+    def test_complement(self):
+        d = 100
+        zero = pack_bits(np.zeros(d, dtype=np.uint8))
+        one = pack_bits(np.ones(d, dtype=np.uint8))
+        assert hamming_distance(zero, one) == d
+
+    def test_matches_bit_count(self):
+        bits = _random_bits(0, 2, 257)
+        expected = int((bits[0] != bits[1]).sum())
+        assert hamming_distance(pack_bits(bits[0]), pack_bits(bits[1])) == expected
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=2**32))
+    def test_symmetry_and_triangle(self, d, seed):
+        bits = np.random.default_rng(seed).integers(0, 2, size=(3, d)).astype(np.uint8)
+        x, y, z = (pack_bits(b) for b in bits)
+        assert hamming_distance(x, y) == hamming_distance(y, x)
+        assert hamming_distance(x, z) <= hamming_distance(x, y) + hamming_distance(y, z)
+
+
+class TestOneVsMany:
+    def test_matches_scalar(self):
+        bits = _random_bits(1, 20, 300)
+        packed = pack_bits(bits)
+        dists = hamming_distance_many(packed[0], packed)
+        for i in range(20):
+            assert dists[i] == hamming_distance(packed[0], packed[i])
+
+    def test_chunking_consistency(self, monkeypatch):
+        import repro.hamming.distance as mod
+
+        bits = _random_bits(2, 50, 128)
+        packed = pack_bits(bits)
+        full = hamming_distance_many(packed[0], packed)
+        monkeypatch.setattr(mod, "_CHUNK_WORD_BUDGET", 4)
+        chunked = hamming_distance_many(packed[0], packed)
+        assert (full == chunked).all()
+
+    def test_word_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance_many(np.zeros(2, dtype=np.uint64), np.zeros((3, 3), dtype=np.uint64))
+
+    def test_single_row_batch(self):
+        bits = _random_bits(3, 1, 64)
+        packed = pack_bits(bits)
+        assert hamming_distance_many(packed[0], packed).tolist() == [0]
+
+
+class TestPairwise:
+    def test_diagonal_zero(self):
+        packed = pack_bits(_random_bits(4, 6, 90))
+        dmat = pairwise_distances(packed)
+        assert (np.diag(dmat) == 0).all()
+
+    def test_symmetric(self):
+        packed = pack_bits(_random_bits(5, 6, 90))
+        dmat = pairwise_distances(packed)
+        assert (dmat == dmat.T).all()
+
+    def test_two_batches(self):
+        a = pack_bits(_random_bits(6, 3, 70))
+        b = pack_bits(_random_bits(7, 4, 70))
+        dmat = pairwise_distances(a, b)
+        assert dmat.shape == (3, 4)
+        assert dmat[1, 2] == hamming_distance(a[1], b[2])
+
+
+class TestPopcount:
+    def test_known(self):
+        arr = np.array([[1, 3], [0, 0]], dtype=np.uint64)
+        assert popcount_rows(arr).tolist() == [3, 0]
+
+    def test_single_row(self):
+        assert popcount_rows(np.array([7], dtype=np.uint64)).tolist() == [3]

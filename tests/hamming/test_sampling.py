@@ -1,0 +1,90 @@
+"""Sampling helpers: exact flip counts, shells."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.distance import hamming_distance
+from repro.hamming.packing import tail_mask
+from repro.hamming.sampling import (
+    flip_random_bits,
+    point_at_distance,
+    random_points,
+    shell_points,
+)
+
+
+class TestFlipRandomBits:
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=2**32),
+        st.data(),
+    )
+    def test_exact_distance(self, d, seed, data):
+        rng = np.random.default_rng(seed)
+        x = random_points(rng, 1, d)[0]
+        count = data.draw(st.integers(min_value=0, max_value=d))
+        y = flip_random_bits(rng, x, count, d)
+        assert hamming_distance(x, y) == count
+
+    def test_zero_flips_copy(self):
+        rng = np.random.default_rng(0)
+        x = random_points(rng, 1, 100)[0]
+        y = flip_random_bits(rng, x, 0, 100)
+        assert (x == y).all()
+        assert y is not x
+
+    def test_does_not_mutate_input(self):
+        rng = np.random.default_rng(0)
+        x = random_points(rng, 1, 100)[0]
+        before = x.copy()
+        flip_random_bits(rng, x, 5, 100)
+        assert (x == before).all()
+
+    def test_padding_stays_clean(self):
+        rng = np.random.default_rng(1)
+        x = random_points(rng, 1, 70)[0]
+        for _ in range(20):
+            y = flip_random_bits(rng, x, 70, 70)
+            assert int(y[-1]) <= tail_mask(70)
+
+    def test_rejects_out_of_range(self):
+        rng = np.random.default_rng(0)
+        x = random_points(rng, 1, 10)[0]
+        with pytest.raises(ValueError):
+            flip_random_bits(rng, x, 11, 10)
+        with pytest.raises(ValueError):
+            flip_random_bits(rng, x, -1, 10)
+
+
+class TestPointAtDistance:
+    def test_matches_flip(self):
+        rng = np.random.default_rng(2)
+        x = random_points(rng, 1, 200)[0]
+        y = point_at_distance(rng, x, 17, 200)
+        assert hamming_distance(x, y) == 17
+
+
+class TestShellPoints:
+    def test_exact_radii(self):
+        rng = np.random.default_rng(3)
+        center = random_points(rng, 1, 256)[0]
+        radii = np.array([1, 2, 4, 8, 16])
+        shells = shell_points(rng, center, radii, 256)
+        assert shells.shape == (5, 4)
+        for i, r in enumerate(radii):
+            assert hamming_distance(center, shells[i]) == r
+
+
+class TestRandomPoints:
+    def test_shape(self):
+        pts = random_points(np.random.default_rng(0), 9, 130)
+        assert pts.shape == (9, 3)
+
+    def test_roughly_balanced(self):
+        pts = random_points(np.random.default_rng(0), 200, 64)
+        ones = np.bitwise_count(pts).sum()
+        total = 200 * 64
+        assert 0.45 < ones / total < 0.55

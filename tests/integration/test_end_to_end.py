@@ -1,0 +1,66 @@
+"""Cross-module integration: full pipelines over registered workloads."""
+
+import numpy as np
+import pytest
+
+from repro import ANNIndex
+from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm1
+from repro.baselines.adaptive import FullyAdaptiveScheme
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.core.params import BaseParameters
+from repro.workloads.spec import WorkloadSpec, make_workload
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return make_workload(
+        "planted", WorkloadSpec(n=200, d=512, num_queries=16, seed=3), max_flips=30
+    )
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("workload_name", ["uniform", "planted", "clustered"])
+    def test_index_over_workloads(self, workload_name):
+        wl = make_workload(workload_name, WorkloadSpec(n=100, d=256, num_queries=8, seed=1))
+        index = ANNIndex.build(wl.database, gamma=4.0, rounds=2, seed=0, c1=8.0)
+        summary = evaluate_scheme(index.scheme, wl, gamma=4.0)
+        assert summary.answered_rate >= 0.75
+        assert summary.max_rounds <= 2
+
+    def test_tradeoff_monotonicity(self, planted):
+        """The headline figure: probes drop monotonically (weakly) in k on
+        average, and every k respects its round budget."""
+        summaries = sweep_algorithm1(planted, gamma=4.0, ks=[1, 2, 4], c1=8.0)
+        probes = [s.mean_probes for s in summaries]
+        assert probes[0] >= probes[1] >= probes[2] * 0.9
+        for s, k in zip(summaries, (1, 2, 4)):
+            assert s.max_rounds <= k
+
+    def test_all_schemes_agree_on_easy_instance(self, planted):
+        """On a query whose NN is very close, all schemes find a point within γ."""
+        db = planted.database
+        rng = np.random.default_rng(0)
+        from repro.hamming.sampling import flip_random_bits
+
+        q = flip_random_bits(rng, db.row(0), 2, db.d)
+        base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
+        schemes = [
+            ANNIndex.build(db, rounds=2, seed=0, c1=8.0).scheme,
+            FullyAdaptiveScheme(db, base, seed=0),
+            LinearScanScheme(db),
+        ]
+        for scheme in schemes:
+            res = scheme.query(q)
+            assert res.answered
+            assert res.distance_to(q) <= 4.0 * max(1, int(db.distances_from(q).min()))
+
+    def test_boosting_integration(self, planted):
+        index = ANNIndex.build(planted.database, rounds=2, boost=3, seed=1, c1=6.0)
+        summary = evaluate_scheme(index.scheme, planted, gamma=4.0)
+        assert summary.success_rate >= 0.75
+
+    def test_size_reports_polynomial_exponent(self, planted):
+        """n^{O(1)}: the cell-count exponent stays bounded."""
+        index = ANNIndex.build(planted.database, rounds=3, seed=0, c1=8.0)
+        report = index.size_report()
+        assert report.cells_log_n(len(planted.database)) < 64

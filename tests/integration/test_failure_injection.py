@@ -1,0 +1,126 @@
+"""Failure injection and edge-shape robustness.
+
+The schemes are *randomized with bounded error*: when Lemma 8's
+assumptions fail (deliberately provoked here with starved sketches), the
+contract is graceful degradation — a possibly-wrong or missing answer with
+honest accounting — never an exception or a corrupted trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.algorithm2 import LargeKScheme
+from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+
+def _db(n, d, seed=0):
+    return PackedPoints(random_points(np.random.default_rng(seed), n, d), d)
+
+
+class TestStarvedSketches:
+    """c1 tiny → sandwich fails often; behaviour must stay well-formed."""
+
+    def test_no_exceptions_and_honest_accounting(self):
+        db = _db(80, 256, seed=1)
+        base = BaseParameters(n=80, d=256, gamma=4.0, c1=0.6)  # ~4 rows
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=2,
+                                    check_invariants=True)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            q = flip_random_bits(rng, db.row(int(rng.integers(0, 80))), 20, 256)
+            res = scheme.query(q)
+            assert res.probes <= scheme.params.probe_budget
+            assert res.rounds <= 3
+            if res.answered:
+                assert (res.answer_packed == db.row(res.answer_index)).all()
+
+    def test_starved_success_below_wide_success(self):
+        db = _db(120, 512, seed=4)
+        rng = np.random.default_rng(5)
+        queries = [
+            flip_random_bits(rng, db.row(int(rng.integers(0, 120))), 30, 512)
+            for _ in range(14)
+        ]
+
+        def success(c1):
+            base = BaseParameters(n=120, d=512, gamma=4.0, c1=c1)
+            scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=6)
+            ok = 0
+            for q in queries:
+                ratio = scheme.query(q).ratio(db, q)
+                ok += ratio is not None and ratio <= 4.0
+            return ok
+
+        assert success(0.5) <= success(12.0)
+
+
+class TestDegenerateShapes:
+    def test_two_point_database(self):
+        db = _db(2, 128, seed=7)
+        base = BaseParameters(n=2, d=128, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=2), seed=0)
+        res = scheme.query(db.row(1))
+        assert res.answer_index == 1
+
+    def test_dimension_not_multiple_of_64(self):
+        db = _db(40, 100, seed=8)
+        base = BaseParameters(n=40, d=100, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=2), seed=0)
+        rng = np.random.default_rng(9)
+        q = flip_random_bits(rng, db.row(3), 5, 100)
+        res = scheme.query(q)
+        assert res.answered
+
+    def test_duplicate_database_points(self):
+        rng = np.random.default_rng(10)
+        row = random_points(rng, 1, 128)
+        words = np.vstack([row] * 6 + [random_points(rng, 10, 128)])
+        db = PackedPoints(words, 128)
+        base = BaseParameters(n=16, d=128, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=2), seed=0)
+        res = scheme.query(row[0])
+        assert res.answered
+        assert res.distance_to(row[0]) == 0
+
+    def test_complement_query(self):
+        """Query at maximal distance from a db point: still a valid answer."""
+        db = _db(50, 128, seed=11)
+        base = BaseParameters(n=50, d=128, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+        q = db.row(0) ^ np.uint64(0xFFFFFFFFFFFFFFFF)
+        res = scheme.query(q)
+        if res.answered:
+            assert 0 <= res.answer_index < 50
+
+    def test_algorithm2_small_levels_graceful(self):
+        """When the completion cut covers all levels Algorithm 2 must fall
+        straight through to a single completion round."""
+        db = _db(60, 128, seed=12)
+        base = BaseParameters(n=60, d=128, gamma=4.0, c1=8.0, c2=8.0)
+        scheme = LargeKScheme(db, Algorithm2Params(base, k=16), seed=0)
+        rng = np.random.default_rng(13)
+        q = flip_random_bits(rng, db.row(5), 4, 128)
+        res = scheme.query(q)
+        assert res.meta.get("phases", 0) == 0 or res.meta["path"].startswith("degenerate")
+        assert res.rounds <= 2
+
+
+class TestAdversarialQueries:
+    def test_shell_boundary_queries(self):
+        """Queries planted exactly at level radii αⁱ — the threshold
+        boundaries where the membership tests are least separated."""
+        db = _db(100, 512, seed=14)
+        base = BaseParameters(n=100, d=512, gamma=4.0, c1=10.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=1)
+        rng = np.random.default_rng(15)
+        ok = total = 0
+        for i in range(1, 8):
+            q = flip_random_bits(rng, db.row(i), 2**i, 512)
+            res = scheme.query(q)
+            total += 1
+            ratio = res.ratio(db, q)
+            ok += ratio is not None and ratio <= 4.0
+        assert ok / total >= 0.7

@@ -1,0 +1,94 @@
+"""Hypothesis-driven end-to-end properties of the schemes.
+
+Each property runs the full pipeline (pack → build → query) on small
+random instances and checks invariants that must hold for *every* seed and
+shape — not just the fixture databases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.lambda_ann import OneProbeNearNeighborScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+instance_strategy = st.tuples(
+    st.integers(min_value=8, max_value=40),    # n
+    st.integers(min_value=48, max_value=160),  # d
+    st.integers(min_value=1, max_value=4),     # k
+    st.integers(min_value=0, max_value=2**32), # seed
+)
+
+
+def _build(n, d, k, seed):
+    rng = np.random.default_rng(seed)
+    db = PackedPoints(random_points(rng, n, d), d)
+    base = BaseParameters(n=n, d=d, gamma=4.0, c1=8.0)
+    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=seed)
+    return rng, db, scheme
+
+
+class TestAlgorithm1Properties:
+    @settings(max_examples=25, deadline=None)
+    @given(instance_strategy)
+    def test_budgets_always_respected(self, params):
+        n, d, k, seed = params
+        rng, db, scheme = _build(n, d, k, seed)
+        q = flip_random_bits(rng, db.row(int(rng.integers(0, n))), int(rng.integers(0, d // 4 + 1)), d)
+        res = scheme.query(q)
+        assert res.rounds <= max(1, k)
+        assert res.probes <= scheme.params.probe_budget
+
+    @settings(max_examples=25, deadline=None)
+    @given(instance_strategy)
+    def test_answer_is_database_point(self, params):
+        n, d, k, seed = params
+        rng, db, scheme = _build(n, d, k, seed)
+        q = flip_random_bits(rng, db.row(0), int(rng.integers(0, d // 8 + 1)), d)
+        res = scheme.query(q)
+        if res.answered:
+            assert 0 <= res.answer_index < n
+            assert (res.answer_packed == db.row(res.answer_index)).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(instance_strategy)
+    def test_exact_member_query_is_exact(self, params):
+        n, d, k, seed = params
+        _, db, scheme = _build(n, d, k, seed)
+        res = scheme.query(db.row(n // 2))
+        assert res.answered
+        assert res.distance_to(db.row(n // 2)) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(instance_strategy)
+    def test_rounds_nonempty_and_sequential(self, params):
+        n, d, k, seed = params
+        rng, db, scheme = _build(n, d, k, seed)
+        q = random_points(rng, 1, d)[0]
+        res = scheme.query(q)
+        sizes = [r.size for r in res.accountant.rounds]
+        assert all(s > 0 for s in sizes)
+        assert sum(sizes) == res.probes
+
+
+class TestLambdaANNProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=8, max_value=40),
+        st.integers(min_value=64, max_value=160),
+        st.floats(min_value=1.0, max_value=16.0),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_always_single_probe(self, n, d, lam, seed):
+        rng = np.random.default_rng(seed)
+        db = PackedPoints(random_points(rng, n, d), d)
+        base = BaseParameters(n=n, d=d, gamma=4.0, c1=8.0)
+        scheme = OneProbeNearNeighborScheme(db, base, lam=lam, seed=seed)
+        q = random_points(rng, 1, d)[0]
+        res = scheme.query(q)
+        assert res.probes == 1
+        assert res.rounds == 1
+        assert scheme.guarantee_radius() <= 4.0 * max(lam, 1.0) * 2.0 + 1e-9

@@ -1,0 +1,62 @@
+"""End-to-end validation of the `theory` parameter profile.
+
+The theory profile sizes sketch rows by the Hoeffding bound with the
+paper's union-bound structure (Definition 7's ``c₁ > 64/(1−e^{(1−α)/2})²``
+shape).  It produces much wider sketches than the empirical profile; this
+test confirms (a) the sizing formulas kick in, and (b) the resulting
+scheme actually delivers the Lemma 8 guarantee with margin at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sandwich import verify_lemma8
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.sketch.family import SketchFamily
+from repro.utils.rng import RngTree
+
+
+@pytest.fixture(scope="module")
+def theory_setup():
+    rng = np.random.default_rng(40)
+    n, d = 60, 256
+    db = PackedPoints(random_points(rng, n, d), d)
+    base = BaseParameters(n=n, d=d, gamma=4.0, profile="theory")
+    return rng, db, base
+
+
+class TestTheoryProfile:
+    def test_rows_exceed_hoeffding_knee(self, theory_setup):
+        _, _, base = theory_setup
+        # Empirically the knee at d=1024 sits near ~256 rows (E4); the
+        # theory profile with union bound must exceed it.
+        assert base.accurate_rows > 256
+
+    def test_sandwich_holds_with_margin(self, theory_setup):
+        rng, db, base = theory_setup
+        fam = SketchFamily(
+            db.d, base.alpha, base.levels, base.accurate_rows, rng_tree=RngTree(41)
+        )
+        queries = np.vstack([
+            flip_random_bits(rng, db.row(int(rng.integers(0, len(db)))), int(rng.integers(0, 16)), db.d)
+            for _ in range(6)
+        ])
+        report = verify_lemma8(db, fam, queries)
+        assert report.simultaneous_rate >= 0.75
+
+    def test_scheme_runs_and_succeeds(self, theory_setup):
+        rng, db, base = theory_setup
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=2), seed=42)
+        ok = 0
+        for _ in range(8):
+            q = flip_random_bits(rng, db.row(int(rng.integers(0, len(db)))), 8, db.d)
+            ratio = scheme.query(q).ratio(db, q)
+            ok += ratio is not None and ratio <= 4.0
+        assert ok >= 6
+
+    def test_coarse_rows_scale_inverse_s(self, theory_setup):
+        _, _, base = theory_setup
+        assert base.coarse_rows(4.0) < base.coarse_rows(1.5)

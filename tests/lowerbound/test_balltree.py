@@ -1,0 +1,66 @@
+"""γ-separated ball tree construction and verification."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.balltree import SeparatedBallTree, max_feasible_depth
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return SeparatedBallTree(
+        d=2048, gamma=2.0, fanout=4, depth=2, rng=np.random.default_rng(0)
+    )
+
+
+class TestConstruction:
+    def test_node_count(self, tree):
+        assert tree.num_nodes == 1 + 4 + 16
+
+    def test_radii_follow_formula(self, tree):
+        assert tree.radius(0) == 2048
+        assert tree.radius(1) == pytest.approx(2048 / 16)
+        assert tree.radius(2) == pytest.approx(2048 / 256)
+
+    def test_all_invariants_verify(self, tree):
+        assert all(tree.verify().values())
+
+    def test_separation_margin_above_one(self, tree):
+        assert tree.verification_margin() > 1.0
+
+    def test_depth_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            SeparatedBallTree(d=256, gamma=2.0, fanout=2, depth=5, rng=np.random.default_rng(0))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            SeparatedBallTree(d=1024, gamma=1.0, fanout=2, depth=1, rng=np.random.default_rng(0))
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            SeparatedBallTree(d=1024, gamma=2.0, fanout=1, depth=1, rng=np.random.default_rng(0))
+
+
+class TestAccess:
+    def test_center_paths(self, tree):
+        root = tree.center(())
+        child = tree.center((2,))
+        assert root.shape == child.shape
+
+    def test_leaf_center_prefix_path(self, tree):
+        assert (tree.leaf_center((1,)) == tree.center((1,))).all()
+
+    def test_nodes_at_depth(self, tree):
+        assert len(tree.nodes_at_depth(0)) == 1
+        assert len(tree.nodes_at_depth(1)) == 4
+        assert len(tree.nodes_at_depth(2)) == 16
+
+
+class TestFeasibleDepth:
+    def test_monotone_in_d(self):
+        assert max_feasible_depth(2**16, 2.0) >= max_feasible_depth(2**10, 2.0)
+
+    def test_matches_radius_constraint(self):
+        depth = max_feasible_depth(4096, 2.0)
+        assert 4096 / (16.0**depth) >= 4
+        assert 4096 / (16.0 ** (depth + 1)) < 4

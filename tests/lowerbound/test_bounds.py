@@ -1,0 +1,76 @@
+"""Closed-form bound curves."""
+
+import math
+
+import pytest
+
+from repro.lowerbound.bounds import (
+    cr_fully_adaptive_bound,
+    lb_tradeoff,
+    lb_valid_k_max,
+    phase_transition_k,
+    ub_algorithm1,
+    ub_algorithm2,
+)
+
+
+class TestLowerBound:
+    def test_k1_is_log(self):
+        assert lb_tradeoff(1, 2**16, gamma=2.0) == pytest.approx(16.0)
+
+    def test_decreasing_in_k(self):
+        vals = [lb_tradeoff(k, 2**16, 2.0) for k in (1, 2, 3, 4)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_increasing_in_d(self):
+        assert lb_tradeoff(2, 2**20, 2.0) > lb_tradeoff(2, 2**10, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lb_tradeoff(0, 2**10)
+        with pytest.raises(ValueError):
+            lb_tradeoff(1, 8)
+        with pytest.raises(ValueError):
+            lb_tradeoff(1, 2**10, gamma=1.0)
+
+
+class TestUpperBounds:
+    def test_ub1_k1_is_log(self):
+        assert ub_algorithm1(1, 2**12) == pytest.approx(12.0)
+
+    def test_ub1_above_lb_everywhere(self):
+        """Algorithm 1's envelope dominates the lower bound — consistency
+        of Theorems 2 and 4 (lb·k ≤ ub/k up to the claimed factor k²)."""
+        for d in (2**10, 2**16, 2**24):
+            for k in (1, 2, 3, 4):
+                assert ub_algorithm1(k, d) >= lb_tradeoff(k, d, 2.0) / 4.0
+
+    def test_ub2_requires_c_gt_2(self):
+        with pytest.raises(ValueError):
+            ub_algorithm2(8, 2**16, c=2.0)
+
+    def test_ub2_approaches_k_for_large_k(self):
+        d = 2**16
+        val = ub_algorithm2(64, d, c=3.0)
+        assert val == pytest.approx(64.0, rel=0.1)
+
+    def test_gap_between_ub1_and_lb_is_k_squared(self):
+        """ub1/lb = k² · (log2/logγ adjust) — the paper's optimality-gap
+        statement for constant k."""
+        d = 2**20
+        for k in (1, 2, 3):
+            ratio = ub_algorithm1(k, d) / lb_tradeoff(k, d, 2.0)
+            assert ratio == pytest.approx(k * k, rel=0.05)
+
+
+class TestFullyAdaptive:
+    def test_cr_value(self):
+        lld = math.log2(math.log2(2**16))
+        assert cr_fully_adaptive_bound(2**16) == pytest.approx(lld / math.log2(lld))
+
+    def test_phase_transition_positive(self):
+        assert phase_transition_k(2**16) >= 1
+
+    def test_valid_k_max_below_transition(self):
+        for d in (2**10, 2**16, 2**32):
+            assert lb_valid_k_max(d) <= phase_transition_k(d) + 1

@@ -1,0 +1,40 @@
+"""Claim 26: silent LPM₁,₁ protocols."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound.claim26 import best_silent_success, simulate_silent_protocol
+
+
+class TestBound:
+    def test_formula(self):
+        assert best_silent_success(4) == 0.25
+
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(ValueError):
+            best_silent_success(1)
+
+
+class TestSimulation:
+    def test_echo_strategy_near_bound(self):
+        rng = np.random.default_rng(0)
+        result = simulate_silent_protocol(8, trials=8000, rng=rng)
+        assert abs(result.rate - result.bound) < 0.02
+
+    def test_constant_strategy_near_bound(self):
+        rng = np.random.default_rng(1)
+        result = simulate_silent_protocol(8, trials=8000, rng=rng, strategy=lambda q: 3)
+        assert abs(result.rate - 1.0 / 8) < 0.02
+
+    def test_no_strategy_beats_bound_significantly(self):
+        """Any silent strategy is a function query→symbol; the database
+        symbol is independent and uniform, so success stays ≈ 1/σ."""
+        rng = np.random.default_rng(2)
+        for strat in (lambda q: q, lambda q: (q + 1) % 4, lambda q: 0):
+            result = simulate_silent_protocol(4, trials=8000, rng=rng, strategy=strat)
+            assert result.rate <= 0.25 + 3 * (0.25 * 0.75 / 8000) ** 0.5 + 0.01
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            simulate_silent_protocol(4, trials=0, rng=rng)

@@ -1,0 +1,97 @@
+"""LPM problem and trie solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbound.lpm import (
+    LPMInstance,
+    LPMTrie,
+    common_prefix_length,
+    random_lpm_instance,
+)
+
+
+class TestCommonPrefix:
+    def test_empty(self):
+        assert common_prefix_length((), ()) == 0
+
+    def test_full_match(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 3)) == 3
+
+    def test_partial(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 9)) == 2
+
+    def test_no_match(self):
+        assert common_prefix_length((1,), (2,)) == 0
+
+
+class TestInstanceValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LPMInstance((), sigma=2)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            LPMInstance(((1, 2), (1,)), sigma=3)
+
+    def test_rejects_symbol_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            LPMInstance(((0, 5),), sigma=3)
+
+    def test_properties(self):
+        inst = LPMInstance(((0, 1), (1, 1)), sigma=2)
+        assert inst.m == 2
+        assert inst.n == 2
+
+
+class TestTrie:
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_trie_matches_brute_force_lcp(self, m, n, sigma, seed):
+        if n > sigma**m:
+            n = sigma**m
+        rng = np.random.default_rng(seed)
+        inst, queries = random_lpm_instance(rng, m, n, sigma, skew=0.5)
+        trie = LPMTrie(inst)
+        for q in queries[:5]:
+            idx, lcp = trie.query(q)
+            _, best = inst.brute_force(q)
+            assert lcp == best
+            assert common_prefix_length(q, inst.strings[idx]) == best
+
+    def test_exact_string_full_lcp(self):
+        inst = LPMInstance(((0, 1, 2), (2, 1, 0)), sigma=3)
+        trie = LPMTrie(inst)
+        idx, lcp = trie.query((2, 1, 0))
+        assert (idx, lcp) == (1, 3)
+
+    def test_no_common_prefix_returns_some_string(self):
+        inst = LPMInstance(((0, 0), (0, 1)), sigma=3)
+        trie = LPMTrie(inst)
+        idx, lcp = trie.query((2, 2))
+        assert lcp == 0
+        assert idx in (0, 1)
+
+
+class TestGenerator:
+    def test_unique_strings(self):
+        rng = np.random.default_rng(0)
+        inst, _ = random_lpm_instance(rng, m=3, n=10, sigma=4)
+        assert len(set(inst.strings)) == 10
+
+    def test_rejects_small_alphabet(self):
+        with pytest.raises(ValueError):
+            random_lpm_instance(np.random.default_rng(0), 2, 2, sigma=1)
+
+    def test_skewed_queries_share_prefixes(self):
+        rng = np.random.default_rng(1)
+        inst, queries = random_lpm_instance(rng, m=6, n=20, sigma=3, skew=1.0)
+        lcps = [inst.brute_force(q)[1] for q in queries]
+        assert max(lcps) >= 2

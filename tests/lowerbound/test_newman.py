@@ -1,0 +1,49 @@
+"""Newman / Proposition 6 accounting."""
+
+import pytest
+
+from repro.lowerbound.newman import (
+    log2_database_universe,
+    newman_private_coin_cells,
+    newman_random_bits,
+    proposition6_cells,
+)
+
+
+class TestUniverse:
+    def test_scales_with_n_and_d(self):
+        assert log2_database_universe(100, 512) > log2_database_universe(100, 128)
+        assert log2_database_universe(200, 128) > log2_database_universe(100, 128)
+
+    def test_roughly_nd(self):
+        val = log2_database_universe(1000, 4096)
+        assert 0.9 * 1000 * 4096 < val < 1.1 * 1000 * 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log2_database_universe(0, 10)
+
+
+class TestNewman:
+    def test_random_bits_logarithmic(self):
+        bits = newman_random_bits(512.0, 1000 * 512.0)
+        assert bits < 30  # log of the blowup, tiny
+
+    def test_private_cells_blowup(self):
+        cells = newman_private_coin_cells(1000, 512.0, 100 * 512.0)
+        assert cells >= 1000 * (512 + 100 * 512)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            newman_private_coin_cells(0, 1.0, 1.0)
+
+
+class TestProposition6:
+    def test_order_dns(self):
+        """Blowup factor is Θ(d·n) as Proposition 6 states."""
+        s, n, d = 10_000, 500, 1024
+        cells = proposition6_cells(s, n, d)
+        assert 0.5 * d * n * s < cells < 2.0 * d * n * s
+
+    def test_monotone(self):
+        assert proposition6_cells(100, 50, 64) < proposition6_cells(100, 500, 64)

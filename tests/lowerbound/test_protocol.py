@@ -1,0 +1,87 @@
+"""Proposition 18: schemes as protocols."""
+
+import pytest
+
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.lowerbound.protocol import ProtocolShape, trace_to_protocol
+from repro.utils.intmath import ilog2_ceil
+
+
+class TestProtocolShape:
+    def test_rounds(self):
+        shape = ProtocolShape((8.0, 4.0), (64.0, 32.0))
+        assert shape.k == 2
+        assert shape.communication_rounds == 4
+
+    def test_totals(self):
+        shape = ProtocolShape((8.0, 4.0), (64.0, 32.0))
+        assert shape.alice_bits == 12.0
+        assert shape.bob_bits == 96.0
+        assert shape.total_bits == 108.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolShape((1.0,), (1.0, 2.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolShape((-1.0,), (1.0,))
+
+    def test_suffix(self):
+        shape = ProtocolShape((1.0, 2.0, 3.0), (4.0, 5.0, 6.0))
+        suf = shape.suffix(1)
+        assert suf.a == (2.0, 3.0)
+        assert suf.b == (5.0, 6.0)
+
+    def test_scale_alice(self):
+        shape = ProtocolShape((2.0,), (4.0,))
+        scaled = shape.scale_alice(1.5)
+        assert scaled.a == (3.0,)
+        assert scaled.b == (4.0,)
+
+    def test_scale_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            ProtocolShape((2.0,), (4.0,)).scale_alice(0.5)
+
+
+class TestTraceConversion:
+    def test_per_round_sizes(self):
+        acc = ProbeAccountant()
+        r1 = acc.begin_round()
+        acc.charge(r1, "T", 0)
+        acc.charge(r1, "T", 1)
+        r2 = acc.begin_round()
+        acc.charge(r2, "T", 2)
+        shape = trace_to_protocol(acc, table_cells=1 << 20, word_bits=100)
+        assert shape.a == (2 * 20.0, 1 * 20.0)
+        assert shape.b == (200.0, 100.0)
+
+    def test_empty_rounds_dropped(self):
+        acc = ProbeAccountant()
+        acc.begin_round()  # empty
+        r = acc.begin_round()
+        acc.charge(r, "T", 0)
+        shape = trace_to_protocol(acc, table_cells=4, word_bits=8)
+        assert shape.k == 1
+
+    def test_validation(self):
+        acc = ProbeAccountant()
+        with pytest.raises(ValueError):
+            trace_to_protocol(acc, table_cells=1, word_bits=8)
+        with pytest.raises(ValueError):
+            trace_to_protocol(acc, table_cells=8, word_bits=0)
+
+    def test_real_scheme_trace_has_2k_rounds(self, small_db, small_queries):
+        """A k-round query maps to ≤ 2k communication rounds with the
+        Prop. 18 message sizes."""
+        base = BaseParameters(n=len(small_db), d=small_db.d, gamma=4.0, c1=8.0)
+        scheme = SimpleKRoundScheme(small_db, Algorithm1Params(base, k=3), seed=0)
+        res = scheme.query(small_queries[0])
+        report = scheme.size_report()
+        shape = trace_to_protocol(res.accountant, report.table_cells, report.word_bits)
+        assert shape.communication_rounds <= 2 * 3
+        addr_bits = ilog2_ceil(report.table_cells)
+        assert shape.alice_bits == res.probes * addr_bits
+        assert shape.bob_bits == res.probes * report.word_bits

@@ -1,0 +1,88 @@
+"""LPM → ANNS reduction: end-to-end answer recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.hamming.balls import nearest_neighbor
+from repro.lowerbound.balltree import SeparatedBallTree
+from repro.lowerbound.lpm import random_lpm_instance
+from repro.lowerbound.reduction import LPMToANNSReduction
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(7)
+    inst, queries = random_lpm_instance(rng, m=2, n=10, sigma=4, skew=0.8)
+    tree = SeparatedBallTree(d=2048, gamma=2.0, fanout=4, depth=2, rng=rng)
+    return inst, queries, LPMToANNSReduction(inst, tree)
+
+
+def _exact_solver(db, x):
+    idx, _ = nearest_neighbor(db, x)
+    return db.row(idx)
+
+
+class TestMapping:
+    def test_database_size(self, setup):
+        inst, _, red = setup
+        assert len(red.database) == inst.n
+
+    def test_query_length_validated(self, setup):
+        _, _, red = setup
+        with pytest.raises(ValueError):
+            red.map_query((0,))
+
+    def test_symbol_validated(self, setup):
+        _, _, red = setup
+        with pytest.raises(ValueError):
+            red.map_query((0, 9))
+
+    def test_recover_inverts(self, setup):
+        inst, _, red = setup
+        for i in range(inst.n):
+            assert red.recover(red.database.row(i)) == i
+
+    def test_recover_rejects_foreign_point(self, setup):
+        _, _, red = setup
+        with pytest.raises(ValueError):
+            red.recover(np.zeros(red.database.word_count, dtype=np.uint64))
+
+    def test_gamma_gap_exceeds_gamma(self, setup):
+        """The mapped instances are γ-unconfusable — the soundness core."""
+        _, queries, red = setup
+        for q in queries[:6]:
+            assert red.gamma_gap(q) > red.tree.gamma
+
+
+class TestEndToEnd:
+    def test_exact_solver_recovers_lpm(self, setup):
+        _, queries, red = setup
+        for q in queries:
+            check = red.solve_with(_exact_solver, q)
+            assert check.correct
+
+    def test_algorithm1_recovers_lpm(self, setup):
+        """The paper's own scheme, run on the reduced instance, solves LPM
+        (Lemma 14's reduction, end to end)."""
+        inst, queries, red = setup
+        db = red.database
+        base = BaseParameters(n=len(db), d=db.d, gamma=2.0, c1=10.0)
+        scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+
+        def ann_solver(database, x):
+            res = scheme.query(x)
+            assert res.answered
+            return res.answer_packed
+
+        correct = sum(red.solve_with(ann_solver, q).correct for q in queries)
+        assert correct / len(queries) >= 0.75
+
+    def test_fanout_validation(self, setup):
+        inst, _, _ = setup
+        small_tree = SeparatedBallTree(
+            d=2048, gamma=2.0, fanout=2, depth=2, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            LPMToANNSReduction(inst, small_tree)  # fanout 2 < sigma 4

@@ -1,0 +1,126 @@
+"""C_i / D_{i,j} evaluation: thresholds, witnesses, sandwich behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import midpoint_threshold
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.sketch.approx_balls import (
+    ApproxBallEvaluator,
+    accurate_threshold_count,
+    coarse_threshold_count,
+)
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.utils.rng import RngTree
+
+
+def _setup(accurate_rows=96, coarse_rows=16, n=60, d=256, seed=3):
+    rng = np.random.default_rng(seed)
+    db = PackedPoints(random_points(rng, n, d), d)
+    fam = SketchFamily(d, 2.0, 8, accurate_rows, coarse_rows, rng_tree=RngTree(seed))
+    return db, fam, ApproxBallEvaluator(LevelSketches(db, fam))
+
+
+class TestThresholds:
+    def test_accurate_threshold_is_floor_of_midpoint(self):
+        assert accurate_threshold_count(2.0, 3, 100) == int(
+            np.floor(midpoint_threshold(2.0, 3) * 100)
+        )
+
+    def test_coarse_threshold_scales_with_rows(self):
+        t_small = coarse_threshold_count(2.0, 2, 10)
+        t_big = coarse_threshold_count(2.0, 2, 100)
+        assert t_big > t_small
+
+    def test_cached(self):
+        _, _, ev = _setup()
+        assert ev.accurate_threshold(2) == ev.accurate_threshold(2)
+
+
+class TestCMask:
+    def test_query_is_db_point_always_member(self):
+        """A distance-0 pair has identical sketches, below any threshold."""
+        db, fam, ev = _setup()
+        for i in (0, 3, 6):
+            addr = fam.accurate_address(i, db.row(5))
+            assert ev.c_mask(i, addr)[5]
+
+    def test_witness_none_for_far_address(self):
+        db, fam, ev = _setup()
+        rng = np.random.default_rng(10)
+        # A uniform point is ~d/2 from everything; level 0's threshold is
+        # tight enough that C_0 is empty w.h.p.
+        x = random_points(rng, 1, db.d)[0]
+        addr = fam.accurate_address(0, x)
+        if not ev.c_mask(0, addr).any():
+            assert ev.c_witness(0, addr) is None
+
+    def test_witness_matches_mask(self):
+        db, fam, ev = _setup()
+        addr = fam.accurate_address(4, db.row(0))
+        witness = ev.c_witness(4, addr)
+        mask = ev.c_mask(4, addr)
+        if witness is None:
+            assert not mask.any()
+        else:
+            assert mask[witness]
+
+    def test_witness_deterministic(self):
+        db, fam, ev = _setup()
+        addr = fam.accurate_address(4, db.row(0))
+        assert ev.c_witness(4, addr) == ev.c_witness(4, addr)
+
+    def test_counts_match_mask(self):
+        db, fam, ev = _setup()
+        addr = fam.accurate_address(5, db.row(1))
+        assert ev.c_count(5, addr) == int(ev.c_mask(5, addr).sum())
+
+
+class TestSandwichStatistics:
+    def test_sandwich_mostly_holds_with_wide_sketches(self):
+        """With generous rows, B_i ⊆ C_i ⊆ B_{i+1} holds for most
+        (query, level) pairs — the operational content of Lemma 8."""
+        db, fam, ev = _setup(accurate_rows=256, n=40, seed=4)
+        rng = np.random.default_rng(5)
+        total = ok = 0
+        for _ in range(10):
+            base = db.row(int(rng.integers(0, len(db))))
+            x = flip_random_bits(rng, base, int(rng.integers(0, 16)), db.d)
+            dists = db.distances_from(x)
+            for i in range(fam.levels + 1):
+                addr = fam.accurate_address(i, x)
+                c = ev.c_mask(i, addr)
+                b_i = dists <= 2.0**i
+                b_next = dists <= 2.0 ** (i + 1)
+                total += 1
+                if not np.any(b_i & ~c) and not np.any(c & ~b_next):
+                    ok += 1
+        assert ok / total > 0.9
+
+
+class TestDMask:
+    def test_d_subset_of_c(self):
+        db, fam, ev = _setup()
+        x = db.row(2)
+        for i, j in ((4, 2), (6, 6)):
+            acc = fam.accurate_address(i, x)
+            coarse = fam.coarse_address(j, x)
+            d_mask = ev.d_mask(i, acc, j, coarse)
+            c_mask = ev.c_mask(i, acc)
+            assert not np.any(d_mask & ~c_mask)
+
+    def test_d_count_matches_mask(self):
+        db, fam, ev = _setup()
+        x = db.row(2)
+        acc = fam.accurate_address(5, x)
+        coarse = fam.coarse_address(3, x)
+        assert ev.d_count(5, acc, 3, coarse) == int(ev.d_mask(5, acc, 3, coarse).sum())
+
+    def test_coarse_requires_family_support(self):
+        db, fam, _ = _setup()
+        fam_nc = SketchFamily(db.d, 2.0, 8, 32, None, rng_tree=RngTree(0))
+        ev = ApproxBallEvaluator(LevelSketches(db, fam_nc))
+        with pytest.raises(RuntimeError):
+            ev.coarse_threshold(0)

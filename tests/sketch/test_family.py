@@ -1,0 +1,67 @@
+"""Sketch family: level bounds, caching, public-coin determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import bernoulli_rate
+from repro.hamming.sampling import random_points
+from repro.sketch.family import SketchFamily
+from repro.utils.rng import RngTree
+
+
+def _family(coarse=True, seed=1):
+    return SketchFamily(
+        d=128, alpha=2.0, levels=7, accurate_rows=32,
+        coarse_rows=8 if coarse else None, rng_tree=RngTree(seed),
+    )
+
+
+class TestFamily:
+    def test_level_bounds(self):
+        fam = _family()
+        fam.accurate(0)
+        fam.accurate(7)
+        with pytest.raises(ValueError):
+            fam.accurate(8)
+        with pytest.raises(ValueError):
+            fam.accurate(-1)
+
+    def test_entry_probability_tracks_level(self):
+        fam = _family()
+        assert fam.accurate(0).p == pytest.approx(bernoulli_rate(2.0, 0))
+        assert fam.accurate(5).p == pytest.approx(bernoulli_rate(2.0, 5))
+        assert fam.coarse(5).p == pytest.approx(bernoulli_rate(2.0, 5))
+
+    def test_caching_returns_same_object(self):
+        fam = _family()
+        assert fam.accurate(3) is fam.accurate(3)
+
+    def test_no_coarse_raises(self):
+        fam = _family(coarse=False)
+        with pytest.raises(RuntimeError):
+            fam.coarse(0)
+
+    def test_public_coin_determinism(self):
+        """Two families from the same seed produce identical sketches —
+        the public-coin property the tables rely on."""
+        x = random_points(np.random.default_rng(0), 1, 128)[0]
+        a = _family(seed=42).accurate_address(4, x)
+        b = _family(seed=42).accurate_address(4, x)
+        assert a == b
+
+    def test_different_levels_different_matrices(self):
+        fam = _family()
+        x = random_points(np.random.default_rng(0), 1, 128)[0]
+        assert fam.accurate_address(2, x) != fam.accurate_address(3, x)
+
+    def test_address_is_hashable_tuple(self):
+        fam = _family()
+        x = random_points(np.random.default_rng(0), 1, 128)[0]
+        addr = fam.accurate_address(0, x)
+        assert isinstance(addr, tuple)
+        hash(addr)
+
+    def test_coarse_address_shorter_than_accurate(self):
+        fam = _family()
+        x = random_points(np.random.default_rng(0), 1, 128)[0]
+        assert len(fam.coarse_address(0, x)) <= len(fam.accurate_address(0, x))

@@ -1,0 +1,52 @@
+"""Cached database sketches."""
+
+import numpy as np
+
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.utils.rng import RngTree
+
+
+def _setup():
+    rng = np.random.default_rng(0)
+    db = PackedPoints(random_points(rng, 40, 128), 128)
+    fam = SketchFamily(128, 2.0, 7, accurate_rows=32, coarse_rows=8, rng_tree=RngTree(5))
+    return db, fam, LevelSketches(db, fam)
+
+
+class TestLevelSketches:
+    def test_shapes(self):
+        db, fam, ls = _setup()
+        assert ls.accurate_db(0).shape == (40, 1)
+        assert ls.coarse_db(0).shape == (40, 1)
+
+    def test_cached(self):
+        _, _, ls = _setup()
+        a = ls.accurate_db(2)
+        b = ls.accurate_db(2)
+        assert a is b
+
+    def test_materialized_counter(self):
+        _, _, ls = _setup()
+        ls.accurate_db(0)
+        ls.accurate_db(1)
+        ls.coarse_db(0)
+        assert ls.materialized_levels() == (2, 1)
+
+    def test_matches_direct_application(self):
+        db, fam, ls = _setup()
+        direct = fam.accurate(3).apply_many(db.words)
+        assert (ls.accurate_db(3) == direct).all()
+
+    def test_distance_to_own_sketch_is_zero(self):
+        db, fam, ls = _setup()
+        addr = fam.accurate_address(4, db.row(7))
+        dists = ls.accurate_distances(4, addr)
+        assert dists[7] == 0
+
+    def test_coarse_distances_shape(self):
+        db, fam, ls = _setup()
+        addr = fam.coarse_address(1, db.row(0))
+        assert ls.coarse_distances(1, addr).shape == (40,)

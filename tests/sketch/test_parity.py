@@ -1,0 +1,105 @@
+"""Parity sketches: GF(2) linearity, density, chunking, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.packing import pack_bits, unpack_bits
+from repro.sketch.parity import ParitySketch
+
+
+def _sketch(rows=16, d=100, p=0.25, seed=0):
+    return ParitySketch(rows=rows, d=d, p=p, rng=np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_shapes(self):
+        sk = _sketch(rows=70, d=130)
+        assert sk.mask.shape == (70, 3)
+        assert sk.out_words == 2
+
+    def test_density_near_p(self):
+        sk = ParitySketch(rows=200, d=500, p=0.1, rng=np.random.default_rng(1))
+        assert abs(sk.mask_density() - 0.1) < 0.02
+
+    def test_zero_p_all_zero_sketch(self):
+        sk = _sketch(p=0.0)
+        x = pack_bits(np.ones(100, dtype=np.uint8))
+        assert (sk.apply(x) == 0).all()
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            _sketch(p=0.7)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            ParitySketch(rows=0, d=10, p=0.1, rng=np.random.default_rng(0))
+
+
+class TestApplication:
+    def test_matches_naive(self):
+        d, rows = 90, 20
+        sk = _sketch(rows=rows, d=d, seed=2)
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=d).astype(np.uint8)
+        x = pack_bits(bits)
+        mask_bits = unpack_bits(sk.mask, d)
+        expected = (mask_bits @ bits) % 2
+        got = unpack_bits(sk.apply(x), rows)
+        assert (got == expected).all()
+
+    def test_batch_matches_single(self):
+        sk = _sketch(rows=33, d=150, seed=4)
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, size=(7, 150)).astype(np.uint8)
+        batch = pack_bits(bits)
+        many = sk.apply_many(batch)
+        for i in range(7):
+            assert (many[i] == sk.apply(batch[i])).all()
+
+    def test_word_count_mismatch(self):
+        sk = _sketch(d=100)
+        with pytest.raises(ValueError):
+            sk.apply_many(np.zeros((3, 5), dtype=np.uint64))
+
+    def test_deterministic_given_seed(self):
+        a = _sketch(seed=9)
+        b = _sketch(seed=9)
+        x = pack_bits(np.random.default_rng(0).integers(0, 2, 100).astype(np.uint8))
+        assert (a.apply(x) == b.apply(x)).all()
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_gf2_linearity(self, seed):
+        """sketch(x ⊕ y) == sketch(x) ⊕ sketch(y) — the parity map is linear."""
+        d = 120
+        sk = _sketch(rows=24, d=d, seed=7)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=(2, d)).astype(np.uint8)
+        x, y = pack_bits(bits[0]), pack_bits(bits[1])
+        xy = x ^ y
+        assert (sk.apply(xy) == (sk.apply(x) ^ sk.apply(y))).all()
+
+    def test_zero_maps_to_zero(self):
+        sk = _sketch()
+        zero = pack_bits(np.zeros(100, dtype=np.uint8))
+        assert (sk.apply(zero) == 0).all()
+
+
+class TestCollisionStatistics:
+    def test_collision_rate_matches_formula(self):
+        """Fraction of differing sketch bits ≈ μ(p, D) for planted distance."""
+        from repro.core.delta import collision_rate
+        from repro.hamming.distance import hamming_distance_many
+        from repro.hamming.sampling import flip_random_bits, random_points
+
+        d, rows, p, dist = 512, 4000, 1.0 / 32, 16
+        sk = ParitySketch(rows=rows, d=d, p=p, rng=np.random.default_rng(10))
+        rng = np.random.default_rng(11)
+        x = random_points(rng, 1, d)[0]
+        y = flip_random_bits(rng, x, dist, d)
+        sx, sy = sk.apply(x), sk.apply(y)
+        observed = hamming_distance_many(sx, sy[None, :])[0] / rows
+        expected = collision_rate(p, dist)
+        assert abs(observed - expected) < 0.03

@@ -1,0 +1,102 @@
+"""Auxiliary tables T̃ and the ρ interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.words import IntWord
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.structures.aux_table import (
+    AuxCountTable,
+    aux_table_logical_cells,
+    group_levels,
+    rho,
+)
+from repro.utils.rng import RngTree
+
+
+def _setup(s=2, tau=5):
+    rng = np.random.default_rng(0)
+    db = PackedPoints(random_points(rng, 50, 256), 256)
+    fam = SketchFamily(256, 2.0, 8, 64, coarse_rows=12, rng_tree=RngTree(2))
+    ev = ApproxBallEvaluator(LevelSketches(db, fam))
+    aux = AuxCountTable(ev, level=8, tau=tau, s=s, frac_exponent=float(s))
+    return db, fam, ev, aux
+
+
+class TestRho:
+    def test_endpoints(self):
+        assert rho(0, 20, 5, 0) == 0
+        assert rho(0, 20, 5, 5) == 20
+
+    def test_monotone(self):
+        vals = [rho(3, 40, 7, r) for r in range(8)]
+        assert vals == sorted(vals)
+
+    def test_group_levels_consecutive_positions(self):
+        levels = group_levels(0, 40, 8, 3, group_index=2, w0=3)
+        expected = [rho(0, 40, 8, 4 + q) for q in range(3)]
+        assert levels == expected
+
+
+class TestSizing:
+    def test_logical_cells_positive_bigint(self):
+        cells = aux_table_logical_cells(levels=8, accurate_rows=64, coarse_rows=12, s=2)
+        assert cells > (1 << 64)  # astronomically large but exact
+
+    def test_word_size_covers_sentinel(self):
+        _, _, _, aux = _setup(s=2)
+        assert aux.table.word_size_bits >= 1 + (3).bit_length()
+
+
+class TestContent:
+    def test_returns_intword_in_range(self):
+        db, fam, ev, aux = _setup(s=2, tau=5)
+        x = db.row(1)
+        acc = fam.accurate_address(8, x)
+        coarse = [fam.coarse_address(rho(0, 8, 5, 1 + q), x) for q in range(2)]
+        addr = aux.address(acc, 0, 8, 1, coarse)
+        content = aux.table.read(addr)
+        assert isinstance(content, IntWord)
+        assert 1 <= content.value <= 3  # 1..s or sentinel s+1
+
+    def test_content_matches_direct_counting(self):
+        db, fam, ev, aux = _setup(s=2, tau=5)
+        x = db.row(2)
+        acc = fam.accurate_address(8, x)
+        levels = group_levels(0, 8, 5, 2, 1, 2)
+        coarse = [fam.coarse_address(lvl, x) for lvl in levels]
+        addr = aux.address(acc, 0, 8, 1, coarse)
+        content = aux.table.read(addr)
+        c_size = ev.c_count(8, acc)
+        cut = aux.density_threshold(c_size)
+        expected = 3  # sentinel
+        for q, (lvl, w) in enumerate(zip(levels, coarse), start=1):
+            if ev.d_count(8, acc, lvl, w) > cut:
+                expected = q
+                break
+        assert content.value == expected
+
+    def test_address_validates_group_size(self):
+        db, fam, _, aux = _setup(s=2)
+        x = db.row(0)
+        acc = fam.accurate_address(8, x)
+        with pytest.raises(ValueError):
+            aux.address(acc, 0, 8, 1, [fam.coarse_address(0, x)] * 3)  # > s
+
+    def test_validation_errors(self):
+        db, fam, ev, _ = _setup()
+        with pytest.raises(ValueError):
+            AuxCountTable(ev, 0, tau=1, s=1, frac_exponent=1.0)
+        with pytest.raises(ValueError):
+            AuxCountTable(ev, 0, tau=3, s=0, frac_exponent=1.0)
+        with pytest.raises(ValueError):
+            AuxCountTable(ev, 0, tau=3, s=1, frac_exponent=0.0)
+
+    def test_density_threshold(self):
+        _, _, _, aux = _setup(s=2)
+        n = 50
+        assert aux.density_threshold(10) == pytest.approx((n ** -0.5) * 10)

@@ -1,0 +1,61 @@
+"""Level tables T_i."""
+
+import numpy as np
+
+from repro.cellprobe.words import EMPTY, PointWord
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.structures.main_table import MainLevelTable, main_table_logical_cells
+from repro.utils.rng import RngTree
+
+
+def _setup(accurate_rows=64):
+    rng = np.random.default_rng(0)
+    db = PackedPoints(random_points(rng, 40, 256), 256)
+    fam = SketchFamily(256, 2.0, 8, accurate_rows, None, rng_tree=RngTree(1))
+    ev = ApproxBallEvaluator(LevelSketches(db, fam))
+    return db, fam, ev
+
+
+class TestMainLevelTable:
+    def test_logical_cells_formula(self):
+        assert main_table_logical_cells(10) == 1024
+
+    def test_own_point_address_returns_member(self):
+        db, fam, ev = _setup()
+        table = MainLevelTable(ev, level=6)
+        addr = fam.accurate_address(6, db.row(3))
+        content = table.table.read(addr)
+        assert isinstance(content, PointWord)
+        # Returned point is a C_6 member for this address.
+        assert ev.c_mask(6, addr)[content.index]
+
+    def test_far_address_empty_at_level_zero(self):
+        db, fam, ev = _setup()
+        table = MainLevelTable(ev, level=0)
+        rng = np.random.default_rng(9)
+        x = random_points(rng, 1, 256)[0]
+        addr = fam.accurate_address(0, x)
+        content = table.table.read(addr)
+        if not ev.c_mask(0, addr).any():
+            assert content == EMPTY
+
+    def test_content_word_fits(self):
+        db, fam, ev = _setup()
+        table = MainLevelTable(ev, level=8)
+        addr = fam.accurate_address(8, db.row(0))
+        table.table.read(addr)  # would raise if the word exceeded O(d)
+
+    def test_deterministic_content(self):
+        db, fam, ev = _setup()
+        t1 = MainLevelTable(ev, level=5)
+        t2 = MainLevelTable(ev, level=5)
+        addr = fam.accurate_address(5, db.row(10))
+        assert t1.table.read(addr) == t2.table.read(addr)
+
+    def test_names_distinct_by_level(self):
+        _, _, ev = _setup()
+        assert MainLevelTable(ev, 2).table.name != MainLevelTable(ev, 3).table.name

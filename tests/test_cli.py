@@ -1,0 +1,56 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_tradeoff(self, capsys):
+        code = main(["tradeoff", "--n", "64", "--d", "128", "--queries", "4",
+                     "--ks", "1", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Tradeoff" in out
+        assert "Alg1" in out
+
+    def test_tradeoff_with_alg2(self, capsys):
+        code = main(["tradeoff", "--n", "64", "--d", "128", "--queries", "4",
+                     "--ks", "1", "--alg2-ks", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Alg2" in out
+
+    def test_baselines(self, capsys):
+        code = main(["baselines", "--n", "64", "--d", "128", "--queries", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "linear-scan" in out
+        assert "LSH" in out
+
+    def test_lemma8(self, capsys):
+        code = main(["lemma8", "--n", "64", "--d", "128", "--queries", "4",
+                     "--rows", "32", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P[sandwich]" in out
+
+    def test_ledger(self, capsys):
+        code = main(["ledger", "--log2d", "1e6", "--ks", "1", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t*" in out
+
+    def test_demo(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Demo" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

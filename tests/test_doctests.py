@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.algorithm1
+import repro.hamming.packing
+import repro.hamming.points
+import repro.sketch.parity
+import repro.utils.rng
+
+MODULES = [
+    repro.hamming.packing,
+    repro.hamming.points,
+    repro.sketch.parity,
+    repro.utils.rng,
+    repro.core.algorithm1,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

@@ -1,0 +1,133 @@
+"""Unit and property tests for repro.utils.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intmath import (
+    ceil_div,
+    ceil_log,
+    ceil_pow2,
+    ilog2_ceil,
+    ilog2_floor,
+    num_levels,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_round_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 64) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestIlog2:
+    def test_floor_powers(self):
+        for e in range(0, 60):
+            assert ilog2_floor(1 << e) == e
+
+    def test_ceil_powers(self):
+        for e in range(0, 60):
+            assert ilog2_ceil(1 << e) == e
+
+    def test_floor_between(self):
+        assert ilog2_floor(5) == 2
+
+    def test_ceil_between(self):
+        assert ilog2_ceil(5) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2_floor(0)
+        with pytest.raises(ValueError):
+            ilog2_ceil(-1)
+
+    @given(st.integers(min_value=1, max_value=2**62))
+    def test_floor_ceil_consistent(self, x):
+        f, c = ilog2_floor(x), ilog2_ceil(x)
+        assert 2**f <= x <= 2**c
+        assert c - f in (0, 1)
+
+
+class TestCeilPow2:
+    def test_exact_power(self):
+        assert ceil_pow2(64) == 64
+
+    def test_round_up(self):
+        assert ceil_pow2(65) == 128
+
+    def test_one(self):
+        assert ceil_pow2(1) == 1
+
+    def test_zero_clamps(self):
+        assert ceil_pow2(0) == 1
+
+
+class TestCeilLog:
+    def test_exact_integer_power(self):
+        # The float-naive computation can be off by one here.
+        assert ceil_log(8.0, 2.0) == 3
+        assert ceil_log(2**40, 2.0) == 40
+
+    def test_round_up(self):
+        assert ceil_log(9.0, 2.0) == 4
+
+    def test_one(self):
+        assert ceil_log(1.0, 2.0) == 0
+
+    def test_fractional_base(self):
+        # log_{sqrt(2)}(256) = 16 exactly.
+        assert ceil_log(256.0, math.sqrt(2.0)) == 16
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            ceil_log(4.0, 1.0)
+
+    def test_rejects_small_x(self):
+        with pytest.raises(ValueError):
+            ceil_log(0.5, 2.0)
+
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.floats(min_value=1.1, max_value=16.0, allow_nan=False),
+    )
+    def test_definition(self, x, base):
+        c = ceil_log(float(x), base)
+        assert base**c >= x * (1 - 1e-12)
+        if c > 0:
+            assert base ** (c - 1) < x * (1 + 1e-9)
+
+
+class TestNumLevels:
+    def test_alpha_two(self):
+        assert num_levels(256, 2.0) == 8
+
+    def test_alpha_sqrt2(self):
+        assert num_levels(256, math.sqrt(2.0)) == 16
+
+    def test_rejects_tiny_dimension(self):
+        with pytest.raises(ValueError):
+            num_levels(1, 2.0)
+
+    def test_top_level_covers_diameter(self):
+        for d in (16, 100, 4096):
+            for alpha in (1.3, math.sqrt(2), 2.0):
+                L = num_levels(d, alpha)
+                assert alpha**L >= d

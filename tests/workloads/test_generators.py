@@ -1,0 +1,83 @@
+"""Workload generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.hamming.packing import packed_words
+from repro.workloads.spec import WorkloadSpec, make_workload, registry
+
+
+def _spec(**kw):
+    defaults = dict(n=80, d=128, num_queries=8, seed=0)
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert {"uniform", "planted", "shells", "clustered"} <= set(registry)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_workload("bogus", _spec())
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n=1, d=128)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n=10, d=2)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n=10, d=128, num_queries=0)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", ["uniform", "planted", "shells", "clustered"])
+    def test_sizes(self, name):
+        wl = make_workload(name, _spec())
+        assert len(wl.database) == 80
+        assert wl.queries.shape == (8, packed_words(128))
+        assert wl.num_queries == 8
+
+    @pytest.mark.parametrize("name", ["uniform", "planted", "shells", "clustered"])
+    def test_deterministic_by_seed(self, name):
+        a = make_workload(name, _spec(seed=5))
+        b = make_workload(name, _spec(seed=5))
+        assert (a.database.words == b.database.words).all()
+        assert (a.queries == b.queries).all()
+
+
+class TestPlanted:
+    def test_flip_range_respected(self):
+        wl = make_workload("planted", _spec(), min_flips=2, max_flips=6)
+        flips = wl.meta["flips"]
+        assert (flips >= 2).all() and (flips <= 6).all()
+        # Every query is within max_flips of some database point.
+        for qi in range(wl.num_queries):
+            assert int(wl.database.distances_from(wl.queries[qi]).min()) <= 6
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("planted", _spec(), min_flips=5, max_flips=2)
+
+
+class TestShells:
+    def test_queries_are_centers_with_near_neighbors(self):
+        wl = make_workload("shells", _spec(n=60), alpha=2.0, centers=3)
+        for qi in range(wl.num_queries):
+            dmin = int(wl.database.distances_from(wl.queries[qi]).min())
+            assert dmin <= 16  # an inner shell point exists
+
+    def test_rejects_zero_centers(self):
+        with pytest.raises(ValueError):
+            make_workload("shells", _spec(), centers=0)
+
+
+class TestClustered:
+    def test_cluster_structure(self):
+        wl = make_workload("clustered", _spec(n=100), clusters=4, cluster_radius=3)
+        assert wl.meta["clusters"] == 4
+        near = 0
+        for qi in range(wl.num_queries):
+            if int(wl.database.distances_from(wl.queries[qi]).min()) <= 9:
+                near += 1
+        assert near >= wl.num_queries // 2
