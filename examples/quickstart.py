@@ -45,6 +45,20 @@ def main() -> None:
     print(f"\nγ-approximation success: {successes}/10 "
           f"(paper guarantees ≥ 2/3 per query; boost with ANNIndex.build(boost=...))")
 
+    # Batched querying: one call answers many queries with the adaptive
+    # rounds executed for the whole batch at once; results (answers and
+    # probe/round accounting) are identical to a sequential query loop.
+    # See examples/batch_queries.py for a throughput comparison.
+    batch = np.vstack([
+        flip_random_bits(rng, database.row(int(rng.integers(0, n))), 20, d)
+        for _ in range(32)
+    ])
+    results = index.query_batch(batch)
+    stats = index.last_batch_stats
+    print(f"\nquery_batch over {len(results)} queries: "
+          f"{stats.sweeps} lockstep sweeps, {stats.total_probes} probes, "
+          f"{stats.prefetched_cells} cells prefetched in batched kernels")
+
 
 if __name__ == "__main__":
     main()

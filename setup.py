@@ -1,3 +1,47 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-limited-adaptivity-ann",
+    version="1.1.0",
+    description=(
+        "Reproduction of Liu-Pan-Yin (SPAA 2016): randomized approximate "
+        "nearest neighbor search with limited adaptivity, with an exact "
+        "cell-probe simulator and a batched query engine"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=2.0",  # np.bitwise_count is the popcount substrate
+    ],
+    extras_require={
+        "dev": [
+            "pytest>=7",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-ann=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

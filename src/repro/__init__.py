@@ -32,14 +32,17 @@ from repro.core import (
     SimpleKRoundScheme,
 )
 from repro.hamming import PackedPoints
+from repro.service import BatchQueryEngine, BatchStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANNIndex",
     "Algorithm1Params",
     "Algorithm2Params",
     "BaseParameters",
+    "BatchQueryEngine",
+    "BatchStats",
     "BoostedScheme",
     "LargeKScheme",
     "OneProbeNearNeighborScheme",

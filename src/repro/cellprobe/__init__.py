@@ -16,6 +16,7 @@ an eager build would allocate.
 """
 
 from repro.cellprobe.accounting import ProbeAccountant, ProbeBudgetExceeded, RoundRecord
+from repro.cellprobe.plan import PlanDraft, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
 from repro.cellprobe.session import ProbeRequest, ProbeSession
 from repro.cellprobe.table import LazyTable, Table
@@ -34,6 +35,7 @@ __all__ = [
     "EmptyWord",
     "IntWord",
     "LazyTable",
+    "PlanDraft",
     "PointWord",
     "ProbeAccountant",
     "ProbeBudgetExceeded",
@@ -43,6 +45,6 @@ __all__ = [
     "SchemeSizeReport",
     "Table",
     "Word",
-    "SchemeSizeReport",
+    "run_query_plan",
     "word_bits",
 ]

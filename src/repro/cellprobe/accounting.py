@@ -49,6 +49,7 @@ class ProbeAccountant:
         self.max_rounds = max_rounds
         self.max_probes = max_probes
         self.rounds: List[RoundRecord] = []
+        self._probe_count = 0  # running total (avoids re-summing per charge)
 
     # -- recording ---------------------------------------------------------
     def begin_round(self) -> RoundRecord:
@@ -63,17 +64,31 @@ class ProbeAccountant:
 
     def charge(self, record: RoundRecord, table_name: str, address: object) -> None:
         """Charge one probe to ``record``."""
-        if self.max_probes is not None and self.total_probes >= self.max_probes:
+        if self.max_probes is not None and self._probe_count >= self.max_probes:
             raise ProbeBudgetExceeded(
-                f"probe budget exceeded: {self.total_probes + 1} > {self.max_probes}"
+                f"probe budget exceeded: {self._probe_count + 1} > {self.max_probes}"
             )
         record.probes.append((table_name, address))
+        self._probe_count += 1
+
+    def charge_round(self, record: RoundRecord, probes: List[Tuple[str, object]]) -> None:
+        """Charge a whole round's ``(table_name, address)`` list at once.
+
+        Falls back to per-probe charging when the budget would be hit, so
+        the exception fires at exactly the same probe as a charge loop.
+        """
+        if self.max_probes is not None and self._probe_count + len(probes) > self.max_probes:
+            for table_name, address in probes:
+                self.charge(record, table_name, address)
+            return
+        record.probes.extend(probes)
+        self._probe_count += len(probes)
 
     # -- reporting -----------------------------------------------------------
     @property
     def total_probes(self) -> int:
         """Total cell-probes charged so far."""
-        return sum(r.size for r in self.rounds)
+        return self._probe_count
 
     @property
     def total_rounds(self) -> int:
@@ -96,6 +111,7 @@ class ProbeAccountant:
             while len(self.rounds) <= i:
                 self.rounds.append(RoundRecord(index=len(self.rounds)))
             self.rounds[i].probes.extend(rec.probes)
+            self._probe_count += rec.size
 
     def as_dict(self) -> dict:
         """Summary dictionary for reports."""

@@ -1,0 +1,134 @@
+"""Query plans: the resumable round-by-round form of a cell-probing query.
+
+A *query plan* is a generator that yields one round's complete list of
+:class:`~repro.cellprobe.session.ProbeRequest` at a time, receives the
+round's contents via ``send``, and finally returns a :class:`PlanDraft`
+(the answer plus metadata, but no accounting — accounting belongs to
+whoever executes the rounds).  The plan formulation separates *what a
+query probes* from *who executes the probes*, so the same algorithm code
+serves two drivers:
+
+* :func:`run_query_plan` — the sequential driver behind every scheme's
+  ``query``: one :class:`~repro.cellprobe.session.ProbeSession` executes
+  the plan's rounds back to back;
+* :class:`~repro.service.engine.BatchQueryEngine` — the batched driver:
+  many plans advance in lockstep and each round's probes are vectorized
+  across the whole batch, while every query still charges its *own*
+  session, keeping the paper's per-query probe/round ledger intact.
+
+Because a plan can only receive a round's contents after yielding the
+complete round, the lookup-function formulation (addresses depend on the
+query and *previous* rounds only) is enforced structurally here exactly
+as it is in :class:`~repro.cellprobe.session.ProbeSession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Hashable, List, Optional
+
+import numpy as np
+
+from repro.cellprobe.session import ProbeRequest
+
+__all__ = ["BatchAddressPrimer", "PlanDraft", "QueryPlan", "run_query_plan"]
+
+
+@dataclass
+class PlanDraft:
+    """A plan's answer before accounting is attached.
+
+    Attributes
+    ----------
+    answer_index : database index of the returned point (None = no answer)
+    answer_packed : the returned point itself, packed (None = no answer)
+    meta : scheme metadata (path taken, levels, violation flags...)
+    """
+
+    answer_index: Optional[int]
+    answer_packed: Optional[np.ndarray]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+#: Type of a query plan: yields per-round request lists, receives the
+#: corresponding content lists, returns the draft answer.
+QueryPlan = Generator[List[ProbeRequest], List[object], PlanDraft]
+
+
+class BatchAddressPrimer:
+    """Lazy whole-batch address computation for plan-capable schemes.
+
+    Holds the batch a scheme entered via ``batch_prepare`` and, on the
+    first per-query cache miss for a given tag (e.g. a sketch level),
+    computes that tag's addresses for *every* query in one vectorized
+    pass — so per-query sketching collapses to one kernel call per tag,
+    and tags no query needs are never computed.  Outside batch mode
+    (``points is None``) priming is a no-op and schemes fall back to
+    their scalar path.
+    """
+
+    def __init__(self):
+        self.points: Optional[np.ndarray] = None
+        self.keys: List[bytes] = []
+        self._primed: set = set()
+
+    def enter(self, batch: np.ndarray) -> None:
+        """Start batch mode for a packed ``(B, W)`` batch."""
+        points = np.asarray(batch, dtype=np.uint64)
+        if points.ndim == 1:
+            points = points[None, :]
+        self.points = points
+        self.keys = [points[q].tobytes() for q in range(points.shape[0])]
+        self._primed = set()
+
+    def reset(self) -> None:
+        """Leave batch mode (sequential queries prime nothing)."""
+        self.points = None
+        self._primed.clear()
+
+    def prime(
+        self,
+        tag: Hashable,
+        many_fn: Callable[[np.ndarray], List[tuple]],
+        cache: Dict,
+        cache_key: Callable[[bytes], Hashable],
+    ) -> bool:
+        """Fill ``cache`` with the whole batch's addresses for ``tag``.
+
+        ``many_fn(points)`` computes all addresses at once;
+        ``cache_key(point_bytes)`` maps each batch row to its cache key.
+        Returns True when priming ran (at most once per tag per batch).
+        """
+        if self.points is None or tag in self._primed:
+            return False
+        self._primed.add(tag)
+        for key, addr in zip(self.keys, many_fn(self.points)):
+            cache[cache_key(key)] = addr
+        return True
+
+
+def run_query_plan(scheme, x: np.ndarray):
+    """Sequentially execute ``scheme.query_plan(x)`` and finalize the result.
+
+    This is the generic ``query`` implementation for every plan-capable
+    scheme: it owns the per-query accountant and probe session, feeds the
+    plan one round at a time, and wraps the returned draft into a
+    :class:`~repro.core.result.QueryResult` via ``scheme.finalize``.
+    """
+    scheme.begin_query()
+    accountant = scheme.make_accountant()
+    session = scheme.make_session(accountant)
+    plan = scheme.query_plan(x)
+    try:
+        requests = next(plan)
+        while True:
+            contents = session.parallel_read(requests)
+            requests = plan.send(contents)
+    except StopIteration as stop:
+        draft = stop.value
+    if not isinstance(draft, PlanDraft):
+        raise TypeError(
+            f"query plan of {type(scheme).__name__} returned {type(draft).__name__}, "
+            "expected PlanDraft"
+        )
+    return scheme.finalize(draft, accountant)

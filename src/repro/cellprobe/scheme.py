@@ -68,6 +68,12 @@ class CellProbingScheme(abc.ABC):
     perform all preprocessing eagerly or lazily as they choose, and answer
     queries exclusively through probe sessions so that probe/round
     accounting is exact.
+
+    Schemes that additionally implement :meth:`query_plan` (the resumable
+    round-generator form, see :mod:`repro.cellprobe.plan`) can be driven by
+    the batched engine in :mod:`repro.service`; for those, ``query`` is the
+    sequential execution of the same plan, so both paths are identical by
+    construction.
     """
 
     #: human-readable scheme identifier used by the experiment harness
@@ -80,6 +86,67 @@ class CellProbingScheme(abc.ABC):
     @abc.abstractmethod
     def size_report(self) -> SchemeSizeReport:
         """Logical size accounting for the data structure."""
+
+    # -- the plan protocol ---------------------------------------------------
+    def query_plan(self, x: np.ndarray):
+        """Round-generator form of a query (see :mod:`repro.cellprobe.plan`).
+
+        Yields one round's complete request list at a time, receives the
+        contents, and returns a :class:`~repro.cellprobe.plan.PlanDraft`.
+        Schemes without a plan keep the default, and drivers fall back to
+        plain :meth:`query` loops.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no query plan")
+
+    def supports_plans(self) -> bool:
+        """Whether :meth:`query_plan` is implemented by this scheme."""
+        return type(self).query_plan is not CellProbingScheme.query_plan
+
+    def make_accountant(self):
+        """A fresh per-query accountant with this scheme's budgets."""
+        from repro.cellprobe.accounting import ProbeAccountant
+
+        return ProbeAccountant()
+
+    def make_session(self, accountant):
+        """A fresh per-query probe session over ``accountant``."""
+        from repro.cellprobe.session import ProbeSession
+
+        return ProbeSession(accountant)
+
+    def serializes_rounds(self) -> bool:
+        """Whether this scheme's sessions split every parallel round into
+        singleton one-probe rounds (the remark after Theorem 3).  Drivers
+        that bypass :meth:`make_session` — the boosted wrapper folds
+        copies' rounds itself — use this to preserve round structure."""
+        from repro.cellprobe.accounting import ProbeAccountant
+        from repro.cellprobe.session import SerializedProbeSession
+
+        return isinstance(self.make_session(ProbeAccountant()), SerializedProbeSession)
+
+    def begin_query(self) -> None:
+        """Per-query reset hook (e.g. clearing address memos); no-op here."""
+
+    def batch_prepare(self, batch: np.ndarray) -> None:
+        """Warm per-query caches for a packed ``(B, W)`` batch; no-op here.
+
+        Plan-capable schemes override this to compute all queries' sketch
+        addresses in vectorized passes before their plans start issuing
+        rounds.  Preparation must not change any observable behavior —
+        only precompute values the plans would derive anyway.
+        """
+
+    def finalize(self, draft, accountant):
+        """Wrap a finished plan's draft into a QueryResult."""
+        from repro.core.result import QueryResult
+
+        return QueryResult(
+            answer_index=draft.answer_index,
+            answer_packed=draft.answer_packed,
+            accountant=accountant,
+            scheme=self.scheme_name,
+            meta=draft.meta,
+        )
 
     # -- shared conveniences -------------------------------------------------
     def query_many(self, queries: np.ndarray) -> List[object]:

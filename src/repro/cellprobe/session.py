@@ -11,8 +11,7 @@ addresses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, List, Sequence
+from typing import Hashable, List, NamedTuple, Sequence
 
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.table import Table
@@ -20,8 +19,7 @@ from repro.cellprobe.table import Table
 __all__ = ["ProbeRequest", "ProbeSession"]
 
 
-@dataclass(frozen=True)
-class ProbeRequest:
+class ProbeRequest(NamedTuple):
     """One cell-probe request: a table and an address within it."""
 
     table: Table
@@ -56,20 +54,12 @@ class ProbeSession:
         if not requests:
             return []
         record = self.accountant.begin_round()
-        seen = set()
-        self.last_round_had_duplicates = False
-        contents: List[object] = []
         # First charge every probe (addresses are fixed before any content
         # is revealed), then fetch contents.
-        for req in requests:
-            key = (req.table.name, req.address)
-            if key in seen:
-                self.last_round_had_duplicates = True
-            seen.add(key)
-            self.accountant.charge(record, req.table.name, req.address)
-        for req in requests:
-            contents.append(req.table.read(req.address))
-        return contents
+        keys = [(req.table.name, req.address) for req in requests]
+        self.last_round_had_duplicates = len(set(keys)) != len(keys)
+        self.accountant.charge_round(record, keys)
+        return [req.table.read(req.address) for req in requests]
 
     def read_one(self, table: Table, address: Hashable) -> object:
         """Convenience wrapper: a round consisting of a single probe."""

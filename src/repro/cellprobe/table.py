@@ -60,6 +60,13 @@ class LazyTable(Table):
     makes repeated reads cheap, and the purity requirement makes the lazy
     simulation indistinguishable from an eager build.
 
+    The optional ``batch_content_fn(addresses)`` computes the contents of
+    many addresses in one vectorized pass; it must agree elementwise with
+    ``content_fn`` (tests assert this per structure).  The batched query
+    engine uses it through :meth:`prefetch` to warm the memo cache for a
+    whole round of probes across a query batch — after which every read
+    returns exactly what the sequential path would have computed.
+
     The optional ``validate_words`` flag asserts each produced word fits
     the declared word size — tests enable it to check the ``O(d)`` word
     bound of every scheme.
@@ -72,19 +79,17 @@ class LazyTable(Table):
         word_size_bits: int,
         content_fn: Callable[[Hashable], object],
         validate_words: bool = True,
+        batch_content_fn: Optional[Callable[[list], list]] = None,
     ):
         super().__init__(name, logical_cells, word_size_bits)
         self._content_fn = content_fn
+        self._batch_content_fn = batch_content_fn
         self._cache: Dict[Hashable, object] = {}
         self._validate_words = bool(validate_words)
         self.materialized_reads = 0  # content-function invocations (stats)
+        self.prefetched_cells = 0  # cells filled through prefetch (stats)
 
-    def read(self, address: Hashable) -> object:
-        try:
-            return self._cache[address]
-        except KeyError:
-            pass
-        content = self._content_fn(address)
+    def _check_word(self, content: object) -> object:
         if self._validate_words:
             bits = word_bits(content)
             if bits > self.word_size_bits:
@@ -92,9 +97,52 @@ class LazyTable(Table):
                     f"table {self.name!r}: word of {bits} bits exceeds "
                     f"declared word size {self.word_size_bits}"
                 )
+        return content
+
+    def read(self, address: Hashable) -> object:
+        try:
+            return self._cache[address]
+        except KeyError:
+            pass
+        content = self._check_word(self._content_fn(address))
         self._cache[address] = content
         self.materialized_reads += 1
         return content
+
+    @property
+    def supports_prefetch(self) -> bool:
+        """Whether this table has a vectorized batch content function."""
+        return self._batch_content_fn is not None
+
+    def prefetch(self, addresses) -> int:
+        """Materialize many cells in one batched pass; returns #cells filled.
+
+        Already-cached (and within-call duplicate) addresses are skipped,
+        so prefetching changes only *when* cells are computed, never what
+        they contain.
+        """
+        if self._batch_content_fn is None:
+            return 0
+        missing = []
+        seen = set()
+        for address in addresses:
+            if address in self._cache or address in seen:
+                continue
+            seen.add(address)
+            missing.append(address)
+        if not missing:
+            return 0
+        contents = self._batch_content_fn(missing)
+        if len(contents) != len(missing):
+            raise ValueError(
+                f"table {self.name!r}: batch content fn returned {len(contents)} "
+                f"words for {len(missing)} addresses"
+            )
+        for address, content in zip(missing, contents):
+            self._cache[address] = self._check_word(content)
+            self.materialized_reads += 1
+            self.prefetched_cells += 1
+        return len(missing)
 
     def cached_cells(self) -> int:
         """Number of cells materialized so far (simulator statistic)."""

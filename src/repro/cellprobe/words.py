@@ -45,7 +45,8 @@ class PointWord:
 
     @classmethod
     def from_packed(cls, index: int, packed: np.ndarray, d: int) -> "PointWord":
-        return cls(int(index), tuple(int(v) for v in np.asarray(packed).ravel()), int(d))
+        words = np.asarray(packed, dtype=np.uint64).ravel()
+        return cls(int(index), tuple(words.tolist()), int(d))
 
     def packed_array(self) -> np.ndarray:
         """The stored point as a packed uint64 row."""

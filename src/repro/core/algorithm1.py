@@ -23,8 +23,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import BatchAddressPrimer, PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.words import PointWord
 from repro.core.degenerate import DegenerateCaseHandler
 from repro.core.invariants import InvariantChecker
@@ -106,13 +107,28 @@ class SimpleKRoundScheme(CellProbingScheme):
             InvariantChecker(self.evaluator, self.family) if check_invariants else None
         )
         self._address_cache: Dict[Tuple[int, bytes], tuple] = {}
+        self._primer = BatchAddressPrimer()
 
     # -- internals -----------------------------------------------------------
     def _address(self, i: int, x: np.ndarray) -> tuple:
-        """``M_i x`` as a table address, memoized per query point bytes."""
+        """``M_i x`` as a table address, memoized per query point bytes.
+
+        In batch mode the first miss at a level sketches that level for
+        the *whole* batch in one vectorized pass; levels no query probes
+        are never sketched.
+        """
         key = (i, np.asarray(x, dtype=np.uint64).tobytes())
         addr = self._address_cache.get(key)
         if addr is None:
+            if self._primer.prime(
+                i,
+                lambda points: self.family.accurate_addresses(i, points),
+                self._address_cache,
+                lambda point_bytes: (i, point_bytes),
+            ):
+                addr = self._address_cache.get(key)
+                if addr is not None:
+                    return addr
             addr = self.family.accurate_address(i, x)
             self._address_cache[key] = addr
         return addr
@@ -130,34 +146,46 @@ class SimpleKRoundScheme(CellProbingScheme):
                 return pos
         return None
 
-    def _finish(
-        self,
-        accountant: ProbeAccountant,
+    @staticmethod
+    def _draft(
         index: Optional[int],
         packed: Optional[np.ndarray],
         inv_trace=None,
         **meta: object,
-    ) -> QueryResult:
+    ) -> PlanDraft:
         if inv_trace is not None:
             meta["invariants"] = inv_trace.as_dict()
-        return QueryResult(
-            answer_index=index,
-            answer_packed=packed,
-            accountant=accountant,
-            scheme=self.scheme_name,
-            meta=meta,
+        return PlanDraft(answer_index=index, answer_packed=packed, meta=meta)
+
+    # -- plan-protocol hooks --------------------------------------------------
+    def make_accountant(self) -> ProbeAccountant:
+        return ProbeAccountant(
+            max_rounds=self.params.round_budget, max_probes=self.params.probe_budget
         )
+
+    def begin_query(self) -> None:
+        self._address_cache.clear()
+        self._primer.reset()
+
+    def batch_prepare(self, batch: np.ndarray) -> None:
+        """Enter batch mode: per-level address sketching becomes one
+        vectorized pass over the whole batch, done lazily the first time
+        any query probes that level (see :meth:`_address`)."""
+        self._primer.enter(batch)
 
     # -- the cell-probing algorithm -------------------------------------------
     def query(self, x: np.ndarray) -> QueryResult:
         """Answer one query; exact probe/round accounting in the result."""
-        params = self.params
-        accountant = ProbeAccountant(
-            max_rounds=params.round_budget, max_probes=params.probe_budget
-        )
-        session = ProbeSession(accountant)
-        self._address_cache.clear()
+        return run_query_plan(self, x)
 
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        """The query as a round generator (see :mod:`repro.cellprobe.plan`).
+
+        Yields each round's complete request list, receives the contents,
+        and returns the draft answer; ``query`` and the batched engine both
+        execute exactly this plan.
+        """
+        params = self.params
         l, u = 0, params.base.levels
         tau = params.tau
         first_round = True
@@ -171,16 +199,14 @@ class SimpleKRoundScheme(CellProbingScheme):
             requests = self._main_requests(x, levels)
             if first_round:
                 requests = self.degenerate.requests_for(x) + requests
-            contents = session.parallel_read(requests)
+            contents = yield requests
             if first_round:
                 degenerate_hit = self.degenerate.interpret(contents[:2])
                 contents = contents[2:]
                 first_round = False
                 if degenerate_hit is not None:
                     idx, packed, which = degenerate_hit
-                    return self._finish(
-                        accountant, idx, packed, path=f"degenerate-{which}"
-                    )
+                    return self._draft(idx, packed, path=f"degenerate-{which}")
             pos = self._first_nonempty(levels, contents)
             if pos is None:
                 l, u = levels[-1], u  # r* = τ: C stays nonempty only at u
@@ -197,25 +223,24 @@ class SimpleKRoundScheme(CellProbingScheme):
         requests = self._main_requests(x, levels)
         if first_round:
             requests = self.degenerate.requests_for(x) + requests
-        contents = session.parallel_read(requests)
+        contents = yield requests
         if first_round:
             degenerate_hit = self.degenerate.interpret(contents[:2])
             contents = contents[2:]
             if degenerate_hit is not None:
                 idx, packed, which = degenerate_hit
-                return self._finish(accountant, idx, packed, path=f"degenerate-{which}")
+                return self._draft(idx, packed, path=f"degenerate-{which}")
         pos = self._first_nonempty(levels, contents)
         if pos is None:
             # Assumption 2 failed for this query's randomness: C_u was
             # believed nonempty but every probed level came back EMPTY.
-            return self._finish(
-                accountant, None, None, path="main", failed="empty-completion",
+            return self._draft(
+                None, None, path="main", failed="empty-completion",
                 shrink_rounds=shrink_count, inv_trace=inv_trace,
             )
         word = contents[pos]
         assert isinstance(word, PointWord)
-        return self._finish(
-            accountant,
+        return self._draft(
             word.index,
             word.packed_array(),
             path="main",

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import BatchAddressPrimer, PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
 from repro.cellprobe.session import ProbeRequest, ProbeSession, SerializedProbeSession
 from repro.cellprobe.words import EmptyWord, IntWord, PointWord
@@ -109,23 +110,40 @@ class LargeKScheme(CellProbingScheme):
         # always legal (it only adds unused adaptivity).
         self.one_probe_per_round = bool(one_probe_per_round)
         self._address_cache: Dict[Tuple[str, int, bytes], tuple] = {}
+        self._primer = BatchAddressPrimer()
 
     # -- address memoization ----------------------------------------------
-    def _acc_address(self, i: int, x: np.ndarray) -> tuple:
-        key = ("a", i, np.asarray(x, dtype=np.uint64).tobytes())
+    def _address(self, kind: str, i: int, x: np.ndarray) -> tuple:
+        """Memoized ``M_i x`` (kind "a") or ``N_i x`` (kind "c"); in batch
+        mode the first miss sketches that (kind, level) for the whole
+        batch in one vectorized pass."""
+        key = (kind, i, np.asarray(x, dtype=np.uint64).tobytes())
         addr = self._address_cache.get(key)
         if addr is None:
-            addr = self.family.accurate_address(i, x)
+            many_fn = (
+                self.family.accurate_addresses if kind == "a" else self.family.coarse_addresses
+            )
+            if self._primer.prime(
+                (kind, i),
+                lambda points: many_fn(i, points),
+                self._address_cache,
+                lambda point_bytes: (kind, i, point_bytes),
+            ):
+                addr = self._address_cache.get(key)
+                if addr is not None:
+                    return addr
+            single_fn = (
+                self.family.accurate_address if kind == "a" else self.family.coarse_address
+            )
+            addr = single_fn(i, x)
             self._address_cache[key] = addr
         return addr
 
+    def _acc_address(self, i: int, x: np.ndarray) -> tuple:
+        return self._address("a", i, x)
+
     def _coarse_address(self, i: int, x: np.ndarray) -> tuple:
-        key = ("c", i, np.asarray(x, dtype=np.uint64).tobytes())
-        addr = self._address_cache.get(key)
-        if addr is None:
-            addr = self.family.coarse_address(i, x)
-            self._address_cache[key] = addr
-        return addr
+        return self._address("c", i, x)
 
     # -- helpers ----------------------------------------------------------
     def _phase_round_a_requests(
@@ -169,16 +187,40 @@ class LargeKScheme(CellProbingScheme):
                 return start + content.value - 1
         return tau
 
-    def _finish(
-        self,
-        accountant: ProbeAccountant,
+    @staticmethod
+    def _draft(
         index: Optional[int],
         packed: Optional[np.ndarray],
         inv_trace=None,
         **meta: object,
-    ) -> QueryResult:
+    ) -> PlanDraft:
         if inv_trace is not None:
             meta["invariants"] = inv_trace.as_dict()
+        return PlanDraft(answer_index=index, answer_packed=packed, meta=meta)
+
+    # -- plan-protocol hooks --------------------------------------------------
+    def make_accountant(self) -> ProbeAccountant:
+        return ProbeAccountant()  # soft budgets; flags set in finalize
+
+    def make_session(self, accountant: ProbeAccountant) -> ProbeSession:
+        session_cls = SerializedProbeSession if self.one_probe_per_round else ProbeSession
+        return session_cls(accountant)
+
+    def serializes_rounds(self) -> bool:
+        return self.one_probe_per_round
+
+    def begin_query(self) -> None:
+        self._address_cache.clear()
+        self._primer.reset()
+
+    def batch_prepare(self, batch: np.ndarray) -> None:
+        """Enter batch mode: accurate/coarse address sketching becomes one
+        vectorized pass per (kind, level) over the whole batch, done lazily
+        the first time any query needs that level."""
+        self._primer.enter(batch)
+
+    def finalize(self, draft: PlanDraft, accountant: ProbeAccountant) -> QueryResult:
+        meta = draft.meta
         meta.setdefault("probe_budget_ok", accountant.total_probes <= self.params.probe_budget)
         # Under round serialization the round count equals the probe count
         # by construction, so it is judged against the probe budget.
@@ -187,8 +229,8 @@ class LargeKScheme(CellProbingScheme):
         )
         meta.setdefault("round_budget_ok", accountant.total_rounds <= round_cap)
         return QueryResult(
-            answer_index=index,
-            answer_packed=packed,
+            answer_index=draft.answer_index,
+            answer_packed=draft.answer_packed,
             accountant=accountant,
             scheme=self.scheme_name,
             meta=meta,
@@ -197,12 +239,11 @@ class LargeKScheme(CellProbingScheme):
     # -- the cell-probing algorithm -----------------------------------------
     def query(self, x: np.ndarray) -> QueryResult:
         """Answer one query with soft budget flags in the metadata."""
-        params = self.params
-        accountant = ProbeAccountant()  # soft budgets; flags set in _finish
-        session_cls = SerializedProbeSession if self.one_probe_per_round else ProbeSession
-        session = session_cls(accountant)
-        self._address_cache.clear()
+        return run_query_plan(self, x)
 
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        """The query as a round generator (see :mod:`repro.cellprobe.plan`)."""
+        params = self.params
         l, u = 0, params.base.levels
         tau, s = params.tau, params.s
         cut = params.completion_cut
@@ -223,15 +264,15 @@ class LargeKScheme(CellProbingScheme):
             requests, group_starts = self._phase_round_a_requests(x, l, u)
             if first_round:
                 requests = self.degenerate.requests_for(x) + requests
-            contents = session.parallel_read(requests)
+            contents = yield requests
             if first_round:
                 degenerate_hit = self.degenerate.interpret(contents[:2])
                 contents = contents[2:]
                 first_round = False
                 if degenerate_hit is not None:
                     idx, packed, which = degenerate_hit
-                    return self._finish(
-                        accountant, idx, packed, path=f"degenerate-{which}",
+                    return self._draft(
+                        idx, packed, path=f"degenerate-{which}",
                         phases=phases - 1,
                     )
             tu_content = contents[0]
@@ -245,8 +286,11 @@ class LargeKScheme(CellProbingScheme):
                 continue
 
             probe_level = rho(l, u, tau, r_star - 1) - 1
-            content = session.read_one(self.tables[probe_level].table,
-                                       self._acc_address(probe_level, x))
+            round_b = [
+                ProbeRequest(self.tables[probe_level].table,
+                             self._acc_address(probe_level, x))
+            ]
+            content = (yield round_b)[0]
             if isinstance(content, EmptyWord):
                 case_counts["case2"] += 1
                 new_l = probe_level
@@ -266,13 +310,13 @@ class LargeKScheme(CellProbingScheme):
         ]
         if first_round:
             requests = self.degenerate.requests_for(x) + requests
-        contents = session.parallel_read(requests)
+        contents = yield requests
         if first_round:
             degenerate_hit = self.degenerate.interpret(contents[:2])
             contents = contents[2:]
             if degenerate_hit is not None:
                 idx, packed, which = degenerate_hit
-                return self._finish(accountant, idx, packed, path="degenerate-" + which)
+                return self._draft(idx, packed, path="degenerate-" + which)
         answer_pos: Optional[int] = None
         for pos, content in enumerate(contents):
             if isinstance(content, PointWord):
@@ -285,14 +329,14 @@ class LargeKScheme(CellProbingScheme):
             **case_counts,
         }
         if answer_pos is None:
-            return self._finish(
-                accountant, None, None, failed="empty-completion",
+            return self._draft(
+                None, None, failed="empty-completion",
                 inv_trace=inv_trace, **meta,
             )
         word = contents[answer_pos]
         assert isinstance(word, PointWord)
-        return self._finish(
-            accountant, word.index, word.packed_array(),
+        return self._draft(
+            word.index, word.packed_array(),
             answer_level=levels[answer_pos], inv_trace=inv_trace, **meta,
         )
 

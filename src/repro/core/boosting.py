@@ -8,22 +8,80 @@ repetitions share rounds — round ``i`` of every copy executes together —
 so the round complexity is unchanged while probes scale linearly.
 
 The wrapper re-instantiates the underlying scheme with independent
-public-coin seeds; probe accounting merges per-round via
-:meth:`~repro.cellprobe.accounting.ProbeAccountant.merge_parallel`.
+public-coin seeds.  Its :meth:`BoostedScheme.query_plan` drives every
+copy's plan in lockstep and yields the concatenation of the copies'
+current rounds, which reproduces the parallel-repetition accounting
+directly: global round ``i`` contains each copy's round-``i`` probes, in
+copy order — exactly what merging per-copy accountants via
+:meth:`~repro.cellprobe.accounting.ProbeAccountant.merge_parallel` used
+to produce.  Each copy keeps its own semantics:
+
+* a private meter (with the copy's probe/round budgets) is charged with
+  the copy's own round structure — including one-probe-per-round
+  serialization when the copy's sessions would serialize — and the
+  yielded global rounds are built from the same adapted structure;
+* each finished copy's draft goes through the copy's own ``finalize``
+  against that meter, so copy-level metadata (Algorithm 2's
+  ``probe_budget_ok`` / ``round_budget_ok`` flags) survives into
+  ``winner_meta`` unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.session import ProbeRequest
 from repro.core.result import QueryResult
 from repro.hamming.distance import hamming_distance
 
 __all__ = ["BoostedScheme"]
+
+
+class _CopyDriver:
+    """Per-copy lockstep state: the copy's plan, its private budget meter,
+    and the current round split into the rounds the copy's own session
+    would record (singletons when the copy serializes)."""
+
+    def __init__(self, copy: CellProbingScheme, x: np.ndarray):
+        self.copy = copy
+        self.plan = copy.query_plan(x)
+        self.meter = copy.make_accountant()
+        self.serializes = copy.serializes_rounds()
+        self.result: Optional[QueryResult] = None
+        self.queue: List[List[ProbeRequest]] = []
+        self.buffer: List[object] = []
+
+    def advance(self, contents: Optional[List[object]]) -> bool:
+        """Feed the previous round's contents; stage the next one.
+
+        Returns False when the copy's plan finished (result is set).
+        Empty rounds are delivered immediately — sessions never open them.
+        """
+        while True:
+            try:
+                requests = next(self.plan) if contents is None else self.plan.send(contents)
+            except StopIteration as stop:
+                self.result = self.copy.finalize(stop.value, self.meter)
+                return False
+            if requests:
+                self.queue = [[r] for r in requests] if self.serializes else [requests]
+                self.buffer = []
+                return True
+            contents = []
+
+    def stage_round(self) -> List[ProbeRequest]:
+        """Pop the next adapted round and charge it to the private meter."""
+        requests = self.queue.pop(0)
+        record = self.meter.begin_round()
+        self.meter.charge_round(
+            record, [(req.table.name, req.address) for req in requests]
+        )
+        return requests
 
 
 class BoostedScheme(CellProbingScheme):
@@ -49,8 +107,29 @@ class BoostedScheme(CellProbingScheme):
     def k(self) -> Optional[int]:
         return getattr(self.copies[0], "k", None)
 
+    # -- plan-protocol hooks --------------------------------------------------
+    def begin_query(self) -> None:
+        for copy in self.copies:
+            copy.begin_query()
+
+    def batch_prepare(self, batch: np.ndarray) -> None:
+        for copy in self.copies:
+            copy.batch_prepare(batch)
+
+    def supports_plans(self) -> bool:
+        """Plan-driven only when every copy is (drivers check this before
+        entering the lockstep path)."""
+        return all(copy.supports_plans() for copy in self.copies)
+
     def query(self, x: np.ndarray) -> QueryResult:
-        """All copies answer; the closest returned point wins."""
+        """All copies answer in shared rounds; the closest point wins."""
+        if self.supports_plans():
+            return run_query_plan(self, x)
+        return self._query_independent(x)
+
+    def _query_independent(self, x: np.ndarray) -> QueryResult:
+        """Fallback for plan-less copies (e.g. baselines): each copy runs
+        its own query; accountants merge positionally as parallel rounds."""
         results = [copy.query(x) for copy in self.copies]
         merged = ProbeAccountant()
         for res in results:
@@ -77,6 +156,58 @@ class BoostedScheme(CellProbingScheme):
             merged,
             scheme=self.scheme_name,
             meta={**meta, "winner_meta": dict(best.meta)},
+        )
+
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        """Lockstep interleaving of the copies' plans.
+
+        Every iteration yields the concatenation of all still-running
+        copies' next rounds (copy order, each adapted to the copy's own
+        round structure), splits the received contents back per copy, and
+        advances a copy's plan once its full round has been delivered.
+        """
+        drivers = [_CopyDriver(copy, x) for copy in self.copies]
+        active: Dict[int, _CopyDriver] = {}
+        for i, driver in enumerate(drivers):
+            if driver.advance(None):
+                active[i] = driver
+        while active:
+            spans: List[Tuple[int, int]] = []
+            flat: List[ProbeRequest] = []
+            for i in list(active):  # insertion order == copy order
+                requests = active[i].stage_round()
+                spans.append((i, len(requests)))
+                flat.extend(requests)
+            contents = yield flat
+            pos = 0
+            for i, size in spans:
+                driver = active[i]
+                driver.buffer.extend(contents[pos:pos + size])
+                pos += size
+                if not driver.queue and not driver.advance(driver.buffer):
+                    del active[i]
+
+        best: Optional[QueryResult] = None
+        best_dist: Optional[int] = None
+        for driver in drivers:
+            result = driver.result
+            if result.answer_packed is None:
+                continue
+            dist = hamming_distance(x, result.answer_packed)
+            if best_dist is None or dist < best_dist:
+                best, best_dist = result, dist
+        answered = sum(1 for driver in drivers if driver.result.answered)
+        meta = {
+            "copies": len(self.copies),
+            "copies_answered": answered,
+            "inner": self.inner_name,
+        }
+        if best is None:
+            return PlanDraft(None, None, meta)
+        return PlanDraft(
+            best.answer_index,
+            best.answer_packed,
+            {**meta, "winner_meta": dict(best.meta)},
         )
 
     def size_report(self) -> SchemeSizeReport:

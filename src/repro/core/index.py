@@ -8,13 +8,15 @@ success boosting behind one constructor, so downstream users can write::
     result = index.query(query_bits)
     result.answer_index, result.probes, result.rounds
 
+    results = index.query_batch(query_bits_batch)  # batched, same answers
+
 Accepts either raw 0/1 bit arrays or pre-packed
 :class:`~repro.hamming.points.PackedPoints`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -26,6 +28,7 @@ from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
 from repro.core.result import QueryResult
 from repro.hamming.packing import pack_bits
 from repro.hamming.points import PackedPoints
+from repro.service.engine import BatchQueryEngine, BatchStats
 from repro.utils.rng import RngTree
 
 __all__ = ["ANNIndex"]
@@ -127,6 +130,41 @@ class ANNIndex:
     def query_packed(self, x: np.ndarray) -> QueryResult:
         """Answer one query given as a packed uint64 row."""
         return self.scheme.query(np.asarray(x, dtype=np.uint64))
+
+    def query_batch(
+        self, queries: Union[np.ndarray, list], prefetch: bool = True
+    ) -> List[QueryResult]:
+        """Answer many queries at once through the batched engine.
+
+        Accepts a ``(B, d)`` bit array or a packed ``(B, W)`` uint64 array
+        (a single query is promoted to a batch of one).  Results are
+        identical to a sequential :meth:`query` loop — same answers, same
+        per-query probe/round accounting — but each adaptive round's work
+        is vectorized across the whole batch, so throughput is much higher
+        (see ``benchmarks/bench_e15_batch_throughput.py``).
+
+        ``prefetch=False`` disables cross-query cell prefetching (the
+        engine then only batches sketch addresses); mainly for tests.
+        """
+        arr = np.asarray(queries)
+        if arr.size == 0:
+            # An empty batch answers to nothing, like the sequential loop.
+            arr = np.empty((0, self.database.word_count), dtype=np.uint64)
+        elif arr.dtype != np.uint64:
+            if arr.ndim == 1:
+                arr = arr[None, :]
+            arr = pack_bits(arr.astype(np.uint8), self.database.d)
+        elif arr.ndim == 1:
+            arr = arr[None, :]
+        engine = BatchQueryEngine(self.scheme, prefetch=prefetch)
+        results = engine.run(arr)
+        self._last_batch_stats = engine.last_stats
+        return results
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """Execution statistics of the most recent :meth:`query_batch`."""
+        return getattr(self, "_last_batch_stats", None)
 
     # -- introspection ----------------------------------------------------
     @property

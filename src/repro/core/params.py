@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional
 
 from repro.core.delta import sandwich_margin_rows
@@ -95,23 +96,23 @@ class BaseParameters:
             raise ValueError("c1 and c2 must be positive")
 
     # -- derived geometry ---------------------------------------------------
-    @property
+    @cached_property
     def effective_gamma(self) -> float:
         """γ after the WLOG cap at 4."""
         return min(self.gamma, GAMMA_CAP)
 
-    @property
+    @cached_property
     def alpha(self) -> float:
         """Level base ``α = √γ`` (with the γ < 4 cap, so α < 2)."""
         return math.sqrt(self.effective_gamma)
 
-    @property
+    @cached_property
     def levels(self) -> int:
         """Top level ``L = ⌈log_α d⌉``; level radii are ``αⁱ, i = 0..L``."""
         return num_levels(self.d, self.alpha)
 
     # -- sketch sizing ------------------------------------------------------
-    @property
+    @cached_property
     def accurate_rows(self) -> int:
         """Output bits of each accurate sketch ``M_i``."""
         if self.profile == "theory":
@@ -145,7 +146,7 @@ class Algorithm1Params:
         if self.tau_override is not None and self.tau_override < 2:
             raise ValueError(f"tau must be >= 2, got {self.tau_override}")
 
-    @property
+    @cached_property
     def tau(self) -> int:
         """The branching factor ``τ``.
 
@@ -164,18 +165,18 @@ class Algorithm1Params:
             tau += 1
         return tau
 
-    @property
+    @cached_property
     def shrinking_round_budget(self) -> int:
         """Worst-case shrinking rounds (must be ≤ k − 1 for paper-τ)."""
         return worst_case_shrinking_rounds(self.base.levels, self.tau)
 
-    @property
+    @cached_property
     def probe_budget(self) -> int:
         """Total probe budget: shrinking rounds × (τ−1) + completion (≤ τ−1)
         + 2 degenerate probes."""
         return self.shrinking_round_budget * (self.tau - 1) + (self.tau - 1) + 2
 
-    @property
+    @cached_property
     def round_budget(self) -> int:
         """Round budget ``k`` (degenerate probes fold into round 1)."""
         return max(1, self.shrinking_round_budget + 1)
@@ -221,39 +222,39 @@ class Algorithm2Params:
                 "or pass s_override"
             )
 
-    @property
+    @cached_property
     def s_real(self) -> float:
         """The paper's ``s = (1/4 − 1/(2c))k − 1/4``."""
         return (0.25 - 0.5 / self.c) * self.k - 0.25
 
-    @property
+    @cached_property
     def s(self) -> int:
         """Integer group capacity (coarse sets per auxiliary probe)."""
         if self.s_override is not None:
             return self.s_override
         return max(1, math.floor(self.s_real))
 
-    @property
+    @cached_property
     def phase_budget(self) -> int:
         """Maximum shrinking phases ``⌊(k−1)/2⌋``."""
         return (self.k - 1) // 2
 
-    @property
+    @cached_property
     def size_shrink_budget(self) -> int:
         """Phases in which ``|C_u|`` may shrink instead of the gap: ``2s``."""
         return 2 * self.s
 
-    @property
+    @cached_property
     def gap_shrink_budget(self) -> int:
         """Phases available for shrinking the gap ``u − l``."""
         return max(0, self.phase_budget - self.size_shrink_budget)
 
-    @property
+    @cached_property
     def completion_cut(self) -> int:
         """Completion triggers when ``u − l < max(3τ, k)``."""
         return max(3 * self.tau, self.k)
 
-    @property
+    @cached_property
     def tau(self) -> int:
         """Branching factor: smallest ``τ ≥ 3`` whose gap-shrink budget
         brings the gap below the completion cut.
@@ -275,18 +276,18 @@ class Algorithm2Params:
             tau += 1
         return tau
 
-    @property
+    @cached_property
     def groups_per_phase(self) -> int:
         """Auxiliary probes per phase: ``⌈(τ−1)/s⌉``."""
         return ceil_div(max(1, self.tau - 1), self.s)
 
-    @property
+    @cached_property
     def probe_budget(self) -> int:
         """Total probes: phases × (groups + 2) + completion + degenerate."""
         per_phase = self.groups_per_phase + 2  # +Tu probe, +2nd-round probe
         return self.phase_budget * per_phase + self.completion_cut + 2
 
-    @property
+    @cached_property
     def round_budget(self) -> int:
         """Round budget: 2 per phase + completion."""
         return 2 * self.phase_budget + 1

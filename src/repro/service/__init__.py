@@ -1,0 +1,22 @@
+"""Batched query serving on top of the cell-probe simulator.
+
+The paper's model is per-query: ``k`` rounds of parallel probes, each
+query on its own.  This package adds the serving layer the ROADMAP's
+"heavy traffic" north star asks for: :class:`~repro.service.engine.BatchQueryEngine`
+executes *many* concurrent queries by advancing their per-query plans in
+lockstep and vectorizing each sweep's work across the whole batch —
+sketch addresses via one :class:`~repro.sketch.parity.ParitySketch`
+application per level, and table cells via the structures' batched
+content functions over the packed-uint64 popcount kernels in
+:mod:`repro.hamming.distance`.
+
+Every query keeps its own :class:`~repro.cellprobe.session.ProbeSession`
+and :class:`~repro.cellprobe.accounting.ProbeAccountant`, so the paper's
+limited-adaptivity semantics and per-query probe/round ledger are
+untouched: batched results are identical to a sequential ``query`` loop
+under the same seed.
+"""
+
+from repro.service.engine import BatchQueryEngine, BatchStats
+
+__all__ = ["BatchQueryEngine", "BatchStats"]

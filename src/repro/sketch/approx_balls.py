@@ -94,6 +94,34 @@ class ApproxBallEvaluator:
             return best
         return None
 
+    def c_witnesses(self, i: int, addresses) -> list:
+        """Batched :meth:`c_witness`: one entry per address, same tie-breaks.
+
+        A single broadcast distance kernel replaces the per-address scans;
+        ``np.argmin`` keeps the identical lowest-index tie-break, so entry
+        ``q`` equals ``c_witness(i, addresses[q])`` exactly.
+        """
+        addresses = list(addresses)
+        if not addresses:
+            return []
+        dists = self.sketches.accurate_cross_distances(i, addresses)
+        thr = self.accurate_threshold(i)
+        best = dists.argmin(axis=1)
+        best_dists = dists[np.arange(dists.shape[0]), best]
+        return [
+            int(b) if int(bd) <= thr else None for b, bd in zip(best, best_dists)
+        ]
+
+    def c_masks(self, i: int, addresses) -> np.ndarray:
+        """Batched :meth:`c_mask`: ``(B, n)`` boolean membership matrix."""
+        dists = self.sketches.accurate_cross_distances(i, list(addresses))
+        return dists <= self.accurate_threshold(i)
+
+    def coarse_masks(self, j: int, addresses) -> np.ndarray:
+        """``(B, n)`` coarse-membership matrix for many coarse addresses."""
+        dists = self.sketches.coarse_cross_distances(j, list(addresses))
+        return dists <= self.coarse_threshold(j)
+
     def d_mask(self, i: int, accurate_address: tuple, j: int, coarse_address: tuple) -> np.ndarray:
         """Membership mask of ``D_{i,j}`` given both addresses."""
         base = self.c_mask(i, accurate_address)

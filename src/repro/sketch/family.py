@@ -104,11 +104,23 @@ class SketchFamily:
     # -- query-side helpers --------------------------------------------------
     def accurate_address(self, i: int, x: np.ndarray) -> tuple:
         """``M_i x`` as a hashable table address (tuple of packed words)."""
-        return tuple(int(v) for v in self.accurate(i).apply(x))
+        return tuple(self.accurate(i).apply(x).tolist())
 
     def coarse_address(self, i: int, x: np.ndarray) -> tuple:
         """``N_i x`` as a hashable address component."""
-        return tuple(int(v) for v in self.coarse(i).apply(x))
+        return tuple(self.coarse(i).apply(x).tolist())
+
+    def accurate_addresses(self, i: int, points: np.ndarray) -> list[tuple]:
+        """``M_i x`` for every row of a packed batch, as address tuples.
+
+        One vectorized :meth:`~repro.sketch.parity.ParitySketch.apply_many`
+        call; row ``q`` equals ``accurate_address(i, points[q])`` exactly.
+        """
+        return [tuple(row) for row in self.accurate(i).apply_many(points).tolist()]
+
+    def coarse_addresses(self, i: int, points: np.ndarray) -> list[tuple]:
+        """``N_i x`` for every row of a packed batch, as address tuples."""
+        return [tuple(row) for row in self.coarse(i).apply_many(points).tolist()]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -13,7 +13,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.hamming.distance import hamming_distance_many
+from repro.hamming.distance import cross_distances, hamming_distance_many
 from repro.hamming.points import PackedPoints
 from repro.sketch.family import SketchFamily
 
@@ -62,6 +62,17 @@ class LevelSketches:
         """Hamming distances between a coarse address and all DB sketches."""
         addr = np.asarray(address, dtype=np.uint64)
         return hamming_distance_many(addr, self.coarse_db(i))
+
+    def accurate_cross_distances(self, i: int, addresses) -> np.ndarray:
+        """``(B, n)`` distances between many accurate addresses and all DB
+        sketches — one broadcast kernel call for a whole batch of queries."""
+        addr = np.asarray(list(addresses), dtype=np.uint64)
+        return cross_distances(addr, self.accurate_db(i))
+
+    def coarse_cross_distances(self, i: int, addresses) -> np.ndarray:
+        """``(B, n)`` distances between many coarse addresses and all DB sketches."""
+        addr = np.asarray(list(addresses), dtype=np.uint64)
+        return cross_distances(addr, self.coarse_db(i))
 
     def materialized_levels(self) -> tuple[int, int]:
         """(accurate, coarse) level counts computed so far (statistics)."""

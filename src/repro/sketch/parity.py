@@ -97,9 +97,11 @@ class ParitySketch:
             for q0 in range(0, m, pt_block):
                 q1 = min(m, q0 + pt_block)
                 # (Q, B, W) AND buffer -> per-(point,row) popcount parity.
+                # Summing uint8 popcounts wraps mod 256, which preserves
+                # the parity bit while moving 8x less memory than int64.
                 anded = pts[q0:q1, None, :] & band[None, :, :]
-                counts = np.bitwise_count(anded).sum(axis=2, dtype=np.int64)
-                bits[q0:q1, r0:r1] = (counts & 1).astype(np.uint8)
+                counts = np.bitwise_count(anded).sum(axis=2, dtype=np.uint8)
+                bits[q0:q1, r0:r1] = counts & np.uint8(1)
         return pack_bits(bits, self.rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -108,6 +108,7 @@ class AuxCountTable:
             ),
             word_size_bits=1 + max(1, (self.s + 1).bit_length()),
             content_fn=self._content,
+            batch_content_fn=self._batch_contents,
         )
 
     def address(
@@ -145,3 +146,46 @@ class AuxCountTable:
             if d_size > cut:
                 return IntWord(q, self.s + self.SENTINEL_OFFSET)
         return IntWord(self.s + self.SENTINEL_OFFSET, self.s + self.SENTINEL_OFFSET)
+
+    def _batch_contents(self, addresses: list) -> list:
+        """Vectorized form of :meth:`_content` for many group probes.
+
+        Shares one ``C_i`` membership matrix across the distinct accurate
+        addresses in the batch and one coarse matrix per (level, coarse
+        address) set, then assembles each probe's smallest dense position
+        with the same threshold logic as the scalar path.
+        """
+        ev = self.evaluator
+        acc_order: dict[tuple, int] = {}
+        for address in addresses:
+            acc_order.setdefault(address[0], len(acc_order))
+        acc_masks = ev.c_masks(self.level, list(acc_order))
+        c_sizes = acc_masks.sum(axis=1)
+
+        per_address_levels = []
+        needed: dict[int, dict[tuple, None]] = {}
+        for address in addresses:
+            _, l, u, group_index, w0, coarse_addresses = address
+            levels = group_levels(l, u, self.tau, self.s, group_index, w0)
+            per_address_levels.append(levels)
+            for lvl, w_addr in zip(levels, coarse_addresses):
+                needed.setdefault(lvl, {})[w_addr] = None  # ordered de-dup
+        coarse_masks = {
+            lvl: dict(zip(addrs, ev.coarse_masks(lvl, list(addrs))))
+            for lvl, addrs in needed.items()
+        }
+
+        sentinel = self.s + self.SENTINEL_OFFSET
+        out = []
+        for address, levels in zip(addresses, per_address_levels):
+            accurate_address, _, _, _, _, coarse_addresses = address
+            row = acc_order[accurate_address]
+            base = acc_masks[row]
+            cut = self.density_threshold(int(c_sizes[row]))
+            value = sentinel
+            for q, (lvl, w_addr) in enumerate(zip(levels, coarse_addresses), start=1):
+                if int((base & coarse_masks[lvl][w_addr]).sum()) > cut:
+                    value = q
+                    break
+            out.append(IntWord(value, sentinel))
+        return out

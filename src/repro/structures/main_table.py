@@ -34,6 +34,7 @@ class MainLevelTable:
             logical_cells=main_table_logical_cells(evaluator.sketches.family.accurate_rows),
             word_size_bits=1 + db.d,
             content_fn=self._content,
+            batch_content_fn=self._batch_contents,
         )
 
     def _content(self, address: tuple) -> object:
@@ -42,3 +43,11 @@ class MainLevelTable:
             return EMPTY
         db = self.evaluator.sketches.database
         return PointWord.from_packed(witness, db.row(witness), db.d)
+
+    def _batch_contents(self, addresses: list) -> list:
+        witnesses = self.evaluator.c_witnesses(self.level, addresses)
+        db = self.evaluator.sketches.database
+        return [
+            EMPTY if w is None else PointWord.from_packed(w, db.row(w), db.d)
+            for w in witnesses
+        ]

@@ -58,6 +58,7 @@ class MembershipStructure:
             logical_cells=stored_points * stored_points,  # quadratic perfect hashing
             word_size_bits=1 + d,
             content_fn=self._content,
+            batch_content_fn=self._batch_contents,
         )
 
     def address_for(self, x: np.ndarray) -> tuple:
@@ -68,7 +69,7 @@ class MembershipStructure:
         resolved by the perfect-hash construction, so identifying the
         address with the point is behaviorally exact for probing purposes.
         """
-        return tuple(int(v) for v in np.asarray(x, dtype=np.uint64).ravel())
+        return tuple(np.asarray(x, dtype=np.uint64).ravel().tolist())
 
     def _content(self, address: tuple) -> object:
         x = np.asarray(address, dtype=np.uint64)
@@ -82,6 +83,54 @@ class MembershipStructure:
         exact = hits[dists[hits] == 0]
         idx = int(exact[0]) if exact.size else int(hits[0])
         return PointWord.from_packed(idx, self.database.row(idx), self.database.d)
+
+    def _batch_contents(self, addresses: list) -> list:
+        """Vectorized form of :meth:`_content` for many probed addresses.
+
+        A query within distance ``radius ≤ 1`` of a stored point must be
+        within ``radius`` on the first packed word alone, so one cheap
+        ``(B, n)`` single-word popcount screens the batch and the full
+        ``W``-word distance is computed only for the rare candidate pairs.
+        The survivors go through the same hit selection as ``_content``
+        (prefer exact, lowest index), so contents are identical.
+        """
+        if len(self.database) == 0:
+            return [EMPTY] * len(addresses)
+        points = np.asarray([tuple(a) for a in addresses], dtype=np.uint64)
+        words = self.database.words
+        radius = self.radius
+        first_word = np.bitwise_count(points[:, 0][:, None] ^ words[None, :, 0])
+        cand_q, cand_z = np.nonzero(first_word <= radius)
+        best: dict[int, tuple[bool, int]] = {}  # query row -> (found exact, index)
+        if cand_q.size:
+            if points.shape[1] == 1:
+                cand_dists = first_word[cand_q, cand_z]
+            else:
+                cand_dists = np.bitwise_count(
+                    points[cand_q] ^ words[cand_z]
+                ).sum(axis=1, dtype=np.int64)
+            # Candidates arrive sorted by (query, index), so the first hit
+            # per query is the lowest index and the first exact hit is the
+            # lowest-index exact — matching _content's selection.
+            for q, z, dist in zip(cand_q.tolist(), cand_z.tolist(), cand_dists.tolist()):
+                if dist > radius:
+                    continue
+                current = best.get(q)
+                if current is None:
+                    best[q] = (dist == 0, z)
+                elif dist == 0 and not current[0]:
+                    best[q] = (True, z)
+        out = []
+        for q in range(points.shape[0]):
+            hit = best.get(q)
+            if hit is None:
+                out.append(EMPTY)
+            else:
+                idx = hit[1]
+                out.append(
+                    PointWord.from_packed(idx, self.database.row(idx), self.database.d)
+                )
+        return out
 
     def lookup_ground_truth(self, x: np.ndarray) -> Optional[int]:
         """Unaccounted ground-truth check (tests only)."""

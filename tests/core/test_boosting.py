@@ -62,3 +62,79 @@ class TestBoosting:
         boosted = BoostedScheme(_factory(small_db), seeds=[0, 1])
         single = _factory(small_db)(0)
         assert boosted.size_report().table_cells == 2 * single.size_report().table_cells
+
+
+class TestBoostingMatchesIndependentCopies:
+    """The boosted wrapper's shared-round accounting must equal running
+    the copies independently and folding their accountants positionally
+    via merge_parallel — including when the copies serialize rounds."""
+
+    def _alg2_factory(self, db, one_probe_per_round):
+        from repro.core.algorithm2 import LargeKScheme
+        from repro.core.params import Algorithm2Params
+
+        base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0, c2=8.0)
+        params = Algorithm2Params(base, k=8, s_override=2)
+        return lambda seed: LargeKScheme(
+            db, params, seed=seed, one_probe_per_round=one_probe_per_round
+        )
+
+    @pytest.mark.parametrize("one_probe_per_round", [False, True])
+    def test_merged_accounting_matches_merge_parallel(
+        self, medium_db, medium_queries, one_probe_per_round
+    ):
+        from repro.cellprobe.accounting import ProbeAccountant
+
+        factory = self._alg2_factory(medium_db, one_probe_per_round)
+        boosted = BoostedScheme(factory, seeds=[0, 1, 2])
+        reference = BoostedScheme(factory, seeds=[0, 1, 2])
+        for x in medium_queries[:6]:
+            copy_results = [c.query(x) for c in reference.copies]
+            merged = ProbeAccountant()
+            for r in copy_results:
+                merged.merge_parallel(r.accountant)
+            res = boosted.query(x)
+            assert res.probes_per_round == merged.probes_per_round
+            assert res.probes == merged.total_probes
+            assert res.rounds == merged.total_rounds
+
+    def test_serialized_copies_keep_singleton_rounds(self, medium_db, medium_queries):
+        boosted = BoostedScheme(self._alg2_factory(medium_db, True), seeds=[0, 1])
+        res = boosted.query(medium_queries[0])
+        # Every merged round folds at most one probe per still-running copy.
+        assert all(size <= 2 for size in res.probes_per_round)
+
+    def test_winner_meta_keeps_copy_budget_flags(self, medium_db, medium_queries):
+        boosted = BoostedScheme(self._alg2_factory(medium_db, False), seeds=[0, 1])
+        res = boosted.query(medium_queries[0])
+        assert "winner_meta" in res.meta
+        assert "probe_budget_ok" in res.meta["winner_meta"]
+        assert "round_budget_ok" in res.meta["winner_meta"]
+
+
+class TestBoostingPlanlessCopies:
+    """Boosting must still work over schemes without query plans
+    (baselines) via independent per-copy queries + merge_parallel."""
+
+    def test_boosted_linear_scan(self, small_db, small_queries):
+        from repro.baselines.linear_scan import LinearScanScheme
+
+        boosted = BoostedScheme(lambda s: LinearScanScheme(small_db), seeds=[0, 1])
+        assert not boosted.supports_plans()
+        res = boosted.query(small_queries[0])
+        single = LinearScanScheme(small_db).query(small_queries[0])
+        assert res.answer_index == single.answer_index
+        assert res.probes == 2 * single.probes  # two copies, probes add
+        assert res.rounds == single.rounds      # rounds shared
+        assert res.meta["copies"] == 2
+
+    def test_engine_falls_back_for_boosted_planless(self, small_db, small_queries):
+        from repro.baselines.linear_scan import LinearScanScheme
+        from repro.service import BatchQueryEngine
+
+        boosted = BoostedScheme(lambda s: LinearScanScheme(small_db), seeds=[0, 1])
+        results = BatchQueryEngine(boosted).run(small_queries[:4])
+        loop = [boosted.query(q) for q in small_queries[:4]]
+        for r, l in zip(results, loop):
+            assert r.answer_index == l.answer_index
+            assert r.probes == l.probes

@@ -101,3 +101,36 @@ class TestPopcount:
 
     def test_single_row(self):
         assert popcount_rows(np.array([7], dtype=np.uint64)).tolist() == [3]
+
+
+class TestCrossDistances:
+    """cross_distances is the many-vs-many kernel behind batch prefetching;
+    it must agree exactly with per-row hamming_distance_many on both the
+    small-word (accumulate) and wide-word (chunked 3-D) code paths."""
+
+    @pytest.mark.parametrize("d", [70, 130, 1000])  # 2, 3, and 16 words
+    def test_matches_per_row_kernel(self, d):
+        from repro.hamming.distance import cross_distances
+
+        a = pack_bits(_random_bits(1, 9, d))
+        b = pack_bits(_random_bits(2, 23, d))
+        got = cross_distances(a, b)
+        assert got.shape == (9, 23)
+        for i in range(9):
+            assert got[i].tolist() == hamming_distance_many(a[i], b).tolist()
+
+    def test_empty_sides(self):
+        from repro.hamming.distance import cross_distances
+
+        a = pack_bits(_random_bits(3, 4, 64))
+        empty = np.empty((0, 1), dtype=np.uint64)
+        assert cross_distances(empty, a).shape == (0, 4)
+        assert cross_distances(a, empty).shape == (4, 0)
+
+    def test_word_count_mismatch(self):
+        from repro.hamming.distance import cross_distances
+
+        with pytest.raises(ValueError, match="word-count"):
+            cross_distances(
+                np.zeros((2, 2), dtype=np.uint64), np.zeros((2, 3), dtype=np.uint64)
+            )

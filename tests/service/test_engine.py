@@ -1,0 +1,78 @@
+"""Engine mechanics: stats, fallback for plan-less schemes, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_scan import LinearScanScheme
+from repro.core.algorithm1 import SimpleKRoundScheme
+from repro.core.params import Algorithm1Params, BaseParameters
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.service import BatchQueryEngine
+
+
+@pytest.fixture(scope="module")
+def db():
+    gen = np.random.default_rng(5)
+    return PackedPoints(random_points(gen, 100, 128), 128)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    gen = np.random.default_rng(6)
+    return random_points(gen, 12, 128)
+
+
+def make_scheme(db, seed=2, k=2):
+    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
+    return SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=seed)
+
+
+def test_stats_match_per_query_accounting(db, queries):
+    engine = BatchQueryEngine(make_scheme(db))
+    results = engine.run(queries)
+    stats = engine.last_stats
+    assert stats.batch_size == len(queries)
+    assert stats.total_probes == sum(r.probes for r in results)
+    assert stats.total_rounds == sum(r.rounds for r in results)
+    assert stats.sweeps >= max(r.rounds for r in results)
+    assert stats.prefetched_cells > 0
+
+
+def test_no_prefetch_engine_prefetches_nothing(db, queries):
+    engine = BatchQueryEngine(make_scheme(db), prefetch=False)
+    engine.run(queries)
+    assert engine.last_stats.prefetched_cells == 0
+
+
+def test_empty_batch(db):
+    engine = BatchQueryEngine(make_scheme(db))
+    assert engine.run(np.empty((0, db.word_count), dtype=np.uint64)) == []
+    assert engine.last_stats.batch_size == 0
+
+
+def test_planless_scheme_falls_back_to_loop(db, queries):
+    scan = LinearScanScheme(db)
+    assert not scan.supports_plans()
+    engine = BatchQueryEngine(scan)
+    results = engine.run(queries)
+    loop = [scan.query(q) for q in queries]
+    for r, l in zip(results, loop):
+        assert r.answer_index == l.answer_index
+        assert r.probes == l.probes
+    assert engine.last_stats.sweeps == 0  # fallback path, no lockstep sweeps
+
+
+def test_plan_capable_scheme_advertises_it(db):
+    assert make_scheme(db).supports_plans()
+
+
+def test_engine_reusable_across_batches(db, queries):
+    engine = BatchQueryEngine(make_scheme(db, seed=3))
+    first = engine.run(queries)
+    second = engine.run(queries)
+    for a, b in zip(first, second):
+        assert a.answer_index == b.answer_index
+        assert a.probes == b.probes

@@ -1,0 +1,145 @@
+"""Batched content functions must agree elementwise with the scalar
+``content_fn`` — this is the property that makes engine prefetching
+invisible to results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.table import LazyTable
+from repro.cellprobe.words import EmptyWord, IntWord, PointWord
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.sketch.approx_balls import ApproxBallEvaluator
+from repro.sketch.family import SketchFamily
+from repro.sketch.levels import LevelSketches
+from repro.structures.aux_table import AuxCountTable, group_levels
+from repro.structures.main_table import MainLevelTable
+from repro.structures.perfect_hash import MembershipStructure
+from repro.utils.rng import RngTree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = np.random.default_rng(17)
+    n, d = 90, 192
+    db = PackedPoints(random_points(gen, n, d), d)
+    family = SketchFamily(
+        d=d, alpha=2.0, levels=7, accurate_rows=48, coarse_rows=12,
+        rng_tree=RngTree(3),
+    )
+    evaluator = ApproxBallEvaluator(LevelSketches(db, family))
+    return gen, db, family, evaluator
+
+
+def words_equal(a, b):
+    if isinstance(a, EmptyWord):
+        return isinstance(b, EmptyWord)
+    if isinstance(a, PointWord):
+        return isinstance(b, PointWord) and a.index == b.index and a.packed == b.packed
+    if isinstance(a, IntWord):
+        return isinstance(b, IntWord) and a.value == b.value
+    return a == b
+
+
+def test_main_table_batch_matches_scalar(setup):
+    gen, db, family, evaluator = setup
+    for level in (0, 3, 7):
+        table = MainLevelTable(evaluator, level)
+        points = random_points(gen, 30, db.d)
+        addresses = [family.accurate_address(level, p) for p in points]
+        batch = table._batch_contents(addresses)
+        scalar = [table._content(a) for a in addresses]
+        assert all(words_equal(b, s) for b, s in zip(batch, scalar))
+
+
+@pytest.mark.parametrize("radius", [0, 1])
+def test_membership_batch_matches_scalar(setup, radius):
+    gen, db, _, _ = setup
+    structure = MembershipStructure(db, radius=radius, name=f"B{radius}")
+    # Mix of exact members, 1-flip neighbors, 2-flip points, and uniform.
+    probes = [db.row(i) for i in range(6)]
+    probes += [flip_random_bits(gen, db.row(i), 1, db.d) for i in range(6)]
+    probes += [flip_random_bits(gen, db.row(i), 2, db.d) for i in range(6)]
+    probes += list(random_points(gen, 6, db.d))
+    addresses = [structure.address_for(p) for p in probes]
+    batch = structure._batch_contents(addresses)
+    scalar = [structure._content(a) for a in addresses]
+    assert all(words_equal(b, s) for b, s in zip(batch, scalar))
+    # Sanity: exact members must hit and return themselves.
+    assert all(isinstance(w, PointWord) for w in batch[:6])
+
+
+def test_membership_batch_empty_database():
+    empty = PackedPoints(np.zeros((0, 2), dtype=np.uint64), 128)
+    structure = MembershipStructure(empty, radius=0, name="B0")
+    batch = structure._batch_contents([(0, 0), (1, 2)])
+    assert all(isinstance(w, EmptyWord) for w in batch)
+
+
+def test_aux_table_batch_matches_scalar(setup):
+    gen, db, family, evaluator = setup
+    tau, s = 4, 2
+    level = 6
+    aux = AuxCountTable(evaluator, level, tau=tau, s=s, frac_exponent=2.0)
+    points = random_points(gen, 12, db.d)
+    addresses = []
+    l, u = 0, 6
+    for p in points:
+        acc = family.accurate_address(level, p)
+        for g in (1, 2):
+            levels = group_levels(l, u, tau, s, g, 1 if g == 2 else s)
+            coarse = [family.coarse_address(j, p) for j in levels]
+            addresses.append(aux.address(acc, l, u, g, coarse))
+    batch = aux._batch_contents(addresses)
+    scalar = [aux._content(a) for a in addresses]
+    assert all(words_equal(b, s_) for b, s_ in zip(batch, scalar))
+
+
+def test_lazy_table_prefetch_primes_cache_and_counts():
+    calls = {"batch": 0, "scalar": 0}
+
+    def content(addr):
+        calls["scalar"] += 1
+        return IntWord(addr % 5, 10)
+
+    def batch_content(addrs):
+        calls["batch"] += 1
+        return [IntWord(a % 5, 10) for a in addrs]
+
+    table = LazyTable("t", 100, 8, content, batch_content_fn=batch_content)
+    assert table.supports_prefetch
+    filled = table.prefetch([1, 2, 2, 3])  # duplicate collapses
+    assert filled == 3
+    assert table.prefetched_cells == 3
+    assert calls == {"batch": 1, "scalar": 0}
+    # Reads hit the primed cells; only address 4 goes through content_fn.
+    assert table.read(2).value == 2
+    assert table.read(4).value == 4
+    assert calls == {"batch": 1, "scalar": 1}
+    # Prefetching again skips everything already cached.
+    assert table.prefetch([1, 2, 3]) == 0
+
+
+def test_lazy_table_without_batch_fn_ignores_prefetch():
+    table = LazyTable("t", 10, 8, lambda a: IntWord(0, 1))
+    assert not table.supports_prefetch
+    assert table.prefetch([1, 2]) == 0
+
+
+def test_lazy_table_prefetch_validates_words():
+    table = LazyTable(
+        "t", 10, 2, lambda a: IntWord(0, 1),
+        batch_content_fn=lambda addrs: [IntWord(7, 7) for _ in addrs],
+    )
+    with pytest.raises(ValueError, match="exceeds"):
+        table.prefetch([1])
+
+
+def test_lazy_table_prefetch_length_mismatch_raises():
+    table = LazyTable(
+        "t", 10, 8, lambda a: IntWord(0, 1), batch_content_fn=lambda addrs: []
+    )
+    with pytest.raises(ValueError, match="addresses"):
+        table.prefetch([1, 2])

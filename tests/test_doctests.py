@@ -7,6 +7,7 @@ import pytest
 import repro.core.algorithm1
 import repro.hamming.packing
 import repro.hamming.points
+import repro.service.engine
 import repro.sketch.parity
 import repro.utils.rng
 
@@ -16,6 +17,7 @@ MODULES = [
     repro.sketch.parity,
     repro.utils.rng,
     repro.core.algorithm1,
+    repro.service.engine,
 ]
 
 
