@@ -2,26 +2,31 @@
 
 Not a paper claim (the paper's cost model is probes, not seconds); this
 bench tracks the simulator's own performance across n, d, and k so
-regressions in the vectorized substrate are caught.
+regressions in the vectorized substrate are caught.  Schemes are built
+through the registry so the measured path is the production one.
 """
 
 import pytest
 
 from benchmarks.conftest import cached_planted
-from repro.core.algorithm1 import SimpleKRoundScheme
-from repro.core.lambda_ann import OneProbeNearNeighborScheme
-from repro.core.params import Algorithm1Params, BaseParameters
+from repro.api import IndexSpec
+from repro.registry import build_scheme
 from repro.sketch.parity import ParitySketch
 
 import numpy as np
 
 
+def _alg1(db, k: int):
+    return build_scheme(
+        db,
+        IndexSpec(scheme="algorithm1", params={"gamma": 4.0, "rounds": k, "c1": 8.0}, seed=0),
+    )
+
+
 @pytest.mark.parametrize("k", [1, 4])
 def test_e11_query_vs_k(benchmark, k):
     wl = cached_planted(n=300, d=2048, queries=8, max_flips=100, seed=11)
-    db = wl.database
-    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
-    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=k), seed=0)
+    scheme = _alg1(wl.database, k)
     scheme.query(wl.queries[0])  # warm level caches
     benchmark(lambda: scheme.query(wl.queries[1]))
 
@@ -29,9 +34,7 @@ def test_e11_query_vs_k(benchmark, k):
 @pytest.mark.parametrize("d", [512, 4096])
 def test_e11_query_vs_d(benchmark, d):
     wl = cached_planted(n=200, d=d, queries=8, max_flips=d // 20, seed=12)
-    db = wl.database
-    base = BaseParameters(n=len(db), d=d, gamma=4.0, c1=8.0)
-    scheme = SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=0)
+    scheme = _alg1(wl.database, 3)
     scheme.query(wl.queries[0])
     benchmark(lambda: scheme.query(wl.queries[1]))
 
@@ -47,8 +50,9 @@ def test_e11_sketch_apply_many(benchmark):
 
 def test_e11_one_probe_scheme(benchmark):
     wl = cached_planted(n=300, d=2048, queries=8, max_flips=64, seed=13)
-    db = wl.database
-    base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
-    scheme = OneProbeNearNeighborScheme(db, base, lam=16.0, seed=0)
+    scheme = build_scheme(
+        wl.database,
+        IndexSpec(scheme="lambda-ann", params={"gamma": 4.0, "lam": 16.0, "c1": 8.0}, seed=0),
+    )
     scheme.query(wl.queries[0])
     benchmark(lambda: scheme.query(wl.queries[1]))

@@ -18,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import IndexSpec
 from repro.core.index import ANNIndex
 from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
@@ -28,11 +29,13 @@ N, D, K = 400, 1024, 3
 BATCH_SIZES = [64, 256, 1024]
 REPS = 3  # best-of timing for both paths (symmetric, robust to noise)
 
+INDEX_SPEC = IndexSpec(
+    scheme="algorithm1", params={"gamma": 4.0, "rounds": K, "c1": 8.0}, seed=11
+)
+
 
 def _build_index(db):
-    index = ANNIndex.build(
-        db, gamma=4.0, rounds=K, algorithm="algorithm1", seed=11, c1=8.0
-    )
+    index = ANNIndex.from_spec(db, INDEX_SPEC)
     # Warm the one-time preprocessing (per-level database sketches) so the
     # measurement isolates marginal per-query cost on both paths.
     for i in range(index.scheme.params.base.levels + 1):

@@ -3,6 +3,9 @@
 (O(log d) probes, larger polynomial cells) vs linear scan vs the fully
 adaptive extreme.
 
+Every contender is built by name through the scheme registry from an
+:class:`~repro.api.IndexSpec` — no scheme-specific construction here.
+
 Shape criteria: at one round, Algorithm 1's probe count beats LSH's by a
 growing factor as n grows, while its logical table exponent is larger —
 the paper's probes-for-space trade.
@@ -11,16 +14,26 @@ the paper's probes-for-space trade.
 import pytest
 
 from benchmarks.conftest import cached_planted
-from repro.analysis.reporting import print_table
-from repro.analysis.tradeoff import evaluate_scheme
-from repro.baselines.adaptive import FullyAdaptiveScheme
-from repro.baselines.linear_scan import LinearScanScheme
-from repro.baselines.lsh import LSHParams, LSHScheme
-from repro.core.algorithm1 import SimpleKRoundScheme
-from repro.core.params import Algorithm1Params, BaseParameters
+from repro.analysis.tradeoff import evaluate_spec
+from repro.api import IndexSpec
+from repro.registry import build_scheme, filter_params
 
 D, GAMMA = 1024, 4.0
 NS = [150, 300, 600]
+
+#: (label, scheme name, extra params) — filtered to what each scheme accepts
+CONTENDERS = [
+    ("LSH nonadaptive", "lsh", {"table_boost": 1.5}),
+    ("Alg1 k=1", "algorithm1", {"rounds": 1, "c1": 8.0}),
+    ("Alg1 k=3", "algorithm1", {"rounds": 3, "c1": 8.0}),
+    ("fully adaptive", "fully-adaptive", {"c1": 8.0}),
+    ("linear scan", "linear-scan", {}),
+]
+
+
+def contender_spec(name: str, extra: dict, seed: int = 2) -> IndexSpec:
+    params = filter_params(name, {"gamma": GAMMA, **extra})
+    return IndexSpec(scheme=name, params=params, seed=seed)
 
 
 @pytest.fixture(scope="module")
@@ -28,17 +41,8 @@ def e6_rows(report_table):
     rows = []
     for n in NS:
         wl = cached_planted(n=n, d=D, queries=12, max_flips=60, seed=7)
-        db = wl.database
-        base = BaseParameters(n=n, d=D, gamma=GAMMA, c1=8.0)
-        contenders = [
-            ("LSH nonadaptive", LSHScheme(db, LSHParams(gamma=GAMMA, table_boost=1.5), seed=2)),
-            ("Alg1 k=1", SimpleKRoundScheme(db, Algorithm1Params(base, k=1), seed=2)),
-            ("Alg1 k=3", SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=2)),
-            ("fully adaptive", FullyAdaptiveScheme(db, base, seed=2)),
-            ("linear scan", LinearScanScheme(db)),
-        ]
-        for label, scheme in contenders:
-            s = evaluate_scheme(scheme, wl, GAMMA)
+        for label, name, extra in CONTENDERS:
+            s = evaluate_spec(contender_spec(name, extra), wl, GAMMA)
             rows.append(
                 {
                     "n": n,
@@ -46,7 +50,7 @@ def e6_rows(report_table):
                     "probes(mean)": round(s.mean_probes, 1),
                     "rounds(max)": s.max_rounds,
                     "success": round(s.success_rate, 2),
-                    "cells=n^c": round(scheme.size_report().cells_log_n(n), 1),
+                    "cells=n^c": s.extras["cells=n^c"],
                 }
             )
     report_table(f"E6 (Tab. 3): baselines at d={D}, γ={GAMMA}", rows)
@@ -85,5 +89,5 @@ def test_e6_space_ordering(e6_rows):
 
 def test_e6_lsh_query_latency(benchmark, e6_rows):
     wl = cached_planted(n=300, d=D, queries=12, max_flips=60, seed=7)
-    scheme = LSHScheme(wl.database, LSHParams(gamma=GAMMA), seed=2)
+    scheme = build_scheme(wl.database, contender_spec("lsh", {}))
     benchmark(lambda: scheme.query(wl.queries[0]))

@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from repro import ANNIndex, PackedPoints
+from repro import ANNIndex, IndexSpec, PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
 
 
@@ -30,10 +30,14 @@ def main() -> None:
             for _ in range(batch)
         ]
     )
+    spec = IndexSpec(
+        scheme="algorithm1",
+        params={"gamma": gamma, "rounds": rounds, "c1": 8.0},
+        seed=7,
+    )
 
     def build() -> ANNIndex:
-        index = ANNIndex.build(database, gamma=gamma, rounds=rounds,
-                               algorithm="algorithm1", seed=7, c1=8.0)
+        index = ANNIndex.from_spec(database, spec)
         # Warm the one-time preprocessing so the comparison is marginal cost.
         for i in range(index.scheme.params.base.levels + 1):
             index.scheme.level_sketches.accurate_db(i)

@@ -10,13 +10,9 @@ fully adaptive τ=2 extreme gets O(log log d) probes.
 Run:  python examples/lsh_vs_limited_adaptivity.py
 """
 
+from repro import IndexSpec, build_scheme
 from repro.analysis.reporting import print_table
 from repro.analysis.tradeoff import evaluate_scheme
-from repro.baselines.adaptive import FullyAdaptiveScheme
-from repro.baselines.linear_scan import LinearScanScheme
-from repro.baselines.lsh import LSHParams, LSHScheme
-from repro.core.algorithm1 import SimpleKRoundScheme
-from repro.core.params import Algorithm1Params, BaseParameters
 from repro.workloads.spec import WorkloadSpec, make_workload
 
 
@@ -26,17 +22,18 @@ def main() -> None:
         "planted", WorkloadSpec(n=300, d=1024, num_queries=20, seed=9), max_flips=60
     )
     db = wl.database
-    base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=8.0)
 
-    schemes = [
-        ("LSH (non-adaptive)", LSHScheme(db, LSHParams(gamma=gamma, table_boost=1.5), seed=4)),
-        ("Alg 1, k=1 (non-adaptive)", SimpleKRoundScheme(db, Algorithm1Params(base, k=1), seed=4)),
-        ("Alg 1, k=3", SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=4)),
-        ("fully adaptive (τ=2)", FullyAdaptiveScheme(db, base, seed=4)),
-        ("linear scan (exact)", LinearScanScheme(db)),
+    # Every contender comes out of the scheme registry by name.
+    contenders = [
+        ("LSH (non-adaptive)", "lsh", {"gamma": gamma, "table_boost": 1.5}),
+        ("Alg 1, k=1 (non-adaptive)", "algorithm1", {"gamma": gamma, "rounds": 1, "c1": 8.0}),
+        ("Alg 1, k=3", "algorithm1", {"gamma": gamma, "rounds": 3, "c1": 8.0}),
+        ("fully adaptive (τ=2)", "fully-adaptive", {"gamma": gamma, "c1": 8.0}),
+        ("linear scan (exact)", "linear-scan", {}),
     ]
     rows = []
-    for label, scheme in schemes:
+    for label, name, params in contenders:
+        scheme = build_scheme(db, IndexSpec(scheme=name, params=params, seed=4))
         summary = evaluate_scheme(scheme, wl, gamma)
         rows.append(
             {

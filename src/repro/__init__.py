@@ -3,8 +3,12 @@ with Limited Adaptivity* (Liu, Pan, Yin; SPAA 2016, arXiv:1602.04421).
 
 The package provides:
 
-* :class:`~repro.core.index.ANNIndex` — the public facade over the paper's
-  two k-round cell-probing schemes (Theorems 2/9 and 3/10);
+* :class:`~repro.core.index.ANNIndex` + :class:`~repro.api.IndexSpec` — the
+  public facade: a typed spec (scheme name, params, seed, boost, named
+  presets) builds any registered scheme via ``ANNIndex.from_spec``;
+* :mod:`repro.registry` — the scheme registry: the paper's algorithms
+  *and* every baseline are constructible by name, so one harness serves
+  them all (``available_schemes()``, ``build_scheme(db, spec)``);
 * :class:`~repro.core.lambda_ann.OneProbeNearNeighborScheme` — the 1-probe
   λ-ANNS folklore scheme (Theorem 11);
 * a faithful **cell-probe model simulator** (:mod:`repro.cellprobe`) with
@@ -20,6 +24,7 @@ The package provides:
   behind the benches in ``benchmarks/``.
 """
 
+from repro.api import IndexSpec
 from repro.core import (
     ANNIndex,
     Algorithm1Params,
@@ -32,9 +37,10 @@ from repro.core import (
     SimpleKRoundScheme,
 )
 from repro.hamming import PackedPoints
+from repro.registry import available_schemes, build_scheme
 from repro.service import BatchQueryEngine, BatchStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ANNIndex",
@@ -44,10 +50,13 @@ __all__ = [
     "BatchQueryEngine",
     "BatchStats",
     "BoostedScheme",
+    "IndexSpec",
     "LargeKScheme",
     "OneProbeNearNeighborScheme",
     "PackedPoints",
     "QueryResult",
     "SimpleKRoundScheme",
+    "available_schemes",
+    "build_scheme",
     "__version__",
 ]

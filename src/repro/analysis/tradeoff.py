@@ -3,12 +3,15 @@ round, and quality statistics; sweep ``k`` for both algorithms.
 
 This module is the engine behind experiments E1–E3 and E6: every bench
 calls :func:`evaluate_scheme` (or a sweep) and renders the summary rows.
+Registry-driven entry points (:func:`evaluate_spec`, :func:`sweep_rounds`)
+evaluate any scheme by :class:`~repro.api.IndexSpec`, so harnesses need no
+scheme-specific construction code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -19,7 +22,14 @@ from repro.core.algorithm1 import SimpleKRoundScheme
 from repro.core.algorithm2 import LargeKScheme
 from repro.workloads.spec import Workload
 
-__all__ = ["EvalSummary", "evaluate_scheme", "sweep_algorithm1", "sweep_algorithm2"]
+__all__ = [
+    "EvalSummary",
+    "evaluate_scheme",
+    "evaluate_spec",
+    "sweep_algorithm1",
+    "sweep_algorithm2",
+    "sweep_rounds",
+]
 
 
 @dataclass
@@ -63,17 +73,28 @@ def evaluate_scheme(
     workload: Workload,
     gamma: float,
     max_queries: Optional[int] = None,
+    batch: bool = False,
 ) -> EvalSummary:
     """Run every workload query through ``scheme`` and aggregate.
 
     *Success* means: the scheme answered and the achieved ratio is ≤ γ
     (with the distance-0 convention of
     :func:`repro.core.result.achieved_ratio`).
+
+    ``batch=True`` executes the queries through the batched engine
+    instead of a sequential loop — results (and therefore every
+    statistic) are identical; only the wall-clock differs.
     """
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]
     db = workload.database
+    if batch:
+        from repro.service.engine import BatchQueryEngine
+
+        results = BatchQueryEngine(scheme).run(queries)
+    else:
+        results = (scheme.query(queries[qi]) for qi in range(queries.shape[0]))
     probes: List[int] = []
     rounds: List[int] = []
     ratios: List[float] = []
@@ -81,9 +102,8 @@ def evaluate_scheme(
     answered = 0
     extras: Dict[str, object] = {}
     violations = 0
-    for qi in range(queries.shape[0]):
+    for qi, res in enumerate(results):
         x = queries[qi]
-        res = scheme.query(x)
         probes.append(res.probes)
         rounds.append(res.rounds)
         if res.meta.get("budget_violated"):
@@ -178,4 +198,87 @@ def sweep_algorithm2(
             }
         )
         out.append(summary)
+    return out
+
+
+# -- registry-driven evaluation ------------------------------------------------
+
+
+def _scheme_extras(scheme: CellProbingScheme) -> Dict[str, object]:
+    """Derived constants worth reporting, read generically off the scheme."""
+    extras: Dict[str, object] = {}
+    params = getattr(scheme, "params", None)
+    for attr in ("tau", "s"):
+        value = getattr(params, attr, None)
+        if value is not None:
+            extras[attr] = value
+    curve = getattr(params, "theoretical_probe_curve", None)
+    if callable(curve):
+        extras["envelope"] = round(curve(), 2)
+    return extras
+
+
+def evaluate_spec(
+    spec,
+    workload: Workload,
+    gamma: Optional[float] = None,
+    max_queries: Optional[int] = None,
+    batch: bool = False,
+) -> EvalSummary:
+    """Build the spec's scheme via the registry and evaluate it.
+
+    ``gamma`` defaults to the spec's resolved ``gamma`` parameter (or the
+    global default 4.0 for schemes without one, e.g. linear-scan).
+    """
+    from repro.registry import build_scheme
+
+    if gamma is None:
+        gamma = float(spec.resolved_params().get("gamma", 4.0))
+    scheme = build_scheme(workload.database, spec)
+    summary = evaluate_scheme(
+        scheme, workload, gamma, max_queries=max_queries, batch=batch
+    )
+    summary.extras.update(_scheme_extras(scheme))
+    summary.extras["cells=n^c"] = round(
+        scheme.size_report().cells_log_n(len(workload.database)), 1
+    )
+    return summary
+
+
+def sweep_rounds(
+    workload: Workload,
+    scheme: str,
+    ks: Sequence[int],
+    gamma: float = 4.0,
+    seed: Optional[int] = 0,
+    params: Optional[Mapping[str, object]] = None,
+    batch: bool = False,
+) -> List[EvalSummary]:
+    """Evaluate a registered scheme at each round budget in ``ks``.
+
+    Round budgets the scheme's parameter validation rejects (e.g.
+    Algorithm 2's ``s ≥ 1`` constraint) are skipped, mirroring the
+    legacy per-algorithm sweeps — but if *every* requested ``k`` fails,
+    the last error is raised: a k-independent problem (bad γ, bad c1)
+    should fail loudly, not return an empty sweep.
+    """
+    from repro.api import IndexSpec
+    from repro.registry import build_scheme
+
+    out: List[EvalSummary] = []
+    last_error: Optional[ValueError] = None
+    for k in ks:
+        spec = IndexSpec(
+            scheme=scheme, params={**(params or {}), "rounds": int(k)}, seed=seed
+        )
+        try:
+            built = build_scheme(workload.database, spec)
+        except ValueError as exc:
+            last_error = exc
+            continue
+        summary = evaluate_scheme(built, workload, gamma, batch=batch)
+        summary.extras = {"k": int(k), **_scheme_extras(built), **summary.extras}
+        out.append(summary)
+    if not out and last_error is not None:
+        raise last_error
     return out

@@ -35,8 +35,9 @@ import numpy as np
 
 from repro.baselines.lsh import LSHParams, _BucketWord, level_sizing, sampled_bits_hash
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.table import DictTable, LazyTable
 from repro.cellprobe.words import IntWord
 from repro.core.result import QueryResult
@@ -205,16 +206,21 @@ class DataDependentLSHScheme(CellProbingScheme):
         return IntWord(int(dists.argmin()), self.params.parts)
 
     # -- querying ------------------------------------------------------------
+    def make_accountant(self) -> ProbeAccountant:
+        return ProbeAccountant(max_rounds=2)
+
     def query(self, x: np.ndarray) -> QueryResult:
-        accountant = ProbeAccountant(max_rounds=2)
-        session = ProbeSession(accountant)
-        # Round 1: retrieve the data-dependent hash (the part id).
+        return run_query_plan(self, x)
+
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        """Round 1 retrieves the data-dependent hash (the part id); round 2
+        probes the chosen part's buckets non-adaptively."""
         address = tuple(int(v) for v in self._dispatch_sketch.apply(x))
-        dispatch = session.read_one(self.dispatch_table, address)
+        contents = yield [ProbeRequest(self.dispatch_table, address)]
+        dispatch = contents[0]
         assert isinstance(dispatch, IntWord)
         part = self.parts[dispatch.value]
-        # Round 2: the chosen part's buckets, non-adaptively.
-        contents = session.parallel_read(part.requests(x))
+        contents = yield part.requests(x)
         best_idx: Optional[int] = None
         best_dist: Optional[int] = None
         for bucket in contents:
@@ -225,11 +231,10 @@ class DataDependentLSHScheme(CellProbingScheme):
                     best_idx, best_dist = idx, dist
         meta = {"part": dispatch.value, "part_size": len(part.indices)}
         if best_idx is None:
-            return QueryResult(None, None, accountant, scheme=self.scheme_name,
-                               meta={**meta, "failed": "no-candidate"})
-        return QueryResult(
-            best_idx, self.database.row(best_idx).copy(), accountant,
-            scheme=self.scheme_name, meta={**meta, "distance": best_dist},
+            return PlanDraft(None, None, {**meta, "failed": "no-candidate"})
+        return PlanDraft(
+            best_idx, self.database.row(best_idx).copy(),
+            {**meta, "distance": best_dist},
         )
 
     def probes_per_query(self, x: np.ndarray) -> int:

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.table import LazyTable
 from repro.cellprobe.words import PointWord
 from repro.core.result import QueryResult
@@ -43,11 +44,16 @@ class LinearScanScheme(CellProbingScheme):
         idx = int(address)
         return PointWord.from_packed(idx, self.database.row(idx), self.database.d)
 
+    def make_accountant(self) -> ProbeAccountant:
+        return ProbeAccountant(max_rounds=1, max_probes=len(self.database))
+
     def query(self, x: np.ndarray) -> QueryResult:
-        accountant = ProbeAccountant(max_rounds=1, max_probes=len(self.database))
-        session = ProbeSession(accountant)
+        return run_query_plan(self, x)
+
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        """One round probing every point cell; the exact NN wins."""
         requests = [ProbeRequest(self.table, i) for i in range(len(self.database))]
-        contents = session.parallel_read(requests)
+        contents = yield requests
         best_idx, best_dist = None, None
         for content in contents:
             assert isinstance(content, PointWord)
@@ -55,12 +61,10 @@ class LinearScanScheme(CellProbingScheme):
             if best_dist is None or dist < best_dist:
                 best_idx, best_dist = content.index, dist
         assert best_idx is not None
-        return QueryResult(
-            answer_index=best_idx,
-            answer_packed=self.database.row(best_idx).copy(),
-            accountant=accountant,
-            scheme=self.scheme_name,
-            meta={"exact_distance": best_dist},
+        return PlanDraft(
+            best_idx,
+            self.database.row(best_idx).copy(),
+            {"exact_distance": best_dist},
         )
 
     def size_report(self) -> SchemeSizeReport:

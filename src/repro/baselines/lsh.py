@@ -30,8 +30,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.cellprobe.session import ProbeRequest, ProbeSession
+from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.table import DictTable
 from repro.core.result import QueryResult
 from repro.hamming.distance import hamming_distance
@@ -230,41 +231,42 @@ class LSHScheme(CellProbingScheme):
                     best_idx, best_dist = idx, dist
         return best_idx, best_dist
 
-    def query(self, x: np.ndarray) -> QueryResult:
+    def make_accountant(self) -> ProbeAccountant:
         if self.mode == "nonadaptive":
-            return self._query_nonadaptive(x)
-        return self._query_adaptive(x)
+            return ProbeAccountant(max_rounds=1)
+        return ProbeAccountant()
 
-    def _query_nonadaptive(self, x: np.ndarray) -> QueryResult:
+    def query(self, x: np.ndarray) -> QueryResult:
+        return run_query_plan(self, x)
+
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
+        if self.mode == "nonadaptive":
+            return self._plan_nonadaptive(x)
+        return self._plan_adaptive(x)
+
+    def _plan_nonadaptive(self, x: np.ndarray) -> QueryPlan:
         """All levels' buckets in one parallel round (k = 1)."""
-        accountant = ProbeAccountant(max_rounds=1)
-        session = ProbeSession(accountant)
         requests: List[ProbeRequest] = []
         spans: List[Tuple[int, int, int]] = []  # (level, start, stop)
         for i in range(self.levels + 1):
             reqs = self._level_requests(i, x)
             spans.append((i, len(requests), len(requests) + len(reqs)))
             requests.extend(reqs)
-        contents = session.parallel_read(requests)
+        contents = yield requests
         for i, start, stop in spans:  # smallest succeeding radius wins
             idx, dist = self._scan_contents(x, contents[start:stop], self.alpha**i)
             if idx is not None:
-                return QueryResult(
-                    idx, self.database.row(idx).copy(), accountant,
-                    scheme=self.scheme_name, meta={"level": i, "distance": dist},
-                )
-        return QueryResult(None, None, accountant, scheme=self.scheme_name,
-                           meta={"failed": "no-candidate"})
+                return PlanDraft(idx, self.database.row(idx).copy(),
+                                 {"level": i, "distance": dist})
+        return PlanDraft(None, None, {"failed": "no-candidate"})
 
-    def _query_adaptive(self, x: np.ndarray) -> QueryResult:
+    def _plan_adaptive(self, x: np.ndarray) -> QueryPlan:
         """Binary search over radius levels; one level's buckets per round."""
-        accountant = ProbeAccountant()
-        session = ProbeSession(accountant)
         lo, hi = 0, self.levels
         best: Optional[Tuple[int, int, int]] = None  # (level, idx, dist)
         while lo <= hi:
             mid = (lo + hi) // 2
-            contents = session.parallel_read(self._level_requests(mid, x))
+            contents = yield self._level_requests(mid, x)
             idx, dist = self._scan_contents(x, contents, self.alpha**mid)
             if idx is not None:
                 best = (mid, idx, dist)
@@ -272,13 +274,10 @@ class LSHScheme(CellProbingScheme):
             else:
                 lo = mid + 1
         if best is None:
-            return QueryResult(None, None, accountant, scheme=self.scheme_name,
-                               meta={"failed": "no-candidate"})
+            return PlanDraft(None, None, {"failed": "no-candidate"})
         level, idx, dist = best
-        return QueryResult(
-            idx, self.database.row(idx).copy(), accountant,
-            scheme=self.scheme_name, meta={"level": level, "distance": dist},
-        )
+        return PlanDraft(idx, self.database.row(idx).copy(),
+                         {"level": level, "distance": dist})
 
     # -- sizing ----------------------------------------------------------------
     def probes_per_query(self) -> int:

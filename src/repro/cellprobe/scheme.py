@@ -73,7 +73,10 @@ class CellProbingScheme(abc.ABC):
     round-generator form, see :mod:`repro.cellprobe.plan`) can be driven by
     the batched engine in :mod:`repro.service`; for those, ``query`` is the
     sequential execution of the same plan, so both paths are identical by
-    construction.
+    construction.  Every built-in scheme — core algorithms and baselines —
+    is plan-capable and registered by name in :mod:`repro.registry`, so it
+    is constructible through :class:`repro.api.IndexSpec` and batchable
+    through ``ANNIndex.query_batch``.
     """
 
     #: human-readable scheme identifier used by the experiment harness

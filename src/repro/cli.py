@@ -2,74 +2,158 @@
 
 Usage::
 
+    python -m repro schemes
+    python -m repro bench      --scheme lsh --scheme algorithm1 --scheme linear-scan
     python -m repro tradeoff   --d 4096 --n 300 --gamma 4 --ks 1 2 3 4
     python -m repro baselines  --d 1024 --n 300
     python -m repro lemma8     --d 1024 --n 200 --rows 64 128 256
     python -m repro ledger     --log2d 1e8 --ks 1 2 3
     python -m repro demo
 
-Each subcommand prints the same markdown tables the corresponding bench
-target produces (see DESIGN.md's experiment index).
+Every scheme is constructed through the registry
+(:mod:`repro.registry`) from an :class:`~repro.api.IndexSpec` — there is
+no scheme-specific construction code here.  ``bench`` compares any set
+of registered schemes on one workload; ``--set key=value`` overrides a
+parameter on every selected scheme that accepts it.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.analysis.reporting import print_table
-from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm1, sweep_algorithm2
+from repro.analysis.tradeoff import evaluate_spec, sweep_rounds
+from repro.api import IndexSpec
+from repro.registry import (
+    available_schemes,
+    filter_params,
+    registry_rows,
+    scheme_defaults,
+)
 from repro.workloads.spec import WorkloadSpec, make_workload
 
 __all__ = ["main"]
 
 
-def _cmd_tradeoff(args: argparse.Namespace) -> int:
-    wl = make_workload(
+def _planted(args: argparse.Namespace):
+    return make_workload(
         "planted",
         WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
         max_flips=max(1, args.d // 16),
     )
-    drop = ("workload", "queries", "scheme")
+
+
+def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, object]:
+    """``--set key=value`` pairs; values parsed as Python literals."""
+    overrides: Dict[str, object] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw  # bare strings like mode=adaptive
+    return overrides
+
+
+def _spec_for(
+    name: str,
+    args: argparse.Namespace,
+    extra: Optional[Mapping[str, object]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> IndexSpec:
+    """A spec for ``name``: CLI geometry + row-specific + ``--set`` params,
+    each filtered to the parameters the scheme accepts."""
+    params: Dict[str, object] = {}
+    for source in ({"gamma": args.gamma, "c1": args.c1}, extra or {}, overrides or {}):
+        params.update(filter_params(name, source))
+    return IndexSpec(scheme=name, params=params, seed=args.seed)
+
+
+def _eval_gamma(spec: IndexSpec, args: argparse.Namespace) -> float:
+    """The γ to judge success against: the spec's constructed gamma when
+    the scheme has one (so ``--set gamma=...`` moves the success threshold
+    with it), else the CLI's γ."""
+    return float(spec.resolved_params().get("gamma", args.gamma))
+
+
+def _summary_row(label: str, summary) -> Dict[str, object]:
+    return {
+        "scheme": label,
+        "probes(mean)": round(summary.mean_probes, 1),
+        "rounds(max)": summary.max_rounds,
+        "success": round(summary.success_rate, 2),
+        "cells=n^c": summary.extras.get("cells=n^c"),
+    }
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    print_table("Registered schemes (repro.registry)", registry_rows())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    wl = _planted(args)
+    overrides = _parse_overrides(args.set)
+    # An override no selected scheme accepts is a typo, not a preference.
+    accepted_anywhere = set()
+    for name in args.scheme:
+        accepted_anywhere.update(scheme_defaults(name))
+    unused = sorted(set(overrides) - accepted_anywhere)
+    if unused:
+        raise SystemExit(
+            f"--set key(s) accepted by none of the selected schemes: "
+            f"{', '.join(unused)}"
+        )
     rows = []
-    for s in sweep_algorithm1(wl, args.gamma, ks=args.ks, c1=args.c1):
-        rows.append({"scheme": "Alg1", **{k: v for k, v in s.row().items() if k not in drop}})
-    if args.alg2_ks:
-        for s in sweep_algorithm2(wl, args.gamma, ks=args.alg2_ks, c1=args.c1, c2=args.c1):
-            rows.append({"scheme": "Alg2", **{k: v for k, v in s.row().items() if k not in drop}})
-    print_table(f"Tradeoff (n={args.n}, d={args.d}, γ={args.gamma})", rows)
+    for name in args.scheme:
+        spec = _spec_for(name, args, overrides=overrides)
+        gamma = _eval_gamma(spec, args)
+        summary = evaluate_spec(spec, wl, gamma, batch=args.batch)
+        # γ is a per-row fact: --set gamma=... moves it for the schemes
+        # that accept it, while gamma-less schemes keep the CLI value.
+        rows.append({**_summary_row(name, summary), "γ": gamma})
+    print_table(f"Bench (n={args.n}, d={args.d}, planted workload)", rows)
     return 0
 
 
 def _cmd_baselines(args: argparse.Namespace) -> int:
-    from repro.baselines.adaptive import FullyAdaptiveScheme
-    from repro.baselines.linear_scan import LinearScanScheme
-    from repro.baselines.lsh import LSHParams, LSHScheme
-    from repro.core.algorithm1 import SimpleKRoundScheme
-    from repro.core.params import Algorithm1Params, BaseParameters
-
-    wl = make_workload(
-        "planted",
-        WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
-        max_flips=max(1, args.d // 16),
-    )
-    db = wl.database
-    base = BaseParameters(n=len(db), d=db.d, gamma=args.gamma, c1=args.c1)
+    wl = _planted(args)
     contenders = [
-        ("LSH", LSHScheme(db, LSHParams(gamma=args.gamma), seed=args.seed)),
-        ("Alg1 k=1", SimpleKRoundScheme(db, Algorithm1Params(base, k=1), seed=args.seed)),
-        ("Alg1 k=3", SimpleKRoundScheme(db, Algorithm1Params(base, k=3), seed=args.seed)),
-        ("fully-adaptive", FullyAdaptiveScheme(db, base, seed=args.seed)),
-        ("linear-scan", LinearScanScheme(db)),
+        ("lsh", "lsh", {}),
+        ("algorithm1 k=1", "algorithm1", {"rounds": 1}),
+        ("algorithm1 k=3", "algorithm1", {"rounds": 3}),
+        ("fully-adaptive", "fully-adaptive", {}),
+        ("linear-scan", "linear-scan", {}),
     ]
     rows = []
-    for label, scheme in contenders:
-        s = evaluate_scheme(scheme, wl, args.gamma)
-        rows.append({"scheme": label, "probes": round(s.mean_probes, 1),
-                     "rounds": s.max_rounds, "success": round(s.success_rate, 2),
-                     "cells=n^c": round(scheme.size_report().cells_log_n(len(db)), 1)})
+    for label, name, extra in contenders:
+        summary = evaluate_spec(_spec_for(name, args, extra=extra), wl, args.gamma)
+        rows.append(_summary_row(label, summary))
     print_table(f"Baselines (n={args.n}, d={args.d}, γ={args.gamma})", rows)
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    wl = _planted(args)
+    drop = ("workload", "queries", "scheme")
+    rows = []
+    sweeps = [("Alg1", "algorithm1", args.ks)]
+    if args.alg2_ks:
+        sweeps.append(("Alg2", "algorithm2", args.alg2_ks))
+    for label, name, ks in sweeps:
+        params = filter_params(
+            name, {"gamma": args.gamma, "c1": args.c1, "c2": args.c1}
+        )
+        for s in sweep_rounds(wl, name, ks, args.gamma, seed=args.seed, params=params):
+            rows.append(
+                {"scheme": label, **{k: v for k, v in s.row().items() if k not in drop}}
+            )
+    print_table(f"Tradeoff (n={args.n}, d={args.d}, γ={args.gamma})", rows)
     return 0
 
 
@@ -80,11 +164,7 @@ def _cmd_lemma8(args: argparse.Namespace) -> int:
     from repro.utils.rng import RngTree
     import math
 
-    wl = make_workload(
-        "planted",
-        WorkloadSpec(n=args.n, d=args.d, num_queries=args.queries, seed=args.seed),
-        max_flips=max(1, args.d // 16),
-    )
+    wl = _planted(args)
     alpha = math.sqrt(min(4.0, args.gamma))
     levels = num_levels(args.d, alpha)
     rows = []
@@ -122,14 +202,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(2016)
     n, d = 300, 1024
     db = PackedPoints(random_points(rng, n, d), d)
-    index = ANNIndex.build(db, gamma=4.0, rounds=3, seed=7, c1=8.0)
+    index = ANNIndex.from_spec(db, IndexSpec.preset("paper", seed=7))
     rows = []
     for i in range(8):
         q = flip_random_bits(rng, db.row(int(rng.integers(0, n))), int(rng.integers(0, 40)), d)
         res = index.query_packed(q)
         rows.append({"query": i, "probes": res.probes, "rounds": res.rounds,
                      "ratio": res.ratio(db, q), "path": res.meta.get("path")})
-    print_table(f"Demo: k=3 rounds, n={n}, d={d}, γ=4", rows)
+    print_table(f"Demo: preset 'paper' (k=3 rounds), n={n}, d={d}, γ=4", rows)
     return 0
 
 
@@ -146,6 +226,20 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--queries", type=int, default=16)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--c1", type=float, default=8.0)
+
+    p = sub.add_parser("schemes", help="list the scheme registry")
+    p.set_defaults(fn=_cmd_schemes)
+
+    p = sub.add_parser("bench", help="compare any registered schemes on one workload")
+    common(p)
+    p.add_argument("--scheme", action="append", required=True,
+                   choices=available_schemes(),
+                   help="scheme to include (repeatable)")
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="parameter override applied to every scheme that accepts it")
+    p.add_argument("--batch", action="store_true",
+                   help="evaluate through the batched engine (same results)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")
     common(p)

@@ -1,14 +1,19 @@
 """The public facade: :class:`ANNIndex`.
 
-Wraps database packing, parameter derivation, scheme selection and optional
-success boosting behind one constructor, so downstream users can write::
+Construction goes through a typed :class:`~repro.api.IndexSpec` and the
+scheme registry (:mod:`repro.registry`), so every registered scheme —
+both paper algorithms and all baselines — is buildable by name::
 
-    from repro import ANNIndex
-    index = ANNIndex.build(points_bits, gamma=4.0, rounds=3, seed=7)
+    from repro import ANNIndex, IndexSpec
+    index = ANNIndex.from_spec(points_bits, IndexSpec(
+        scheme="algorithm1", params={"rounds": 3}, seed=7))
     result = index.query(query_bits)
     result.answer_index, result.probes, result.rounds
 
     results = index.query_batch(query_bits_batch)  # batched, same answers
+
+The legacy kwarg constructor ``ANNIndex.build(...)`` remains as a thin
+deprecated shim that assembles the equivalent spec internally.
 
 Accepts either raw 0/1 bit arrays or pre-packed
 :class:`~repro.hamming.points.PackedPoints`.
@@ -16,20 +21,19 @@ Accepts either raw 0/1 bit arrays or pre-packed
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import warnings
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.api import IndexSpec
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.core.algorithm1 import SimpleKRoundScheme
-from repro.core.algorithm2 import LargeKScheme
-from repro.core.boosting import BoostedScheme
-from repro.core.params import Algorithm1Params, Algorithm2Params, BaseParameters
+from repro.core.params import Algorithm2Params, BaseParameters
 from repro.core.result import QueryResult
 from repro.hamming.packing import pack_bits
 from repro.hamming.points import PackedPoints
+from repro.registry import build_scheme
 from repro.service.engine import BatchQueryEngine, BatchStats
-from repro.utils.rng import RngTree
 
 __all__ = ["ANNIndex"]
 
@@ -50,14 +54,38 @@ def _coerce_database(database: DatabaseLike) -> PackedPoints:
 class ANNIndex:
     """γ-approximate nearest-neighbor index with a k-round probe budget.
 
-    Use :meth:`build`; the constructor takes an already-constructed scheme.
+    Use :meth:`from_spec`; the constructor takes an already-constructed
+    scheme.
     """
 
-    def __init__(self, database: PackedPoints, scheme: CellProbingScheme):
+    def __init__(
+        self,
+        database: PackedPoints,
+        scheme: CellProbingScheme,
+        spec: Optional[IndexSpec] = None,
+    ):
         self.database = database
         self.scheme = scheme
+        #: the spec this index was built from (None for hand-built schemes)
+        self.spec = spec
+        self._last_batch_stats: Optional[BatchStats] = None
+        # One engine per prefetch flag: the engine's table classification
+        # is warm after the first batch, so reuse it across calls.
+        self._engines: Dict[bool, BatchQueryEngine] = {}
 
     # -- construction ----------------------------------------------------
+    @classmethod
+    def from_spec(cls, database: DatabaseLike, spec: IndexSpec) -> "ANNIndex":
+        """Build an index from a validated :class:`~repro.api.IndexSpec`.
+
+        This is the canonical constructor: the spec names a registered
+        scheme, the registry builds it (boost wrapping included), and the
+        spec rides along on the index for reproducibility
+        (``index.spec.to_dict()`` round-trips the exact recipe).
+        """
+        db = _coerce_database(database)
+        return cls(db, build_scheme(db, spec), spec=spec)
+
     @classmethod
     def build(
         cls,
@@ -73,51 +101,40 @@ class ANNIndex:
         algorithm2_c: float = 3.0,
         algorithm2_s: Optional[int] = None,
     ) -> "ANNIndex":
-        """Build an index.
+        """Deprecated kwarg constructor; use :meth:`from_spec`.
 
-        Parameters
-        ----------
-        database : ``(n, d)`` bit array or :class:`PackedPoints`
-        gamma : approximation ratio γ > 1
-        rounds : the adaptivity budget ``k``
-        algorithm : "algorithm1", "algorithm2", or "auto" (algorithm2 when
-            its ``s ≥ 1`` constraint admits the requested ``k``, else
-            algorithm1)
-        boost : number of parallel repetitions (≥ 1); probes scale
-            linearly, rounds stay at ``k``
-        seed : public-coin randomness root
+        Builds the equivalent :class:`~repro.api.IndexSpec` internally
+        (same seeds, same schemes, same answers) and is kept only so
+        existing callers keep working.  ``algorithm="auto"`` resolves to
+        "algorithm2" when its ``s ≥ 1`` constraint admits the requested
+        ``k``, else "algorithm1", exactly as before.
         """
+        warnings.warn(
+            "ANNIndex.build(**kwargs) is deprecated; build an IndexSpec and "
+            "use ANNIndex.from_spec(db, spec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         db = _coerce_database(database)
-        base = BaseParameters(n=len(db), d=db.d, gamma=gamma, c1=c1, c2=c2, profile=profile)
-        tree = RngTree(seed)
-
-        def pick(algorithm_name: str):
-            if algorithm_name == "algorithm1":
-                params = Algorithm1Params(base, k=rounds)
-                return lambda s: SimpleKRoundScheme(db, params, seed=s)
-            if algorithm_name == "algorithm2":
-                params = Algorithm2Params(
-                    base, k=rounds, c=algorithm2_c, s_override=algorithm2_s
-                )
-                return lambda s: LargeKScheme(db, params, seed=s)
-            raise ValueError(f"unknown algorithm {algorithm_name!r}")
-
         if algorithm == "auto":
+            base = BaseParameters.for_database(
+                db, gamma=gamma, c1=c1, c2=c2, profile=profile
+            )
             try:
                 Algorithm2Params(base, k=rounds, c=algorithm2_c, s_override=algorithm2_s)
                 algorithm = "algorithm2"
             except ValueError:
                 algorithm = "algorithm1"
-        factory = pick(algorithm)
-
-        if boost < 1:
-            raise ValueError(f"boost must be >= 1, got {boost}")
-        if boost == 1:
-            scheme = factory(tree.generator("copy", 0))
+        geometry = {"gamma": gamma, "c1": c1, "c2": c2, "profile": profile}
+        if algorithm == "algorithm1":
+            params = {**geometry, "rounds": rounds}
+        elif algorithm == "algorithm2":
+            params = {**geometry, "rounds": rounds, "c": algorithm2_c, "s": algorithm2_s}
         else:
-            seeds = [tree.generator("copy", i) for i in range(boost)]
-            scheme = BoostedScheme(lambda s: factory(s), seeds)
-        return cls(db, scheme)
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        return cls.from_spec(
+            db, IndexSpec(scheme=algorithm, params=params, seed=seed, boost=boost)
+        )
 
     # -- querying ----------------------------------------------------------
     def query(self, x: Union[np.ndarray, list]) -> QueryResult:
@@ -130,6 +147,14 @@ class ANNIndex:
     def query_packed(self, x: np.ndarray) -> QueryResult:
         """Answer one query given as a packed uint64 row."""
         return self.scheme.query(np.asarray(x, dtype=np.uint64))
+
+    def _engine(self, prefetch: bool) -> BatchQueryEngine:
+        """The cached batch engine for this prefetch flag."""
+        engine = self._engines.get(prefetch)
+        if engine is None:
+            engine = BatchQueryEngine(self.scheme, prefetch=prefetch)
+            self._engines[prefetch] = engine
+        return engine
 
     def query_batch(
         self, queries: Union[np.ndarray, list], prefetch: bool = True
@@ -156,7 +181,7 @@ class ANNIndex:
             arr = pack_bits(arr.astype(np.uint8), self.database.d)
         elif arr.ndim == 1:
             arr = arr[None, :]
-        engine = BatchQueryEngine(self.scheme, prefetch=prefetch)
+        engine = self._engine(bool(prefetch))
         results = engine.run(arr)
         self._last_batch_stats = engine.last_stats
         return results
@@ -164,7 +189,7 @@ class ANNIndex:
     @property
     def last_batch_stats(self) -> Optional[BatchStats]:
         """Execution statistics of the most recent :meth:`query_batch`."""
-        return getattr(self, "_last_batch_stats", None)
+        return self._last_batch_stats
 
     # -- introspection ----------------------------------------------------
     @property

@@ -20,8 +20,9 @@ from typing import Dict
 import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
-from repro.cellprobe.session import ProbeSession
+from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.words import PointWord
 from repro.core.params import BaseParameters
 from repro.core.result import QueryResult
@@ -78,27 +79,24 @@ class OneProbeNearNeighborScheme(CellProbingScheme):
         """Non-adaptive: a single round."""
         return 1
 
+    def make_accountant(self) -> ProbeAccountant:
+        return ProbeAccountant(max_rounds=1, max_probes=1)
+
     def query(self, x: np.ndarray) -> QueryResult:
         """One probe; answer is the near point or a NO (answer_index=None)."""
-        accountant = ProbeAccountant(max_rounds=1, max_probes=1)
-        session = ProbeSession(accountant)
+        return run_query_plan(self, x)
+
+    def query_plan(self, x: np.ndarray) -> QueryPlan:
         address = self.family.accurate_address(self.level, x)
-        content = session.read_one(self.tables[self.level].table, address)
+        contents = yield [ProbeRequest(self.tables[self.level].table, address)]
+        content = contents[0]
         if isinstance(content, PointWord):
-            return QueryResult(
-                answer_index=content.index,
-                answer_packed=content.packed_array(),
-                accountant=accountant,
-                scheme=self.scheme_name,
-                meta={"level": self.level, "decision": "YES"},
+            return PlanDraft(
+                content.index,
+                content.packed_array(),
+                {"level": self.level, "decision": "YES"},
             )
-        return QueryResult(
-            answer_index=None,
-            answer_packed=None,
-            accountant=accountant,
-            scheme=self.scheme_name,
-            meta={"level": self.level, "decision": "NO"},
-        )
+        return PlanDraft(None, None, {"level": self.level, "decision": "NO"})
 
     def guarantee_radius(self) -> float:
         """The YES side's distance guarantee ``α^{level+1} (≤ γλ)``."""

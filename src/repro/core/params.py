@@ -95,6 +95,20 @@ class BaseParameters:
         if self.c1 <= 0 or self.c2 <= 0:
             raise ValueError("c1 and c2 must be positive")
 
+    @classmethod
+    def for_database(
+        cls,
+        database,
+        gamma: float = 4.0,
+        c1: float = 6.0,
+        c2: float = 6.0,
+        profile: str = "empirical",
+    ) -> "BaseParameters":
+        """Parameters sized to a :class:`~repro.hamming.points.PackedPoints`
+        database (``n`` and ``d`` read off the database itself)."""
+        return cls(n=len(database), d=database.d, gamma=gamma, c1=c1, c2=c2,
+                   profile=profile)
+
     # -- derived geometry ---------------------------------------------------
     @cached_property
     def effective_gamma(self) -> float:

@@ -30,7 +30,7 @@ unmodified per-query sessions, results are identical to running
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -39,8 +39,6 @@ from repro.cellprobe.scheme import CellProbingScheme
 from repro.cellprobe.session import ProbeRequest
 
 __all__ = ["BatchQueryEngine", "BatchStats"]
-
-_UNSEEN = object()  # sentinel distinguishing "table not yet classified"
 
 
 @dataclass
@@ -95,6 +93,13 @@ class BatchQueryEngine:
         self.scheme = scheme
         self.prefetch = bool(prefetch)
         self.last_stats: Optional[BatchStats] = None
+        # Persistent table classification: id(table) -> (table, supports
+        # prefetch).  A scheme's tables are stable objects, so classifying
+        # each once amortizes the per-probe getattr across every sweep of
+        # every run.  The table object is stored for BOTH classifications,
+        # which pins every classified table and guarantees no id is ever
+        # recycled onto a stale entry.
+        self._prefetchable: Dict[int, tuple] = {}
 
     def run(self, queries: np.ndarray) -> List[object]:
         """Answer a packed batch; returns per-query results in order."""
@@ -162,22 +167,21 @@ class BatchQueryEngine:
             )
         return self.scheme.finalize(draft, accountant)
 
-    @staticmethod
-    def _prefetch_sweep(request_lists: Iterable[List[ProbeRequest]]) -> int:
+    def _prefetch_sweep(self, request_lists: Iterable[List[ProbeRequest]]) -> int:
         """Batch-materialize the sweep's missing cells, grouped by table."""
-        # id(table) -> (table, addresses); None marks non-prefetchable tables
-        groups: Dict[int, Optional[Tuple[object, List[object]]]] = {}
+        classify = self._prefetchable
+        addresses: Dict[int, List[object]] = {}  # id(table) -> sweep addresses
         for requests in request_lists:
             for req in requests:
                 table = req.table
-                entry = groups.get(id(table), _UNSEEN)
-                if entry is _UNSEEN:
-                    entry = (table, []) if getattr(table, "supports_prefetch", False) else None
-                    groups[id(table)] = entry
-                if entry is not None:
-                    entry[1].append(req.address)
+                tid = id(table)
+                entry = classify.get(tid)
+                if entry is None:
+                    entry = (table, bool(getattr(table, "supports_prefetch", False)))
+                    classify[tid] = entry
+                if entry[1]:
+                    addresses.setdefault(tid, []).append(req.address)
         filled = 0
-        for entry in groups.values():
-            if entry is not None:
-                filled += entry[0].prefetch(entry[1])
+        for tid, addrs in addresses.items():
+            filled += classify[tid][0].prefetch(addrs)
         return filled

@@ -1,0 +1,133 @@
+"""IndexSpec: validation, immutability, presets, round-tripping."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import PRESETS, IndexSpec
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        spec = IndexSpec(scheme="algorithm1")
+        assert spec.scheme == "algorithm1"
+        assert dict(spec.params) == {}
+        assert spec.seed is None
+        assert spec.boost == 1
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            IndexSpec(scheme="bogus")
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpec(scheme="")
+
+    def test_unknown_param_rejected_with_accepted_list(self):
+        with pytest.raises(ValueError, match="accepts no parameter"):
+            IndexSpec(scheme="algorithm1", params={"bogus_knob": 1})
+
+    def test_param_of_other_scheme_rejected(self):
+        # "rounds" belongs to the algorithms, not to linear-scan.
+        with pytest.raises(ValueError, match="accepts no parameter"):
+            IndexSpec(scheme="linear-scan", params={"rounds": 2})
+
+    def test_boost_must_be_positive(self):
+        with pytest.raises(ValueError, match="boost"):
+            IndexSpec(scheme="algorithm1", boost=0)
+
+    def test_resolved_params_merge_defaults(self):
+        spec = IndexSpec(scheme="algorithm1", params={"rounds": 5})
+        resolved = spec.resolved_params()
+        assert resolved["rounds"] == 5
+        assert resolved["gamma"] == 4.0  # registered default
+
+
+class TestImmutability:
+    def test_fields_frozen(self):
+        spec = IndexSpec(scheme="algorithm1")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.scheme = "algorithm2"
+
+    def test_params_mapping_frozen(self):
+        spec = IndexSpec(scheme="algorithm1", params={"rounds": 3})
+        with pytest.raises(TypeError):
+            spec.params["rounds"] = 4
+
+    def test_caller_dict_not_aliased(self):
+        params = {"rounds": 3}
+        spec = IndexSpec(scheme="algorithm1", params=params)
+        params["rounds"] = 9
+        assert spec.params["rounds"] == 3
+
+    def test_hashable_and_equality(self):
+        a = IndexSpec(scheme="algorithm1", params={"rounds": 3}, seed=7)
+        b = IndexSpec(scheme="algorithm1", params={"rounds": 3}, seed=7)
+        c = IndexSpec(scheme="algorithm1", params={"rounds": 4}, seed=7)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_replace_revalidates(self):
+        spec = IndexSpec(scheme="algorithm1", params={"rounds": 3})
+        assert spec.replace(seed=9).seed == 9
+        with pytest.raises(ValueError):
+            # carried-over {"rounds": 3} is not a linear-scan parameter
+            spec.replace(scheme="linear-scan")
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = IndexSpec(
+            scheme="algorithm2", params={"rounds": 8, "s": 2}, seed=11, boost=2
+        )
+        assert IndexSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        spec = IndexSpec(scheme="lsh", params={"mode": "adaptive"}, seed=3)
+        assert IndexSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        spec = IndexSpec(scheme="algorithm1", params={"rounds": 3}, seed=7, boost=2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert copy.deepcopy(spec) == spec
+
+    def test_params_none_means_empty(self):
+        spec = IndexSpec(scheme="algorithm1", params=None)
+        assert dict(spec.params) == {}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown IndexSpec field"):
+            IndexSpec.from_dict({"scheme": "algorithm1", "typo": 1})
+
+    def test_from_dict_defaults(self):
+        spec = IndexSpec.from_dict({"scheme": "linear-scan"})
+        assert spec.seed is None and spec.boost == 1 and dict(spec.params) == {}
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_is_valid(self, name):
+        spec = IndexSpec.preset(name, seed=1)
+        assert spec.seed == 1
+        assert spec.scheme in ("algorithm1", "algorithm2")
+
+    def test_paper_preset_shape(self):
+        spec = IndexSpec.preset("paper")
+        assert spec.params["rounds"] == 3 and spec.boost == 1
+
+    def test_high_recall_preset_boosts(self):
+        assert IndexSpec.preset("high-recall").boost > 1
+
+    def test_preset_overrides(self):
+        spec = IndexSpec.preset("fast", rounds=2, boost=4)
+        assert spec.params["rounds"] == 2 and spec.boost == 4
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            IndexSpec.preset("bogus")

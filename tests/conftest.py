@@ -55,5 +55,29 @@ def small_queries(small_db):
 
 
 @pytest.fixture(scope="session")
+def planless_scheme_cls():
+    """A scheme that only implements ``query`` (no plan): drivers must
+    fall back to their sequential paths.  Every built-in scheme is
+    plan-capable now, so the fallback paths get their own test double."""
+    from repro.baselines.linear_scan import LinearScanScheme
+    from repro.cellprobe.scheme import CellProbingScheme
+
+    class PlanlessScheme(CellProbingScheme):
+        scheme_name = "planless"
+        k = 1
+
+        def __init__(self, db):
+            self._inner = LinearScanScheme(db)
+
+        def query(self, x):
+            return self._inner.query(x)
+
+        def size_report(self):
+            return self._inner.size_report()
+
+    return PlanlessScheme
+
+
+@pytest.fixture(scope="session")
 def medium_queries(medium_db):
     return planted_queries(medium_db, 24, max_flips=40)

@@ -114,25 +114,36 @@ class TestBoostingMatchesIndependentCopies:
 
 class TestBoostingPlanlessCopies:
     """Boosting must still work over schemes without query plans
-    (baselines) via independent per-copy queries + merge_parallel."""
+    via independent per-copy queries + merge_parallel."""
 
-    def test_boosted_linear_scan(self, small_db, small_queries):
-        from repro.baselines.linear_scan import LinearScanScheme
-
-        boosted = BoostedScheme(lambda s: LinearScanScheme(small_db), seeds=[0, 1])
+    def test_boosted_planless(self, small_db, small_queries, planless_scheme_cls):
+        boosted = BoostedScheme(lambda s: planless_scheme_cls(small_db), seeds=[0, 1])
         assert not boosted.supports_plans()
         res = boosted.query(small_queries[0])
-        single = LinearScanScheme(small_db).query(small_queries[0])
+        single = planless_scheme_cls(small_db).query(small_queries[0])
         assert res.answer_index == single.answer_index
         assert res.probes == 2 * single.probes  # two copies, probes add
         assert res.rounds == single.rounds      # rounds shared
         assert res.meta["copies"] == 2
 
-    def test_engine_falls_back_for_boosted_planless(self, small_db, small_queries):
+    def test_boosted_linear_scan_uses_plans(self, small_db, small_queries):
+        """Baselines are plan-capable: boosting shares their rounds."""
         from repro.baselines.linear_scan import LinearScanScheme
-        from repro.service import BatchQueryEngine
 
         boosted = BoostedScheme(lambda s: LinearScanScheme(small_db), seeds=[0, 1])
+        assert boosted.supports_plans()
+        res = boosted.query(small_queries[0])
+        single = LinearScanScheme(small_db).query(small_queries[0])
+        assert res.answer_index == single.answer_index
+        assert res.probes == 2 * single.probes  # two copies, probes add
+        assert res.rounds == single.rounds      # rounds shared
+
+    def test_engine_falls_back_for_boosted_planless(
+        self, small_db, small_queries, planless_scheme_cls
+    ):
+        from repro.service import BatchQueryEngine
+
+        boosted = BoostedScheme(lambda s: planless_scheme_cls(small_db), seeds=[0, 1])
         results = BatchQueryEngine(boosted).run(small_queries[:4])
         loop = [boosted.query(q) for q in small_queries[:4]]
         for r, l in zip(results, loop):

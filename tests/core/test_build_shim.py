@@ -1,0 +1,133 @@
+"""The deprecated ``ANNIndex.build`` shim: every legacy kwarg combination
+must emit ``DeprecationWarning`` and produce a scheme identical (same
+answers, same accounting, under the same seed) to the equivalent
+``IndexSpec`` path."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+SEED = 7
+GEOMETRY_DEFAULTS = {"gamma": 4.0, "c1": 6.0, "c2": 6.0, "profile": "empirical"}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(31)
+    n, d = 90, 128
+    db = PackedPoints(random_points(gen, n, d), d)
+    queries = np.vstack(
+        [
+            flip_random_bits(
+                gen, db.row(int(gen.integers(0, n))), int(gen.integers(0, 10)), d
+            )
+            for _ in range(20)
+        ]
+    )
+    return db, queries
+
+
+def _alg1_spec(*, rounds=2, boost=1, **geometry):
+    params = {**GEOMETRY_DEFAULTS, **geometry, "rounds": rounds}
+    return IndexSpec(scheme="algorithm1", params=params, seed=SEED, boost=boost)
+
+
+def _alg2_spec(*, rounds, c=3.0, s=None, boost=1, **geometry):
+    params = {**GEOMETRY_DEFAULTS, **geometry, "rounds": rounds, "c": c, "s": s}
+    return IndexSpec(scheme="algorithm2", params=params, seed=SEED, boost=boost)
+
+
+#: (legacy kwargs, the manually written equivalent spec)
+COMBOS = [
+    pytest.param(dict(), _alg1_spec(), id="all-defaults"),
+    pytest.param(dict(rounds=3), _alg1_spec(rounds=3), id="alg1-k3"),
+    pytest.param(
+        dict(algorithm="algorithm1", rounds=1, c1=8.0),
+        _alg1_spec(rounds=1, c1=8.0),
+        id="alg1-k1-c1",
+    ),
+    pytest.param(
+        dict(gamma=2.5, rounds=2, c2=9.0, profile="empirical"),
+        _alg1_spec(gamma=2.5, c2=9.0),
+        id="alg1-gamma-c2",
+    ),
+    pytest.param(
+        dict(algorithm="algorithm2", rounds=8, algorithm2_s=2),
+        _alg2_spec(rounds=8, s=2),
+        id="alg2-k8-s2",
+    ),
+    pytest.param(
+        dict(algorithm="algorithm2", rounds=16, algorithm2_c=4.0),
+        _alg2_spec(rounds=16, c=4.0),
+        id="alg2-k16-c4",
+    ),
+    pytest.param(dict(rounds=3, boost=3), _alg1_spec(rounds=3, boost=3), id="boosted"),
+    # "auto" resolves to algorithm1 when Algorithm 2's s >= 1 constraint
+    # fails at the requested k, and to algorithm2 when it holds.
+    pytest.param(dict(algorithm="auto", rounds=2), _alg1_spec(rounds=2), id="auto-alg1"),
+    pytest.param(
+        dict(algorithm="auto", rounds=20), _alg2_spec(rounds=20), id="auto-alg2"
+    ),
+]
+
+
+def assert_same_results(a, b, queries):
+    for q in queries:
+        ra, rb = a.query_packed(q), b.query_packed(q)
+        assert ra.answer_index == rb.answer_index
+        assert ra.probes == rb.probes
+        assert ra.rounds == rb.rounds
+        assert ra.probes_per_round == rb.probes_per_round
+        assert ra.scheme == rb.scheme
+        if ra.answer_packed is None:
+            assert rb.answer_packed is None
+        else:
+            assert np.array_equal(ra.answer_packed, rb.answer_packed)
+
+
+@pytest.mark.parametrize("legacy_kwargs, spec", COMBOS)
+def test_legacy_build_matches_spec_path(workload, legacy_kwargs, spec):
+    db, queries = workload
+    with pytest.warns(DeprecationWarning, match="from_spec"):
+        legacy = ANNIndex.build(db, seed=SEED, **legacy_kwargs)
+    modern = ANNIndex.from_spec(db, spec)
+    assert type(legacy.scheme) is type(modern.scheme)
+    assert_same_results(legacy, modern, queries)
+
+
+@pytest.mark.parametrize("legacy_kwargs, spec", COMBOS)
+def test_shim_records_equivalent_spec(workload, legacy_kwargs, spec):
+    """The shim's internally built spec round-trips to the manual one."""
+    db, _ = workload
+    with pytest.warns(DeprecationWarning):
+        legacy = ANNIndex.build(db, seed=SEED, **legacy_kwargs)
+    assert legacy.spec == spec
+
+
+def test_from_spec_does_not_warn(workload):
+    db, _ = workload
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ANNIndex.from_spec(db, IndexSpec(scheme="linear-scan"))
+
+
+def test_shim_rejects_unknown_algorithm(workload):
+    db, _ = workload
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            ANNIndex.build(db, algorithm="bogus")
+
+
+def test_shim_rejects_bad_boost(workload):
+    db, _ = workload
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="boost"):
+            ANNIndex.build(db, rounds=2, boost=0)

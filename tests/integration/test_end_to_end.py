@@ -3,11 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import ANNIndex
+from repro import ANNIndex, IndexSpec, build_scheme
 from repro.analysis.tradeoff import evaluate_scheme, sweep_algorithm1
-from repro.baselines.adaptive import FullyAdaptiveScheme
-from repro.baselines.linear_scan import LinearScanScheme
-from repro.core.params import BaseParameters
 from repro.workloads.spec import WorkloadSpec, make_workload
 
 
@@ -22,7 +19,10 @@ class TestFullPipeline:
     @pytest.mark.parametrize("workload_name", ["uniform", "planted", "clustered"])
     def test_index_over_workloads(self, workload_name):
         wl = make_workload(workload_name, WorkloadSpec(n=100, d=256, num_queries=8, seed=1))
-        index = ANNIndex.build(wl.database, gamma=4.0, rounds=2, seed=0, c1=8.0)
+        index = ANNIndex.from_spec(
+            wl.database,
+            IndexSpec(scheme="algorithm1", params={"rounds": 2, "c1": 8.0}, seed=0),
+        )
         summary = evaluate_scheme(index.scheme, wl, gamma=4.0)
         assert summary.answered_rate >= 0.75
         assert summary.max_rounds <= 2
@@ -43,11 +43,13 @@ class TestFullPipeline:
         from repro.hamming.sampling import flip_random_bits
 
         q = flip_random_bits(rng, db.row(0), 2, db.d)
-        base = BaseParameters(n=len(db), d=db.d, gamma=4.0, c1=8.0)
         schemes = [
-            ANNIndex.build(db, rounds=2, seed=0, c1=8.0).scheme,
-            FullyAdaptiveScheme(db, base, seed=0),
-            LinearScanScheme(db),
+            build_scheme(db, IndexSpec(scheme=name, params=params, seed=0))
+            for name, params in [
+                ("algorithm1", {"rounds": 2, "c1": 8.0}),
+                ("fully-adaptive", {"c1": 8.0}),
+                ("linear-scan", {}),
+            ]
         ]
         for scheme in schemes:
             res = scheme.query(q)
@@ -55,12 +57,18 @@ class TestFullPipeline:
             assert res.distance_to(q) <= 4.0 * max(1, int(db.distances_from(q).min()))
 
     def test_boosting_integration(self, planted):
-        index = ANNIndex.build(planted.database, rounds=2, boost=3, seed=1, c1=6.0)
+        index = ANNIndex.from_spec(
+            planted.database,
+            IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=1, boost=3),
+        )
         summary = evaluate_scheme(index.scheme, planted, gamma=4.0)
         assert summary.success_rate >= 0.75
 
     def test_size_reports_polynomial_exponent(self, planted):
         """n^{O(1)}: the cell-count exponent stays bounded."""
-        index = ANNIndex.build(planted.database, rounds=3, seed=0, c1=8.0)
+        index = ANNIndex.from_spec(
+            planted.database,
+            IndexSpec(scheme="algorithm1", params={"rounds": 3, "c1": 8.0}, seed=0),
+        )
         report = index.size_report()
         assert report.cells_log_n(len(planted.database)) < 64

@@ -1,13 +1,15 @@
 """Batch/sequential equivalence: ``query_batch`` must reproduce a
 sequential ``query`` loop bit for bit under the same seed — answers,
-probe counts, round counts, per-round probe lists — for both algorithms
-and the boosted wrapper, with and without cell prefetching."""
+probe counts, round counts, per-round probe lists — for both algorithms,
+the boosted wrapper, and every registered baseline, with and without
+cell prefetching."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.api import IndexSpec
 from repro.core.algorithm2 import LargeKScheme
 from repro.core.index import ANNIndex
 from repro.core.params import Algorithm2Params, BaseParameters
@@ -31,12 +33,18 @@ def workload():
     return db, queries
 
 
+def _spec(scheme, boost=1, **params):
+    return IndexSpec(
+        scheme=scheme, params={"gamma": 4.0, "c1": 8.0, **params}, seed=9, boost=boost
+    )
+
+
 BUILD_CASES = [
-    pytest.param(dict(algorithm="algorithm1", rounds=2, boost=1), id="alg1-k2"),
-    pytest.param(dict(algorithm="algorithm1", rounds=3, boost=1), id="alg1-k3"),
-    pytest.param(dict(algorithm="algorithm2", rounds=8, boost=1, algorithm2_s=2), id="alg2-k8"),
-    pytest.param(dict(algorithm="algorithm1", rounds=3, boost=3), id="boosted-alg1"),
-    pytest.param(dict(algorithm="algorithm2", rounds=8, boost=2, algorithm2_s=2), id="boosted-alg2"),
+    pytest.param(_spec("algorithm1", rounds=2), id="alg1-k2"),
+    pytest.param(_spec("algorithm1", rounds=3), id="alg1-k3"),
+    pytest.param(_spec("algorithm2", rounds=8, s=2), id="alg2-k8"),
+    pytest.param(_spec("algorithm1", rounds=3, boost=3), id="boosted-alg1"),
+    pytest.param(_spec("algorithm2", rounds=8, s=2, boost=2), id="boosted-alg2"),
 ]
 
 
@@ -54,22 +62,22 @@ def assert_results_equal(seq, bat):
             assert np.array_equal(s.answer_packed, b.answer_packed)
 
 
-@pytest.mark.parametrize("build_kw", BUILD_CASES)
+@pytest.mark.parametrize("spec", BUILD_CASES)
 @pytest.mark.parametrize("prefetch", [True, False], ids=["prefetch", "noprefetch"])
-def test_query_batch_matches_sequential_loop(workload, build_kw, prefetch):
+def test_query_batch_matches_sequential_loop(workload, spec, prefetch):
     db, queries = workload
-    seq_index = ANNIndex.build(db, gamma=4.0, seed=9, c1=8.0, **build_kw)
-    bat_index = ANNIndex.build(db, gamma=4.0, seed=9, c1=8.0, **build_kw)
+    seq_index = ANNIndex.from_spec(db, spec)
+    bat_index = ANNIndex.from_spec(db, spec)
     seq = [seq_index.query_packed(q) for q in queries]
     bat = bat_index.query_batch(queries, prefetch=prefetch)
     assert_results_equal(seq, bat)
 
 
-@pytest.mark.parametrize("build_kw", BUILD_CASES[:3])
-def test_query_batch_on_same_index_instance(workload, build_kw):
+@pytest.mark.parametrize("spec", BUILD_CASES[:3])
+def test_query_batch_on_same_index_instance(workload, spec):
     """Running both paths on one index (warm caches) changes nothing."""
     db, queries = workload
-    index = ANNIndex.build(db, gamma=4.0, seed=9, c1=8.0, **build_kw)
+    index = ANNIndex.from_spec(db, spec)
     bat = index.query_batch(queries)
     seq = [index.query_packed(q) for q in queries]
     bat_again = index.query_batch(queries)
@@ -79,7 +87,7 @@ def test_query_batch_on_same_index_instance(workload, build_kw):
 
 def test_query_batch_accepts_bit_arrays(workload):
     db, queries = workload
-    index = ANNIndex.build(db, gamma=4.0, rounds=2, algorithm="algorithm1", seed=9, c1=8.0)
+    index = ANNIndex.from_spec(db, _spec("algorithm1", rounds=2))
     from repro.hamming.packing import unpack_bits
 
     bits = unpack_bits(queries, db.d)
@@ -90,7 +98,7 @@ def test_query_batch_accepts_bit_arrays(workload):
 
 def test_query_batch_single_query_promoted(workload):
     db, queries = workload
-    index = ANNIndex.build(db, gamma=4.0, rounds=2, algorithm="algorithm1", seed=9, c1=8.0)
+    index = ANNIndex.from_spec(db, _spec("algorithm1", rounds=2))
     single = index.query_batch(queries[0])
     assert len(single) == 1
     assert_results_equal([index.query_packed(queries[0])], single)
@@ -134,15 +142,64 @@ def test_boosted_serialized_batch_equivalence(workload):
 
 def test_batch_results_deterministic_across_runs(workload):
     db, queries = workload
-    a = ANNIndex.build(db, gamma=4.0, rounds=3, algorithm="algorithm1", seed=21, c1=8.0)
-    b = ANNIndex.build(db, gamma=4.0, rounds=3, algorithm="algorithm1", seed=21, c1=8.0)
+    spec = _spec("algorithm1", rounds=3).replace(seed=21)
+    a = ANNIndex.from_spec(db, spec)
+    b = ANNIndex.from_spec(db, spec)
     assert_results_equal(a.query_batch(queries), b.query_batch(queries))
+
+
+# Registry-driven equivalence for every baseline scheme (the non-core
+# half of the unified surface); core schemes are covered above.
+BASELINE_SPECS = [
+    pytest.param(IndexSpec(scheme="lsh", seed=7), id="lsh-nonadaptive"),
+    pytest.param(
+        IndexSpec(scheme="lsh", params={"mode": "adaptive"}, seed=7), id="lsh-adaptive"
+    ),
+    pytest.param(IndexSpec(scheme="data-dependent-lsh", seed=7), id="ddlsh"),
+    pytest.param(IndexSpec(scheme="linear-scan"), id="linear-scan"),
+    pytest.param(IndexSpec(scheme="fully-adaptive", seed=7), id="fully-adaptive"),
+    pytest.param(IndexSpec(scheme="lambda-ann", seed=7), id="lambda-ann"),
+    pytest.param(
+        IndexSpec(scheme="lsh", seed=7, boost=2), id="boosted-lsh"
+    ),
+]
+
+
+@pytest.mark.parametrize("spec", BASELINE_SPECS)
+@pytest.mark.parametrize("prefetch", [True, False], ids=["prefetch", "noprefetch"])
+def test_registry_baseline_batch_matches_sequential_loop(workload, spec, prefetch):
+    db, queries = workload
+    index = ANNIndex.from_spec(db, spec)
+    seq = [index.query_packed(q) for q in queries[:24]]
+    bat = index.query_batch(queries[:24], prefetch=prefetch)
+    assert_results_equal(seq, bat)
+
+
+def test_query_batch_reuses_engine(workload):
+    """One engine per (index, prefetch flag), reused across calls."""
+    db, queries = workload
+    index = ANNIndex.from_spec(
+        db, IndexSpec(scheme="algorithm1", params={"rounds": 2, "c1": 8.0}, seed=9)
+    )
+    index.query_batch(queries[:4])
+    engine = index._engines[True]
+    index.query_batch(queries[4:8])
+    assert index._engines[True] is engine
+    index.query_batch(queries[:4], prefetch=False)
+    assert index._engines[False] is not engine
+    assert set(index._engines) == {True, False}
+
+
+def test_last_batch_stats_none_before_first_batch(workload):
+    db, _ = workload
+    index = ANNIndex.from_spec(db, IndexSpec(scheme="linear-scan"))
+    assert index.last_batch_stats is None
 
 
 def test_query_batch_empty_inputs(workload):
     """Empty batches mirror the sequential loop: no results, no crash."""
     db, _ = workload
-    index = ANNIndex.build(db, gamma=4.0, rounds=2, algorithm="algorithm1", seed=9, c1=8.0)
+    index = ANNIndex.from_spec(db, _spec("algorithm1", rounds=2))
     assert index.query_batch([]) == []
     assert index.query_batch(np.empty((0, db.d), dtype=np.uint8)) == []
     assert index.query_batch(np.empty((0, db.word_count), dtype=np.uint64)) == []

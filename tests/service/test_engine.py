@@ -53,8 +53,8 @@ def test_empty_batch(db):
     assert engine.last_stats.batch_size == 0
 
 
-def test_planless_scheme_falls_back_to_loop(db, queries):
-    scan = LinearScanScheme(db)
+def test_planless_scheme_falls_back_to_loop(db, queries, planless_scheme_cls):
+    scan = planless_scheme_cls(db)
     assert not scan.supports_plans()
     engine = BatchQueryEngine(scan)
     results = engine.run(queries)
@@ -67,6 +67,20 @@ def test_planless_scheme_falls_back_to_loop(db, queries):
 
 def test_plan_capable_scheme_advertises_it(db):
     assert make_scheme(db).supports_plans()
+
+
+def test_every_baseline_advertises_plans(db):
+    assert LinearScanScheme(db).supports_plans()
+
+
+def test_table_classification_persists_across_runs(db, queries):
+    engine = BatchQueryEngine(make_scheme(db, seed=4))
+    engine.run(queries[:4])
+    classified = dict(engine._prefetchable)
+    assert classified  # tables were classified during the first run
+    engine.run(queries[4:8])
+    # Re-running reuses (and only extends) the classification map.
+    assert all(engine._prefetchable[tid] is entry for tid, entry in classified.items())
 
 
 def test_engine_reusable_across_batches(db, queries):

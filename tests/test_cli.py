@@ -26,7 +26,61 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 0
         assert "linear-scan" in out
-        assert "LSH" in out
+        assert "lsh" in out
+        assert "fully-adaptive" in out
+
+    def test_schemes_lists_registry(self, capsys):
+        from repro.registry import available_schemes
+
+        code = main(["schemes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in available_schemes():
+            assert name in out
+
+    def test_bench_compares_schemes_by_name(self, capsys):
+        code = main(["bench", "--scheme", "lsh", "--scheme", "algorithm1",
+                     "--scheme", "linear-scan",
+                     "--n", "64", "--d", "128", "--queries", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Bench" in out
+        for name in ("lsh", "algorithm1", "linear-scan"):
+            assert name in out
+
+    def test_bench_batched_evaluation(self, capsys):
+        code = main(["bench", "--scheme", "algorithm1", "--batch",
+                     "--n", "64", "--d", "128", "--queries", "4"])
+        assert code == 0
+        assert "algorithm1" in capsys.readouterr().out
+
+    def test_bench_set_overrides(self, capsys):
+        code = main(["bench", "--scheme", "lsh", "--scheme", "linear-scan",
+                     "--set", "mode=adaptive", "--set", "bucket_capacity=8",
+                     "--n", "64", "--d", "128", "--queries", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lsh" in out  # overrides apply only to schemes accepting them
+
+    def test_bench_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--scheme", "bogus", "--n", "64", "--d", "128"])
+
+    def test_bench_rejects_malformed_set(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--scheme", "lsh", "--set", "no-equals-sign",
+                  "--n", "64", "--d", "128", "--queries", "4"])
+
+    def test_bench_rejects_set_key_no_scheme_accepts(self):
+        # "round" (typo for "rounds") is accepted by no selected scheme.
+        with pytest.raises(SystemExit, match="accepted by none"):
+            main(["bench", "--scheme", "algorithm1", "--set", "round=4",
+                  "--n", "64", "--d", "128", "--queries", "4"])
+
+    def test_tradeoff_bad_gamma_fails_loudly(self):
+        with pytest.raises(ValueError, match="gamma"):
+            main(["tradeoff", "--n", "64", "--d", "128", "--queries", "4",
+                  "--gamma", "0.5", "--ks", "1", "2"])
 
     def test_lemma8(self, capsys):
         code = main(["lemma8", "--n", "64", "--d", "128", "--queries", "4",
