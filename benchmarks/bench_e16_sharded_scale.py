@@ -1,0 +1,174 @@
+"""E16 — sharded build scaling and distance-merge serving.
+
+Not a paper claim: this experiment measures the persistence + sharding
+layer (``repro.persistence`` / ``repro.service.sharded``) that turns the
+single-process simulator into a saveable, partitionable serving system.
+
+Measured:
+
+* **Build scaling** — wall-clock of ``ShardedANNIndex.build`` with 4
+  shards, serial (in-process) vs 4 worker processes.  Workers warm each
+  shard's preprocessing (per-level database sketching, the real build
+  cost) and ship it to the parent through persistence snapshots.
+* **Merge fidelity** — the sharded index's answers equal the
+  distance-merge oracle over independently built shard indexes
+  (asserted on every run).
+* **Serving** — merged batch query throughput and aggregated
+  probe/round stats per shard count.
+
+Criteria: merge fidelity is asserted unconditionally.  The parallel
+speedup assertion (parallel build faster than serial) runs only when the
+machine actually has ≥ 2 usable cores — on single-core CI runners
+process fan-out cannot beat serial by construction, so there the row is
+informational.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.hamming.distance import hamming_distance
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.core.index import ANNIndex
+from repro.service.sharded import ShardedANNIndex, shard_bounds, shard_seed
+
+N, D, K = 4096, 2048, 3
+SHARDS = 4
+QUERIES = 64
+
+INDEX_SPEC = IndexSpec(
+    scheme="algorithm1", params={"gamma": 4.0, "rounds": K, "c1": 8.0}, seed=2016
+)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def e16_workload():
+    gen = np.random.default_rng(2016)
+    db = PackedPoints(random_points(gen, N, D), D)
+    queries = np.vstack(
+        [
+            flip_random_bits(
+                gen, db.row(int(gen.integers(0, N))), int(gen.integers(0, D // 20)), D
+            )
+            for _ in range(QUERIES)
+        ]
+    )
+    return db, queries
+
+
+def _timed_build(db, workers):
+    start = time.perf_counter()
+    index = ShardedANNIndex.build(
+        db, INDEX_SPEC, shards=SHARDS, workers=workers, warm=True
+    )
+    return index, time.perf_counter() - start
+
+
+def _merge_matches_oracle(db, sharded, queries) -> bool:
+    bounds = shard_bounds(len(db), sharded.num_shards)
+    singles = [
+        ANNIndex.from_spec(
+            db.take(range(start, stop)),
+            INDEX_SPEC.replace(seed=shard_seed(INDEX_SPEC.seed, i)),
+        )
+        for i, (start, stop) in enumerate(bounds)
+    ]
+    for qi, res in enumerate(sharded.query_batch(queries)):
+        best = None
+        for si, single in enumerate(singles):
+            r = single.query_packed(queries[qi])
+            if r.answer_packed is None:
+                continue
+            cand = (
+                hamming_distance(queries[qi], r.answer_packed),
+                bounds[si][0] + r.answer_index,
+            )
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            if res.answered:
+                return False
+        elif res.answer_index != best[1]:
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def e16_rows(e16_workload, report_table):
+    db, queries = e16_workload
+    serial_index, serial_time = _timed_build(db, workers=1)
+    parallel_index, parallel_time = _timed_build(db, workers=SHARDS)
+
+    rows = []
+    for label, index, build_time in (
+        ("serial", serial_index, serial_time),
+        (f"{SHARDS} workers", parallel_index, parallel_time),
+    ):
+        start = time.perf_counter()
+        results = index.query_batch(queries)
+        query_time = time.perf_counter() - start
+        stats = index.last_batch_stats
+        rows.append(
+            {
+                "build": label,
+                "build s": round(build_time, 2),
+                "speedup": round(serial_time / build_time, 2),
+                "q/s": round(len(results) / query_time),
+                "probes": stats.total_probes,
+                "answered": sum(r.answered for r in results),
+                "merge ok": _merge_matches_oracle(db, index, queries),
+            }
+        )
+    report_table(
+        f"E16: sharded build scaling (n={N}, d={D}, k={K}, S={SHARDS}, "
+        f"cores={_usable_cores()})",
+        rows,
+    )
+    return rows
+
+
+def test_e16_merge_matches_oracle(e16_rows):
+    assert all(r["merge ok"] for r in e16_rows)
+
+
+def test_e16_parallel_and_serial_builds_answer_identically(e16_workload):
+    db, queries = e16_workload
+    serial = ShardedANNIndex.build(db, INDEX_SPEC, shards=SHARDS, workers=1)
+    parallel = ShardedANNIndex.build(db, INDEX_SPEC, shards=SHARDS, workers=SHARDS)
+    for s_res, p_res in zip(serial.query_batch(queries), parallel.query_batch(queries)):
+        assert s_res.answer_index == p_res.answer_index
+        assert s_res.probes == p_res.probes
+
+
+@pytest.mark.skipif(
+    _usable_cores() < 2,
+    reason="parallel build cannot beat serial on a single usable core",
+)
+def test_e16_parallel_build_faster_than_serial(e16_rows):
+    parallel_row = next(r for r in e16_rows if r["build"] != "serial")
+    assert parallel_row["speedup"] > 1.0, (
+        f"expected 4-worker build to beat serial, got {parallel_row['speedup']}x"
+    )
+
+
+def test_e16_snapshot_round_trip_at_scale(e16_workload, tmp_path):
+    db, queries = e16_workload
+    index = ShardedANNIndex.build(db, INDEX_SPEC, shards=SHARDS, workers=1)
+    index.save(tmp_path / "e16")
+    loaded = ShardedANNIndex.load(tmp_path / "e16")
+    for s_res, l_res in zip(
+        index.query_batch(queries[:16]), loaded.query_batch(queries[:16])
+    ):
+        assert s_res.answer_index == l_res.answer_index
+        assert s_res.probes == l_res.probes

@@ -21,7 +21,11 @@ The package provides:
   γ-separated ball-tree reduction, protocol accounting, and a numeric
   round-elimination ledger for Theorem 4;
 * the experiment harness (:mod:`repro.analysis`, :mod:`repro.workloads`)
-  behind the benches in ``benchmarks/``.
+  behind the benches in ``benchmarks/``;
+* index persistence (:mod:`repro.persistence`: ``ANNIndex.save``/``load``
+  snapshots that answer bitwise-identically) and sharded serving
+  (:class:`~repro.service.sharded.ShardedANNIndex`: parallel per-shard
+  builds, fan-out querying, true-distance merging).
 """
 
 from repro.api import IndexSpec
@@ -38,9 +42,9 @@ from repro.core import (
 )
 from repro.hamming import PackedPoints
 from repro.registry import available_schemes, build_scheme
-from repro.service import BatchQueryEngine, BatchStats
+from repro.service import BatchQueryEngine, BatchStats, ShardedANNIndex
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ANNIndex",
@@ -55,6 +59,7 @@ __all__ = [
     "OneProbeNearNeighborScheme",
     "PackedPoints",
     "QueryResult",
+    "ShardedANNIndex",
     "SimpleKRoundScheme",
     "available_schemes",
     "build_scheme",

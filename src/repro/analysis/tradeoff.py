@@ -24,6 +24,7 @@ from repro.workloads.spec import Workload
 
 __all__ = [
     "EvalSummary",
+    "evaluate_index",
     "evaluate_scheme",
     "evaluate_spec",
     "sweep_algorithm1",
@@ -88,13 +89,33 @@ def evaluate_scheme(
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]
-    db = workload.database
     if batch:
         from repro.service.engine import BatchQueryEngine
 
         results = BatchQueryEngine(scheme).run(queries)
     else:
         results = (scheme.query(queries[qi]) for qi in range(queries.shape[0]))
+    return _aggregate_results(
+        results,
+        queries,
+        workload,
+        gamma,
+        label=scheme.scheme_name,
+        table_cells=scheme.size_report().table_cells,
+    )
+
+
+def _aggregate_results(
+    results,
+    queries: np.ndarray,
+    workload: Workload,
+    gamma: float,
+    label: str,
+    table_cells: int,
+) -> EvalSummary:
+    """Fold per-query results into an :class:`EvalSummary` (the shared
+    tail of :func:`evaluate_scheme` and :func:`evaluate_index`)."""
+    db = workload.database
     probes: List[int] = []
     rounds: List[int] = []
     ratios: List[float] = []
@@ -121,7 +142,7 @@ def evaluate_scheme(
     if violations:
         extras["budget_violations"] = violations
     return EvalSummary(
-        scheme=scheme.scheme_name,
+        scheme=label,
         workload=workload.name,
         num_queries=m,
         mean_probes=p_summary.mean,
@@ -132,9 +153,53 @@ def evaluate_scheme(
         success_ci=wilson_interval(successes, m),
         answered_rate=answered / m,
         mean_ratio=(sum(ratios) / len(ratios)) if ratios else None,
-        table_cells=scheme.size_report().table_cells,
+        table_cells=table_cells,
         extras=extras,
     )
+
+
+def evaluate_index(
+    index,
+    workload: Workload,
+    gamma: Optional[float] = None,
+    max_queries: Optional[int] = None,
+) -> EvalSummary:
+    """Evaluate a *prebuilt* index over a workload's queries.
+
+    ``index`` is anything with ``query_batch`` + ``size_report`` — an
+    :class:`~repro.core.index.ANNIndex` (e.g. loaded from a snapshot) or
+    a :class:`~repro.service.sharded.ShardedANNIndex`.  Global-row-id
+    semantics matter here: sharded answers come back remapped, so the
+    achieved-ratio bookkeeping against the workload database is exact.
+
+    ``gamma`` defaults to the index spec's resolved ``gamma`` (or 4.0).
+    """
+    spec = getattr(index, "spec", None)
+    if gamma is None:
+        gamma = 4.0
+        if spec is not None:
+            gamma = float(spec.resolved_params().get("gamma", 4.0))
+    queries = workload.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    results = index.query_batch(queries)
+    scheme = getattr(index, "scheme", None)
+    label = scheme.scheme_name if scheme is not None else type(index).__name__
+    if hasattr(index, "num_shards"):
+        inner = index.shards[0].scheme.scheme_name
+        label = f"sharded({inner}×{index.num_shards})"
+    summary = _aggregate_results(
+        results,
+        queries,
+        workload,
+        gamma,
+        label=label,
+        table_cells=index.size_report().table_cells,
+    )
+    summary.extras["cells=n^c"] = round(
+        index.size_report().cells_log_n(len(workload.database)), 1
+    )
+    return summary
 
 
 def sweep_algorithm1(

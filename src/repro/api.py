@@ -123,6 +123,21 @@ class IndexSpec:
         """A copy with fields replaced (re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    def resolve_seed(self) -> "IndexSpec":
+        """This spec with a concrete seed (fresh entropy when ``None``).
+
+        ``seed=None`` means "fresh public coins" — fine for one-off
+        builds, but an index whose coins were never recorded can neither
+        be saved nor rebuilt.  :meth:`ANNIndex.from_spec
+        <repro.core.index.ANNIndex.from_spec>` resolves specs through
+        this, so every built index carries the entropy that replays it.
+        """
+        if self.seed is not None:
+            return self
+        from repro.utils.rng import RngTree
+
+        return self.replace(seed=RngTree(None).root_entropy)
+
     # -- reproducible round-tripping -----------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """A plain, JSON-serializable dict (inverse of :meth:`from_dict`)."""

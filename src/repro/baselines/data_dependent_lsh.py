@@ -205,6 +205,48 @@ class DataDependentLSHScheme(CellProbingScheme):
         dists = hamming_distance_many(addr, self._pivot_sketches)
         return IntWord(int(dists.argmin()), self.params.parts)
 
+    # -- persistence ---------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Pivots, dispatch-sketch mask, and every part's sampled hash
+        positions — the scheme's complete random state."""
+        out: Dict[str, np.ndarray] = {
+            "pivots": self.pivots.words,
+            "dispatch_mask": self._dispatch_sketch.mask,
+        }
+        for part in self.parts:
+            for (i, t), positions in part.positions.items():
+                out[f"part{part.part_id}/positions/{i}/{t}"] = positions
+        return out
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Verify the eagerly rebuilt decomposition against the snapshot
+        (construction from the manifest seed already reproduced it)."""
+        for key, arr in arrays.items():
+            if key == "pivots":
+                ours = self.pivots.words
+            elif key == "dispatch_mask":
+                ours = self._dispatch_sketch.mask
+            elif key.startswith("part"):
+                scope, _, rest = key.partition("/")
+                kind, _, level_table = rest.partition("/")
+                i, _, t = level_table.partition("/")
+                if kind != "positions":
+                    raise ValueError(f"unknown array key {key!r} for {self.scheme_name}")
+                part_id = int(scope[len("part"):])
+                if not (0 <= part_id < len(self.parts)):
+                    raise ValueError(
+                        f"payload names part {part_id} but the scheme has "
+                        f"{len(self.parts)} parts"
+                    )
+                ours = self.parts[part_id].positions.get((int(i), int(t)))
+            else:
+                raise ValueError(f"unknown array key {key!r} for {self.scheme_name}")
+            if ours is None or not np.array_equal(ours, arr):
+                raise ValueError(
+                    f"snapshot array {key!r} disagrees with the scheme "
+                    "rebuilt from the manifest seed"
+                )
+
     # -- querying ------------------------------------------------------------
     def make_accountant(self) -> ProbeAccountant:
         return ProbeAccountant(max_rounds=2)

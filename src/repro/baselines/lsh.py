@@ -203,6 +203,35 @@ class LSHScheme(CellProbingScheme):
     def _hash_batch(words: np.ndarray, positions: np.ndarray) -> np.ndarray:
         return sampled_bits_hash(words, positions)
 
+    # -- persistence ---------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The sampled bit positions of every (level, table) hash — the
+        scheme's complete random state (buckets are derived from them)."""
+        return {
+            f"positions/{level}/{t}": positions
+            for (level, t), positions in self._positions.items()
+        }
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Verify the eagerly rebuilt hashes against the snapshot.
+
+        Construction already rebuilt positions and buckets from the
+        recorded seed; a mismatch means the payload belongs to different
+        randomness (corrupt snapshot, wrong manifest), which must fail
+        loudly rather than silently answer from other tables.
+        """
+        for key, positions in arrays.items():
+            scope, _, rest = key.partition("/")
+            level, _, t = rest.partition("/")
+            if scope != "positions":
+                raise ValueError(f"unknown array key {key!r} for {self.scheme_name}")
+            ours = self._positions.get((int(level), int(t)))
+            if ours is None or not np.array_equal(ours, positions):
+                raise ValueError(
+                    f"snapshot hash positions for (level={level}, table={t}) "
+                    "disagree with the scheme rebuilt from the manifest seed"
+                )
+
     def _hash_query(self, level: int, t: int, x: np.ndarray) -> int:
         key = self._hash_batch(
             np.asarray(x, dtype=np.uint64)[None, :], self._positions[(level, t)]

@@ -15,11 +15,35 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["CellProbingScheme", "SchemeSizeReport"]
+__all__ = [
+    "CellProbingScheme",
+    "SchemeSizeReport",
+    "SketchStateMixin",
+    "prefix_arrays",
+    "split_arrays",
+]
+
+
+def prefix_arrays(prefix: str, arrays: Dict[str, "np.ndarray"]) -> Dict[str, "np.ndarray"]:
+    """Namespace an exported array dict under ``prefix/`` (persistence
+    payloads from nested components compose by key prefix)."""
+    return {f"{prefix}/{key}": value for key, value in arrays.items()}
+
+
+def split_arrays(arrays: Dict[str, "np.ndarray"]) -> Dict[str, Dict[str, "np.ndarray"]]:
+    """Group a payload dict by its first ``/``-separated key component,
+    stripping the prefix — the inverse of :func:`prefix_arrays`."""
+    groups: Dict[str, Dict[str, "np.ndarray"]] = {}
+    for key, value in arrays.items():
+        scope, sep, rest = key.partition("/")
+        if not sep:
+            raise ValueError(f"array key {key!r} has no component prefix")
+        groups.setdefault(scope, {})[rest] = value
+    return groups
 
 
 @dataclass(frozen=True)
@@ -59,6 +83,35 @@ class SchemeSizeReport:
         else:
             log2_cells = math.log2(cells >> (bits - 53)) + (bits - 53)
         return log2_cells / math.log2(n)
+
+
+class SketchStateMixin:
+    """Persistence hooks for schemes whose random state is a
+    :class:`~repro.sketch.family.SketchFamily` (attribute ``family``) with
+    derived :class:`~repro.sketch.levels.LevelSketches` caches (attribute
+    ``level_sketches``) — both paper algorithms and λ-ANNS."""
+
+    def export_arrays(self) -> Dict[str, "np.ndarray"]:
+        """Sketch masks for every level plus the materialized database
+        sketches (see :mod:`repro.persistence` for the on-disk layout)."""
+        out = prefix_arrays("family", self.family.export_arrays())
+        out.update(prefix_arrays("levels", self.level_sketches.export_arrays()))
+        return out
+
+    def restore_arrays(self, arrays: Dict[str, "np.ndarray"]) -> None:
+        for scope, group in split_arrays(arrays).items():
+            if scope == "family":
+                self.family.restore_arrays(group)
+            elif scope == "levels":
+                self.level_sketches.restore_arrays(group)
+            else:
+                raise ValueError(
+                    f"unknown array scope {scope!r} for {self.scheme_name}"
+                )
+
+    def prewarm(self) -> None:
+        """Materialize all levels' masks and database sketches now."""
+        self.level_sketches.materialize_all()
 
 
 class CellProbingScheme(abc.ABC):
@@ -150,6 +203,40 @@ class CellProbingScheme(abc.ABC):
             scheme=self.scheme_name,
             meta=draft.meta,
         )
+
+    # -- persistence hooks ---------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Array payloads for :mod:`repro.persistence` snapshots.
+
+        Schemes export their randomness-derived arrays (sketch masks,
+        sampled hash positions, pivot sets) plus any warm preprocessing
+        caches worth shipping.  Keys are ``/``-separated paths; values are
+        numpy arrays.  Schemes without array state export nothing.
+        """
+        return {}
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Install payloads produced by :meth:`export_arrays` into a scheme
+        freshly rebuilt from the same spec and seed.
+
+        Implementations either prime lazy caches (so the loaded index skips
+        recomputation) or verify eagerly-rebuilt state against the payload
+        (so a corrupted or mismatched snapshot fails loudly rather than
+        answering from different randomness).
+        """
+        if arrays:
+            raise ValueError(
+                f"{type(self).__name__} cannot restore array payloads: "
+                f"{', '.join(sorted(arrays))}"
+            )
+
+    def prewarm(self) -> None:
+        """Materialize deferred preprocessing now (no-op by default).
+
+        The sharded builder calls this in worker processes so the
+        expensive per-level database sketching happens in parallel and
+        ships to the parent through the persistence payloads.
+        """
 
     # -- shared conveniences -------------------------------------------------
     def query_many(self, queries: np.ndarray) -> List[object]:

@@ -4,6 +4,9 @@ Usage::
 
     python -m repro schemes
     python -m repro bench      --scheme lsh --scheme algorithm1 --scheme linear-scan
+    python -m repro build      --scheme algorithm1 --out /tmp/idx [--shards 4]
+    python -m repro bench      --index /tmp/idx
+    python -m repro bench      --scheme algorithm1 --shards 4
     python -m repro tradeoff   --d 4096 --n 300 --gamma 4 --ks 1 2 3 4
     python -m repro baselines  --d 1024 --n 300
     python -m repro lemma8     --d 1024 --n 200 --rows 64 128 256
@@ -15,6 +18,11 @@ Every scheme is constructed through the registry
 no scheme-specific construction code here.  ``bench`` compares any set
 of registered schemes on one workload; ``--set key=value`` overrides a
 parameter on every selected scheme that accepts it.
+
+``build`` snapshots an index (optionally sharded) to a directory through
+:mod:`repro.persistence`, recording the workload recipe in the manifest;
+``bench --index DIR`` loads the snapshot, regenerates that workload, and
+evaluates the loaded index — the save/load/serve path exercised by CI.
 """
 
 from __future__ import annotations
@@ -69,7 +77,8 @@ def _spec_for(
     """A spec for ``name``: CLI geometry + row-specific + ``--set`` params,
     each filtered to the parameters the scheme accepts."""
     params: Dict[str, object] = {}
-    for source in ({"gamma": args.gamma, "c1": args.c1}, extra or {}, overrides or {}):
+    geometry = {"gamma": args.gamma, "c1": args.c1, "c2": args.c2}
+    for source in (geometry, extra or {}, overrides or {}):
         params.update(filter_params(name, source))
     return IndexSpec(scheme=name, params=params, seed=args.seed)
 
@@ -96,7 +105,87 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_extras(args: argparse.Namespace) -> Dict[str, object]:
+    """The workload recipe a ``build`` manifest records so ``bench
+    --index`` can regenerate the exact same planted workload."""
+    return {
+        "workload": {
+            "n": args.n,
+            "d": args.d,
+            "queries": args.queries,
+            "seed": args.seed,
+        }
+    }
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.index import ANNIndex
+    from repro.service.sharded import ShardedANNIndex
+
+    wl = _planted(args)
+    overrides = _parse_overrides(args.set)
+    spec = _spec_for(args.scheme, args, overrides=overrides).replace(boost=args.boost)
+    if args.shards > 1:
+        index = ShardedANNIndex.build(
+            wl.database, spec, shards=args.shards,
+            workers=args.workers, warm=not args.cold,
+        )
+        cells = index.size_report().table_cells
+    else:
+        index = ANNIndex.from_spec(wl.database, spec)
+        if not args.cold:
+            index.prepare()
+        cells = index.size_report().table_cells
+    path = index.save(args.out, extras=_workload_extras(args))
+    print_table(
+        f"Built index → {path}",
+        [{
+            "scheme": args.scheme,
+            "shards": args.shards,
+            "n": args.n,
+            "d": args.d,
+            "seed": index.spec.seed,
+            "cells": cells,
+        }],
+    )
+    return 0
+
+
+def _bench_index(args: argparse.Namespace) -> int:
+    """``bench --index DIR``: evaluate a loaded snapshot."""
+    from repro.analysis.tradeoff import evaluate_index
+    from repro.persistence import load_any, read_manifest
+
+    manifest = read_manifest(args.index)
+    recorded = manifest.get("extras", {}).get("workload")
+    if recorded:
+        for key in ("n", "d", "queries", "seed"):
+            setattr(args, key, recorded[key])
+    wl = _planted(args)
+    index = load_any(args.index)
+    if len(index) != len(wl.database) or index.d != wl.database.d:
+        raise SystemExit(
+            f"index {args.index} was built for n={len(index)}, d={index.d}; "
+            f"the bench workload has n={len(wl.database)}, d={wl.database.d} "
+            "(pass matching --n/--d/--seed or rebuild)"
+        )
+    summary = evaluate_index(index, wl)
+    spec = index.spec
+    gamma = float(spec.resolved_params().get("gamma", args.gamma)) if spec else args.gamma
+    rows = [{**_summary_row(summary.scheme, summary), "γ": gamma}]
+    print_table(
+        f"Bench (loaded index {args.index}, n={args.n}, d={args.d})", rows
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.index:
+        if args.scheme:
+            raise SystemExit("--index benches a snapshot; drop --scheme")
+        return _bench_index(args)
+    if not args.scheme:
+        raise SystemExit("bench needs --scheme NAME (repeatable) or --index DIR")
     wl = _planted(args)
     overrides = _parse_overrides(args.set)
     # An override no selected scheme accepts is a typo, not a preference.
@@ -113,10 +202,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in args.scheme:
         spec = _spec_for(name, args, overrides=overrides)
         gamma = _eval_gamma(spec, args)
-        summary = evaluate_spec(spec, wl, gamma, batch=args.batch)
+        if args.shards > 1:
+            from repro.analysis.tradeoff import evaluate_index
+            from repro.service.sharded import ShardedANNIndex
+
+            sharded = ShardedANNIndex.build(
+                wl.database, spec, shards=args.shards, workers=args.workers
+            )
+            summary = evaluate_index(sharded, wl, gamma)
+            label = summary.scheme
+        else:
+            summary = evaluate_spec(spec, wl, gamma, batch=args.batch)
+            label = name
         # γ is a per-row fact: --set gamma=... moves it for the schemes
         # that accept it, while gamma-less schemes keep the CLI value.
-        rows.append({**_summary_row(name, summary), "γ": gamma})
+        rows.append({**_summary_row(label, summary), "γ": gamma})
     print_table(f"Bench (n={args.n}, d={args.d}, planted workload)", rows)
     return 0
 
@@ -147,7 +247,7 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
         sweeps.append(("Alg2", "algorithm2", args.alg2_ks))
     for label, name, ks in sweeps:
         params = filter_params(
-            name, {"gamma": args.gamma, "c1": args.c1, "c2": args.c1}
+            name, {"gamma": args.gamma, "c1": args.c1, "c2": args.c2}
         )
         for s in sweep_rounds(wl, name, ks, args.gamma, seed=args.seed, params=params):
             rows.append(
@@ -226,20 +326,45 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--queries", type=int, default=16)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--c1", type=float, default=8.0)
+        # Default matches Algorithm2Params / the registry's c2 default.
+        p.add_argument("--c2", type=float, default=6.0)
 
     p = sub.add_parser("schemes", help="list the scheme registry")
     p.set_defaults(fn=_cmd_schemes)
 
     p = sub.add_parser("bench", help="compare any registered schemes on one workload")
     common(p)
-    p.add_argument("--scheme", action="append", required=True,
+    p.add_argument("--scheme", action="append",
                    choices=available_schemes(),
                    help="scheme to include (repeatable)")
     p.add_argument("--set", action="append", metavar="KEY=VALUE",
                    help="parameter override applied to every scheme that accepts it")
     p.add_argument("--batch", action="store_true",
                    help="evaluate through the batched engine (same results)")
+    p.add_argument("--index", metavar="DIR",
+                   help="evaluate a saved index snapshot instead of building")
+    p.add_argument("--shards", type=int, default=1,
+                   help="serve each scheme through a ShardedANNIndex with S shards")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel shard-build worker processes")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("build", help="build an index and snapshot it to a directory")
+    common(p)
+    p.add_argument("--scheme", default="algorithm1", choices=available_schemes())
+    p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                   help="parameter override for the scheme")
+    p.add_argument("--boost", type=int, default=1,
+                   help="parallel-repetition copies")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition into S shards (ShardedANNIndex snapshot)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel shard-build worker processes")
+    p.add_argument("--cold", action="store_true",
+                   help="skip preprocessing warm-up before saving")
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="snapshot directory to write")
+    p.set_defaults(fn=_cmd_build)
 
     p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")
     common(p)

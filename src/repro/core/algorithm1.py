@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.plan import BatchAddressPrimer, PlanDraft, QueryPlan, run_query_plan
-from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.scheme import (
+    CellProbingScheme,
+    SchemeSizeReport,
+    SketchStateMixin,
+)
 from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.words import PointWord
 from repro.core.degenerate import DegenerateCaseHandler
@@ -46,7 +50,7 @@ def interpolated_levels(l: int, u: int, tau: int) -> List[int]:
     return [l + (r * (u - l)) // tau for r in range(1, tau)]
 
 
-class SimpleKRoundScheme(CellProbingScheme):
+class SimpleKRoundScheme(SketchStateMixin, CellProbingScheme):
     """Theorem 9's scheme, ready to answer queries for a fixed database.
 
     Parameters

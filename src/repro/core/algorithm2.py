@@ -32,7 +32,11 @@ import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.plan import BatchAddressPrimer, PlanDraft, QueryPlan, run_query_plan
-from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.scheme import (
+    CellProbingScheme,
+    SchemeSizeReport,
+    SketchStateMixin,
+)
 from repro.cellprobe.session import ProbeRequest, ProbeSession, SerializedProbeSession
 from repro.cellprobe.words import EmptyWord, IntWord, PointWord
 from repro.core.degenerate import DegenerateCaseHandler
@@ -51,7 +55,7 @@ from repro.utils.rng import RngTree
 __all__ = ["LargeKScheme"]
 
 
-class LargeKScheme(CellProbingScheme):
+class LargeKScheme(SketchStateMixin, CellProbingScheme):
     """Theorem 10's scheme for a fixed database.
 
     Parameters

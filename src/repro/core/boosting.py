@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
-from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.scheme import (
+    CellProbingScheme,
+    SchemeSizeReport,
+    prefix_arrays,
+    split_arrays,
+)
 from repro.cellprobe.session import ProbeRequest
 from repro.core.result import QueryResult
 from repro.hamming.distance import hamming_distance
@@ -120,6 +125,31 @@ class BoostedScheme(CellProbingScheme):
         """Plan-driven only when every copy is (drivers check this before
         entering the lockstep path)."""
         return all(copy.supports_plans() for copy in self.copies)
+
+    # -- persistence ----------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Every copy's payload, namespaced ``copy<i>/...``."""
+        out: Dict[str, np.ndarray] = {}
+        for i, copy in enumerate(self.copies):
+            out.update(prefix_arrays(f"copy{i}", copy.export_arrays()))
+        return out
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        groups = split_arrays(arrays)
+        for scope, group in groups.items():
+            if not scope.startswith("copy"):
+                raise ValueError(f"unknown array scope {scope!r} for boosted scheme")
+            index = int(scope[len("copy"):])
+            if not (0 <= index < len(self.copies)):
+                raise ValueError(
+                    f"payload names copy {index} but the scheme has "
+                    f"{len(self.copies)} copies"
+                )
+            self.copies[index].restore_arrays(group)
+
+    def prewarm(self) -> None:
+        for copy in self.copies:
+            copy.prewarm()
 
     def query(self, x: np.ndarray) -> QueryResult:
         """All copies answer in shared rounds; the closest point wins."""

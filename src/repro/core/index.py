@@ -82,8 +82,13 @@ class ANNIndex:
         scheme, the registry builds it (boost wrapping included), and the
         spec rides along on the index for reproducibility
         (``index.spec.to_dict()`` round-trips the exact recipe).
+
+        Specs with ``seed=None`` are pinned to fresh entropy first, so the
+        index's spec always records the public coins that replay it — the
+        invariant :meth:`save` depends on.
         """
         db = _coerce_database(database)
+        spec = spec.resolve_seed()
         return cls(db, build_scheme(db, spec), spec=spec)
 
     @classmethod
@@ -135,6 +140,37 @@ class ANNIndex:
         return cls.from_spec(
             db, IndexSpec(scheme=algorithm, params=params, seed=seed, boost=boost)
         )
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path, extras=None) -> "str":
+        """Snapshot this index to a directory (see :mod:`repro.persistence`).
+
+        Writes a JSON manifest (format version + spec + seed), the packed
+        database, and the scheme's array payloads.  ``extras`` (JSON-able
+        mapping) lands in the manifest for harnesses to read back.
+        """
+        from repro.persistence import save_index
+
+        return str(save_index(self, path, extras=extras))
+
+    @classmethod
+    def load(cls, path) -> "ANNIndex":
+        """Load a snapshot written by :meth:`save`.
+
+        The loaded index answers :meth:`query`/:meth:`query_batch`
+        bitwise-identically to the index that was saved.
+        """
+        from repro.persistence import load_index
+
+        return load_index(path)
+
+    def prepare(self) -> "ANNIndex":
+        """Materialize deferred preprocessing now (sketch masks, per-level
+        database sketches).  Returns ``self``; the sharded builder runs
+        this in worker processes so the work parallelizes and ships to the
+        parent through :meth:`save` payloads."""
+        self.scheme.prewarm()
+        return self
 
     # -- querying ----------------------------------------------------------
     def query(self, x: Union[np.ndarray, list]) -> QueryResult:
@@ -192,6 +228,15 @@ class ANNIndex:
         return self._last_batch_stats
 
     # -- introspection ----------------------------------------------------
+    def __len__(self) -> int:
+        """Number of database points indexed."""
+        return len(self.database)
+
+    @property
+    def d(self) -> int:
+        """Dimension of the Hamming cube."""
+        return self.database.d
+
     @property
     def rounds(self) -> Optional[int]:
         """The scheme's declared round budget ``k``."""

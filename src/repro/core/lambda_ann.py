@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.plan import PlanDraft, QueryPlan, run_query_plan
-from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.cellprobe.scheme import (
+    CellProbingScheme,
+    SchemeSizeReport,
+    SketchStateMixin,
+)
 from repro.cellprobe.session import ProbeRequest
 from repro.cellprobe.words import PointWord
 from repro.core.params import BaseParameters
@@ -37,7 +41,7 @@ from repro.utils.rng import RngTree
 __all__ = ["OneProbeNearNeighborScheme"]
 
 
-class OneProbeNearNeighborScheme(CellProbingScheme):
+class OneProbeNearNeighborScheme(SketchStateMixin, CellProbingScheme):
     """λ-ANNS with exactly one cell-probe per query (Theorem 11).
 
     Parameters

@@ -1,0 +1,225 @@
+"""On-disk snapshots of built indexes: the persistence codec.
+
+An index snapshot is a directory with three files (FAISS-style index I/O,
+adapted to the lazy-table simulator):
+
+``manifest.json``
+    Format name + version, the index's :meth:`IndexSpec.to_dict()
+    <repro.api.IndexSpec.to_dict>` (always with a *concrete* seed — see
+    below), the database geometry ``(n, d)``, the scheme name, the array
+    payload keys, and free-form ``extras`` (the CLI records its workload
+    there so ``bench --index`` can regenerate the matching queries).
+
+``database.npz``
+    The packed database: the ``(n, W)`` uint64 word matrix plus ``d``.
+
+``arrays.npz``
+    The scheme's array payloads from
+    :meth:`~repro.cellprobe.scheme.CellProbingScheme.export_arrays`:
+    per-level parity sketch masks, materialized database sketches, LSH
+    sampled-bit positions, data-dependent pivots/dispatch masks — nested
+    components namespaced by ``/``-separated keys (boosted copies under
+    ``copy<i>/``).
+
+Loading rebuilds the scheme through the registry from the manifest's spec
+— every scheme derives all randomness from the spec's seed through
+:class:`~repro.utils.rng.RngTree`, so the rebuild is bitwise-identical —
+then installs the array payloads: lazily-derived caches (sketch masks,
+database sketches) are primed so the loaded index answers without
+recomputing preprocessing, and eagerly-rebuilt state (bucket hash
+positions, pivots) is verified against the payload so a corrupted or
+mismatched snapshot fails loudly instead of answering from different
+randomness.
+
+Concrete seeds are what make this sound: :meth:`ANNIndex.from_spec
+<repro.core.index.ANNIndex.from_spec>` pins ``seed=None`` specs to fresh
+entropy at build time, so every built index carries a seed that replays
+its exact public coins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import ANNIndex
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IndexPersistenceError",
+    "load_any",
+    "load_index",
+    "read_manifest",
+    "save_index",
+]
+
+#: Bump when the directory layout or payload semantics change.
+FORMAT_VERSION = 1
+
+FORMAT_NAME = "repro-ann-index"
+MANIFEST_FILE = "manifest.json"
+DATABASE_FILE = "database.npz"
+ARRAYS_FILE = "arrays.npz"
+
+#: Manifest ``kind`` values this module knows how to load.
+KIND_INDEX = "ann-index"
+KIND_SHARDED = "sharded-ann-index"
+
+PathLike = Union[str, Path]
+
+
+class IndexPersistenceError(RuntimeError):
+    """A snapshot could not be written or read (missing files, unknown
+    format version, payload/seed mismatch, unsaveable index)."""
+
+
+def _write_manifest(path: Path, manifest: Dict[str, object]) -> None:
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def read_manifest(path: PathLike) -> Dict[str, object]:
+    """Read and validate a snapshot directory's manifest.
+
+    Raises :class:`IndexPersistenceError` when the directory is not a
+    snapshot, the format name is foreign, or the format version is newer
+    than this code understands.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise IndexPersistenceError(
+            f"{directory} is not an index snapshot (no {MANIFEST_FILE})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise IndexPersistenceError(f"unreadable manifest in {directory}: {exc}") from exc
+    if manifest.get("format") != FORMAT_NAME:
+        raise IndexPersistenceError(
+            f"{manifest_path} has format {manifest.get('format')!r}, "
+            f"expected {FORMAT_NAME!r}"
+        )
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version < 1 or version > FORMAT_VERSION:
+        raise IndexPersistenceError(
+            f"unsupported index format version {version!r} in {manifest_path} "
+            f"(this build reads versions 1..{FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def save_index(
+    index: "ANNIndex",
+    path: PathLike,
+    extras: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Snapshot a built :class:`~repro.core.index.ANNIndex` to ``path``.
+
+    The directory is created if needed; existing snapshot files are
+    overwritten.  ``extras`` lands verbatim in the manifest (JSON-able
+    values only).  Returns the directory path.
+    """
+    spec = index.spec
+    if spec is None:
+        raise IndexPersistenceError(
+            "index has no spec (hand-built scheme); only registry-built "
+            "indexes (ANNIndex.from_spec) can be saved"
+        )
+    if spec.seed is None:
+        raise IndexPersistenceError(
+            "index spec has no concrete seed, so its randomness cannot be "
+            "replayed; build through ANNIndex.from_spec (which pins one)"
+        )
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    db = index.database
+    arrays = index.scheme.export_arrays()
+    np.savez_compressed(directory / DATABASE_FILE, words=db.words, d=np.int64(db.d))
+    np.savez_compressed(directory / ARRAYS_FILE, **arrays)
+    _write_manifest(
+        directory,
+        {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "kind": KIND_INDEX,
+            "spec": spec.to_dict(),
+            "seed": spec.seed,
+            "n": len(db),
+            "d": db.d,
+            "scheme_name": index.scheme.scheme_name,
+            "array_keys": sorted(arrays),
+            "extras": dict(extras or {}),
+        },
+    )
+    return directory
+
+
+def _load_database(directory: Path):
+    from repro.hamming.points import PackedPoints
+
+    db_path = directory / DATABASE_FILE
+    if not db_path.is_file():
+        raise IndexPersistenceError(f"snapshot {directory} is missing {DATABASE_FILE}")
+    with np.load(db_path) as payload:
+        return PackedPoints(payload["words"], int(payload["d"]))
+
+
+def load_index(path: PathLike) -> "ANNIndex":
+    """Load a snapshot written by :func:`save_index`.
+
+    The returned index answers bitwise-identically to the one saved: the
+    scheme is rebuilt from the manifest's spec (same seed, same registry
+    factory) and the array payloads are installed on top.
+    """
+    from repro.api import IndexSpec
+    from repro.core.index import ANNIndex
+    from repro.registry import build_scheme
+
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    if manifest.get("kind") != KIND_INDEX:
+        raise IndexPersistenceError(
+            f"snapshot {directory} holds a {manifest.get('kind')!r}, not a "
+            f"single index; use repro.persistence.load_any"
+        )
+    database = _load_database(directory)
+    spec = IndexSpec.from_dict(manifest["spec"])
+    if int(manifest["n"]) != len(database) or int(manifest["d"]) != database.d:
+        raise IndexPersistenceError(
+            f"manifest geometry (n={manifest['n']}, d={manifest['d']}) does "
+            f"not match the stored database (n={len(database)}, d={database.d})"
+        )
+    scheme = build_scheme(database, spec)
+    arrays_path = directory / ARRAYS_FILE
+    if not arrays_path.is_file():
+        raise IndexPersistenceError(f"snapshot {directory} is missing {ARRAYS_FILE}")
+    with np.load(arrays_path) as payload:
+        try:
+            scheme.restore_arrays({key: payload[key] for key in payload.files})
+        except ValueError as exc:
+            raise IndexPersistenceError(
+                f"snapshot {directory} payload rejected: {exc}"
+            ) from exc
+    return ANNIndex(database, scheme, spec=spec)
+
+
+def load_any(path: PathLike):
+    """Load whatever index kind a snapshot directory holds.
+
+    Returns an :class:`~repro.core.index.ANNIndex` for single-index
+    snapshots and a :class:`~repro.service.sharded.ShardedANNIndex` for
+    sharded ones — the CLI's ``bench --index DIR`` entry point.
+    """
+    manifest = read_manifest(path)
+    kind = manifest.get("kind")
+    if kind == KIND_INDEX:
+        return load_index(path)
+    if kind == KIND_SHARDED:
+        from repro.service.sharded import ShardedANNIndex
+
+        return ShardedANNIndex.load(path)
+    raise IndexPersistenceError(f"unknown snapshot kind {kind!r} in {path}")

@@ -19,4 +19,24 @@ under the same seed.
 
 from repro.service.engine import BatchQueryEngine, BatchStats
 
-__all__ = ["BatchQueryEngine", "BatchStats"]
+__all__ = [
+    "BatchQueryEngine",
+    "BatchStats",
+    "ShardedANNIndex",
+    "shard_bounds",
+    "shard_seed",
+]
+
+_SHARDED_EXPORTS = ("ShardedANNIndex", "shard_bounds", "shard_seed")
+
+
+def __getattr__(name: str):
+    # repro.core.index imports repro.service.engine while repro.core is
+    # still initializing, and repro.service.sharded needs the finished
+    # repro.core.index — resolving the sharded exports lazily (PEP 562)
+    # keeps the package import acyclic.
+    if name in _SHARDED_EXPORTS:
+        from repro.service import sharded
+
+        return getattr(sharded, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

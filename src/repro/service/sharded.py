@@ -1,0 +1,330 @@
+"""Sharded serving: partition the database, fan queries out, merge by
+true distance.
+
+:class:`ShardedANNIndex` is the shard-and-merge pattern of distributed
+LSH/ANN services, on top of this package's existing layers:
+
+* **Partitioning** splits the database rows into ``S`` contiguous shards
+  of near-equal size; shard ``i`` owns global rows
+  ``[offset_i, offset_i + n_i)``, so local answer indexes remap to global
+  row ids by adding the shard's offset.
+* **Building** constructs one registry scheme per shard.  Each shard gets
+  its own public coins, derived from the root spec's seed through
+  ``RngTree(seed).child("shard", i)`` (pass ``shared_seed=True`` to give
+  every shard the root seed instead — with one shard that reproduces the
+  unsharded index bitwise).  With ``workers > 1`` shards build in
+  parallel worker processes (``ProcessPoolExecutor``); each worker warms
+  its shard's preprocessing (:meth:`ANNIndex.prepare`) and snapshots it
+  through :mod:`repro.persistence`, and the parent loads the snapshots —
+  the warmed arrays transfer, so parallel build time is real build time.
+* **Querying** runs each shard's existing
+  :class:`~repro.service.engine.BatchQueryEngine` over the whole batch
+  and merges per query by *true Hamming distance* between the query and
+  each shard's answer point, tie-broken by smallest global row id.
+  Shards answer in parallel rounds, so per-query accounting merges with
+  :meth:`~repro.cellprobe.accounting.ProbeAccountant.merge_parallel`
+  (probes add, rounds max), and per-shard
+  :class:`~repro.service.engine.BatchStats` aggregate the same way
+  (probes/prefetches sum, sweeps max).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api import IndexSpec
+from repro.cellprobe.accounting import ProbeAccountant
+from repro.cellprobe.scheme import SchemeSizeReport
+from repro.core.index import ANNIndex, DatabaseLike, _coerce_database
+from repro.core.result import QueryResult
+from repro.hamming.distance import hamming_distance
+from repro.hamming.packing import pack_bits
+from repro.service.engine import BatchStats
+from repro.utils.rng import RngTree
+
+__all__ = ["ShardedANNIndex", "shard_bounds", "shard_seed"]
+
+
+def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` row ranges for ``n`` rows.
+
+    The first ``n % shards`` shards take one extra row, so sizes differ by
+    at most one and every row lands in exactly one shard.
+    """
+    if shards < 1:
+        raise ValueError(f"need >= 1 shard, got {shards}")
+    if n < shards:
+        raise ValueError(f"cannot split {n} rows into {shards} shards")
+    base, extra = divmod(n, shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def shard_seed(root_seed: int, shard: int) -> int:
+    """Shard ``i``'s public-coin seed: ``RngTree(root).child("shard", i)``.
+
+    Deterministic in the root seed, independent across shards."""
+    return RngTree(root_seed).child("shard", shard).root_entropy
+
+
+def _build_shard(payload) -> str:
+    """Worker-process entry: build one shard, warm it, snapshot it.
+
+    Module-level (picklable) on purpose; returns the snapshot directory so
+    the parent can load the warmed index back through the codec.
+    """
+    words, d, spec_dict, out_dir, warm = payload
+    from repro.hamming.points import PackedPoints
+
+    index = ANNIndex.from_spec(
+        PackedPoints(words, d), IndexSpec.from_dict(spec_dict)
+    )
+    if warm:
+        index.prepare()
+    return index.save(out_dir)
+
+
+class ShardedANNIndex:
+    """``S`` per-shard ANN indexes served as one, with distance merging.
+
+    Use :meth:`build` (or :meth:`load`); the constructor takes
+    already-built shard indexes plus their global row offsets.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ANNIndex],
+        offsets: Sequence[int],
+        spec: Optional[IndexSpec] = None,
+    ):
+        if not shards:
+            raise ValueError("need at least one shard")
+        if len(offsets) != len(shards):
+            raise ValueError(
+                f"{len(shards)} shards but {len(offsets)} offsets"
+            )
+        dims = {shard.database.d for shard in shards}
+        if len(dims) != 1:
+            raise ValueError(f"shards disagree on dimension: {sorted(dims)}")
+        self.shards: List[ANNIndex] = list(shards)
+        self.offsets: List[int] = [int(o) for o in offsets]
+        #: the root spec sharding was derived from (None for hand-assembled)
+        self.spec = spec
+        self.d = self.shards[0].database.d
+        self._last_batch_stats: Optional[BatchStats] = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        database: DatabaseLike,
+        spec: IndexSpec,
+        shards: int,
+        workers: Optional[int] = None,
+        warm: bool = True,
+        shared_seed: bool = False,
+    ) -> "ShardedANNIndex":
+        """Partition ``database`` into ``shards`` and build every shard.
+
+        ``workers > 1`` builds shards in parallel processes (capped at the
+        shard count); ``workers=None``/``0``/``1`` builds serially
+        in-process.  ``warm`` materializes each shard's preprocessing at
+        build time (that is the work that parallelizes).  ``shared_seed``
+        gives every shard the root seed instead of an independent
+        ``RngTree("shard", i)`` derivation.
+        """
+        db = _coerce_database(database)
+        spec = spec.resolve_seed()
+        bounds = shard_bounds(len(db), shards)
+        specs = [
+            spec if shared_seed else spec.replace(seed=shard_seed(spec.seed, i))
+            for i in range(shards)
+        ]
+        workers = min(int(workers or 1), shards)
+        if workers <= 1:
+            built = [
+                ANNIndex.from_spec(db.take(range(start, stop)), shard_spec)
+                for (start, stop), shard_spec in zip(bounds, specs)
+            ]
+            if warm:
+                for index in built:
+                    index.prepare()
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+                payloads = [
+                    (
+                        db.words[start:stop],
+                        db.d,
+                        shard_spec.to_dict(),
+                        str(Path(tmp) / f"shard-{i:04d}"),
+                        warm,
+                    )
+                    for i, ((start, stop), shard_spec) in enumerate(zip(bounds, specs))
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    saved = list(pool.map(_build_shard, payloads))
+                built = [ANNIndex.load(path) for path in saved]
+        return cls(built, [start for start, _ in bounds], spec=spec)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path, extras=None) -> str:
+        """Snapshot every shard plus a parent manifest to a directory."""
+        from repro import persistence
+
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_dirs = []
+        for i, shard in enumerate(self.shards):
+            shard_dirs.append(f"shard-{i:04d}")
+            shard.save(directory / shard_dirs[-1])
+        manifest = {
+            "format": persistence.FORMAT_NAME,
+            "format_version": persistence.FORMAT_VERSION,
+            "kind": persistence.KIND_SHARDED,
+            "spec": None if self.spec is None else self.spec.to_dict(),
+            "shards": shard_dirs,
+            "offsets": self.offsets,
+            "d": self.d,
+            "extras": dict(extras or {}),
+        }
+        persistence._write_manifest(directory, manifest)
+        return str(directory)
+
+    @classmethod
+    def load(cls, path) -> "ShardedANNIndex":
+        """Load a snapshot written by :meth:`save`."""
+        from repro import persistence
+
+        directory = Path(path)
+        manifest = persistence.read_manifest(directory)
+        if manifest.get("kind") != persistence.KIND_SHARDED:
+            raise persistence.IndexPersistenceError(
+                f"snapshot {directory} holds a {manifest.get('kind')!r}, "
+                "not a sharded index"
+            )
+        shards = [
+            ANNIndex.load(directory / shard_dir) for shard_dir in manifest["shards"]
+        ]
+        spec_dict = manifest.get("spec")
+        spec = None if spec_dict is None else IndexSpec.from_dict(spec_dict)
+        return cls(shards, manifest["offsets"], spec=spec)
+
+    # -- querying ----------------------------------------------------------
+    def _coerce_batch(self, queries: Union[np.ndarray, list]) -> np.ndarray:
+        arr = np.asarray(queries)
+        if arr.size == 0:
+            return np.empty((0, self.shards[0].database.word_count), dtype=np.uint64)
+        if arr.dtype != np.uint64:
+            if arr.ndim == 1:
+                arr = arr[None, :]
+            arr = pack_bits(arr.astype(np.uint8), self.d)
+        elif arr.ndim == 1:
+            arr = arr[None, :]
+        return arr
+
+    def query(self, x: Union[np.ndarray, list]) -> QueryResult:
+        """Answer one query through every shard; best true distance wins."""
+        return self.query_batch(x)[0]
+
+    def query_batch(
+        self, queries: Union[np.ndarray, list], prefetch: bool = True
+    ) -> List[QueryResult]:
+        """Fan a batch out through every shard's batched engine and merge.
+
+        Per query, every shard's answer is scored by its true Hamming
+        distance to the query; the smallest distance wins (ties: smallest
+        global row id).  Shards run in parallel rounds, so merged
+        accounting sums probes and takes the max of rounds.
+        """
+        arr = self._coerce_batch(queries)
+        per_shard = [shard.query_batch(arr, prefetch=prefetch) for shard in self.shards]
+        shard_stats = [shard.last_batch_stats for shard in self.shards]
+        inner = self.shards[0].scheme.scheme_name
+        scheme_name = f"sharded({inner}×{len(self.shards)})"
+        merged: List[QueryResult] = []
+        total_rounds = 0
+        for qi in range(arr.shape[0]):
+            accountant = ProbeAccountant()
+            best: Optional[Tuple[int, int, int, QueryResult]] = None
+            answered = 0
+            for si, results in enumerate(per_shard):
+                res = results[qi]
+                accountant.merge_parallel(res.accountant)
+                if res.answer_packed is None:
+                    continue
+                answered += 1
+                dist = hamming_distance(arr[qi], res.answer_packed)
+                global_id = self.offsets[si] + res.answer_index
+                if best is None or (dist, global_id) < best[:2]:
+                    best = (dist, global_id, si, res)
+            total_rounds += accountant.total_rounds
+            meta = {
+                "shards": len(self.shards),
+                "shards_answered": answered,
+                "inner": inner,
+            }
+            if best is None:
+                merged.append(
+                    QueryResult(None, None, accountant, scheme=scheme_name, meta=meta)
+                )
+            else:
+                dist, global_id, si, res = best
+                merged.append(
+                    QueryResult(
+                        global_id,
+                        res.answer_packed,
+                        accountant,
+                        scheme=scheme_name,
+                        meta={
+                            **meta,
+                            "shard": si,
+                            "distance": dist,
+                            "winner_meta": dict(res.meta),
+                        },
+                    )
+                )
+        self._last_batch_stats = BatchStats(
+            batch_size=arr.shape[0],
+            sweeps=max((s.sweeps for s in shard_stats if s is not None), default=0),
+            total_probes=sum(s.total_probes for s in shard_stats if s is not None),
+            total_rounds=total_rounds,
+            prefetched_cells=sum(
+                s.prefetched_cells for s in shard_stats if s is not None
+            ),
+        )
+        return merged
+
+    @property
+    def last_batch_stats(self) -> Optional[BatchStats]:
+        """Aggregated statistics of the most recent :meth:`query_batch`."""
+        return self._last_batch_stats
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard.database) for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def size_report(self) -> SchemeSizeReport:
+        """Combined logical size accounting across all shards."""
+        reports = [shard.size_report() for shard in self.shards]
+        return SchemeSizeReport(
+            table_cells=sum(r.table_cells for r in reports),
+            word_bits=max(r.word_bits for r in reports),
+            table_names=[
+                (f"shard{i}", r.table_cells) for i, r in enumerate(reports)
+            ],
+            notes=f"{len(reports)} shards of {self.shards[0].scheme.scheme_name}",
+        )

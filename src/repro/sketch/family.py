@@ -101,6 +101,50 @@ class SketchFamily:
             self._coarse[i] = sk
         return sk
 
+    # -- persistence ---------------------------------------------------------
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Every level's packed sketch masks, keyed ``accurate/i`` and
+        ``coarse/i`` — the family's complete random state.
+
+        Materializes all levels (lazily built ones included) so the export
+        is self-contained; :meth:`restore_arrays` checks a payload against
+        the masks a family rebuilds from its seed.
+        """
+        out: dict[str, np.ndarray] = {}
+        for i in range(self.levels + 1):
+            out[f"accurate/{i}"] = self.accurate(i).mask
+            if self.coarse_rows is not None:
+                out[f"coarse/{i}"] = self.coarse(i).mask
+        return out
+
+    def restore_arrays(self, arrays: dict) -> None:
+        """Verify exported masks against this family's own sketches.
+
+        The masks are the family's randomness, and the family rebuilds
+        them bit-for-bit from its RNG tree — so restoring is a
+        *verification*: a payload that disagrees belongs to different
+        public coins (corrupt snapshot, wrong manifest, drifted RNG
+        stream) and must fail loudly rather than silently coexist with
+        levels rebuilt from the tree.  Keys for levels this family does
+        not have raise for the same reason.
+        """
+        for key, mask in arrays.items():
+            kind, _, level = key.partition("/")
+            i = self._check_level(int(level))
+            if kind == "accurate":
+                current = self.accurate(i)
+            elif kind == "coarse":
+                if self.coarse_rows is None:
+                    raise ValueError("coarse mask for a family without coarse sketches")
+                current = self.coarse(i)
+            else:
+                raise ValueError(f"unknown sketch-family array key {key!r}")
+            if not np.array_equal(current.mask, np.asarray(mask, dtype=np.uint64)):
+                raise ValueError(
+                    f"snapshot sketch mask {key!r} disagrees with the mask "
+                    "rebuilt from the manifest seed"
+                )
+
     # -- query-side helpers --------------------------------------------------
     def accurate_address(self, i: int, x: np.ndarray) -> tuple:
         """``M_i x`` as a hashable table address (tuple of packed words)."""

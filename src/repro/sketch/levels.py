@@ -52,6 +52,65 @@ class LevelSketches:
             self._coarse_db[i] = sk
         return sk
 
+    # -- persistence --------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The *materialized* per-level database sketches, keyed
+        ``accurate_db/i`` / ``coarse_db/i``.
+
+        Unlike the sketch masks these are pure derived caches, so only the
+        levels computed so far are exported — restoring them transfers the
+        warm preprocessing state without forcing cold levels."""
+        out: Dict[str, np.ndarray] = {}
+        for i, arr in self._accurate_db.items():
+            out[f"accurate_db/{i}"] = arr
+        for i, arr in self._coarse_db.items():
+            out[f"coarse_db/{i}"] = arr
+        return out
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Prime the per-level database-sketch caches from an export.
+
+        Installing the payload is what transfers warm preprocessing (the
+        whole point — recomputing it here would defeat parallel shard
+        builds), so each level is admitted after its shape is validated
+        and a deterministic spot-check: a few rows are re-sketched through
+        the (already seed-verified) family and compared.  That catches
+        mismatched or corrupted cache payloads without paying the full
+        recompute.
+        """
+        n = len(self.database)
+        for key, arr in arrays.items():
+            kind, _, level = key.partition("/")
+            cache = {"accurate_db": self._accurate_db, "coarse_db": self._coarse_db}.get(kind)
+            if cache is None:
+                raise ValueError(f"unknown level-sketch array key {key!r}")
+            i = int(level)
+            sketch = (
+                self.family.accurate(i) if kind == "accurate_db" else self.family.coarse(i)
+            )
+            payload = np.ascontiguousarray(np.asarray(arr, dtype=np.uint64))
+            if payload.shape != (n, sketch.out_words):
+                raise ValueError(
+                    f"snapshot database sketches {key!r} have shape "
+                    f"{payload.shape}, expected {(n, sketch.out_words)}"
+                )
+            probe_rows = sorted({0, n // 2, n - 1})
+            expected = sketch.apply_many(self.database.words[probe_rows])
+            if not np.array_equal(payload[probe_rows], expected):
+                raise ValueError(
+                    f"snapshot database sketches {key!r} disagree with the "
+                    "sketches recomputed from the manifest seed"
+                )
+            cache[i] = payload
+
+    def materialize_all(self) -> None:
+        """Compute every level's database sketches now (build-time warm-up;
+        this is the real preprocessing cost the lazy path defers)."""
+        for i in range(self.family.levels + 1):
+            self.accurate_db(i)
+            if self.family.coarse_rows is not None:
+                self.coarse_db(i)
+
     # -- address-vs-database distances -------------------------------------
     def accurate_distances(self, i: int, address: tuple) -> np.ndarray:
         """Hamming distances between an accurate address and all DB sketches."""

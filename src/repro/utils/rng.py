@@ -28,10 +28,25 @@ def as_generator(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _spawn_seeds(root, count: int) -> List[np.random.SeedSequence]:
+    """``count`` child seed sequences of a generator-like ``root``.
+
+    Prefers the bit generator's own ``seed_seq`` (cheap, does not touch
+    the stream).  Third-party or hand-rolled bit generators may not carry
+    one — the attribute is conventional, not part of the BitGenerator
+    contract — in which case we fall back to seeding a fresh
+    :class:`~numpy.random.SeedSequence` from one draw of ``root``.
+    """
+    seed_seq = getattr(getattr(root, "bit_generator", None), "seed_seq", None)
+    if seed_seq is None or not hasattr(seed_seq, "spawn"):
+        seed_seq = np.random.SeedSequence(int(root.integers(0, 2**63 - 1)))
+    return seed_seq.spawn(count)
+
+
 def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Spawn ``count`` independent generators from ``seed``."""
     root = as_generator(seed)
-    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]  # type: ignore[union-attr]
+    return [np.random.default_rng(s) for s in _spawn_seeds(root, count)]
 
 
 class RngTree:
@@ -54,8 +69,13 @@ class RngTree:
         if isinstance(seed, RngTree):
             self._root_entropy = seed._root_entropy
         elif isinstance(seed, np.random.Generator):
-            # Derive a stable integer from the generator once.
+            # Derive a stable integer from the generator without advancing
+            # the caller's stream: draw once, then rewind the bit-generator
+            # state.  (The drawn value matches what a plain draw would
+            # produce, so trees seeded from a fresh generator are unchanged.)
+            state = seed.bit_generator.state
             self._root_entropy = int(seed.integers(0, 2**63 - 1))
+            seed.bit_generator.state = state
         elif seed is None:
             self._root_entropy = int(np.random.SeedSequence().entropy % (2**63))
         else:

@@ -1,0 +1,219 @@
+"""Save/load round-trips through :mod:`repro.persistence`.
+
+The acceptance bar: for every scheme in ``available_schemes()`` (plain
+and boosted), an index loaded from a snapshot answers ``query`` and
+``query_batch`` bitwise-identically to the index that was saved — same
+answers, same probe/round accounting — and malformed snapshots (unknown
+format version, tampered payloads, foreign directories) fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.persistence import (
+    FORMAT_VERSION,
+    IndexPersistenceError,
+    load_any,
+    load_index,
+    read_manifest,
+    save_index,
+)
+from repro.registry import available_schemes, build_scheme
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(1234)
+    n, d = 96, 128
+    db = PackedPoints(random_points(gen, n, d), d)
+    queries = np.vstack(
+        [
+            flip_random_bits(
+                gen, db.row(int(gen.integers(0, n))), int(gen.integers(0, 12)), d
+            )
+            for _ in range(12)
+        ]
+        + [random_points(gen, 4, d)]
+    )
+    return db, queries
+
+
+def assert_results_equal(saved, loaded):
+    assert len(saved) == len(loaded)
+    for s, l in zip(saved, loaded):
+        assert s.answer_index == l.answer_index
+        assert s.probes == l.probes
+        assert s.rounds == l.rounds
+        assert s.probes_per_round == l.probes_per_round
+        assert s.scheme == l.scheme
+        if s.answer_packed is None:
+            assert l.answer_packed is None
+        else:
+            assert np.array_equal(s.answer_packed, l.answer_packed)
+
+
+def _snapshot_arrays(snapshot_dir):
+    with np.load(snapshot_dir / "arrays.npz") as payload:
+        return {key: payload[key] for key in payload.files}
+
+
+def _tamper_array(snapshot_dir, key):
+    arrays = _snapshot_arrays(snapshot_dir)
+    arrays[key] = np.roll(arrays[key], 1)
+    np.savez_compressed(snapshot_dir / "arrays.npz", **arrays)
+
+
+ROUND_TRIP_CASES = [
+    pytest.param(name, boost, id=f"{name}-boost{boost}")
+    for name in available_schemes()
+    for boost in (1, 2)
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme,boost", ROUND_TRIP_CASES)
+    def test_bitwise_identical_answers_after_reload(
+        self, scheme, boost, workload, tmp_path
+    ):
+        db, queries = workload
+        spec = IndexSpec(scheme=scheme, seed=17, boost=boost)
+        index = ANNIndex.from_spec(db, spec)
+        index.save(tmp_path / "idx")
+        loaded = ANNIndex.load(tmp_path / "idx")
+        assert loaded.spec == index.spec
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+        for qi in range(4):
+            assert_results_equal(
+                [index.query_packed(queries[qi])],
+                [loaded.query_packed(queries[qi])],
+            )
+
+    @pytest.mark.parametrize("scheme,boost", ROUND_TRIP_CASES)
+    def test_warm_snapshot_round_trips(self, scheme, boost, workload, tmp_path):
+        db, queries = workload
+        spec = IndexSpec(scheme=scheme, seed=23, boost=boost)
+        index = ANNIndex.from_spec(db, spec).prepare()
+        index.save(tmp_path / "warm")
+        loaded = ANNIndex.load(tmp_path / "warm")
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+
+    def test_seed_none_is_pinned_and_round_trips(self, workload, tmp_path):
+        db, queries = workload
+        index = ANNIndex.from_spec(
+            db, IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=None)
+        )
+        # from_spec pins fresh entropy so the coins are recorded.
+        assert index.spec.seed is not None
+        index.save(tmp_path / "pinned")
+        loaded = ANNIndex.load(tmp_path / "pinned")
+        assert loaded.spec.seed == index.spec.seed
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+
+    def test_load_any_returns_single_index(self, workload, tmp_path):
+        db, _ = workload
+        index = ANNIndex.from_spec(db, IndexSpec(scheme="linear-scan", seed=1))
+        index.save(tmp_path / "lin")
+        assert isinstance(load_any(tmp_path / "lin"), ANNIndex)
+
+
+class TestManifest:
+    def test_manifest_records_spec_seed_and_geometry(self, workload, tmp_path):
+        db, _ = workload
+        spec = IndexSpec(scheme="algorithm1", params={"rounds": 3}, seed=5, boost=2)
+        ANNIndex.from_spec(db, spec).save(tmp_path / "idx", extras={"note": "hi"})
+        manifest = read_manifest(tmp_path / "idx")
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["seed"] == 5
+        assert manifest["n"] == len(db) and manifest["d"] == db.d
+        assert manifest["extras"] == {"note": "hi"}
+        assert IndexSpec.from_dict(manifest["spec"]) == spec
+
+    def test_unknown_format_version_fails_clearly(self, workload, tmp_path):
+        db, _ = workload
+        ANNIndex.from_spec(db, IndexSpec(scheme="algorithm1", seed=5)).save(
+            tmp_path / "idx"
+        )
+        manifest_path = tmp_path / "idx" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexPersistenceError, match="unsupported index format version"):
+            ANNIndex.load(tmp_path / "idx")
+
+    def test_non_snapshot_directory_fails_clearly(self, tmp_path):
+        with pytest.raises(IndexPersistenceError, match="not an index snapshot"):
+            load_index(tmp_path)
+
+    def test_foreign_format_name_fails_clearly(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(IndexPersistenceError, match="format"):
+            read_manifest(tmp_path)
+
+    def test_tampered_eager_payload_fails_loudly(self, workload, tmp_path):
+        # LSH rebuilds its hashes eagerly from the seed and verifies them
+        # against the snapshot; a payload from different randomness must
+        # be rejected, not silently served.
+        db, _ = workload
+        ANNIndex.from_spec(db, IndexSpec(scheme="lsh", seed=3)).save(tmp_path / "idx")
+        key = sorted(
+            k
+            for k in _snapshot_arrays(tmp_path / "idx")
+            if k.startswith("positions/")
+        )[0]
+        _tamper_array(tmp_path / "idx", key)
+        with pytest.raises(IndexPersistenceError, match="payload rejected"):
+            ANNIndex.load(tmp_path / "idx")
+
+    def test_tampered_sketch_mask_fails_loudly(self, workload, tmp_path):
+        # The masks are the sketch schemes' randomness; a payload from
+        # different coins must be rejected against the seed-rebuilt masks.
+        db, _ = workload
+        ANNIndex.from_spec(db, IndexSpec(scheme="algorithm1", seed=3)).save(
+            tmp_path / "idx"
+        )
+        _tamper_array(tmp_path / "idx", "family/accurate/0")
+        with pytest.raises(IndexPersistenceError, match="payload rejected"):
+            ANNIndex.load(tmp_path / "idx")
+
+    def test_tampered_database_sketch_cache_fails_loudly(self, workload, tmp_path):
+        # Warm caches are installed (that transfers the preprocessing),
+        # but only after a spot-check against the seed-verified family.
+        db, _ = workload
+        index = ANNIndex.from_spec(db, IndexSpec(scheme="algorithm1", seed=3))
+        index.prepare()
+        index.save(tmp_path / "warm")
+        key = sorted(
+            k
+            for k in _snapshot_arrays(tmp_path / "warm")
+            if k.startswith("levels/accurate_db/")
+        )[0]
+        _tamper_array(tmp_path / "warm", key)
+        with pytest.raises(IndexPersistenceError, match="payload rejected"):
+            ANNIndex.load(tmp_path / "warm")
+
+    def test_payload_naming_missing_part_fails_loudly(self, workload, tmp_path):
+        db, _ = workload
+        ANNIndex.from_spec(db, IndexSpec(scheme="data-dependent-lsh", seed=3)).save(
+            tmp_path / "idx"
+        )
+        arrays = _snapshot_arrays(tmp_path / "idx")
+        key = sorted(k for k in arrays if k.startswith("part0/"))[0]
+        arrays["part99" + key[len("part0"):]] = arrays.pop(key)
+        np.savez_compressed(tmp_path / "idx" / "arrays.npz", **arrays)
+        with pytest.raises(IndexPersistenceError, match="payload rejected"):
+            ANNIndex.load(tmp_path / "idx")
+
+    def test_hand_built_scheme_cannot_save(self, workload, tmp_path):
+        db, _ = workload
+        scheme = build_scheme(db, IndexSpec(scheme="algorithm1", seed=1))
+        index = ANNIndex(db, scheme)  # no spec rides along
+        with pytest.raises(IndexPersistenceError, match="no spec"):
+            save_index(index, tmp_path / "idx")

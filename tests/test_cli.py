@@ -77,6 +77,55 @@ class TestCLI:
             main(["bench", "--scheme", "algorithm1", "--set", "round=4",
                   "--n", "64", "--d", "128", "--queries", "4"])
 
+    def test_tradeoff_passes_c2_through(self, capsys):
+        # Regression: --c2 used to be silently set to --c1's value; a c2
+        # too small for Algorithm 2's coarse sketch must now surface.
+        code = main(["tradeoff", "--n", "64", "--d", "128", "--queries", "4",
+                     "--ks", "1", "--alg2-ks", "16", "--c2", "24.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Alg2" in out
+
+    def test_build_then_bench_index_roundtrip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx")
+        code = main(["build", "--scheme", "algorithm1", "--n", "64",
+                     "--d", "128", "--queries", "4", "--out", out_dir])
+        assert code == 0
+        assert "Built index" in capsys.readouterr().out
+        code = main(["bench", "--index", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loaded index" in out
+        assert "algorithm1" in out
+
+    def test_build_sharded_then_bench_index(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx4")
+        code = main(["build", "--scheme", "algorithm1", "--shards", "4",
+                     "--n", "64", "--d", "128", "--queries", "4",
+                     "--out", out_dir])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["bench", "--index", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded(algorithm1×4)" in out
+
+    def test_bench_shards_builds_sharded_index(self, capsys):
+        code = main(["bench", "--scheme", "algorithm1", "--shards", "2",
+                     "--n", "64", "--d", "128", "--queries", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded(algorithm1×2)" in out
+
+    def test_bench_rejects_index_plus_scheme(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop --scheme"):
+            main(["bench", "--index", str(tmp_path), "--scheme", "algorithm1",
+                  "--n", "64", "--d", "128", "--queries", "4"])
+
+    def test_bench_requires_scheme_or_index(self):
+        with pytest.raises(SystemExit, match="--scheme NAME"):
+            main(["bench", "--n", "64", "--d", "128", "--queries", "4"])
+
     def test_tradeoff_bad_gamma_fails_loudly(self):
         with pytest.raises(ValueError, match="gamma"):
             main(["tradeoff", "--n", "64", "--d", "128", "--queries", "4",

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.utils.rng import RngTree, as_generator, spawn_generators
+from repro.utils.rng import RngTree, _spawn_seeds, as_generator, spawn_generators
 
 
 class TestRngTree:
@@ -43,6 +43,21 @@ class TestRngTree:
         tree = RngTree(np.random.default_rng(0))
         assert isinstance(tree.root_entropy, int)
 
+    def test_from_generator_does_not_mutate_caller(self):
+        # Regression: seeding a tree from a Generator used to draw from it,
+        # silently advancing the caller's stream.
+        g = np.random.default_rng(123)
+        expected = np.random.default_rng(123).integers(0, 2**32, 8)
+        RngTree(g)
+        assert (g.integers(0, 2**32, 8) == expected).all()
+
+    def test_from_generator_entropy_matches_plain_draw(self):
+        # The derived entropy is still the value a plain draw would give,
+        # so existing seed derivations are unchanged.
+        tree = RngTree(np.random.default_rng(11))
+        expected = int(np.random.default_rng(11).integers(0, 2**63 - 1))
+        assert tree.root_entropy == expected
+
     def test_numeric_path_components(self):
         tree = RngTree(5)
         a = tree.generator(0, 1).integers(0, 2**32, 4)
@@ -64,3 +79,34 @@ class TestHelpers:
         assert len(gens) == 3
         vals = [g.integers(0, 2**32, 4) for g in gens]
         assert not (vals[0] == vals[1]).all()
+
+    def test_spawn_generators_deterministic(self):
+        a = [g.integers(0, 2**32, 4) for g in spawn_generators(9, 3)]
+        b = [g.integers(0, 2**32, 4) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            assert (x == y).all()
+
+    def test_spawn_seeds_without_seed_seq_attribute(self):
+        # Regression: spawn_generators assumed bit_generator.seed_seq
+        # exists; generator-likes without one must fall back gracefully.
+        class _BareBitGen:
+            pass  # no seed_seq
+
+        class _GeneratorLike:
+            bit_generator = _BareBitGen()
+
+            def __init__(self):
+                self._inner = np.random.default_rng(77)
+
+            def integers(self, *args, **kwargs):
+                return self._inner.integers(*args, **kwargs)
+
+        seeds = _spawn_seeds(_GeneratorLike(), 4)
+        assert len(seeds) == 4
+        # The fallback is deterministic for a deterministic root.
+        again = _spawn_seeds(_GeneratorLike(), 4)
+        a = [np.random.default_rng(s).integers(0, 2**32, 4) for s in seeds]
+        b = [np.random.default_rng(s).integers(0, 2**32, 4) for s in again]
+        for x, y in zip(a, b):
+            assert (x == y).all()
+        assert not (a[0] == a[1]).all()
