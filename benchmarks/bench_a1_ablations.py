@@ -9,6 +9,8 @@
 2. **LSH table count L**: recall climbs with L while probes grow linearly
    — the n^ρ table budget is what buys LSH its constant recall, which is
    the cost Algorithm 1's polynomial tables eliminate.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

@@ -1,6 +1,8 @@
 """E10 / Fig. 5 — Proposition 18 and Lemma 5/Prop. 6 accounting on real
 query traces: k probe rounds → 2k communication rounds with
 a_i = t_i⌈log s⌉ and b_i = t_i·w; the private-coin table blowup is O(dn·s).
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

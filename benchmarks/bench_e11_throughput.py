@@ -4,6 +4,8 @@ Not a paper claim (the paper's cost model is probes, not seconds); this
 bench tracks the simulator's own performance across n, d, and k so
 regressions in the vectorized substrate are caught.  Schemes are built
 through the registry so the measured path is the production one.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

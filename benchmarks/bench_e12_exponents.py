@@ -9,6 +9,8 @@ The fit uses the scheme's *worst-case probe budget* (the deterministic
 per-parameter quantity `shrinks·(τ−1) + completion`), since per-query
 measurements only differ from it by early-exit noise; a second table
 confirms measured max probes track the budget.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

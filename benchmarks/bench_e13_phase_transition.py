@@ -8,6 +8,8 @@ closed-form curves; this bench tabulates them over a d grid (probes/round
 implied by the lower bound at k₁ = transition/2 vs. the constant 1 at
 k₂ = transition) and additionally measures Claim 26's silent-protocol
 ceiling, the contradiction anchor of the ledger.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import numpy as np

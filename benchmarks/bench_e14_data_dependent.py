@@ -6,6 +6,8 @@ non-adaptive, round) < the polynomial-table schemes < fully adaptive.
 On a clustered database the data-dependent probe saving is visible: the
 round-1 dispatch confines round 2 to one part of size n_p ≪ n, whose LSH
 needs only ~n_p^ρ tables.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

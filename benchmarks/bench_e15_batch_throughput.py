@@ -11,6 +11,8 @@ sequential path (asserted here on every measured run).
 Criteria (asserted): at the reference workload, batch size ≥ 256 yields
 at least 3× the queries/sec of a sequential ``query`` loop, and the two
 paths return identical results.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import time

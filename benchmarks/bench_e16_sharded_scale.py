@@ -21,6 +21,8 @@ speedup assertion (parallel build faster than serial) runs only when the
 machine actually has ≥ 2 usable cores — on single-core CI runners
 process fan-out cannot beat serial by construction, so there the row is
 informational.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import os

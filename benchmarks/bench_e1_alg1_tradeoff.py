@@ -5,6 +5,8 @@ as k sweeps 1..8 at two dimensions, printed next to the analytic envelope
 k·(log₂ d)^{1/k}.  Shape criteria (asserted): probes fall monotonically in
 k, max probes stay within a constant multiple of the envelope, and every
 query respects its round budget.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

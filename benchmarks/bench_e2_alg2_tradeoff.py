@@ -6,6 +6,8 @@ shrinking-phase machinery actually runs.  Reports probes, probes/round,
 and the phase/case structure; compares the fully-adaptive τ=2 extreme of
 Algorithm 1 against Algorithm 2's one-probe-per-round regime (the paper's
 "phase transition" discussion).
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

@@ -5,6 +5,8 @@ measured probes, Algorithm 2's measured probes (where admissible), and the
 Chakrabarti–Regev fully-adaptive bound.  Shape criteria: measured probes
 sit between lb and a constant multiple of ub; the lb→ub gap at constant k
 is the paper's k² factor.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

@@ -4,6 +4,8 @@ probability ≥ 3/4, and the coarse-set fractions stay below n^{-1/s}.
 Sweeps the accurate-sketch row count to locate the concentration knee, and
 runs the DESIGN.md ablation: the gap-only threshold (the paper's literal
 δ·rows reading) destroys the lower inclusion, the midpoint preserves it.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import numpy as np

@@ -3,6 +3,8 @@
 Planted near instances (distance ≤ λ) and far instances (uniform queries,
 nearest ≫ γλ) measured separately; promise-gap inputs excluded from the
 score exactly as the problem definition allows.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import numpy as np

@@ -9,6 +9,8 @@ Every contender is built by name through the scheme registry from an
 Shape criteria: at one round, Algorithm 1's probe count beats LSH's by a
 growing factor as n grows, while its logical table exponent is larger —
 the paper's probes-for-space trade.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

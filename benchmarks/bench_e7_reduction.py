@@ -2,6 +2,8 @@
 five invariants machine-verified) and the LPM → ANNS reduction preserves
 answers end to end, both under an exact solver and under the paper's own
 Algorithm 1.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import numpy as np

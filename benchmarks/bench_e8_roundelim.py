@@ -5,6 +5,8 @@ Replays the ledger at asymptotic scales (log₂ d up to 10⁸) and reports the
 largest t for which the contradiction derives (the implied lower bound t*)
 against the theorem's scale ξ = m^{1/k}/k.  Shape criterion: t*/ξ is a
 positive, scale-stable constant for every k inside the regime.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

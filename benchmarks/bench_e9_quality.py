@@ -4,6 +4,8 @@ Measures the achieved approximation-ratio distribution on the adversarial
 geometric-shell workload and shows the parallel-repetition boost: success
 probability climbs toward 1 with independent copies while the round count
 stays at k.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
 """
 
 import pytest

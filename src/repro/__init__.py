@@ -25,7 +25,14 @@ The package provides:
 * index persistence (:mod:`repro.persistence`: ``ANNIndex.save``/``load``
   snapshots that answer bitwise-identically) and sharded serving
   (:class:`~repro.service.sharded.ShardedANNIndex`: parallel per-shard
-  builds, fan-out querying, true-distance merging).
+  builds, fan-out querying, true-distance merging);
+* the online serving layer (:mod:`repro.service.server`):
+  :class:`~repro.service.server.AsyncANNService` coalesces concurrent
+  requests into adaptive micro-batches (flush on batch-size cap or wait
+  deadline) with answers bitwise-identical to sequential queries,
+  ``python -m repro serve`` exposes it over newline-delimited JSON TCP,
+  and :class:`~repro.service.client.ServiceClient` is the synchronous
+  client (see ``docs/SERVING.md``).
 """
 
 from repro.api import IndexSpec
@@ -42,14 +49,22 @@ from repro.core import (
 )
 from repro.hamming import PackedPoints
 from repro.registry import available_schemes, build_scheme
-from repro.service import BatchQueryEngine, BatchStats, ShardedANNIndex
+from repro.service import (
+    AsyncANNService,
+    BatchQueryEngine,
+    BatchStats,
+    ServiceClient,
+    ServiceMetrics,
+    ShardedANNIndex,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ANNIndex",
     "Algorithm1Params",
     "Algorithm2Params",
+    "AsyncANNService",
     "BaseParameters",
     "BatchQueryEngine",
     "BatchStats",
@@ -59,6 +74,8 @@ __all__ = [
     "OneProbeNearNeighborScheme",
     "PackedPoints",
     "QueryResult",
+    "ServiceClient",
+    "ServiceMetrics",
     "ShardedANNIndex",
     "SimpleKRoundScheme",
     "available_schemes",

@@ -7,6 +7,7 @@ Usage::
     python -m repro build      --scheme algorithm1 --out /tmp/idx [--shards 4]
     python -m repro bench      --index /tmp/idx
     python -m repro bench      --scheme algorithm1 --shards 4
+    python -m repro serve      --index /tmp/idx --port 7878
     python -m repro tradeoff   --d 4096 --n 300 --gamma 4 --ks 1 2 3 4
     python -m repro baselines  --d 1024 --n 300
     python -m repro lemma8     --d 1024 --n 200 --rows 64 128 256
@@ -23,6 +24,11 @@ parameter on every selected scheme that accepts it.
 :mod:`repro.persistence`, recording the workload recipe in the manifest;
 ``bench --index DIR`` loads the snapshot, regenerates that workload, and
 evaluates the loaded index — the save/load/serve path exercised by CI.
+
+``serve --index DIR`` loads a snapshot (single or sharded, via
+:func:`repro.persistence.load_any`) and serves it over TCP with adaptive
+micro-batching — newline-delimited JSON requests, protocol and tuning
+guide in ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
@@ -221,6 +227,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve --index DIR``: online serving with adaptive micro-batching."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.persistence import load_any
+    from repro.service.server import describe_index, serve
+
+    index = load_any(args.index)
+    info = describe_index(index)
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"serving {info['scheme']} (n={info['n']}, d={info['d']}) "
+            f"on {host}:{port}  [max_batch={args.max_batch}, "
+            f"max_wait_ms={args.max_wait_ms:g}] — send {{\"op\": \"shutdown\"}} "
+            "or Ctrl-C to stop",
+            flush=True,
+        )
+        if args.ready_file:
+            Path(args.ready_file).write_text(f"{host} {port}\n")
+
+    try:
+        asyncio.run(
+            serve(
+                index,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                ready_cb=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_baselines(args: argparse.Namespace) -> int:
     wl = _planted(args)
     contenders = [
@@ -365,6 +409,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, metavar="DIR",
                    help="snapshot directory to write")
     p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "serve", help="serve a saved index over TCP with adaptive micro-batching"
+    )
+    p.add_argument("--index", required=True, metavar="DIR",
+                   help="snapshot directory to load (single or sharded)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush a micro-batch at this many pending queries")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="flush when the oldest pending query has waited this long")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write 'host port' here once listening (for scripts)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")
     common(p)

@@ -35,6 +35,11 @@ Concrete seeds are what make this sound: :meth:`ANNIndex.from_spec
 <repro.core.index.ANNIndex.from_spec>` pins ``seed=None`` specs to fresh
 entropy at build time, so every built index carries a seed that replays
 its exact public coins.
+
+The full on-disk format specification — manifest fields, the
+format-version policy, per-scheme payload keys, and the tamper checks —
+lives in ``docs/PERSISTENCE.md``, written to be consumable without
+reading this module.
 """
 
 from __future__ import annotations

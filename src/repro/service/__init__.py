@@ -15,28 +15,54 @@ and :class:`~repro.cellprobe.accounting.ProbeAccountant`, so the paper's
 limited-adaptivity semantics and per-query probe/round ledger are
 untouched: batched results are identical to a sequential ``query`` loop
 under the same seed.
+
+On top of the engine sit :class:`~repro.service.sharded.ShardedANNIndex`
+(partition + fan-out + true-distance merge) and the online layer
+(``docs/SERVING.md``): :class:`~repro.service.server.AsyncANNService`
+coalesces concurrent single-query requests into adaptive micro-batches,
+:func:`~repro.service.server.serve` exposes it over newline-delimited
+JSON TCP (``python -m repro serve``), and
+:class:`~repro.service.client.ServiceClient` is the synchronous client.
 """
 
 from repro.service.engine import BatchQueryEngine, BatchStats
 
 __all__ = [
+    "AsyncANNService",
     "BatchQueryEngine",
     "BatchStats",
+    "RemoteResult",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
     "ShardedANNIndex",
+    "serve",
     "shard_bounds",
     "shard_seed",
 ]
 
-_SHARDED_EXPORTS = ("ShardedANNIndex", "shard_bounds", "shard_seed")
+# Lazy exports (PEP 562): repro.core.index imports repro.service.engine
+# while repro.core is still initializing, and the heavier submodules
+# (sharded needs the finished repro.core.index; server/client pull in
+# asyncio/socket) resolve on first touch, keeping the package import
+# acyclic and cheap.
+_LAZY_EXPORTS = {
+    "ShardedANNIndex": "repro.service.sharded",
+    "shard_bounds": "repro.service.sharded",
+    "shard_seed": "repro.service.sharded",
+    "AsyncANNService": "repro.service.server",
+    "ServiceMetrics": "repro.service.server",
+    "serve": "repro.service.server",
+    "RemoteResult": "repro.service.client",
+    "ServiceClient": "repro.service.client",
+    "ServiceError": "repro.service.client",
+}
 
 
 def __getattr__(name: str):
-    # repro.core.index imports repro.service.engine while repro.core is
-    # still initializing, and repro.service.sharded needs the finished
-    # repro.core.index — resolving the sharded exports lazily (PEP 562)
-    # keeps the package import acyclic.
-    if name in _SHARDED_EXPORTS:
-        from repro.service import sharded
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(sharded, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

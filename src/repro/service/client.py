@@ -1,0 +1,143 @@
+"""Synchronous client for the NDJSON serving protocol.
+
+:class:`ServiceClient` speaks the wire protocol of
+:func:`repro.service.server.serve` (one JSON object per line, matched by
+``id``; shapes documented in ``docs/SERVING.md``) over a blocking
+socket.  It exists for tests, examples, and shell scripting — the CI
+serve smoke test is exactly::
+
+    with ServiceClient(port=port) as client:
+        result = client.query(bits)
+        client.stats()
+        client.shutdown()
+
+Responses may arrive out of order when requests are pipelined (the
+server handles each line as its own task); the client parks non-matching
+responses and replays them when their request asks.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RemoteResult", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error, or the connection broke."""
+
+
+@dataclass(frozen=True)
+class RemoteResult:
+    """A ``query`` response: the answer plus its probe/round ledger.
+
+    The accounting fields mirror :class:`~repro.core.result.QueryResult`
+    one-to-one, so a remote answer can be compared field-by-field with a
+    local ``index.query`` call (the protocol tests do exactly that).
+    """
+
+    answer_index: Optional[int]
+    probes: int
+    rounds: int
+    probes_per_round: List[int]
+    scheme: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def answered(self) -> bool:
+        return self.answer_index is not None
+
+    @classmethod
+    def from_response(cls, response: Dict[str, object]) -> "RemoteResult":
+        return cls(
+            answer_index=response.get("answer_index"),
+            probes=int(response["probes"]),
+            rounds=int(response["rounds"]),
+            probes_per_round=[int(p) for p in response["probes_per_round"]],
+            scheme=str(response.get("scheme", "")),
+            meta=dict(response.get("meta", {})),
+        )
+
+
+class ServiceClient:
+    """Blocking TCP client for one serving endpoint.
+
+    Usable as a context manager; every method raises
+    :class:`ServiceError` when the server answers ``ok: false`` or the
+    connection drops.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._parked: Dict[object, dict] = {}
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(self, op: str, **payload) -> dict:
+        request_id = self._next_id
+        self._next_id += 1
+        line = json.dumps({"op": op, "id": request_id, **payload})
+        self._file.write(line.encode() + b"\n")
+        self._file.flush()
+        while True:
+            if request_id in self._parked:
+                response = self._parked.pop(request_id)
+            else:
+                raw = self._file.readline()
+                if not raw:
+                    raise ServiceError("server closed the connection")
+                response = json.loads(raw)
+                if response.get("id") != request_id:
+                    self._parked[response.get("id")] = response
+                    continue
+            if not response.get("ok"):
+                raise ServiceError(response.get("error", "unknown server error"))
+            return response
+
+    # -- verbs -------------------------------------------------------------
+    def query(self, bits) -> RemoteResult:
+        """Answer one query given as a length-``d`` 0/1 bit vector."""
+        arr = np.asarray(bits)
+        if arr.dtype == np.uint64:
+            raise ValueError(
+                "the wire protocol carries bit vectors, not packed words; "
+                "unpack with repro.hamming.packing.unpack_bits first"
+            )
+        return RemoteResult.from_response(
+            self._request("query", bits=[int(b) for b in arr])
+        )
+
+    def stats(self) -> dict:
+        """The server's :class:`~repro.service.server.ServiceMetrics` snapshot."""
+        return self._request("stats")["stats"]
+
+    def info(self) -> dict:
+        """What is being served: index description + batching policy."""
+        response = self._request("info")
+        return {"index": response["index"], "policy": response["policy"]}
+
+    def ping(self) -> bool:
+        return bool(self._request("ping").get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acknowledged before it goes down)."""
+        self._request("shutdown")
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,507 @@
+"""Online serving: adaptive micro-batching over the batched engine.
+
+:class:`AsyncANNService` is the request loop the ROADMAP's "heavy
+traffic" north star asks for.  Queries arrive *one at a time* (each
+``await service.query(x)`` is one request); a single batcher task
+coalesces whatever is waiting into micro-batches under a two-knob
+policy — flush when ``max_batch`` requests are pending **or** when the
+oldest pending request has waited ``max_wait_ms``, whichever comes
+first — and executes each flush through the index's existing batched
+path (:meth:`~repro.core.index.ANNIndex.query_batch`, i.e. the
+:class:`~repro.service.engine.BatchQueryEngine`; for a
+:class:`~repro.service.sharded.ShardedANNIndex` the same call fans out
+across shards and merges by true distance).  Each request's future
+resolves with the ordinary :class:`~repro.core.result.QueryResult`,
+per-query probe/round accounting included.
+
+Because ``query_batch`` is bitwise-equivalent to a sequential ``query``
+loop *per query, independent of batch composition*, any interleaving of
+requests into micro-batches returns exactly the answers a sequential
+loop would — ``tests/service/test_async_service.py`` asserts this over
+random arrival patterns, and ``docs/SERVING.md`` documents the
+latency/throughput trade-off the two knobs span.
+
+The module also speaks the wire: :func:`serve` runs an asyncio TCP
+server whose protocol is newline-delimited JSON (one request object per
+line, one response object per line; see ``docs/SERVING.md`` for the
+exact shapes), with verbs ``query``, ``stats``, ``info``, ``ping`` and
+``shutdown``.  ``python -m repro serve --index DIR`` is the CLI entry;
+:class:`~repro.service.client.ServiceClient` is the matching
+synchronous client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional
+
+import numpy as np
+
+from repro.hamming.packing import pack_bits, packed_words
+
+__all__ = [
+    "AsyncANNService",
+    "ServiceMetrics",
+    "describe_index",
+    "serve",
+]
+
+#: Default policy knobs, shared with the CLI's ``serve`` flags.
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_WAIT_MS = 2.0
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """A point-in-time snapshot of one service's counters.
+
+    Latency percentiles are over a bounded window of the most recent
+    requests (arrival → result, in milliseconds); the totals reconcile
+    exactly with the per-flush :class:`~repro.service.engine.BatchStats`
+    — ``total_probes``/``total_rounds``/``prefetched_cells`` are sums of
+    the per-flush stats, ``requests`` is the sum of flush batch sizes —
+    which is what ``tests/service/test_async_service.py`` checks.
+    """
+
+    requests: int
+    in_flight: int
+    batches: int
+    mean_batch: float
+    max_observed_batch: int
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    probes_per_query: float
+    total_probes: int
+    total_rounds: int
+    total_sweeps: int
+    prefetched_cells: int
+    uptime_s: float
+    max_batch: int
+    max_wait_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "in_flight": self.in_flight,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 3),
+            "max_observed_batch": self.max_observed_batch,
+            "qps": round(self.qps, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "probes_per_query": round(self.probes_per_query, 2),
+            "total_probes": self.total_probes,
+            "total_rounds": self.total_rounds,
+            "total_sweeps": self.total_sweeps,
+            "prefetched_cells": self.prefetched_cells,
+            "uptime_s": round(self.uptime_s, 3),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+        }
+
+
+def _percentile(sorted_ms: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_ms:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_ms)))
+    return sorted_ms[min(rank, len(sorted_ms)) - 1]
+
+
+class _PendingQuery(NamedTuple):
+    row: np.ndarray
+    future: "asyncio.Future"
+    arrival: float
+
+
+def describe_index(index) -> Dict[str, object]:
+    """JSON-able description of a served index (the ``info`` verb)."""
+    scheme = getattr(index, "scheme", None)
+    if scheme is not None:
+        name = scheme.scheme_name
+        shards = 1
+    else:  # ShardedANNIndex: per-shard schemes behind one facade
+        shards = index.num_shards
+        name = index.scheme_label  # same label merged QueryResults carry
+    spec = getattr(index, "spec", None)
+    return {
+        "n": len(index),
+        "d": index.d,
+        "scheme": name,
+        "shards": shards,
+        "spec": None if spec is None else spec.to_dict(),
+    }
+
+
+class AsyncANNService:
+    """In-process asyncio serving facade over one index.
+
+    Parameters
+    ----------
+    index : an :class:`~repro.core.index.ANNIndex` or
+        :class:`~repro.service.sharded.ShardedANNIndex` (anything with
+        ``query_batch`` + ``last_batch_stats`` + ``d``)
+    max_batch : flush as soon as this many requests are pending (≥ 1;
+        1 disables coalescing — the batch-size-1 baseline E17 measures)
+    max_wait_ms : flush when the oldest pending request has waited this
+        long, even if the batch is not full (0 flushes whatever has
+        accumulated by the time the batcher runs — concurrent arrivals
+        still coalesce)
+    prefetch : forwarded to ``query_batch``
+    latency_window : how many recent request latencies the percentile
+        snapshot keeps
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly::
+
+        async with AsyncANNService(index, max_batch=64) as service:
+            results = await asyncio.gather(*(service.query(q) for q in qs))
+            service.metrics().as_dict()
+
+    Results are bitwise-identical to sequential ``index.query`` calls
+    regardless of how requests were interleaved into micro-batches.
+    """
+
+    def __init__(
+        self,
+        index,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        prefetch: bool = True,
+        latency_window: int = 8192,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.index = index
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.prefetch = bool(prefetch)
+        self._word_count = packed_words(index.d)
+        self._queue: Deque[_PendingQuery] = deque()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._batcher: Optional["asyncio.Task"] = None
+        self._closing = False
+        self._started_at = 0.0
+        # Counters (reconciled against per-flush BatchStats by tests).
+        self._requests = 0
+        self._batches = 0
+        self._max_observed_batch = 0
+        self._total_probes = 0
+        self._total_rounds = 0
+        self._total_sweeps = 0
+        self._prefetched_cells = 0
+        self._latencies: Deque[float] = deque(maxlen=int(latency_window))
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "AsyncANNService":
+        """Start the batcher task on the running event loop."""
+        if self._batcher is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._closing = False
+        self._started_at = self._loop.time()
+        self._batcher = self._loop.create_task(self._run(), name="ann-micro-batcher")
+        return self
+
+    async def stop(self) -> None:
+        """Drain pending requests, then stop the batcher."""
+        if self._batcher is None:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._batcher
+        self._batcher = None
+
+    async def __aenter__(self) -> "AsyncANNService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the request surface -----------------------------------------------
+    async def query(self, x) -> object:
+        """Submit one query; resolves with its :class:`QueryResult`.
+
+        Accepts a length-``d`` 0/1 bit vector or a packed uint64 row.
+        Raises ``ValueError`` immediately (before enqueueing) when the
+        query does not match the index dimension, so one malformed
+        request never poisons a batch.
+        """
+        if self._batcher is None:
+            raise RuntimeError("service not started (use 'async with' or start())")
+        if self._closing:
+            raise RuntimeError("service is stopping; no new queries accepted")
+        row = self._pack_query(x)
+        future = self._loop.create_future()
+        self._queue.append(_PendingQuery(row, future, self._loop.time()))
+        self._wake.set()
+        return await future
+
+    def _pack_query(self, x) -> np.ndarray:
+        arr = np.asarray(x)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"service queries are one at a time; got shape {arr.shape}"
+            )
+        if arr.dtype == np.uint64:
+            if arr.shape[0] != self._word_count:
+                raise ValueError(
+                    f"packed query has {arr.shape[0]} words, index needs "
+                    f"{self._word_count}"
+                )
+            return arr
+        if arr.shape[0] != self.index.d:
+            raise ValueError(
+                f"query has {arr.shape[0]} bits, index dimension is {self.index.d}"
+            )
+        return pack_bits(arr.astype(np.uint8), self.index.d)
+
+    # -- metrics -----------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """Snapshot the counters (the ``stats`` verb)."""
+        now = self._loop.time() if self._loop is not None else 0.0
+        uptime = max(now - self._started_at, 0.0) if self._started_at else 0.0
+        window = sorted(ms * 1000.0 for ms in self._latencies)
+        return ServiceMetrics(
+            requests=self._requests,
+            in_flight=len(self._queue),
+            batches=self._batches,
+            mean_batch=(self._requests / self._batches) if self._batches else 0.0,
+            max_observed_batch=self._max_observed_batch,
+            qps=(self._requests / uptime) if uptime > 0 else 0.0,
+            p50_ms=_percentile(window, 50),
+            p95_ms=_percentile(window, 95),
+            p99_ms=_percentile(window, 99),
+            probes_per_query=(
+                self._total_probes / self._requests if self._requests else 0.0
+            ),
+            total_probes=self._total_probes,
+            total_rounds=self._total_rounds,
+            total_sweeps=self._total_sweeps,
+            prefetched_cells=self._prefetched_cells,
+            uptime_s=uptime,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+        )
+
+    # -- the batcher -------------------------------------------------------
+    async def _run(self) -> None:
+        loop = self._loop
+        max_wait = self.max_wait_ms / 1000.0
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                self._wake.clear()
+                # A submit between the emptiness check and clear() would
+                # be lost to a bare wait — re-check before sleeping.
+                if self._queue or self._closing:
+                    continue
+                await self._wake.wait()
+                continue
+            deadline = self._queue[0].arrival + max_wait
+            while len(self._queue) < self.max_batch and not self._closing:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                if len(self._queue) >= self.max_batch or self._closing:
+                    continue
+                try:
+                    await asyncio.wait_for(self._wake.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            self._flush()
+
+    def _flush(self) -> None:
+        """Execute one micro-batch and resolve its futures."""
+        take = min(len(self._queue), self.max_batch)
+        batch = [self._queue.popleft() for _ in range(take)]
+        rows = np.stack([item.row for item in batch])
+        try:
+            results = self.index.query_batch(rows, prefetch=self.prefetch)
+        except Exception as exc:  # systemic: fail every request in the flush
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        stats = self.index.last_batch_stats
+        now = self._loop.time()
+        for item, result in zip(batch, results):
+            self._latencies.append(now - item.arrival)
+            if not item.future.done():
+                item.future.set_result(result)
+        self._requests += take
+        self._batches += 1
+        self._max_observed_batch = max(self._max_observed_batch, take)
+        if stats is not None:
+            self._total_probes += stats.total_probes
+            self._total_rounds += stats.total_rounds
+            self._total_sweeps += stats.sweeps
+            self._prefetched_cells += stats.prefetched_cells
+
+
+# -- the wire protocol -----------------------------------------------------
+def _jsonable(value):
+    """Best-effort conversion of result metadata to JSON-able values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def _result_response(result) -> Dict[str, object]:
+    return {
+        "ok": True,
+        "answered": result.answer_index is not None,
+        "answer_index": _jsonable(result.answer_index),
+        "probes": result.probes,
+        "rounds": result.rounds,
+        "probes_per_round": list(result.probes_per_round),
+        "scheme": result.scheme,
+        "meta": _jsonable(result.meta),
+    }
+
+
+async def _handle_request(
+    service: AsyncANNService,
+    shutdown: "asyncio.Event",
+    line: bytes,
+    writer: "asyncio.StreamWriter",
+    write_lock: "asyncio.Lock",
+) -> None:
+    request_id = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "query":
+            bits = request.get("bits")
+            if bits is None:
+                raise ValueError("'query' needs a 'bits' array of 0/1 values")
+            result = await service.query(np.asarray(bits, dtype=np.uint8))
+            response = _result_response(result)
+        elif op == "stats":
+            response = {"ok": True, "stats": service.metrics().as_dict()}
+        elif op == "info":
+            response = {
+                "ok": True,
+                "index": describe_index(service.index),
+                "policy": {
+                    "max_batch": service.max_batch,
+                    "max_wait_ms": service.max_wait_ms,
+                },
+            }
+        elif op == "ping":
+            response = {"ok": True, "op": "ping"}
+        elif op == "shutdown":
+            response = {"ok": True, "stopping": True}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except Exception as exc:
+        response = {"ok": False, "error": str(exc)}
+        op = None
+    response["id"] = request_id
+    payload = (json.dumps(response, sort_keys=True) + "\n").encode()
+    try:
+        async with write_lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass  # client went away; the request still took effect
+    finally:
+        # A shutdown must stop the server even when the ack could not be
+        # delivered (client closed without reading the reply).
+        if op == "shutdown":
+            shutdown.set()
+
+
+async def _serve_connection(
+    service: AsyncANNService,
+    shutdown: "asyncio.Event",
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+) -> None:
+    """One NDJSON connection: each line is handled as its own task, so a
+    client pipelining requests gets them micro-batched together;
+    responses carry the request's ``id`` and may arrive out of order."""
+    write_lock = asyncio.Lock()
+    tasks = set()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(
+                _handle_request(service, shutdown, line, writer, write_lock)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    finally:
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve(
+    index,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    ready_cb: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Serve ``index`` over TCP until a client sends ``shutdown``.
+
+    ``port=0`` binds an ephemeral port; ``ready_cb(host, port)`` fires
+    with the bound address once the server is listening (the CLI uses it
+    to print the address and write ``--ready-file``).
+    """
+    service = AsyncANNService(index, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    await service.start()
+    shutdown = asyncio.Event()
+    server = None
+    try:
+        server = await asyncio.start_server(
+            lambda r, w: _serve_connection(service, shutdown, r, w), host, port
+        )
+        bound = server.sockets[0].getsockname()
+        if ready_cb is not None:
+            ready_cb(bound[0], bound[1])
+        await shutdown.wait()
+    finally:
+        # The finally covers start_server failures too (port in use must
+        # not leak a running batcher task).
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await service.stop()

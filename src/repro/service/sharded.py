@@ -250,7 +250,7 @@ class ShardedANNIndex:
         per_shard = [shard.query_batch(arr, prefetch=prefetch) for shard in self.shards]
         shard_stats = [shard.last_batch_stats for shard in self.shards]
         inner = self.shards[0].scheme.scheme_name
-        scheme_name = f"sharded({inner}×{len(self.shards)})"
+        scheme_name = self.scheme_label
         merged: List[QueryResult] = []
         total_rounds = 0
         for qi in range(arr.shape[0]):
@@ -316,6 +316,11 @@ class ShardedANNIndex:
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def scheme_label(self) -> str:
+        """The scheme name merged results carry: ``sharded(<inner>×S)``."""
+        return f"sharded({self.shards[0].scheme.scheme_name}×{len(self.shards)})"
 
     def size_report(self) -> SchemeSizeReport:
         """Combined logical size accounting across all shards."""
