@@ -6,7 +6,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-limited-adaptivity-ann",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of Liu-Pan-Yin (SPAA 2016): randomized approximate "
         "nearest neighbor search with limited adaptivity, with an exact "
@@ -26,6 +26,7 @@ setup(
         "dev": [
             "pytest>=7",
             "pytest-benchmark",
+            "pytest-cov",
             "hypothesis",
         ],
     },

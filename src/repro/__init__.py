@@ -23,9 +23,17 @@ The package provides:
 * the experiment harness (:mod:`repro.analysis`, :mod:`repro.workloads`)
   behind the benches in ``benchmarks/``;
 * index persistence (:mod:`repro.persistence`: ``ANNIndex.save``/``load``
-  snapshots that answer bitwise-identically) and sharded serving
+  snapshots that answer bitwise-identically; format v2 carries live
+  mutation state) and sharded serving
   (:class:`~repro.service.sharded.ShardedANNIndex`: parallel per-shard
-  builds, fan-out querying, true-distance merging);
+  builds, fan-out querying, true-distance merging, inserts routed to the
+  smallest shard);
+* **mutable indexes** (:mod:`repro.core.mutable`): ``ANNIndex.insert`` /
+  ``delete`` / ``compact`` — tombstone bitmap consulted at result-merge
+  time, an exactly-scanned memtable of fresh inserts, and amortized
+  compaction that rebuilds from the survivors under
+  ``RngTree(seed).child("generation", g)`` seeds, making post-compaction
+  queries bitwise-identical to a from-scratch build on the live rows;
 * the online serving layer (:mod:`repro.service.server`):
   :class:`~repro.service.server.AsyncANNService` coalesces concurrent
   requests into adaptive micro-batches (flush on batch-size cap or wait
@@ -58,7 +66,7 @@ from repro.service import (
     ShardedANNIndex,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ANNIndex",

@@ -7,6 +7,7 @@ Usage::
     python -m repro build      --scheme algorithm1 --out /tmp/idx [--shards 4]
     python -m repro bench      --index /tmp/idx
     python -m repro bench      --scheme algorithm1 --shards 4
+    python -m repro mutate     --index /tmp/idx --insert-random 8 --delete 3 17 --compact
     python -m repro serve      --index /tmp/idx --port 7878
     python -m repro tradeoff   --d 4096 --n 300 --gamma 4 --ks 1 2 3 4
     python -m repro baselines  --d 1024 --n 300
@@ -29,6 +30,12 @@ evaluates the loaded index — the save/load/serve path exercised by CI.
 :func:`repro.persistence.load_any`) and serves it over TCP with adaptive
 micro-batching — newline-delimited JSON requests, protocol and tuning
 guide in ``docs/SERVING.md``.
+
+``mutate --index DIR`` applies streaming inserts/deletes to a snapshot
+(``--insert-random M``, ``--delete ID ...``), optionally forces a
+compaction (``--compact``), and writes the mutated snapshot back
+(format v2: tombstones + memtable + generation ride along) — the CI
+mutate→compact→save→load→query smoke path.
 """
 
 from __future__ import annotations
@@ -169,6 +176,13 @@ def _bench_index(args: argparse.Namespace) -> int:
             setattr(args, key, recorded[key])
     wl = _planted(args)
     index = load_any(args.index)
+    parts = getattr(index, "shards", None) or [index]
+    if any(p.generation > 0 or p.mutation.dirty_count for p in parts):
+        raise SystemExit(
+            f"index {args.index} has been mutated (insert/delete/compact), so "
+            "the workload recorded at build time no longer matches its live "
+            "rows; bench a fresh, unmutated build instead"
+        )
     if len(index) != len(wl.database) or index.d != wl.database.d:
         raise SystemExit(
             f"index {args.index} was built for n={len(index)}, d={index.d}; "
@@ -262,6 +276,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    """``mutate --index DIR``: streaming inserts/deletes on a snapshot."""
+    import numpy as np
+
+    from repro.hamming.sampling import random_points
+    from repro.persistence import load_any, read_manifest
+
+    if not args.insert_random and not args.delete and not args.compact:
+        raise SystemExit(
+            "mutate needs --insert-random M, --delete ID ..., and/or --compact"
+        )
+    extras = read_manifest(args.index).get("extras", {})
+    index = load_any(args.index)
+    # Deletes run first: --delete ids refer to the on-disk snapshot's
+    # numbering, and an insert that trips the amortized compaction would
+    # renumber the rows out from under them.
+    if args.delete:
+        index.delete(args.delete)
+    inserted = []
+    if args.insert_random:
+        rng = np.random.default_rng(args.mutate_seed)
+        inserted = index.insert(random_points(rng, args.insert_random, index.d))
+    if args.compact:
+        index.compact()
+    path = index.save(args.out or args.index, extras=extras)
+    parts = getattr(index, "shards", None) or [index]
+    generations = [shard.generation for shard in parts]
+    print_table(
+        f"Mutated index → {path}",
+        [{
+            "live": len(index),
+            "id_space": index.id_space,
+            "inserted": len(inserted),
+            "deleted": len(args.delete),
+            "generation(s)": ",".join(str(g) for g in generations),
+            "tombstones": sum(s.mutation.tombstone_count for s in parts),
+            "memtable": sum(len(s.mutation.memtable) for s in parts),
+        }],
+    )
     return 0
 
 
@@ -409,6 +465,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, metavar="DIR",
                    help="snapshot directory to write")
     p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "mutate", help="apply streaming inserts/deletes to a saved index"
+    )
+    p.add_argument("--index", required=True, metavar="DIR",
+                   help="snapshot directory to mutate (single or sharded)")
+    p.add_argument("--out", metavar="DIR",
+                   help="write the mutated snapshot here (default: in place)")
+    p.add_argument("--insert-random", type=int, default=0, metavar="M",
+                   help="insert M uniform random points")
+    p.add_argument("--delete", type=int, nargs="*", default=[], metavar="ID",
+                   help="global row ids to delete (applied before any inserts, "
+                        "against the snapshot's numbering)")
+    p.add_argument("--compact", action="store_true",
+                   help="force a compaction (rebuild from the survivors)")
+    p.add_argument("--mutate-seed", type=int, default=0,
+                   help="RNG seed for --insert-random points")
+    p.set_defaults(fn=_cmd_mutate)
 
     p = sub.add_parser(
         "serve", help="serve a saved index over TCP with adaptive micro-batching"

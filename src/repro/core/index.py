@@ -12,6 +12,16 @@ both paper algorithms and all baselines — is buildable by name::
 
     results = index.query_batch(query_bits_batch)  # batched, same answers
 
+The index is **mutable**: :meth:`ANNIndex.insert` buffers fresh points
+in an exactly-scanned memtable, :meth:`ANNIndex.delete` tombstones rows
+so they never surface again, and an amortized compaction
+(:meth:`ANNIndex.compact`, auto-triggered once the dirty fraction
+exceeds ``compact_threshold``) rebuilds the static structure from the
+surviving rows through the registry under the generation seed
+``RngTree(seed).child("generation", g)`` — after which queries are
+bitwise-identical to a from-scratch build on the survivors (see
+:mod:`repro.core.mutable` for the exact contract).
+
 The legacy kwarg constructor ``ANNIndex.build(...)`` remains as a thin
 deprecated shim that assembles the equivalent spec internally.
 
@@ -28,12 +38,21 @@ import numpy as np
 
 from repro.api import IndexSpec
 from repro.cellprobe.scheme import CellProbingScheme, SchemeSizeReport
+from repro.core.mutable import (
+    DEFAULT_COMPACT_THRESHOLD,
+    MutationState,
+    generation_seed,
+)
 from repro.core.params import Algorithm2Params, BaseParameters
 from repro.core.result import QueryResult
 from repro.hamming.packing import pack_bits
 from repro.hamming.points import PackedPoints
 from repro.registry import build_scheme
-from repro.service.engine import BatchQueryEngine, BatchStats
+from repro.service.engine import (
+    BatchQueryEngine,
+    BatchStats,
+    merge_mutation_candidates,
+)
 
 __all__ = ["ANNIndex"]
 
@@ -63,6 +82,9 @@ class ANNIndex:
         database: PackedPoints,
         scheme: CellProbingScheme,
         spec: Optional[IndexSpec] = None,
+        *,
+        generation: int = 0,
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
     ):
         self.database = database
         self.scheme = scheme
@@ -72,10 +94,22 @@ class ANNIndex:
         # One engine per prefetch flag: the engine's table classification
         # is warm after the first batch, so reuse it across calls.
         self._engines: Dict[bool, BatchQueryEngine] = {}
+        #: tombstones + memtable + generation counter (repro.core.mutable)
+        self.mutation = MutationState(
+            len(database),
+            database.word_count,
+            compact_threshold=compact_threshold,
+            generation=generation,
+        )
 
     # -- construction ----------------------------------------------------
     @classmethod
-    def from_spec(cls, database: DatabaseLike, spec: IndexSpec) -> "ANNIndex":
+    def from_spec(
+        cls,
+        database: DatabaseLike,
+        spec: IndexSpec,
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+    ) -> "ANNIndex":
         """Build an index from a validated :class:`~repro.api.IndexSpec`.
 
         This is the canonical constructor: the spec names a registered
@@ -86,10 +120,16 @@ class ANNIndex:
         Specs with ``seed=None`` are pinned to fresh entropy first, so the
         index's spec always records the public coins that replay it — the
         invariant :meth:`save` depends on.
+
+        ``compact_threshold`` tunes the amortized rebuild trigger of the
+        mutation layer (fraction of static rows that may be dirty before
+        :meth:`compact` fires automatically; ``float("inf")`` disables).
         """
         db = _coerce_database(database)
         spec = spec.resolve_seed()
-        return cls(db, build_scheme(db, spec), spec=spec)
+        return cls(
+            db, build_scheme(db, spec), spec=spec, compact_threshold=compact_threshold
+        )
 
     @classmethod
     def build(
@@ -172,17 +212,175 @@ class ANNIndex:
         self.scheme.prewarm()
         return self
 
+    # -- mutation ----------------------------------------------------------
+    def _coerce_rows(self, points) -> np.ndarray:
+        """Packed ``(m, W)`` rows from bits/(packed) points of any shape."""
+        if isinstance(points, PackedPoints):
+            if points.d != self.database.d:
+                raise ValueError(
+                    f"points have d={points.d}, index has d={self.database.d}"
+                )
+            return points.words
+        arr = np.asarray(points)
+        if arr.dtype == np.uint64:
+            if arr.ndim == 1:
+                arr = arr[None, :]
+            if arr.ndim != 2 or arr.shape[1] != self.database.word_count:
+                raise ValueError(
+                    f"packed rows need shape (m, {self.database.word_count}), "
+                    f"got {arr.shape}"
+                )
+            return arr
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.database.d:
+            raise ValueError(
+                f"bit rows need shape (m, {self.database.d}), got {arr.shape}"
+            )
+        return pack_bits(arr.astype(np.uint8), self.database.d)
+
+    def insert(self, points) -> List[int]:
+        """Insert points (bit rows, packed rows, or :class:`PackedPoints`).
+
+        Returns the inserted rows' global ids, in input order.  Inserts
+        land in the memtable — exactly scanned by every query, so they
+        are searchable immediately — until the amortized compaction folds
+        them into the static structure.  When this call itself triggers a
+        compaction, the returned ids are the *post-compaction* ids (ids
+        are positional and remap when the survivors are renumbered).
+        """
+        rows = self._coerce_rows(points)
+        if rows.shape[0] == 0:
+            return []
+        ids = self.mutation.insert_rows(rows)
+        if self._maybe_compact():
+            n = len(self.database)
+            return list(range(n - rows.shape[0], n))
+        return ids
+
+    def delete(self, ids) -> int:
+        """Delete rows by global id; returns how many were deleted.
+
+        Static rows are tombstoned (the bitmap is consulted at
+        result-merge time, so they never surface again); memtable rows
+        are killed in place.  The call is atomic: an out-of-range,
+        already-deleted, or repeated id raises ``ValueError`` and leaves
+        the index unchanged.  May trigger the amortized compaction.
+        """
+        count = self.mutation.delete_ids(ids)
+        self._maybe_compact()
+        return count
+
+    def compact(self) -> int:
+        """Rebuild the static structure from the surviving rows now.
+
+        Survivors keep their relative order (static survivors first, then
+        live memtable rows) and are renumbered ``0..live-1``; the new
+        structure is built through the registry with the next
+        generation's seed, ``RngTree(seed).child("generation", g)``, so
+        the compacted index answers **bitwise-identically** to
+        ``ANNIndex.from_spec(survivors, spec.replace(seed=generation_seed(seed, g)))``.
+        No-op on a clean index.  Returns the current generation.  Raises
+        when the index has no spec (hand-built scheme), or when the
+        scheme cannot be rebuilt on the survivors (e.g. fewer than 2 live
+        rows for every registered scheme).
+        """
+        state = self.mutation
+        if state.dirty_count == 0:
+            return state.generation
+        if self.spec is None:
+            raise RuntimeError(
+                "index has no spec (hand-built scheme); only registry-built "
+                "indexes can compact"
+            )
+        if self.spec.seed is None:
+            raise RuntimeError(
+                "index spec has no concrete seed; build through "
+                "ANNIndex.from_spec (which pins one)"
+            )
+        survivors = state.survivor_words(self.database.words)
+        if survivors.shape[0] == 0:
+            raise ValueError("cannot compact an index with no live rows")
+        g = state.generation + 1
+        new_db = PackedPoints(survivors, self.database.d)
+        spec_g = self.spec.replace(seed=generation_seed(self.spec.seed, g))
+        scheme = build_scheme(new_db, spec_g)  # may raise on scheme constraints
+        self.database = new_db
+        self.scheme = scheme
+        self._engines = {}  # cached engines are bound to the old scheme
+        self.mutation = MutationState(
+            len(new_db),
+            new_db.word_count,
+            compact_threshold=state.compact_threshold,
+            generation=g,
+        )
+        return g
+
+    def _maybe_compact(self) -> bool:
+        """Run the amortized compaction when the trigger fires.
+
+        Deferred (returns False, state stays buffered) when the index has
+        no rebuildable spec or the scheme's own constraints reject the
+        current live set — the dirt is retried on later mutations.
+        """
+        if not self.mutation.should_compact():
+            return False
+        if self.spec is None or self.spec.seed is None:
+            return False
+        try:
+            self.compact()
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def generation(self) -> int:
+        """How many compactions this index has absorbed."""
+        return self.mutation.generation
+
+    @property
+    def live_count(self) -> int:
+        """Rows that are currently searchable (``len(self)``)."""
+        return self.mutation.live_count
+
+    @property
+    def id_space(self) -> int:
+        """Allocated global ids: static rows plus all memtable entries."""
+        return self.mutation.id_space
+
+    def is_live(self, global_id: int) -> bool:
+        """Whether a global id currently resolves to a searchable row."""
+        return self.mutation.is_live(global_id)
+
+    def live_ids(self) -> np.ndarray:
+        """All live global ids, ascending."""
+        return self.mutation.live_ids()
+
     # -- querying ----------------------------------------------------------
+    def _merge_mutations(
+        self, queries: np.ndarray, results: List[QueryResult]
+    ) -> List[QueryResult]:
+        """Tombstone-filter + memtable-merge a batch of scheme results.
+
+        Identity when the index is clean (no tombstones, no live
+        memtable rows) — that pass-through is what makes a freshly
+        compacted index bitwise-identical to a from-scratch build.
+        """
+        if not self.mutation.merge_needed or not results:
+            return results
+        return merge_mutation_candidates(queries, results, self.mutation)
+
     def query(self, x: Union[np.ndarray, list]) -> QueryResult:
         """Answer one query given as a length-d bit vector or packed row."""
         arr = np.asarray(x)
         if arr.dtype != np.uint64:
             arr = pack_bits(arr.astype(np.uint8), self.database.d)
-        return self.scheme.query(arr)
+        return self._merge_mutations(arr[None, :], [self.scheme.query(arr)])[0]
 
     def query_packed(self, x: np.ndarray) -> QueryResult:
         """Answer one query given as a packed uint64 row."""
-        return self.scheme.query(np.asarray(x, dtype=np.uint64))
+        arr = np.asarray(x, dtype=np.uint64)
+        return self._merge_mutations(arr[None, :], [self.scheme.query(arr)])[0]
 
     def _engine(self, prefetch: bool) -> BatchQueryEngine:
         """The cached batch engine for this prefetch flag."""
@@ -219,7 +417,19 @@ class ANNIndex:
             arr = arr[None, :]
         engine = self._engine(bool(prefetch))
         results = engine.run(arr)
-        self._last_batch_stats = engine.last_stats
+        stats = engine.last_stats
+        if results and self.mutation.merge_needed:
+            results = self._merge_mutations(arr, results)
+            # Memtable scans charge real probes; keep the batch stats
+            # reconciled with the merged per-query accountants.
+            stats = BatchStats(
+                batch_size=stats.batch_size,
+                sweeps=stats.sweeps,
+                total_probes=sum(r.probes for r in results),
+                total_rounds=sum(r.rounds for r in results),
+                prefetched_cells=stats.prefetched_cells,
+            )
+        self._last_batch_stats = stats
         return results
 
     @property
@@ -229,8 +439,9 @@ class ANNIndex:
 
     # -- introspection ----------------------------------------------------
     def __len__(self) -> int:
-        """Number of database points indexed."""
-        return len(self.database)
+        """Number of live (searchable) points — static rows minus
+        tombstones plus live memtable inserts."""
+        return self.mutation.live_count
 
     @property
     def d(self) -> int:

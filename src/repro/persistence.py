@@ -12,6 +12,13 @@ adapted to the lazy-table simulator):
 
 ``database.npz``
     The packed database: the ``(n, W)`` uint64 word matrix plus ``d``.
+    Since format version 2 it also carries the mutation layer's state
+    (:mod:`repro.core.mutable`): the ``tombstones`` bitmap over the
+    static rows, the ``memtable_words`` of buffered inserts, and their
+    ``memtable_deleted`` flags; the manifest records the ``generation``
+    counter and ``compact_threshold``, plus ``live_n`` as a consistency
+    check on the restored state.  Version-1 snapshots load as clean
+    generation-0 indexes.
 
 ``arrays.npz``
     The scheme's array payloads from
@@ -63,7 +70,10 @@ __all__ = [
 ]
 
 #: Bump when the directory layout or payload semantics change.
-FORMAT_VERSION = 1
+#: v2 (mutable indexes): database.npz grew tombstones/memtable payloads,
+#: the manifest grew generation/live_n/compact_threshold.  v1 snapshots
+#: still load (as clean generation-0 indexes).
+FORMAT_VERSION = 2
 
 FORMAT_NAME = "repro-ann-index"
 MANIFEST_FILE = "manifest.json"
@@ -142,8 +152,14 @@ def save_index(
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
     db = index.database
+    state = index.mutation
     arrays = index.scheme.export_arrays()
-    np.savez_compressed(directory / DATABASE_FILE, words=db.words, d=np.int64(db.d))
+    np.savez_compressed(
+        directory / DATABASE_FILE,
+        words=db.words,
+        d=np.int64(db.d),
+        **state.export_arrays(),
+    )
     np.savez_compressed(directory / ARRAYS_FILE, **arrays)
     _write_manifest(
         directory,
@@ -155,6 +171,9 @@ def save_index(
             "seed": spec.seed,
             "n": len(db),
             "d": db.d,
+            "live_n": state.live_count,
+            "generation": state.generation,
+            "compact_threshold": state.compact_threshold,
             "scheme_name": index.scheme.scheme_name,
             "array_keys": sorted(arrays),
             "extras": dict(extras or {}),
@@ -163,25 +182,68 @@ def save_index(
     return directory
 
 
-def _load_database(directory: Path):
+#: database.npz keys a format-v2 snapshot must carry beyond words/d.
+_MUTATION_KEYS = ("tombstones", "memtable_words", "memtable_deleted")
+
+
+def _read_npz(directory: Path, filename: str) -> Dict[str, np.ndarray]:
+    """Read one snapshot ``.npz`` member into a plain dict.
+
+    A missing, truncated, or otherwise unreadable archive — the
+    ``database.npz``/``arrays.npz`` corruption cases the tamper tests
+    cover — raises :class:`IndexPersistenceError` instead of leaking
+    ``zipfile``/``numpy`` internals.
+    """
+    path = directory / filename
+    if not path.is_file():
+        raise IndexPersistenceError(f"snapshot {directory} is missing {filename}")
+    try:
+        with np.load(path) as payload:
+            return {key: payload[key] for key in payload.files}
+    except Exception as exc:
+        raise IndexPersistenceError(
+            f"snapshot {directory} has an unreadable {filename}: {exc}"
+        ) from exc
+
+
+def _load_database(directory: Path, version: int):
+    """The packed database plus (for v2) the mutation payload triple."""
     from repro.hamming.points import PackedPoints
 
-    db_path = directory / DATABASE_FILE
-    if not db_path.is_file():
-        raise IndexPersistenceError(f"snapshot {directory} is missing {DATABASE_FILE}")
-    with np.load(db_path) as payload:
-        return PackedPoints(payload["words"], int(payload["d"]))
+    payload = _read_npz(directory, DATABASE_FILE)
+    if "words" not in payload or "d" not in payload:
+        raise IndexPersistenceError(
+            f"snapshot {directory} {DATABASE_FILE} is missing words/d"
+        )
+    try:
+        database = PackedPoints(payload["words"], int(payload["d"]))
+    except Exception as exc:
+        raise IndexPersistenceError(
+            f"snapshot {directory} holds an invalid packed database: {exc}"
+        ) from exc
+    if version < 2:
+        return database, None
+    missing = [key for key in _MUTATION_KEYS if key not in payload]
+    if missing:
+        raise IndexPersistenceError(
+            f"snapshot {directory} {DATABASE_FILE} is missing format-v2 "
+            f"mutation payload(s): {', '.join(missing)}"
+        )
+    return database, tuple(payload[key] for key in _MUTATION_KEYS)
 
 
 def load_index(path: PathLike) -> "ANNIndex":
     """Load a snapshot written by :func:`save_index`.
 
     The returned index answers bitwise-identically to the one saved: the
-    scheme is rebuilt from the manifest's spec (same seed, same registry
-    factory) and the array payloads are installed on top.
+    scheme is rebuilt from the manifest's spec (seed derived through the
+    recorded compaction generation, same registry factory), the array
+    payloads are installed on top, and any tombstones/memtable state is
+    restored and checked against the manifest's ``live_n``.
     """
     from repro.api import IndexSpec
     from repro.core.index import ANNIndex
+    from repro.core.mutable import DEFAULT_COMPACT_THRESHOLD, generation_seed
     from repro.registry import build_scheme
 
     directory = Path(path)
@@ -191,25 +253,48 @@ def load_index(path: PathLike) -> "ANNIndex":
             f"snapshot {directory} holds a {manifest.get('kind')!r}, not a "
             f"single index; use repro.persistence.load_any"
         )
-    database = _load_database(directory)
+    version = int(manifest["format_version"])
+    database, mutation_payload = _load_database(directory, version)
     spec = IndexSpec.from_dict(manifest["spec"])
     if int(manifest["n"]) != len(database) or int(manifest["d"]) != database.d:
         raise IndexPersistenceError(
             f"manifest geometry (n={manifest['n']}, d={manifest['d']}) does "
             f"not match the stored database (n={len(database)}, d={database.d})"
         )
-    scheme = build_scheme(database, spec)
-    arrays_path = directory / ARRAYS_FILE
-    if not arrays_path.is_file():
-        raise IndexPersistenceError(f"snapshot {directory} is missing {ARRAYS_FILE}")
-    with np.load(arrays_path) as payload:
+    generation = int(manifest.get("generation", 0))
+    threshold = float(manifest.get("compact_threshold", DEFAULT_COMPACT_THRESHOLD))
+    scheme_spec = spec
+    if generation > 0:
+        scheme_spec = spec.replace(seed=generation_seed(spec.seed, generation))
+    scheme = build_scheme(database, scheme_spec)
+    arrays = _read_npz(directory, ARRAYS_FILE)
+    try:
+        scheme.restore_arrays(arrays)
+    except ValueError as exc:
+        raise IndexPersistenceError(
+            f"snapshot {directory} payload rejected: {exc}"
+        ) from exc
+    index = ANNIndex(
+        database,
+        scheme,
+        spec=spec,
+        generation=generation,
+        compact_threshold=threshold,
+    )
+    if mutation_payload is not None:
         try:
-            scheme.restore_arrays({key: payload[key] for key in payload.files})
+            index.mutation.restore_arrays(*mutation_payload)
         except ValueError as exc:
             raise IndexPersistenceError(
-                f"snapshot {directory} payload rejected: {exc}"
+                f"snapshot {directory} mutation state rejected: {exc}"
             ) from exc
-    return ANNIndex(database, scheme, spec=spec)
+    if "live_n" in manifest and int(manifest["live_n"]) != index.live_count:
+        raise IndexPersistenceError(
+            f"snapshot {directory} mutation state is inconsistent: manifest "
+            f"records {manifest['live_n']} live rows, payload restores "
+            f"{index.live_count}"
+        )
+    return index
 
 
 def load_any(path: PathLike):

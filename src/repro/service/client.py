@@ -113,6 +113,40 @@ class ServiceClient:
             self._request("query", bits=[int(b) for b in arr])
         )
 
+    def insert(self, points) -> List[int]:
+        """Insert points (a list/array of length-``d`` 0/1 bit rows).
+
+        Returns the assigned global ids, in input order.  The server
+        applies the insert as a barrier: queries already submitted
+        complete against the old state, later ones see the new points.
+        """
+        arr = np.asarray(points)
+        if arr.dtype == np.uint64:
+            raise ValueError(
+                "the wire protocol carries bit vectors, not packed words; "
+                "unpack with repro.hamming.packing.unpack_bits first"
+            )
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        rows = [[int(b) for b in row] for row in arr]
+        response = self._request("insert", points=rows)
+        return [int(i) for i in response["ids"]]
+
+    def delete(self, ids) -> int:
+        """Delete rows by global id; returns the deleted count.
+
+        Same barrier semantics as :meth:`insert`; an invalid id raises
+        :class:`ServiceError` and leaves the served index unchanged.
+        Ids are validated client-side (flat, integer, no duplicates)
+        before anything goes on the wire — floats are never truncated.
+        """
+        from repro.core.mutable import coerce_delete_ids
+
+        response = self._request(
+            "delete", ids=[int(i) for i in coerce_delete_ids(ids)]
+        )
+        return int(response["deleted"])
+
     def stats(self) -> dict:
         """The server's :class:`~repro.service.server.ServiceMetrics` snapshot."""
         return self._request("stats")["stats"]

@@ -30,15 +30,94 @@ unmodified per-query sessions, results are identical to running
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.plan import PlanDraft
 from repro.cellprobe.scheme import CellProbingScheme
 from repro.cellprobe.session import ProbeRequest
+from repro.hamming.distance import cross_distances, hamming_distance
 
-__all__ = ["BatchQueryEngine", "BatchStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mutable import MutationState
+    from repro.core.result import QueryResult
+
+__all__ = ["BatchQueryEngine", "BatchStats", "merge_mutation_candidates"]
+
+
+def merge_mutation_candidates(
+    queries: np.ndarray,
+    results: List["QueryResult"],
+    state: "MutationState",
+) -> List["QueryResult"]:
+    """Apply the mutation layer's result-merge rule to a batch.
+
+    Per query the merged answer is the minimum of two candidates by
+    ``(true Hamming distance, global id)`` — the sharded merge rule:
+
+    * the static scheme's answer, **dropped when its row is tombstoned**
+      (the bitmap consult is metadata, never a charged probe), and
+    * the best live memtable row, found by an exact scan (distances for
+      the whole batch come from one :func:`cross_distances` kernel call;
+      each live memtable row costs one probe, charged as a parallel
+      round folded into the static rounds via
+      :meth:`~repro.cellprobe.accounting.ProbeAccountant.merge_parallel`,
+      so rounds never increase past ``max(static rounds, 1)``).
+
+    Called with a batch of one by the sequential ``ANNIndex.query`` path,
+    so both paths share one implementation and stay bitwise-identical.
+    Accountants are merged in place; the returned results reuse them.
+    """
+    from repro.core.result import QueryResult  # deferred: avoids core<->service cycle
+
+    positions, mem_words = state.memtable.live_entries()
+    mem_count = int(positions.size)
+    mem_ids = [int(state.n_static + p) for p in positions]
+    mem_probes = [("memtable", gid) for gid in mem_ids]
+    dists = cross_distances(queries, mem_words) if mem_count else None
+    merged: List[QueryResult] = []
+    for qi, res in enumerate(results):
+        accountant = res.accountant
+        suppressed = res.answer_index is not None and bool(
+            state.tombstones[res.answer_index]
+        )
+        best = None  # (distance, global id, packed row)
+        source = None
+        if res.answer_index is not None and not suppressed:
+            best = (
+                hamming_distance(queries[qi], res.answer_packed),
+                int(res.answer_index),
+                res.answer_packed,
+            )
+            source = "static"
+        if mem_count:
+            scan = ProbeAccountant()
+            scan.charge_round(scan.begin_round(), list(mem_probes))
+            accountant.merge_parallel(scan)
+            j = int(np.argmin(dists[qi]))  # first min == smallest id
+            candidate = (int(dists[qi][j]), mem_ids[j], mem_words[j])
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+                source = "memtable"
+        meta = dict(res.meta)
+        meta["mutable"] = {
+            "generation": state.generation,
+            "memtable_scanned": mem_count,
+            "static_tombstoned": suppressed,
+            "source": source,
+        }
+        merged.append(
+            QueryResult(
+                answer_index=None if best is None else best[1],
+                answer_packed=None if best is None else best[2],
+                accountant=accountant,
+                scheme=res.scheme,
+                meta=meta,
+            )
+        )
+    return merged
 
 
 @dataclass

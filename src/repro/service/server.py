@@ -21,13 +21,24 @@ loop would — ``tests/service/test_async_service.py`` asserts this over
 random arrival patterns, and ``docs/SERVING.md`` documents the
 latency/throughput trade-off the two knobs span.
 
+The service also accepts **writes**: ``await service.insert(points)``
+and ``await service.delete(ids)`` enter the same FIFO queue as queries
+and act as *barriers* — the batcher never mixes a write into a query
+micro-batch.  Queries enqueued before a write flush (and resolve) from
+the pre-write index state; the write then applies atomically between
+batches; queries enqueued after it see the post-write state.  Because
+the queue is drained by a single batcher task, this linearizes every
+request at micro-batch granularity — concurrent readers never observe a
+half-applied write or a mid-compaction structure (``docs/SERVING.md``
+documents the consistency model).
+
 The module also speaks the wire: :func:`serve` runs an asyncio TCP
 server whose protocol is newline-delimited JSON (one request object per
 line, one response object per line; see ``docs/SERVING.md`` for the
-exact shapes), with verbs ``query``, ``stats``, ``info``, ``ping`` and
-``shutdown``.  ``python -m repro serve --index DIR`` is the CLI entry;
-:class:`~repro.service.client.ServiceClient` is the matching
-synchronous client.
+exact shapes), with verbs ``query``, ``insert``, ``delete``, ``stats``,
+``info``, ``ping`` and ``shutdown``.  ``python -m repro serve --index
+DIR`` is the CLI entry; :class:`~repro.service.client.ServiceClient` is
+the matching synchronous client.
 """
 
 from __future__ import annotations
@@ -70,6 +81,9 @@ class ServiceMetrics:
     requests: int
     in_flight: int
     batches: int
+    writes: int
+    inserts: int
+    deletes: int
     mean_batch: float
     max_observed_batch: int
     qps: float
@@ -90,6 +104,9 @@ class ServiceMetrics:
             "requests": self.requests,
             "in_flight": self.in_flight,
             "batches": self.batches,
+            "writes": self.writes,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
             "mean_batch": round(self.mean_batch, 3),
             "max_observed_batch": self.max_observed_batch,
             "qps": round(self.qps, 1),
@@ -121,21 +138,33 @@ class _PendingQuery(NamedTuple):
     arrival: float
 
 
+class _PendingWrite(NamedTuple):
+    """A queued mutation: a barrier in the request FIFO."""
+
+    op: str  # "insert" | "delete"
+    payload: object  # packed (m, W) rows, or a list of global ids
+    future: "asyncio.Future"
+    arrival: float
+
+
 def describe_index(index) -> Dict[str, object]:
     """JSON-able description of a served index (the ``info`` verb)."""
     scheme = getattr(index, "scheme", None)
     if scheme is not None:
         name = scheme.scheme_name
         shards = 1
+        generations = [index.generation] if hasattr(index, "generation") else []
     else:  # ShardedANNIndex: per-shard schemes behind one facade
         shards = index.num_shards
         name = index.scheme_label  # same label merged QueryResults carry
+        generations = list(getattr(index, "generations", []))
     spec = getattr(index, "spec", None)
     return {
         "n": len(index),
         "d": index.d,
         "scheme": name,
         "shards": shards,
+        "generations": generations,
         "spec": None if spec is None else spec.to_dict(),
     }
 
@@ -195,6 +224,8 @@ class AsyncANNService:
         # Counters (reconciled against per-flush BatchStats by tests).
         self._requests = 0
         self._batches = 0
+        self._inserts = 0
+        self._deletes = 0
         self._max_observed_batch = 0
         self._total_probes = 0
         self._total_rounds = 0
@@ -230,6 +261,12 @@ class AsyncANNService:
         await self.stop()
 
     # -- the request surface -----------------------------------------------
+    def _check_accepting(self) -> None:
+        if self._batcher is None:
+            raise RuntimeError("service not started (use 'async with' or start())")
+        if self._closing:
+            raise RuntimeError("service is stopping; no new requests accepted")
+
     async def query(self, x) -> object:
         """Submit one query; resolves with its :class:`QueryResult`.
 
@@ -238,13 +275,43 @@ class AsyncANNService:
         query does not match the index dimension, so one malformed
         request never poisons a batch.
         """
-        if self._batcher is None:
-            raise RuntimeError("service not started (use 'async with' or start())")
-        if self._closing:
-            raise RuntimeError("service is stopping; no new queries accepted")
+        self._check_accepting()
         row = self._pack_query(x)
         future = self._loop.create_future()
         self._queue.append(_PendingQuery(row, future, self._loop.time()))
+        self._wake.set()
+        return await future
+
+    async def insert(self, points) -> List[int]:
+        """Insert points; resolves with their assigned global ids.
+
+        The insert is a barrier in the request FIFO: every query
+        submitted before it completes against the pre-insert index,
+        every query submitted after it sees the new points (exactly
+        searchable from the memtable).  Shape/dimension validation
+        happens here, before enqueueing.
+        """
+        self._check_accepting()
+        rows = self.index._coerce_rows(points)
+        future = self._loop.create_future()
+        self._queue.append(_PendingWrite("insert", rows, future, self._loop.time()))
+        self._wake.set()
+        return await future
+
+    async def delete(self, ids) -> int:
+        """Delete rows by global id; resolves with the deleted count.
+
+        Same barrier semantics as :meth:`insert`; an invalid id rejects
+        the whole call when it applies (atomically, between batches) and
+        leaves the index unchanged.  Shape/integrality validation happens
+        here, before enqueueing — float ids are rejected, never truncated.
+        """
+        self._check_accepting()
+        from repro.core.mutable import coerce_delete_ids
+
+        id_list = [int(i) for i in coerce_delete_ids(ids)]
+        future = self._loop.create_future()
+        self._queue.append(_PendingWrite("delete", id_list, future, self._loop.time()))
         self._wake.set()
         return await future
 
@@ -275,8 +342,15 @@ class AsyncANNService:
         window = sorted(ms * 1000.0 for ms in self._latencies)
         return ServiceMetrics(
             requests=self._requests,
-            in_flight=len(self._queue),
+            # Queries only: pending writes are tracked by the writes/
+            # inserts/deletes counters, so query totals keep reconciling.
+            in_flight=sum(
+                1 for item in self._queue if isinstance(item, _PendingQuery)
+            ),
             batches=self._batches,
+            writes=self._inserts + self._deletes,
+            inserts=self._inserts,
+            deletes=self._deletes,
             mean_batch=(self._requests / self._batches) if self._batches else 0.0,
             max_observed_batch=self._max_observed_batch,
             qps=(self._requests / uptime) if uptime > 0 else 0.0,
@@ -296,6 +370,21 @@ class AsyncANNService:
         )
 
     # -- the batcher -------------------------------------------------------
+    def _leading_run(self) -> tuple:
+        """``(count, barrier)``: queries at the queue's front before the
+        first pending write (count capped at ``max_batch``), and whether
+        such a write exists.  A barrier means the front run can never
+        grow — later arrivals queue behind the write — so it flushes
+        immediately instead of waiting out the deadline."""
+        count = 0
+        for item in self._queue:
+            if isinstance(item, _PendingWrite):
+                return count, True
+            count += 1
+            if count >= self.max_batch:
+                break
+        return count, False
+
     async def _run(self) -> None:
         loop = self._loop
         max_wait = self.max_wait_ms / 1000.0
@@ -310,13 +399,20 @@ class AsyncANNService:
                     continue
                 await self._wake.wait()
                 continue
+            if isinstance(self._queue[0], _PendingWrite):
+                self._apply_write()
+                continue
             deadline = self._queue[0].arrival + max_wait
-            while len(self._queue) < self.max_batch and not self._closing:
+            while not self._closing:
+                run, barrier = self._leading_run()
+                if run >= self.max_batch or barrier:
+                    break
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     break
                 self._wake.clear()
-                if len(self._queue) >= self.max_batch or self._closing:
+                run, barrier = self._leading_run()
+                if run >= self.max_batch or barrier or self._closing:
                     continue
                 try:
                     await asyncio.wait_for(self._wake.wait(), remaining)
@@ -324,9 +420,39 @@ class AsyncANNService:
                     break
             self._flush()
 
+    def _apply_write(self) -> None:
+        """Apply the write at the queue's head, between micro-batches.
+
+        Runs synchronously on the event loop — by the time it executes,
+        every earlier-submitted query has already flushed against the
+        pre-write state, and no query can run until it returns.  That is
+        the barrier fence.  Like :meth:`_flush` (which runs whole query
+        batches on the loop), this trades loop stalls for strict
+        linearizability; a write that trips the amortized compaction
+        stalls for the rebuild, so latency-sensitive deployments should
+        raise ``compact_threshold`` and compact off-peak (e.g. via
+        ``repro mutate --compact``).
+        """
+        item = self._queue.popleft()
+        try:
+            if item.op == "insert":
+                value: object = self.index.insert(item.payload)
+                self._inserts += 1
+            else:
+                value = self.index.delete(item.payload)
+                self._deletes += 1
+        except Exception as exc:
+            if not item.future.done():
+                item.future.set_exception(exc)
+            return
+        if not item.future.done():
+            item.future.set_result(value)
+
     def _flush(self) -> None:
-        """Execute one micro-batch and resolve its futures."""
-        take = min(len(self._queue), self.max_batch)
+        """Execute one micro-batch of queries and resolve its futures."""
+        take = min(self._leading_run()[0], self.max_batch)
+        if take == 0:
+            return
         batch = [self._queue.popleft() for _ in range(take)]
         rows = np.stack([item.row for item in batch])
         try:
@@ -403,6 +529,24 @@ async def _handle_request(
                 raise ValueError("'query' needs a 'bits' array of 0/1 values")
             result = await service.query(np.asarray(bits, dtype=np.uint8))
             response = _result_response(result)
+        elif op == "insert":
+            points = request.get("points")
+            if not points:
+                raise ValueError("'insert' needs a non-empty 'points' list of bit rows")
+            ids = await service.insert(np.asarray(points, dtype=np.uint8))
+            response = {
+                "ok": True,
+                "ids": [int(i) for i in ids],
+                "live": len(service.index),
+            }
+        elif op == "delete":
+            ids = request.get("ids")
+            if not ids:
+                raise ValueError("'delete' needs a non-empty 'ids' list")
+            # service.delete validates (flat, integer, no duplicates) —
+            # a JSON float id is rejected here, never truncated.
+            deleted = await service.delete(ids)
+            response = {"ok": True, "deleted": int(deleted), "live": len(service.index)}
         elif op == "stats":
             response = {"ok": True, "stats": service.metrics().as_dict()}
         elif op == "info":

@@ -26,6 +26,17 @@ LSH/ANN services, on top of this package's existing layers:
   (probes add, rounds max), and per-shard
   :class:`~repro.service.engine.BatchStats` aggregate the same way
   (probes/prefetches sum, sweeps max).
+* **Mutation** delegates to the shards' own mutation layers
+  (:mod:`repro.core.mutable`): :meth:`ShardedANNIndex.insert` routes
+  each new point to the shard with the fewest live rows (ties → the
+  smallest shard index), :meth:`ShardedANNIndex.delete` maps global ids
+  back to per-shard tombstones/memtable kills, and each shard compacts
+  independently (amortized, or all at once via
+  :meth:`ShardedANNIndex.compact`).  Global ids stay positional:
+  shard ``i``'s ids occupy ``[offsets[i], offsets[i] + shard.id_space)``
+  where the offsets are the running sum of the shards' *allocated* id
+  spaces — so, like single-index ids, they remap when a shard grows or
+  compacts.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ from repro.api import IndexSpec
 from repro.cellprobe.accounting import ProbeAccountant
 from repro.cellprobe.scheme import SchemeSizeReport
 from repro.core.index import ANNIndex, DatabaseLike, _coerce_database
+from repro.core.mutable import coerce_delete_ids
 from repro.core.result import QueryResult
 from repro.hamming.distance import hamming_distance
 from repro.hamming.packing import pack_bits
@@ -81,13 +93,16 @@ def _build_shard(payload) -> str:
     """Worker-process entry: build one shard, warm it, snapshot it.
 
     Module-level (picklable) on purpose; returns the snapshot directory so
-    the parent can load the warmed index back through the codec.
+    the parent can load the warmed index back through the codec (the
+    compaction threshold rides along in the manifest).
     """
-    words, d, spec_dict, out_dir, warm = payload
+    words, d, spec_dict, out_dir, warm, compact_threshold = payload
     from repro.hamming.points import PackedPoints
 
     index = ANNIndex.from_spec(
-        PackedPoints(words, d), IndexSpec.from_dict(spec_dict)
+        PackedPoints(words, d),
+        IndexSpec.from_dict(spec_dict),
+        compact_threshold=compact_threshold,
     )
     if warm:
         index.prepare()
@@ -117,11 +132,30 @@ class ShardedANNIndex:
         if len(dims) != 1:
             raise ValueError(f"shards disagree on dimension: {sorted(dims)}")
         self.shards: List[ANNIndex] = list(shards)
-        self.offsets: List[int] = [int(o) for o in offsets]
+        supplied = [int(o) for o in offsets]
         #: the root spec sharding was derived from (None for hand-assembled)
         self.spec = spec
         self.d = self.shards[0].database.d
         self._last_batch_stats: Optional[BatchStats] = None
+        # Offsets are derived state (running sum of shard id spaces); the
+        # constructor argument survives for snapshot/caller validation.
+        if supplied != self.offsets:
+            raise ValueError(
+                f"offsets {supplied} do not match the shards' id spaces "
+                f"(expected {self.offsets})"
+            )
+
+    @property
+    def offsets(self) -> List[int]:
+        """Each shard's first global id: the running sum of the shards'
+        allocated id spaces (static rows + memtable entries).  Recomputed
+        on demand because inserts and compactions resize shards."""
+        out: List[int] = []
+        total = 0
+        for shard in self.shards:
+            out.append(total)
+            total += shard.id_space
+        return out
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -133,6 +167,7 @@ class ShardedANNIndex:
         workers: Optional[int] = None,
         warm: bool = True,
         shared_seed: bool = False,
+        compact_threshold: Optional[float] = None,
     ) -> "ShardedANNIndex":
         """Partition ``database`` into ``shards`` and build every shard.
 
@@ -141,8 +176,15 @@ class ShardedANNIndex:
         in-process.  ``warm`` materializes each shard's preprocessing at
         build time (that is the work that parallelizes).  ``shared_seed``
         gives every shard the root seed instead of an independent
-        ``RngTree("shard", i)`` derivation.
+        ``RngTree("shard", i)`` derivation.  ``compact_threshold``
+        forwards to every shard's mutation layer (None = the default
+        amortized trigger).
         """
+        from repro.core.mutable import DEFAULT_COMPACT_THRESHOLD
+
+        threshold = (
+            DEFAULT_COMPACT_THRESHOLD if compact_threshold is None else compact_threshold
+        )
         db = _coerce_database(database)
         spec = spec.resolve_seed()
         bounds = shard_bounds(len(db), shards)
@@ -153,7 +195,11 @@ class ShardedANNIndex:
         workers = min(int(workers or 1), shards)
         if workers <= 1:
             built = [
-                ANNIndex.from_spec(db.take(range(start, stop)), shard_spec)
+                ANNIndex.from_spec(
+                    db.take(range(start, stop)),
+                    shard_spec,
+                    compact_threshold=threshold,
+                )
                 for (start, stop), shard_spec in zip(bounds, specs)
             ]
             if warm:
@@ -168,6 +214,7 @@ class ShardedANNIndex:
                         shard_spec.to_dict(),
                         str(Path(tmp) / f"shard-{i:04d}"),
                         warm,
+                        threshold,
                     )
                     for i, ((start, stop), shard_spec) in enumerate(zip(bounds, specs))
                 ]
@@ -247,6 +294,7 @@ class ShardedANNIndex:
         accounting sums probes and takes the max of rounds.
         """
         arr = self._coerce_batch(queries)
+        offsets = self.offsets
         per_shard = [shard.query_batch(arr, prefetch=prefetch) for shard in self.shards]
         shard_stats = [shard.last_batch_stats for shard in self.shards]
         inner = self.shards[0].scheme.scheme_name
@@ -264,7 +312,7 @@ class ShardedANNIndex:
                     continue
                 answered += 1
                 dist = hamming_distance(arr[qi], res.answer_packed)
-                global_id = self.offsets[si] + res.answer_index
+                global_id = offsets[si] + res.answer_index
                 if best is None or (dist, global_id) < best[:2]:
                     best = (dist, global_id, si, res)
             total_rounds += accountant.total_rounds
@@ -309,9 +357,109 @@ class ShardedANNIndex:
         """Aggregated statistics of the most recent :meth:`query_batch`."""
         return self._last_batch_stats
 
+    # -- mutation ----------------------------------------------------------
+    def _coerce_rows(self, points) -> np.ndarray:
+        """Packed ``(m, W)`` rows (delegates to a shard's coercion)."""
+        return self.shards[0]._coerce_rows(points)
+
+    def insert(self, points) -> List[int]:
+        """Insert points, each routed to the shard with the fewest live
+        rows at that moment (ties → smallest shard index).
+
+        Returns global ids in input order.  Routing is greedy per point —
+        a batch spreads across shards as their live counts equalize —
+        and each shard may run its own amortized compaction, so the
+        returned ids are computed against the post-insert offsets.
+        """
+        rows = self._coerce_rows(points)
+        if rows.shape[0] == 0:
+            return []
+        live = [len(shard) for shard in self.shards]
+        routed: List[List[np.ndarray]] = [[] for _ in self.shards]
+        routing: List[Tuple[int, int]] = []  # input row -> (shard, batch pos)
+        for i in range(rows.shape[0]):
+            si = min(range(len(self.shards)), key=lambda s: (live[s], s))
+            routing.append((si, len(routed[si])))
+            routed[si].append(rows[i])
+            live[si] += 1
+        local_ids: List[List[int]] = [
+            shard.insert(np.vstack(batch)) if batch else []
+            for shard, batch in zip(self.shards, routed)
+        ]
+        offsets = self.offsets
+        return [offsets[si] + local_ids[si][pos] for si, pos in routing]
+
+    def _locate(self, global_id: int, offsets: Optional[List[int]] = None) -> Tuple[int, int]:
+        """Resolve a global id to ``(shard index, shard-local id)``.
+
+        The single source of truth for the id partition (used by both
+        :meth:`delete` and :meth:`is_live`); raises ``ValueError`` for
+        ids outside every shard's allocated id space.
+        """
+        gid = int(global_id)
+        offsets = self.offsets if offsets is None else offsets
+        for si in range(len(self.shards) - 1, -1, -1):
+            if offsets[si] <= gid:
+                local = gid - offsets[si]
+                if local >= self.shards[si].id_space:
+                    break
+                return si, local
+        raise ValueError(f"id {gid} out of range [0, {self.id_space})")
+
+    def delete(self, ids) -> int:
+        """Delete rows by global id; returns how many were deleted.
+
+        Ids are mapped to ``(shard, local id)`` through the current
+        offsets and pre-validated across every shard before any shard is
+        touched, so a bad id leaves the whole sharded index unchanged.
+        """
+        arr = coerce_delete_ids(ids)
+        if arr.size == 0:
+            return 0
+        offsets = self.offsets
+        per_shard: List[List[int]] = [[] for _ in self.shards]
+        for gid in arr:
+            si, local = self._locate(gid, offsets)
+            if not self.shards[si].is_live(local):
+                raise ValueError(f"id {int(gid)} is already deleted")
+            per_shard[si].append(local)
+        for shard, locals_ in zip(self.shards, per_shard):
+            if locals_:
+                shard.delete(locals_)
+        return int(arr.size)
+
+    def compact(self) -> List[int]:
+        """Compact every dirty shard; returns the shards' generations.
+
+        Raises if some dirty shard cannot rebuild (e.g. fewer than 2 live
+        rows); shards already compacted before the error stay compacted.
+        """
+        return [shard.compact() for shard in self.shards]
+
+    @property
+    def generations(self) -> List[int]:
+        """Each shard's compaction generation."""
+        return [shard.generation for shard in self.shards]
+
+    @property
+    def live_count(self) -> int:
+        return sum(shard.live_count for shard in self.shards)
+
+    @property
+    def id_space(self) -> int:
+        return sum(shard.id_space for shard in self.shards)
+
+    def is_live(self, global_id: int) -> bool:
+        """Whether a global id currently resolves to a searchable row."""
+        try:
+            si, local = self._locate(global_id)
+        except ValueError:
+            return False
+        return self.shards[si].is_live(local)
+
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(shard.database) for shard in self.shards)
+        return sum(len(shard) for shard in self.shards)
 
     @property
     def num_shards(self) -> int:

@@ -217,3 +217,167 @@ class TestManifest:
         index = ANNIndex(db, scheme)  # no spec rides along
         with pytest.raises(IndexPersistenceError, match="no spec"):
             save_index(index, tmp_path / "idx")
+
+
+def _make_snapshot(workload, tmp_path, name="idx"):
+    db, _ = workload
+    index = ANNIndex.from_spec(
+        db, IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=7)
+    )
+    return index, tmp_path / name, index.save(tmp_path / name)
+
+
+def _rewrite_database_npz(snapshot_dir, drop=(), mutate=None):
+    with np.load(snapshot_dir / "database.npz") as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    for key in drop:
+        arrays.pop(key)
+    if mutate:
+        mutate(arrays)
+    np.savez_compressed(snapshot_dir / "database.npz", **arrays)
+
+
+class TestDatabaseTamper:
+    """database.npz corruption must fail loudly, never answer quietly."""
+
+    def test_truncated_database_file(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        blob = (path / "database.npz").read_bytes()
+        (path / "database.npz").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexPersistenceError, match="unreadable database.npz"):
+            ANNIndex.load(path)
+
+    def test_garbage_database_file(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        (path / "database.npz").write_bytes(b"not a zip archive at all")
+        with pytest.raises(IndexPersistenceError, match="unreadable database.npz"):
+            ANNIndex.load(path)
+
+    def test_missing_words_key(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        _rewrite_database_npz(path, drop=("words",))
+        with pytest.raises(IndexPersistenceError, match="missing words/d"):
+            ANNIndex.load(path)
+
+    def test_dropped_rows_fail_the_geometry_check(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+
+        def chop(arrays):
+            arrays["words"] = arrays["words"][:-3]
+            arrays["tombstones"] = arrays["tombstones"][:-3]
+
+        _rewrite_database_npz(path, mutate=chop)
+        with pytest.raises(IndexPersistenceError, match="does\nnot match|not match"):
+            ANNIndex.load(path)
+
+    def test_missing_mutation_payload_rejected_for_v2(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        _rewrite_database_npz(path, drop=("memtable_words",))
+        with pytest.raises(IndexPersistenceError, match="mutation payload"):
+            ANNIndex.load(path)
+
+    def test_tampered_tombstones_fail_live_n_check(self, workload, tmp_path):
+        index, path, _ = _make_snapshot(workload, tmp_path)
+        index.delete([0, 1])
+        index.save(path)
+
+        def clear(arrays):
+            arrays["tombstones"] = np.zeros_like(arrays["tombstones"])
+
+        _rewrite_database_npz(path, mutate=clear)
+        with pytest.raises(IndexPersistenceError, match="inconsistent"):
+            ANNIndex.load(path)
+
+    def test_tampered_memtable_shape_rejected(self, workload, tmp_path):
+        index, path, _ = _make_snapshot(workload, tmp_path)
+        index.insert(np.zeros((2, index.d), dtype=np.uint8))
+        index.save(path)
+
+        def chop(arrays):
+            arrays["memtable_words"] = arrays["memtable_words"][:, :-1]
+
+        _rewrite_database_npz(path, mutate=chop)
+        with pytest.raises(IndexPersistenceError, match="mutation state rejected"):
+            ANNIndex.load(path)
+
+    def test_truncated_arrays_file(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        blob = (path / "arrays.npz").read_bytes()
+        (path / "arrays.npz").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IndexPersistenceError, match="unreadable arrays.npz"):
+            ANNIndex.load(path)
+
+
+class TestManifestTamper:
+    def test_truncated_manifest(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        text = (path / "manifest.json").read_text()
+        (path / "manifest.json").write_text(text[: len(text) // 2])
+        with pytest.raises(IndexPersistenceError, match="unreadable manifest"):
+            ANNIndex.load(path)
+
+    def test_empty_manifest(self, workload, tmp_path):
+        _, path, _ = _make_snapshot(workload, tmp_path)
+        (path / "manifest.json").write_text("")
+        with pytest.raises(IndexPersistenceError, match="unreadable manifest"):
+            ANNIndex.load(path)
+
+
+class TestMutationRoundTrip:
+    """Format v2: live mutation state survives save/load bitwise."""
+
+    def test_dirty_index_round_trips_bitwise(self, workload, tmp_path):
+        db, queries = workload
+        index = ANNIndex.from_spec(
+            db, IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=19)
+        )
+        inserted = index.insert(queries[:3])
+        index.delete([2, 5, inserted[1]])
+        index.save(tmp_path / "dirty")
+        loaded = ANNIndex.load(tmp_path / "dirty")
+        assert loaded.generation == index.generation
+        assert len(loaded) == len(index)
+        assert loaded.live_ids().tolist() == index.live_ids().tolist()
+        assert loaded.mutation.compact_threshold == index.mutation.compact_threshold
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+
+    def test_compacted_index_round_trips_with_generation_seed(
+        self, workload, tmp_path
+    ):
+        db, queries = workload
+        index = ANNIndex.from_spec(
+            db, IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=19)
+        )
+        index.delete([0, 1, 2])
+        index.insert(queries[:2])
+        assert index.compact() == 1
+        index.delete([3])
+        assert index.compact() == 2
+        index.save(tmp_path / "gen2")
+        loaded = ANNIndex.load(tmp_path / "gen2")
+        assert loaded.generation == 2
+        assert loaded.spec == index.spec  # root spec, not the derived one
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+
+    def test_v1_snapshot_loads_under_v2_code(self, workload, tmp_path):
+        # Fixture: demote a fresh snapshot to the v1 on-disk shape (no
+        # mutation payload, no generation/live_n manifest fields).
+        db, queries = workload
+        index, path, _ = _make_snapshot(workload, tmp_path, name="v1")
+        _rewrite_database_npz(
+            path, drop=("tombstones", "memtable_words", "memtable_deleted")
+        )
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 1
+        for key in ("generation", "live_n", "compact_threshold"):
+            del manifest[key]
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = ANNIndex.load(path)
+        assert loaded.generation == 0
+        assert loaded.mutation.dirty_count == 0
+        assert len(loaded) == len(db)
+        assert_results_equal(index.query_batch(queries), loaded.query_batch(queries))
+        # And the loaded index is fully mutable going forward.
+        loaded.insert(queries[:1])
+        loaded.delete([0])
+        assert loaded.compact() == 1

@@ -1,0 +1,111 @@
+"""Cross-process seed determinism: same spec + seed ⇒ same index, bitwise.
+
+Every scheme derives its randomness from the spec's seed through
+:class:`~repro.utils.rng.RngTree`, whose path hashing is a hand-rolled
+FNV-1a precisely because Python's ``hash()`` is salted per process.
+These tests guard that property (and the PR-3 draw+rewind fix in
+``RngTree(Generator)``) by building the same spec in *separate
+subprocesses* — fresh hash salts, fresh interpreter state — and
+comparing content digests of the database, the exported scheme arrays,
+and the first query answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: The digest worker: builds a spec'd index (with a compaction, so the
+#: generation-seed derivation is covered too) and prints content hashes.
+WORKER = r"""
+import hashlib, json, sys
+import numpy as np
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+
+scheme = sys.argv[1]
+gen = np.random.default_rng(2024)
+db = PackedPoints(random_points(gen, 48, 128), 128)
+spec = IndexSpec(scheme=scheme, seed=12345)
+index = ANNIndex.from_spec(db, spec, compact_threshold=float("inf"))
+index.delete([1, 3])
+index.insert(random_points(gen, 2, 128))
+index.compact()
+index.prepare()
+
+digest = hashlib.sha256()
+digest.update(index.database.words.tobytes())
+arrays = index.scheme.export_arrays()
+for key in sorted(arrays):
+    digest.update(key.encode())
+    digest.update(np.ascontiguousarray(arrays[key]).tobytes())
+queries = random_points(np.random.default_rng(99), 8, 128)
+answers = [
+    (r.answer_index, r.probes, r.rounds) for r in index.query_batch(queries)
+]
+print(json.dumps({"digest": digest.hexdigest(), "answers": answers,
+                  "generation": index.generation}))
+"""
+
+
+def run_worker(scheme: str) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", WORKER, scheme],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme", ["algorithm1", "lsh"])
+def test_two_subprocesses_build_bitwise_identical_indexes(scheme):
+    first = run_worker(scheme)
+    second = run_worker(scheme)
+    assert first == second
+    assert first["generation"] == 1  # the compaction actually happened
+
+
+@pytest.mark.slow
+def test_subprocess_matches_in_process_build():
+    import numpy as np
+
+    from repro.api import IndexSpec
+    from repro.core.index import ANNIndex
+    from repro.hamming.points import PackedPoints
+    from repro.hamming.sampling import random_points
+
+    remote = run_worker("algorithm1")
+    gen = np.random.default_rng(2024)
+    db = PackedPoints(random_points(gen, 48, 128), 128)
+    index = ANNIndex.from_spec(
+        db, IndexSpec(scheme="algorithm1", seed=12345), compact_threshold=float("inf")
+    )
+    index.delete([1, 3])
+    index.insert(random_points(gen, 2, 128))
+    index.compact()
+    index.prepare()
+    digest = hashlib.sha256()
+    digest.update(index.database.words.tobytes())
+    arrays = index.scheme.export_arrays()
+    for key in sorted(arrays):
+        digest.update(key.encode())
+        digest.update(np.ascontiguousarray(arrays[key]).tobytes())
+    assert digest.hexdigest() == remote["digest"]
+    queries = random_points(np.random.default_rng(99), 8, 128)
+    answers = [
+        [r.answer_index, r.probes, r.rounds] for r in index.query_batch(queries)
+    ]
+    assert answers == remote["answers"]

@@ -1,0 +1,261 @@
+"""Write verbs on the serving layer: barrier fencing + the wire protocol.
+
+The async service accepts ``insert``/``delete`` in the same FIFO as
+queries; a write is a barrier — queries submitted before it resolve
+against the pre-write index, queries after it see the post-write state,
+and no micro-batch ever mixes the two.  Because the queue is drained by
+one batcher task, the interleaving below is deterministic: tasks enqueue
+in creation order, so the assertions are exact, not statistical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.core.mutable import generation_seed
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.service import AsyncANNService, ServiceClient, ServiceError
+from repro.service.server import serve
+from repro.service.sharded import ShardedANNIndex
+
+N, D = 40, 64
+SPEC = IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=41)
+
+
+def make_index(threshold=float("inf")):
+    gen = np.random.default_rng(9)
+    db = PackedPoints(random_points(gen, N, D), D)
+    return ANNIndex.from_spec(db, SPEC, compact_threshold=threshold)
+
+
+def fresh_bits(count, seed=70):
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 2, size=(count, D), dtype=np.uint8)
+
+
+async def enqueue(coro):
+    """Create a task and yield so it runs up to its await-on-future."""
+    task = asyncio.create_task(coro)
+    await asyncio.sleep(0)
+    return task
+
+
+class TestBarrierSemantics:
+    def test_queries_before_write_see_old_state_after_see_new(self):
+        async def scenario():
+            index = make_index()
+            point = fresh_bits(1)[0]
+            baseline = index.query(point)  # pre-insert answer, directly
+            async with AsyncANNService(index, max_batch=16, max_wait_ms=20.0) as svc:
+                before = [await enqueue(svc.query(point)) for _ in range(3)]
+                write = await enqueue(svc.insert(point[None, :]))
+                after = [await enqueue(svc.query(point)) for _ in range(3)]
+                ids = await write
+                results_before = [await t for t in before]
+                results_after = [await t for t in after]
+            for res in results_before:
+                assert res.answer_index == baseline.answer_index
+                assert res.probes == baseline.probes
+            for res in results_after:
+                # The inserted point is its own exact nearest neighbor.
+                assert res.answer_index == ids[0]
+                assert res.meta["mutable"]["source"] == "memtable"
+
+        asyncio.run(scenario())
+
+    def test_delete_fences_identically(self):
+        async def scenario():
+            index = make_index()
+            q = fresh_bits(1, seed=71)[0]
+            victim = index.query(q).answer_index
+            async with AsyncANNService(index, max_batch=16, max_wait_ms=20.0) as svc:
+                before = await enqueue(svc.query(q))
+                write = await enqueue(svc.delete([victim]))
+                after = await enqueue(svc.query(q))
+                assert (await write) == 1
+                assert (await before).answer_index == victim
+                assert (await after).answer_index != victim
+
+        asyncio.run(scenario())
+
+    def test_writes_never_mix_into_query_batches(self):
+        async def scenario():
+            index = make_index()
+            bits = fresh_bits(6, seed=72)
+            async with AsyncANNService(index, max_batch=64, max_wait_ms=50.0) as svc:
+                tasks = []
+                for i in range(3):
+                    tasks.append(await enqueue(svc.query(bits[i])))
+                write = await enqueue(svc.insert(bits[:1]))
+                for i in range(3, 6):
+                    tasks.append(await enqueue(svc.query(bits[i])))
+                await asyncio.gather(*tasks, write)
+                metrics = svc.metrics()
+            # The barrier split the 6 queries into (at least) two batches
+            # even though max_batch=64 would have held them all.
+            assert metrics.batches >= 2
+            assert metrics.max_observed_batch <= 3
+            assert metrics.writes == 1 and metrics.inserts == 1
+
+        asyncio.run(scenario())
+
+    def test_concurrent_readers_match_direct_queries_after_drain(self):
+        async def scenario():
+            index = make_index(threshold=0.3)
+            bits = fresh_bits(10, seed=73)
+            async with AsyncANNService(index, max_batch=4, max_wait_ms=0.5) as svc:
+                tasks = [await enqueue(svc.query(bits[i])) for i in range(4)]
+                tasks.append(await enqueue(svc.insert(bits[:2])))
+                tasks += [await enqueue(svc.query(bits[i])) for i in range(4, 8)]
+                tasks.append(await enqueue(svc.delete([0, 1])))
+                tasks += [await enqueue(svc.query(bits[i])) for i in range(8, 10)]
+                await asyncio.gather(*tasks)
+            # After the drain, the service's index answers like any local
+            # mutable index — and compaction restores the fresh-build oracle.
+            g = index.compact()
+            oracle = ANNIndex.from_spec(
+                index.database,
+                index.spec.replace(seed=generation_seed(index.spec.seed, g)),
+            )
+            for i in range(10):
+                a = index.query(bits[i])
+                b = oracle.query(bits[i])
+                assert a.answer_index == b.answer_index
+                assert a.probes == b.probes
+
+        asyncio.run(scenario())
+
+    def test_validation_happens_before_enqueue(self):
+        async def scenario():
+            index = make_index()
+            async with AsyncANNService(index, max_batch=4, max_wait_ms=0.5) as svc:
+                with pytest.raises(ValueError):
+                    await svc.insert(np.zeros((1, D + 3), dtype=np.uint8))
+                with pytest.raises(ValueError):  # applied atomically, rejected
+                    await svc.delete([10**6])
+                # Float ids are rejected up front, never truncated onto
+                # a neighboring row (the core-layer guard, kept intact
+                # through the service surface).
+                with pytest.raises(ValueError, match="must be integers"):
+                    await svc.delete([2.7])
+                assert index.is_live(2)
+                assert len(svc.index) == N
+
+        asyncio.run(scenario())
+
+    def test_stop_drains_pending_writes(self):
+        async def scenario():
+            index = make_index()
+            svc = AsyncANNService(index, max_batch=64, max_wait_ms=1000.0)
+            await svc.start()
+            write = await enqueue(svc.insert(fresh_bits(2)))
+            await svc.stop()
+            ids = await write
+            assert len(ids) == 2
+            assert len(index) == N + 2
+
+        asyncio.run(scenario())
+
+    def test_sharded_index_served_with_writes(self):
+        async def scenario():
+            gen = np.random.default_rng(11)
+            db = PackedPoints(random_points(gen, N, D), D)
+            sharded = ShardedANNIndex.build(
+                db, SPEC, shards=2, compact_threshold=float("inf")
+            )
+            point = fresh_bits(1, seed=74)[0]
+            async with AsyncANNService(sharded, max_batch=8, max_wait_ms=1.0) as svc:
+                ids = await svc.insert(point[None, :])
+                result = await svc.query(point)
+                assert result.answer_index == ids[0]
+                assert (await svc.delete(ids)) == 1
+                result = await svc.query(point)
+                assert result.answer_index != ids[0]
+
+        asyncio.run(scenario())
+
+
+@pytest.fixture()
+def endpoint():
+    """A live server over a *mutable* index on an ephemeral port."""
+    index = make_index()
+    ready: "queue.Queue" = queue.Queue()
+
+    def run():
+        asyncio.run(
+            serve(
+                index,
+                port=0,
+                max_batch=8,
+                max_wait_ms=1.0,
+                ready_cb=lambda host, port: ready.put((host, port)),
+            )
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    host, port = ready.get(timeout=10)
+    yield host, port, index
+    try:
+        with ServiceClient(host=host, port=port, timeout=5.0) as client:
+            client.shutdown()
+    except OSError:
+        pass
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestWireProtocolWrites:
+    def test_insert_then_query_round_trip(self, endpoint):
+        host, port, index = endpoint
+        bits = fresh_bits(2, seed=75)
+        with ServiceClient(host=host, port=port) as client:
+            ids = client.insert(bits)
+            assert ids == [N, N + 1]
+            result = client.query(bits[0])
+            assert result.answer_index == ids[0]
+            assert result.meta["mutable"]["source"] == "memtable"
+            stats = client.stats()
+            assert stats["inserts"] == 1 and stats["writes"] == 1
+            info = client.info()["index"]
+            assert info["n"] == N + 2
+            assert info["generations"] == [0]
+
+    def test_delete_round_trip_and_errors(self, endpoint):
+        host, port, index = endpoint
+        with ServiceClient(host=host, port=port) as client:
+            assert client.delete([3]) == 1
+            assert not index.is_live(3)
+            with pytest.raises(ServiceError, match="already deleted"):
+                client.delete([3])
+            with pytest.raises(ServiceError, match="out of range"):
+                client.delete([10**6])
+            stats = client.stats()
+            assert stats["deletes"] == 1
+            # Failed writes are rejected before mutating anything.
+            assert len(index) == N - 1
+
+    def test_insert_rejects_packed_rows_client_side(self, endpoint):
+        host, port, _ = endpoint
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ValueError, match="bit vectors"):
+                client.insert(np.zeros((1, 1), dtype=np.uint64))
+
+    def test_float_ids_rejected_on_both_sides_of_the_wire(self, endpoint):
+        host, port, index = endpoint
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ValueError, match="must be integers"):
+                client.delete([2.7])  # client-side gate
+            # Bypass the client gate with a raw request: the server-side
+            # gate must also reject instead of truncating to row 2.
+            with pytest.raises(ServiceError, match="must be integers"):
+                client._request("delete", ids=[2.7])
+            assert index.is_live(2)

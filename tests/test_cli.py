@@ -117,6 +117,84 @@ class TestCLI:
         assert code == 0
         assert "sharded(algorithm1×2)" in out
 
+    def test_mutate_insert_delete_compact_save_load(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "mut")
+        main(["build", "--scheme", "algorithm1", "--n", "64",
+              "--d", "128", "--queries", "4", "--out", out_dir])
+        capsys.readouterr()
+        code = main(["mutate", "--index", out_dir, "--insert-random", "5",
+                     "--delete", "0", "3", "--compact"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mutated index" in out
+        from repro.persistence import load_any, read_manifest
+
+        loaded = load_any(out_dir)
+        assert len(loaded) == 64 + 5 - 2
+        assert loaded.generation == 1
+        assert loaded.mutation.dirty_count == 0
+        # extras (the workload recipe) survive the mutate rewrite.
+        assert read_manifest(out_dir)["extras"]["workload"]["n"] == 64
+        assert loaded.query([0, 1] * 64).answer_index is not None
+
+    def test_mutate_sharded_snapshot_out_of_place(self, tmp_path, capsys):
+        src_dir, dst_dir = str(tmp_path / "src"), str(tmp_path / "dst")
+        main(["build", "--scheme", "algorithm1", "--shards", "2", "--n", "64",
+              "--d", "128", "--queries", "4", "--out", src_dir])
+        capsys.readouterr()
+        code = main(["mutate", "--index", src_dir, "--insert-random", "3",
+                     "--out", dst_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Mutated index" in out
+        from repro.persistence import load_any
+
+        assert len(load_any(src_dir)) == 64  # source untouched
+        assert len(load_any(dst_dir)) == 67
+
+    def test_mutate_requires_an_operation(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutate needs"):
+            main(["mutate", "--index", str(tmp_path)])
+
+    def test_mutate_deletes_apply_before_inserts(self, tmp_path, capsys):
+        # --delete ids refer to the on-disk numbering. With a tombstone
+        # already in the snapshot, a large insert trips auto-compaction
+        # and renumbers the rows — so inserting first would retarget the
+        # user's --delete id onto a different row.
+        import numpy as np
+
+        from repro.persistence import load_any
+
+        out_dir = str(tmp_path / "idx")
+        main(["build", "--scheme", "algorithm1", "--n", "64",
+              "--d", "128", "--queries", "4", "--out", out_dir])
+        main(["mutate", "--index", out_dir, "--delete", "1"])  # saved dirty
+        capsys.readouterr()
+        snapshot = load_any(out_dir)
+        target_row = snapshot.database.row(3).copy()     # what --delete 3 means
+        innocent_row = snapshot.database.row(4).copy()   # renumbered victim
+        # 20 inserts on n=64 exceed the 0.25 auto-compaction threshold.
+        # (--mutate-seed differs from the build seed: seed 0 would re-insert
+        # duplicates of the workload's own rows.)
+        code = main(["mutate", "--index", out_dir, "--insert-random", "20",
+                     "--delete", "3", "--mutate-seed", "777"])
+        capsys.readouterr()
+        assert code == 0
+        mutated = load_any(out_dir)
+        assert len(mutated) == 64 - 1 + 20 - 1
+        live_rows = [mutated.database.row(int(i)) for i in mutated.live_ids()]
+        assert not any(np.array_equal(r, target_row) for r in live_rows)
+        assert any(np.array_equal(r, innocent_row) for r in live_rows)
+
+    def test_bench_rejects_mutated_snapshot_clearly(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx")
+        main(["build", "--scheme", "algorithm1", "--n", "64",
+              "--d", "128", "--queries", "4", "--out", out_dir])
+        main(["mutate", "--index", out_dir, "--insert-random", "5"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="has been mutated"):
+            main(["bench", "--index", out_dir])
+
     def test_bench_rejects_index_plus_scheme(self, tmp_path):
         with pytest.raises(SystemExit, match="drop --scheme"):
             main(["bench", "--index", str(tmp_path), "--scheme", "algorithm1",
