@@ -1,0 +1,129 @@
+"""Machine-readable benchmark artifacts (``results/BENCH_*.json``).
+
+The markdown tables (``report_table``) are for humans transcribing
+EXPERIMENTS.md; these JSON artifacts are the perf *trajectory* — CI
+uploads them on every run and prints an informational diff against the
+previous run's numbers, so serving-latency or recovery-time regressions
+are visible in the log long before anyone reruns a benchmark by hand.
+
+Schema (one file per experiment)::
+
+    {
+      "bench": "e18_cluster",
+      "repro_version": "1.6.0",
+      "env": {"python": "...", "numpy": "...", "cpu_count": 8},
+      "metrics": {"serve_p50_ms": 1.9, ...}          # flat name -> number
+    }
+
+Only ``metrics`` is diffed; everything else is provenance.  Run
+``python benchmarks/artifacts.py diff OLD NEW`` for the comparison CI
+prints (always exit 0 — timing on shared runners is informational).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["artifact_path", "diff_artifacts", "format_diff", "write_artifact"]
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def artifact_path(bench: str) -> Path:
+    """Where ``write_artifact`` puts this experiment's JSON."""
+    return RESULTS_DIR / f"BENCH_{bench}.json"
+
+
+def _env() -> dict:
+    import numpy
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": cores,
+    }
+
+
+def write_artifact(bench: str, metrics: Dict[str, float], extras: Optional[dict] = None) -> Path:
+    """Write ``results/BENCH_<bench>.json``; returns the path.
+
+    ``metrics`` must be a flat name→number mapping (that is what the CI
+    diff compares run over run); anything non-numeric belongs in
+    ``extras``.
+    """
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeError(f"metric {key!r} is not a number: {value!r}")
+    import repro
+
+    payload = {
+        "bench": bench,
+        "repro_version": repro.__version__,
+        "env": _env(),
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+    if extras:
+        payload["extras"] = extras
+    path = artifact_path(bench)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def diff_artifacts(old: dict, new: dict) -> list:
+    """Rows of (metric, old, new, delta_pct) — ``None`` where absent."""
+    old_metrics = old.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    rows = []
+    for name in sorted(set(old_metrics) | set(new_metrics)):
+        before = old_metrics.get(name)
+        after = new_metrics.get(name)
+        if before is not None and after is not None and before != 0:
+            pct = 100.0 * (after - before) / abs(before)
+        else:
+            pct = None
+        rows.append((name, before, after, pct))
+    return rows
+
+
+def format_diff(old: dict, new: dict) -> str:
+    def fmt(value):
+        return "—" if value is None else f"{value:.4g}"
+
+    lines = [
+        f"BENCH_{new.get('bench', '?')}: "
+        f"{old.get('repro_version', '?')} -> {new.get('repro_version', '?')}",
+        f"{'metric':<28} {'old':>12} {'new':>12} {'Δ%':>8}",
+    ]
+    for name, before, after, pct in diff_artifacts(old, new):
+        pct_s = "—" if pct is None else f"{pct:+.1f}%"
+        lines.append(f"{name:<28} {fmt(before):>12} {fmt(after):>12} {pct_s:>8}")
+    return "\n".join(lines)
+
+
+def main(argv) -> int:
+    if len(argv) != 4 or argv[1] != "diff":
+        print(__doc__)
+        print("usage: python benchmarks/artifacts.py diff OLD.json NEW.json")
+        return 2
+    old_path, new_path = Path(argv[2]), Path(argv[3])
+    if not old_path.exists():
+        print(f"no previous artifact at {old_path}; nothing to diff")
+        return 0
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    print(format_diff(old, new))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -137,6 +137,19 @@ def e16_rows(e16_workload, report_table):
         f"cores={_usable_cores()})",
         rows,
     )
+    from artifacts import write_artifact
+
+    write_artifact(
+        "e16_sharded_scale",
+        {
+            "serial_build_s": serial_time,
+            "parallel_build_s": parallel_time,
+            "parallel_speedup": serial_time / parallel_time,
+            "serial_qps": rows[0]["q/s"],
+            "parallel_qps": rows[1]["q/s"],
+        },
+        extras={"n": N, "d": D, "shards": SHARDS, "cores": _usable_cores()},
+    )
     return rows
 
 

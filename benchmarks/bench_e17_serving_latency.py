@@ -142,6 +142,26 @@ def e17_rows(e17_workload, report_table):
         f"(n={N}, d={D}, k={K}, {NUM_REQUESTS} requests, wait≤{MAX_WAIT_MS:g}ms)",
         rows,
     )
+    from artifacts import write_artifact
+
+    saturated = next(
+        r for r in rows if r["arrival"] == "saturation" and r["policy"].startswith("batch≤")
+    )
+    single = next(
+        r for r in rows if r["arrival"] == "saturation" and r["policy"] == "batch=1"
+    )
+    write_artifact(
+        "e17_serving_latency",
+        {
+            "saturation_qps_batch1": single["q/s"],
+            "saturation_qps_micro": saturated["q/s"],
+            "micro_speedup": saturated["q/s"] / single["q/s"],
+            "saturation_p50_ms": saturated["p50 ms"],
+            "saturation_p95_ms": saturated["p95 ms"],
+            "mean_batch": saturated["mean batch"],
+        },
+        extras={"n": N, "d": D, "requests": NUM_REQUESTS, "max_batch": MICRO_BATCH_CAP},
+    )
     return rows
 
 

@@ -1,0 +1,189 @@
+"""E18 — distributed serving: router latency and replica-kill recovery.
+
+Not a paper claim: this experiment characterizes the replicated cluster
+layer (``repro.service.cluster`` / ``docs/DISTRIBUTED.md``) the way E17
+characterizes the single-process online layer.  A real 2-shard ×
+2-replica cluster of ``repro shard-serve`` subprocesses runs behind a
+``repro route`` router; a closed-loop driver measures end-to-end
+request latency through the full stack (client socket → router →
+replica fan-out → true-distance merge), then SIGKILLs a replica and
+measures both the degraded-mode latency (reads failing over to the
+sibling) and the recovery time — restart from the stale snapshot until
+the router's write-log replay marks the replica alive again.
+
+Criteria (asserted): every routed answer — healthy, degraded, and
+after recovery — is bitwise-identical to the in-process
+:class:`~repro.service.sharded.ShardedANNIndex` oracle, and a killed
+replica recovers within the (generous) bound below.  The timing rows
+are informational on shared runners.
+
+Artifacts: ``results/BENCH_e18_cluster.json`` via ``artifacts.py`` —
+serving p50/p99, degraded p50, batch throughput, recovery seconds.
+Catalog: ``docs/BENCHMARKS.md``; architecture: ``docs/DISTRIBUTED.md``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.hamming.packing import unpack_bits
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+from repro.service.harness import ClusterHarness
+from repro.service.sharded import ShardedANNIndex
+
+N, D, K = 512, 512, 2
+SHARDS, REPLICAS = 2, 2
+NUM_REQUESTS = 150
+RECOVERY_BOUND_S = 30.0
+
+INDEX_SPEC = IndexSpec(
+    scheme="algorithm1", params={"gamma": 4.0, "rounds": K, "c1": 8.0}, seed=2018
+)
+
+
+def _pctl(sorted_vals, q):
+    return sorted_vals[min(len(sorted_vals) - 1, int(q / 100 * len(sorted_vals)))]
+
+
+@pytest.fixture(scope="module")
+def e18_workload(tmp_path_factory):
+    gen = np.random.default_rng(2018)
+    db = PackedPoints(random_points(gen, N, D), D)
+    queries = [
+        [
+            int(b)
+            for b in unpack_bits(
+                flip_random_bits(
+                    gen,
+                    db.row(int(gen.integers(0, N))),
+                    int(gen.integers(0, D // 20)),
+                    D,
+                )[None, :],
+                D,
+            )[0]
+        ]
+        for _ in range(NUM_REQUESTS)
+    ]
+    snap = ShardedANNIndex.build(db, INDEX_SPEC, shards=SHARDS).save(
+        tmp_path_factory.mktemp("e18") / "snap"
+    )
+    return snap, queries
+
+
+def _expected(oracle, bits):
+    result = oracle.query(np.asarray(bits, dtype=np.uint8))
+    return (result.answered, result.answer_index, result.probes, result.rounds)
+
+
+def _observed(remote):
+    return (remote.answered, remote.answer_index, remote.probes, remote.rounds)
+
+
+def _timed_queries(client, oracle, queries):
+    """Closed-loop latencies (ms, sorted); every answer oracle-checked."""
+    latencies = []
+    for bits in queries:
+        begin = time.perf_counter()
+        remote = client.query(bits)
+        latencies.append((time.perf_counter() - begin) * 1000.0)
+        assert _observed(remote) == _expected(oracle, bits)
+    return sorted(latencies)
+
+
+@pytest.fixture(scope="module")
+def e18_rows(e18_workload, report_table):
+    snap, queries = e18_workload
+    oracle = ShardedANNIndex.load(snap)
+    with ClusterHarness(snap, replicas=REPLICAS) as cluster:
+        with cluster.connect() as client:
+            # healthy serving: closed-loop per-request latency
+            healthy = _timed_queries(client, oracle, queries)
+
+            # batched path: one round-trip, router fans out per shard
+            begin = time.perf_counter()
+            remotes = client.query_batch(queries)
+            batch_s = time.perf_counter() - begin
+            for bits, remote in zip(queries, remotes):
+                assert _observed(remote) == _expected(oracle, bits)
+
+            # a write the killed replica will have to replay on catch-up
+            gen = np.random.default_rng(7)
+            pts = gen.integers(0, 2, size=(4, D), dtype=np.uint8)
+            assert client.insert(pts.tolist()) == oracle.insert(pts)
+
+            # degraded mode: one replica down, reads fail over
+            cluster.kill_replica(0, 0)
+            degraded = _timed_queries(client, oracle, queries)
+
+            # recovery: restart from the stale snapshot; the router's
+            # write-log replay revives it (docs/DISTRIBUTED.md)
+            cluster.restart_replica(0, 0)
+            recovery_s = cluster.wait_replica_alive(0, 0, timeout=RECOVERY_BOUND_S)
+
+            # recovered correctness: the caught-up replica serves alone
+            cluster.kill_replica(0, 1)
+            recovered = _timed_queries(client, oracle, queries[:32])
+
+    rows = [
+        {
+            "phase": label,
+            "p50 ms": round(_pctl(lats, 50), 2),
+            "p99 ms": round(_pctl(lats, 99), 2),
+            "q/s": round(len(lats) / (sum(lats) / 1000.0)),
+        }
+        for label, lats in (
+            ("healthy", healthy),
+            ("degraded (1 replica down)", degraded),
+            ("after catch-up, alone", recovered),
+        )
+    ]
+    rows.append(
+        {
+            "phase": f"batch×{len(queries)}",
+            "p50 ms": "—",
+            "p99 ms": "—",
+            "q/s": round(len(queries) / batch_s),
+        }
+    )
+    report_table(
+        f"E18: routed cluster serving, {SHARDS} shards × {REPLICAS} replicas "
+        f"(n={N}, d={D}, k={K}, {NUM_REQUESTS} requests; "
+        f"recovery {recovery_s:.2f}s)",
+        rows,
+    )
+    from artifacts import write_artifact
+
+    write_artifact(
+        "e18_cluster",
+        {
+            "serve_p50_ms": _pctl(healthy, 50),
+            "serve_p99_ms": _pctl(healthy, 99),
+            "degraded_p50_ms": _pctl(degraded, 50),
+            "degraded_p99_ms": _pctl(degraded, 99),
+            "batch_qps": len(queries) / batch_s,
+            "replica_recovery_s": recovery_s,
+        },
+        extras={
+            "n": N,
+            "d": D,
+            "shards": SHARDS,
+            "replicas": REPLICAS,
+            "requests": NUM_REQUESTS,
+        },
+    )
+    return {"rows": rows, "recovery_s": recovery_s}
+
+
+def test_e18_all_phases_matched_the_oracle(e18_rows):
+    # _timed_queries asserts per answer; reaching here means healthy,
+    # degraded, and post-catch-up phases were all bitwise-identical.
+    assert len(e18_rows["rows"]) == 4
+
+
+def test_e18_replica_recovers_within_bound(e18_rows):
+    assert 0.0 <= e18_rows["recovery_s"] <= RECOVERY_BOUND_S

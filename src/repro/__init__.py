@@ -66,7 +66,7 @@ from repro.service import (
     ShardedANNIndex,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ANNIndex",

@@ -279,6 +279,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    """``shard-serve --index DIR --shard I``: serve one shard's index.
+
+    The snapshot must hold a single :class:`ANNIndex` (e.g. the
+    ``shard-0000`` subdirectory of a sharded snapshot).  The replica's
+    write sequencer starts at the snapshot's recorded ``write_seq``, so
+    a router replays exactly the log tail on catch-up.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from repro.core.index import ANNIndex
+    from repro.persistence import snapshot_write_seq
+    from repro.service.server import describe_index, serve
+
+    index = ANNIndex.load(args.index)
+    initial_seq = snapshot_write_seq(args.index)
+    info = describe_index(index)
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"shard {args.shard}: serving {info['scheme']} "
+            f"(n={info['n']}, d={info['d']}, write_seq={initial_seq}) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+        if args.ready_file:
+            Path(args.ready_file).write_text(f"{host} {port}\n")
+
+    try:
+        asyncio.run(
+            serve(
+                index,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                ready_cb=ready,
+                shard_id=args.shard,
+                initial_seq=initial_seq,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """``route --shard 0=H:P,H:P ...``: run the cluster router."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.service.cluster import parse_shard_map, serve_router
+
+    try:
+        shard_map = parse_shard_map(args.shard)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    def ready(host: str, port: int) -> None:
+        replicas = sum(len(group) for group in shard_map)
+        print(
+            f"routing {len(shard_map)} shard(s) × {replicas} replica(s) "
+            f"on {host}:{port}  [timeout={args.timeout:g}s, "
+            f"hedge_ms={args.hedge_ms:g}]",
+            flush=True,
+        )
+        if args.ready_file:
+            Path(args.ready_file).write_text(f"{host} {port}\n")
+
+    try:
+        asyncio.run(
+            serve_router(
+                shard_map,
+                host=args.host,
+                port=args.port,
+                timeout=args.timeout,
+                hedge_ms=args.hedge_ms,
+                health_interval=args.health_interval,
+                ready_cb=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_mutate(args: argparse.Namespace) -> int:
     """``mutate --index DIR``: streaming inserts/deletes on a snapshot."""
     import numpy as np
@@ -499,6 +586,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "shard-serve", help="serve one shard's index as a cluster replica"
+    )
+    p.add_argument("--index", required=True, metavar="DIR",
+                   help="single-index snapshot to serve (e.g. shard-0000/)")
+    p.add_argument("--shard", required=True, type=int,
+                   help="this replica's shard number in the router's map")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush a micro-batch at this many pending queries")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="flush when the oldest pending query has waited this long")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write 'host port' here once listening (for scripts)")
+    p.set_defaults(fn=_cmd_shard_serve)
+
+    p = sub.add_parser(
+        "route", help="route queries/writes across replicated shard servers"
+    )
+    p.add_argument("--shard", action="append", required=True,
+                   metavar="I=HOST:PORT[,HOST:PORT...]",
+                   help="shard I's replica endpoints (repeat per shard)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-replica request timeout in seconds")
+    p.add_argument("--hedge-ms", type=float, default=0.0,
+                   help="hedge reads to a sibling after this many ms (0 = off)")
+    p.add_argument("--health-interval", type=float, default=0.5,
+                   help="seconds between replica health sweeps")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write 'host port' here once listening (for scripts)")
+    p.set_defaults(fn=_cmd_route)
 
     p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")
     common(p)

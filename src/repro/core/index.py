@@ -182,16 +182,18 @@ class ANNIndex:
         )
 
     # -- persistence -------------------------------------------------------
-    def save(self, path, extras=None) -> "str":
+    def save(self, path, extras=None, write_seq=0) -> "str":
         """Snapshot this index to a directory (see :mod:`repro.persistence`).
 
         Writes a JSON manifest (format version + spec + seed), the packed
         database, and the scheme's array payloads.  ``extras`` (JSON-able
-        mapping) lands in the manifest for harnesses to read back.
+        mapping) lands in the manifest for harnesses to read back;
+        ``write_seq`` records the replicated write-log position for shard
+        replicas (``docs/DISTRIBUTED.md``).
         """
         from repro.persistence import save_index
 
-        return str(save_index(self, path, extras=extras))
+        return str(save_index(self, path, extras=extras, write_seq=write_seq))
 
     @classmethod
     def load(cls, path) -> "ANNIndex":

@@ -67,6 +67,7 @@ __all__ = [
     "load_index",
     "read_manifest",
     "save_index",
+    "snapshot_write_seq",
 ]
 
 #: Bump when the directory layout or payload semantics change.
@@ -131,12 +132,17 @@ def save_index(
     index: "ANNIndex",
     path: PathLike,
     extras: Optional[Mapping[str, object]] = None,
+    write_seq: int = 0,
 ) -> Path:
     """Snapshot a built :class:`~repro.core.index.ANNIndex` to ``path``.
 
     The directory is created if needed; existing snapshot files are
     overwritten.  ``extras`` lands verbatim in the manifest (JSON-able
-    values only).  Returns the directory path.
+    values only).  ``write_seq`` records the last replicated write-log
+    sequence number this index has applied (see ``docs/DISTRIBUTED.md``);
+    a replica restarted from the snapshot resumes catch-up from there.
+    Snapshots written before the field existed read back as 0 through
+    :func:`snapshot_write_seq`.  Returns the directory path.
     """
     spec = index.spec
     if spec is None:
@@ -176,10 +182,27 @@ def save_index(
             "compact_threshold": state.compact_threshold,
             "scheme_name": index.scheme.scheme_name,
             "array_keys": sorted(arrays),
+            "write_seq": int(write_seq),
             "extras": dict(extras or {}),
         },
     )
     return directory
+
+
+def snapshot_write_seq(path: PathLike) -> int:
+    """The write-log sequence number a snapshot was taken at.
+
+    0 for snapshots that never served replicated writes (including every
+    snapshot written before the field existed — absence means "start of
+    the log", so old snapshots replay the full write history, which is
+    always safe).
+    """
+    value = read_manifest(path).get("write_seq", 0)
+    if not isinstance(value, int) or value < 0:
+        raise IndexPersistenceError(
+            f"snapshot {path} has a malformed write_seq field: {value!r}"
+        )
+    return value
 
 
 #: database.npz keys a format-v2 snapshot must carry beyond words/d.

@@ -23,6 +23,15 @@ coalesces concurrent single-query requests into adaptive micro-batches,
 :func:`~repro.service.server.serve` exposes it over newline-delimited
 JSON TCP (``python -m repro serve``), and
 :class:`~repro.service.client.ServiceClient` is the synchronous client.
+
+The distributed form (``docs/DISTRIBUTED.md``) promotes each shard to
+its own replicated server process: :func:`~repro.service.server.serve`
+with a ``shard_id`` runs a shard server (``python -m repro
+shard-serve``), and :class:`~repro.service.cluster.ShardRouter`
+(``python -m repro route``) owns the shard map, merges by true
+distance, and replicates writes through a deterministic per-shard
+write log — bitwise-identical to a single-process
+:class:`~repro.service.sharded.ShardedANNIndex`.
 """
 
 from repro.service.engine import BatchQueryEngine, BatchStats
@@ -31,12 +40,19 @@ __all__ = [
     "AsyncANNService",
     "BatchQueryEngine",
     "BatchStats",
+    "ClusterError",
     "RemoteResult",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
+    "ServiceTimeoutError",
+    "ShardRouter",
+    "ShardUnavailableError",
     "ShardedANNIndex",
+    "WriteSequencer",
+    "parse_shard_map",
     "serve",
+    "serve_router",
     "shard_bounds",
     "shard_seed",
 ]
@@ -52,10 +68,17 @@ _LAZY_EXPORTS = {
     "shard_seed": "repro.service.sharded",
     "AsyncANNService": "repro.service.server",
     "ServiceMetrics": "repro.service.server",
+    "WriteSequencer": "repro.service.server",
     "serve": "repro.service.server",
     "RemoteResult": "repro.service.client",
     "ServiceClient": "repro.service.client",
     "ServiceError": "repro.service.client",
+    "ServiceTimeoutError": "repro.service.client",
+    "ClusterError": "repro.service.cluster",
+    "ShardRouter": "repro.service.cluster",
+    "ShardUnavailableError": "repro.service.cluster",
+    "parse_shard_map": "repro.service.cluster",
+    "serve_router": "repro.service.cluster",
 }
 
 

@@ -11,9 +11,20 @@ serve smoke test is exactly::
         client.stats()
         client.shutdown()
 
+It talks to a single ``repro serve`` process, a ``repro shard-serve``
+replica, or a ``repro route`` router interchangeably — the router speaks
+the same protocol (``docs/DISTRIBUTED.md``).
+
 Responses may arrive out of order when requests are pipelined (the
 server handles each line as its own task); the client parks non-matching
 responses and replays them when their request asks.
+
+Every socket operation is bounded: the constructor's ``timeout`` covers
+connect **and** reads, and each verb takes an optional per-request
+``timeout`` override.  A server that dies (or is suspended) between
+request and response surfaces as a typed :class:`ServiceTimeoutError`
+instead of a hung client — the regression tests kill a server mid-request
+to pin this down.
 """
 
 from __future__ import annotations
@@ -25,11 +36,26 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["RemoteResult", "ServiceClient", "ServiceError"]
+__all__ = [
+    "RemoteResult",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTimeoutError",
+]
 
 
 class ServiceError(RuntimeError):
     """The server reported an error, or the connection broke."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """The server did not answer (or accept a connection) in time.
+
+    Raised instead of blocking forever when a server is killed or
+    suspended between request and response.  Subclasses
+    :class:`ServiceError`, so existing ``except ServiceError`` handlers
+    keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -39,6 +65,9 @@ class RemoteResult:
     The accounting fields mirror :class:`~repro.core.result.QueryResult`
     one-to-one, so a remote answer can be compared field-by-field with a
     local ``index.query`` call (the protocol tests do exactly that).
+    ``distance`` is the true Hamming distance from the query to the
+    answered point, computed server-side — routers merge shard answers
+    by it (None when unanswered, or from pre-distance servers).
     """
 
     answer_index: Optional[int]
@@ -46,6 +75,7 @@ class RemoteResult:
     rounds: int
     probes_per_round: List[int]
     scheme: str
+    distance: Optional[int] = None
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -54,14 +84,29 @@ class RemoteResult:
 
     @classmethod
     def from_response(cls, response: Dict[str, object]) -> "RemoteResult":
+        distance = response.get("distance")
         return cls(
             answer_index=response.get("answer_index"),
             probes=int(response["probes"]),
             rounds=int(response["rounds"]),
             probes_per_round=[int(p) for p in response["probes_per_round"]],
             scheme=str(response.get("scheme", "")),
+            distance=None if distance is None else int(distance),
             meta=dict(response.get("meta", {})),
         )
+
+
+def _coerce_bit_rows(points) -> List[List[int]]:
+    """Bit rows as JSON-able int lists; packed uint64 input is refused."""
+    arr = np.asarray(points)
+    if arr.dtype == np.uint64:
+        raise ValueError(
+            "the wire protocol carries bit vectors, not packed words; "
+            "unpack with repro.hamming.packing.unpack_bits first"
+        )
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    return [[int(b) for b in row] for row in arr]
 
 
 class ServiceClient:
@@ -69,39 +114,62 @@ class ServiceClient:
 
     Usable as a context manager; every method raises
     :class:`ServiceError` when the server answers ``ok: false`` or the
-    connection drops.
+    connection drops, and :class:`ServiceTimeoutError` when it stops
+    answering.  ``timeout`` bounds connect and every read; per-verb
+    ``timeout`` arguments override it for one request.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._timeout = timeout
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from exc
+        self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
         self._parked: Dict[object, dict] = {}
 
     # -- plumbing ----------------------------------------------------------
-    def _request(self, op: str, **payload) -> dict:
+    def _request(self, op: str, timeout: Optional[float] = None, **payload) -> dict:
         request_id = self._next_id
         self._next_id += 1
         line = json.dumps({"op": op, "id": request_id, **payload})
-        self._file.write(line.encode() + b"\n")
-        self._file.flush()
-        while True:
-            if request_id in self._parked:
-                response = self._parked.pop(request_id)
-            else:
-                raw = self._file.readline()
-                if not raw:
-                    raise ServiceError("server closed the connection")
-                response = json.loads(raw)
-                if response.get("id") != request_id:
-                    self._parked[response.get("id")] = response
-                    continue
-            if not response.get("ok"):
-                raise ServiceError(response.get("error", "unknown server error"))
-            return response
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._file.write(line.encode() + b"\n")
+            self._file.flush()
+            while True:
+                if request_id in self._parked:
+                    response = self._parked.pop(request_id)
+                else:
+                    raw = self._file.readline()
+                    if not raw:
+                        raise ServiceError("server closed the connection")
+                    response = json.loads(raw)
+                    if response.get("id") != request_id:
+                        self._parked[response.get("id")] = response
+                        continue
+                if not response.get("ok"):
+                    raise ServiceError(response.get("error", "unknown server error"))
+                return response
+        except socket.timeout as exc:
+            # The reply (if it ever comes) can no longer be matched to a
+            # live reader reliably; the stream may also be mid-line.
+            # Callers should drop the client after this.
+            raise ServiceTimeoutError(
+                f"server did not answer {op!r} within "
+                f"{timeout if timeout is not None else self._timeout}s"
+            ) from exc
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self._timeout)
 
     # -- verbs -------------------------------------------------------------
-    def query(self, bits) -> RemoteResult:
+    def query(self, bits, timeout: Optional[float] = None) -> RemoteResult:
         """Answer one query given as a length-``d`` 0/1 bit vector."""
         arr = np.asarray(bits)
         if arr.dtype == np.uint64:
@@ -110,29 +178,32 @@ class ServiceClient:
                 "unpack with repro.hamming.packing.unpack_bits first"
             )
         return RemoteResult.from_response(
-            self._request("query", bits=[int(b) for b in arr])
+            self._request("query", timeout=timeout, bits=[int(b) for b in arr])
         )
 
-    def insert(self, points) -> List[int]:
+    def query_batch(self, queries, timeout: Optional[float] = None) -> List[RemoteResult]:
+        """Answer a batch of bit-vector queries in one request.
+
+        The server micro-batches the whole list together; results come
+        back in input order, each bitwise-identical to a lone ``query``.
+        """
+        rows = _coerce_bit_rows(queries)
+        response = self._request("query_batch", timeout=timeout, queries=rows)
+        return [RemoteResult.from_response(r) for r in response["results"]]
+
+    def insert(self, points, timeout: Optional[float] = None) -> List[int]:
         """Insert points (a list/array of length-``d`` 0/1 bit rows).
 
         Returns the assigned global ids, in input order.  The server
         applies the insert as a barrier: queries already submitted
         complete against the old state, later ones see the new points.
         """
-        arr = np.asarray(points)
-        if arr.dtype == np.uint64:
-            raise ValueError(
-                "the wire protocol carries bit vectors, not packed words; "
-                "unpack with repro.hamming.packing.unpack_bits first"
-            )
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        rows = [[int(b) for b in row] for row in arr]
-        response = self._request("insert", points=rows)
+        response = self._request(
+            "insert", timeout=timeout, points=_coerce_bit_rows(points)
+        )
         return [int(i) for i in response["ids"]]
 
-    def delete(self, ids) -> int:
+    def delete(self, ids, timeout: Optional[float] = None) -> int:
         """Delete rows by global id; returns the deleted count.
 
         Same barrier semantics as :meth:`insert`; an invalid id raises
@@ -143,30 +214,48 @@ class ServiceClient:
         from repro.core.mutable import coerce_delete_ids
 
         response = self._request(
-            "delete", ids=[int(i) for i in coerce_delete_ids(ids)]
+            "delete", timeout=timeout, ids=[int(i) for i in coerce_delete_ids(ids)]
         )
         return int(response["deleted"])
 
-    def stats(self) -> dict:
-        """The server's :class:`~repro.service.server.ServiceMetrics` snapshot."""
-        return self._request("stats")["stats"]
+    def snapshot(self, path, timeout: Optional[float] = None) -> dict:
+        """Ask a shard server to snapshot its index to ``path``.
 
-    def info(self) -> dict:
+        The save runs as a write barrier and records the last applied
+        write-log sequence number in the manifest (``write_seq``), so a
+        replica restarted from it replays only the log tail.  Returns
+        ``{"path": ..., "write_seq": ...}``.
+        """
+        response = self._request("snapshot", timeout=timeout, path=str(path))
+        return {"path": response["path"], "write_seq": int(response["write_seq"])}
+
+    def stats(self, timeout: Optional[float] = None) -> dict:
+        """The server's metrics snapshot (service or router counters)."""
+        return self._request("stats", timeout=timeout)["stats"]
+
+    def info(self, timeout: Optional[float] = None) -> dict:
         """What is being served: index description + batching policy."""
-        response = self._request("info")
-        return {"index": response["index"], "policy": response["policy"]}
+        response = self._request("info", timeout=timeout)
+        info = {"index": response["index"], "policy": response.get("policy")}
+        if "replication" in response:
+            info["replication"] = response["replication"]
+        if "cluster" in response:
+            info["cluster"] = response["cluster"]
+        return info
 
-    def ping(self) -> bool:
-        return bool(self._request("ping").get("ok"))
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        return bool(self._request("ping", timeout=timeout).get("ok"))
 
-    def shutdown(self) -> None:
+    def shutdown(self, timeout: Optional[float] = None) -> None:
         """Ask the server to stop (acknowledged before it goes down)."""
-        self._request("shutdown")
+        self._request("shutdown", timeout=timeout)
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._sock.close()
 

@@ -1,0 +1,1010 @@
+"""Distributed shard serving: a router over replicated shard servers.
+
+This is the multi-process form of
+:class:`~repro.service.sharded.ShardedANNIndex`: each shard's
+:class:`~repro.core.index.ANNIndex` runs in its own **shard server**
+process (``repro shard-serve``, R replicas per shard), and a
+**router** (:class:`ShardRouter`, ``repro route``) owns the shard map,
+fans queries out, merges by true Hamming distance with the established
+``(distance, global id)`` tie-break, and applies writes to every
+replica of the owning shard through a deterministic per-shard
+**write log** — so any replica of a shard answers bitwise-identically
+to any other, and the whole cluster answers bitwise-identically to a
+single-process ``ShardedANNIndex`` given the same seed and write
+history (the chaos harness in ``tests/utils/cluster_harness.py`` pins
+exactly that, under replica kills).
+
+Consistency model (``docs/DISTRIBUTED.md`` for the full matrix):
+
+* Every ``insert``/``delete`` is validated at the router, appended to
+  the owning shard's write log with the next sequence number, and then
+  sent to each live replica tagged with that number.  Replicas admit
+  exactly the next number (:class:`~repro.service.server.WriteSequencer`),
+  acknowledge duplicates idempotently, and refuse gaps — so replica
+  state is a pure function of (snapshot, applied log prefix).
+* The log is the truth: once an entry is logged, it *will* reach every
+  replica — immediately when live, or by **catch-up replay** (entries
+  after the replica's last applied number) when it comes back.
+* A writer-preferring read/write lock gives the cluster the same
+  barrier semantics a single :class:`~repro.service.server.AsyncANNService`
+  has: queries in flight complete against the pre-write state, the
+  write applies to all replicas, later queries see it.
+
+Robustness: per-request timeouts with retry on a sibling replica,
+optional hedged reads for slow replicas, a periodic health loop that
+marks replicas dead (and routes around them) and revives them through
+catch-up, and router metrics (per-replica p50/p99, hedges, retries,
+dead/alive transitions) surfaced through the ``stats`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mutable import coerce_delete_ids
+from repro.service.replica import (
+    AsyncReplicaClient,
+    ReplicaRequestError,
+    ReplicaUnavailableError,
+)
+from repro.service.server import WIRE_LINE_LIMIT, _connection_loop, _jsonable
+
+__all__ = [
+    "ClusterError",
+    "ShardRouter",
+    "ShardUnavailableError",
+    "parse_shard_map",
+    "serve_router",
+]
+
+#: Router defaults, shared with the CLI's ``route`` flags.
+DEFAULT_TIMEOUT_S = 5.0
+DEFAULT_HEDGE_MS = 0.0  # 0 disables hedged reads
+DEFAULT_HEALTH_INTERVAL_S = 0.5
+
+
+class ClusterError(RuntimeError):
+    """Cluster-level failure (misconfiguration, replica divergence)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """No replica of a shard could serve the request."""
+
+
+def parse_shard_map(specs: Sequence[str]) -> List[List[Tuple[str, int]]]:
+    """Parse CLI ``--shard`` specs into an ordered replica map.
+
+    Each spec is ``INDEX=HOST:PORT[,HOST:PORT...]``; indexes must cover
+    ``0..S-1`` exactly once.  Returns ``map[shard] = [(host, port), ...]``.
+    """
+    if not specs:
+        raise ValueError("need at least one --shard INDEX=HOST:PORT[,...] spec")
+    parsed: Dict[int, List[Tuple[str, int]]] = {}
+    for spec in specs:
+        head, eq, rest = spec.partition("=")
+        if not eq:
+            raise ValueError(f"malformed shard spec {spec!r}: missing '='")
+        try:
+            shard = int(head)
+        except ValueError:
+            raise ValueError(f"malformed shard spec {spec!r}: {head!r} is not an index")
+        if shard in parsed:
+            raise ValueError(f"shard {shard} specified twice")
+        replicas: List[Tuple[str, int]] = []
+        for endpoint in rest.split(","):
+            host, colon, port = endpoint.strip().rpartition(":")
+            if not colon or not host:
+                raise ValueError(
+                    f"malformed endpoint {endpoint!r} in shard spec {spec!r}"
+                )
+            try:
+                replicas.append((host, int(port)))
+            except ValueError:
+                raise ValueError(
+                    f"malformed port in endpoint {endpoint!r} of shard spec {spec!r}"
+                )
+        parsed[shard] = replicas
+    expected = set(range(len(parsed)))
+    if set(parsed) != expected:
+        raise ValueError(
+            f"shard indexes must cover 0..{len(parsed) - 1}, got {sorted(parsed)}"
+        )
+    return [parsed[i] for i in range(len(parsed))]
+
+
+class _ReadWriteLock:
+    """Writer-preferring async read/write lock.
+
+    Reads (queries) run concurrently; a write waits for in-flight reads
+    and blocks new ones — the cluster-wide analogue of the
+    single-service FIFO barrier, at read/write granularity.
+    """
+
+    def __init__(self):
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+        self._cond = asyncio.Condition()
+
+    @asynccontextmanager
+    async def read_locked(self):
+        async with self._cond:
+            while self._writer_active or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write_locked(self):
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+@dataclass
+class _Replica:
+    """Router-side view of one shard-server process."""
+
+    shard: int
+    client: AsyncReplicaClient
+    alive: bool = False
+    dead_transitions: int = 0
+    alive_transitions: int = 0
+
+    def metrics(self) -> dict:
+        return {
+            **self.client.metrics(),
+            "alive": self.alive,
+            "dead_transitions": self.dead_transitions,
+            "alive_transitions": self.alive_transitions,
+        }
+
+
+@dataclass
+class _Mirror:
+    """Router-side mirror of one shard's (live rows, allocated id space).
+
+    Seeded from ``info`` at startup and updated from every write ack —
+    the router never reimplements compaction, it just trusts the
+    replicas' deterministic answers.
+    """
+
+    live: int
+    id_space: int
+
+
+class ShardRouter:
+    """The coordinator: shard map owner, query merger, write sequencer.
+
+    Parameters
+    ----------
+    shard_map : ``map[shard] = [(host, port), ...]`` — every replica of
+        every shard (see :func:`parse_shard_map`)
+    timeout : per-request timeout (seconds) for replica calls; a replica
+        that misses it is marked dead and the request retries on a
+        sibling
+    hedge_ms : after this many milliseconds without an answer, fire the
+        same *read* at a sibling replica and take the first success
+        (0 disables)
+    health_interval : seconds between health-check sweeps (ping live
+        replicas, revive dead ones via catch-up)
+
+    Use ``await router.start()`` / ``await router.stop()``, or serve it
+    over the wire with :func:`serve_router`.
+    """
+
+    def __init__(
+        self,
+        shard_map: Sequence[Sequence[Tuple[str, int]]],
+        timeout: float = DEFAULT_TIMEOUT_S,
+        hedge_ms: float = DEFAULT_HEDGE_MS,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL_S,
+    ):
+        if not shard_map or any(not replicas for replicas in shard_map):
+            raise ValueError("every shard needs at least one replica endpoint")
+        self.timeout = float(timeout)
+        self.hedge_ms = float(hedge_ms)
+        self.health_interval = float(health_interval)
+        self._replicas: List[List[_Replica]] = [
+            [
+                _Replica(si, AsyncReplicaClient(host, port, timeout=self.timeout))
+                for host, port in replicas
+            ]
+            for si, replicas in enumerate(shard_map)
+        ]
+        self._mirror: List[_Mirror] = []
+        self._log: List[List[dict]] = [[] for _ in self._replicas]
+        self._log_base: List[int] = [0 for _ in self._replicas]
+        self._rotation: List[int] = [0 for _ in self._replicas]
+        self._lock = _ReadWriteLock()
+        self._health_task: Optional["asyncio.Task"] = None
+        self.d: Optional[int] = None
+        self._inner_scheme: Optional[str] = None
+        self._started_at = 0.0
+        self._counters: Dict[str, int] = {
+            key: 0
+            for key in (
+                "queries",
+                "query_batches",
+                "batched_queries",
+                "inserts",
+                "deletes",
+                "retries",
+                "hedges",
+                "hedge_wins",
+                "dead_transitions",
+                "alive_transitions",
+                "catch_ups",
+                "replayed_writes",
+                "write_rejects",
+                "divergence",
+            )
+        }
+
+    # -- topology ----------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def scheme_label(self) -> str:
+        """Same label single-process merged results carry."""
+        return f"sharded({self._inner_scheme}×{self.num_shards})"
+
+    def _offsets(self) -> List[int]:
+        """Each shard's first global id — the running sum of the
+        mirrored id spaces, exactly like ``ShardedANNIndex.offsets``."""
+        out: List[int] = []
+        total = 0
+        for mirror in self._mirror:
+            out.append(total)
+            total += mirror.id_space
+        return out
+
+    def _id_space(self) -> int:
+        return sum(m.id_space for m in self._mirror)
+
+    def _live_total(self) -> int:
+        return sum(m.live for m in self._mirror)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "ShardRouter":
+        """Probe every replica, build the shard mirror, start health checks.
+
+        Raises :class:`ClusterError` when a shard has no reachable
+        replica, when reachable replicas of one shard disagree on their
+        applied write sequence or state (they must be bitwise equal), or
+        when a replica reports a different shard id than the map says.
+        """
+        infos = await asyncio.gather(
+            *(
+                replica.client.request("info", timeout=self.timeout)
+                for group in self._replicas
+                for replica in group
+            ),
+            return_exceptions=True,
+        )
+        flat = [replica for group in self._replicas for replica in group]
+        by_replica = dict(zip((id(r) for r in flat), infos))
+        self._mirror = []
+        dims = set()
+        for si, group in enumerate(self._replicas):
+            reachable: List[Tuple[_Replica, dict]] = []
+            for replica in group:
+                info = by_replica[id(replica)]
+                if isinstance(info, Exception):
+                    replica.alive = False
+                    continue
+                reported = info.get("replication", {}).get("shard")
+                if reported is not None and int(reported) != si:
+                    raise ClusterError(
+                        f"replica {replica.client.address} serves shard "
+                        f"{reported}, but the map lists it under shard {si}"
+                    )
+                reachable.append((replica, info))
+            if not reachable:
+                raise ClusterError(f"shard {si} has no reachable replica")
+            states = {
+                (
+                    int(info["replication"]["last_seq"]),
+                    int(info["index"]["n"]),
+                    int(info["index"]["id_space"]),
+                )
+                for _, info in reachable
+            }
+            if len(states) != 1:
+                raise ClusterError(
+                    f"replicas of shard {si} disagree on their state: "
+                    f"{sorted(states)} — rebuild them from one snapshot"
+                )
+            last_seq, live, id_space = states.pop()
+            self._log_base[si] = last_seq
+            self._mirror.append(_Mirror(live=live, id_space=id_space))
+            dims.add(int(reachable[0][1]["index"]["d"]))
+            if si == 0:
+                self._inner_scheme = str(reachable[0][1]["index"]["scheme"])
+            for replica, _ in reachable:
+                replica.alive = True
+        if len(dims) != 1:
+            raise ClusterError(f"shards disagree on dimension: {sorted(dims)}")
+        self.d = dims.pop()
+        self._started_at = time.monotonic()
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop(), name="router-health"
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for group in self._replicas:
+            for replica in group:
+                await replica.client.close()
+
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- replica plumbing --------------------------------------------------
+    def _mark_dead(self, replica: _Replica) -> None:
+        if replica.alive:
+            replica.alive = False
+            replica.dead_transitions += 1
+            self._counters["dead_transitions"] += 1
+
+    def _mark_alive(self, replica: _Replica) -> None:
+        if not replica.alive:
+            replica.alive = True
+            replica.alive_transitions += 1
+            self._counters["alive_transitions"] += 1
+
+    async def _request(
+        self, replica: _Replica, op: str, payload: dict, timeout: Optional[float] = None
+    ) -> dict:
+        """One replica call; transport failure marks the replica dead."""
+        try:
+            return await replica.client.request(op, timeout=timeout, **payload)
+        except ReplicaUnavailableError:
+            self._mark_dead(replica)
+            raise
+
+    async def _hedged(
+        self, primary: _Replica, sibling: _Replica, op: str, payload: dict
+    ) -> dict:
+        """Read from ``primary``; fire ``sibling`` after ``hedge_ms``."""
+        first = asyncio.ensure_future(self._request(primary, op, payload))
+        done, _ = await asyncio.wait({first}, timeout=self.hedge_ms / 1000.0)
+        if done:
+            return first.result()
+        self._counters["hedges"] += 1
+        second = asyncio.ensure_future(self._request(sibling, op, payload))
+        tasks = {first, second}
+        last_exc: Optional[BaseException] = None
+        while tasks:
+            done, tasks = await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    for pending in tasks:
+                        pending.cancel()
+                    if tasks:
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    if task is second:
+                        self._counters["hedge_wins"] += 1
+                    return task.result()
+                last_exc = exc
+        raise last_exc  # both attempts failed (each already marked dead)
+
+    def _read_order(self, si: int) -> List[_Replica]:
+        """Live replicas of a shard, rotated for load spread."""
+        alive = [replica for replica in self._replicas[si] if replica.alive]
+        if not alive:
+            return []
+        start = self._rotation[si] % len(alive)
+        self._rotation[si] += 1
+        return alive[start:] + alive[:start]
+
+    async def _shard_read(
+        self, si: int, op: str, payload: dict, hedge: bool = False
+    ) -> dict:
+        """A read against shard ``si``: retry on siblings, optional hedge.
+
+        Only *live* replicas serve reads — a dead replica may be missing
+        writes and would break bitwise equivalence.
+        """
+        order = self._read_order(si)
+        if not order:
+            raise ShardUnavailableError(f"shard {si} has no live replicas")
+        last_exc: Optional[Exception] = None
+        for attempt, replica in enumerate(order):
+            if not replica.alive:  # marked dead by a concurrent request
+                continue
+            if attempt > 0:
+                self._counters["retries"] += 1
+            try:
+                if hedge and self.hedge_ms > 0 and attempt == 0:
+                    sibling = next((r for r in order[1:] if r.alive), None)
+                    if sibling is not None:
+                        return await self._hedged(replica, sibling, op, payload)
+                return await self._request(replica, op, payload)
+            except ReplicaUnavailableError as exc:
+                last_exc = exc
+        raise ShardUnavailableError(
+            f"shard {si}: no replica answered {op!r} ({last_exc})"
+        )
+
+    # -- the write log -----------------------------------------------------
+    def _append_log(self, si: int, op: str, payload: dict) -> int:
+        """Append one entry to shard ``si``'s log; returns its seq."""
+        seq = self._log_base[si] + len(self._log[si]) + 1
+        self._log[si].append({"seq": seq, "op": op, "payload": payload})
+        return seq
+
+    async def _replicated_write(self, si: int, op: str, payload: dict, seq: int) -> dict:
+        """Send one logged write to every live replica of its shard.
+
+        Succeeds with the first clean ack (all replicas answer
+        identically — checked; a mismatch counts as divergence).  A
+        replica that rejects the write (sequence gap: it silently missed
+        something) is quarantined for catch-up.  When *no* replica
+        acks, the entry stays in the log — every replica will apply it
+        on catch-up — but the caller gets an error, because the write
+        cannot be confirmed (``docs/DISTRIBUTED.md``, failure matrix).
+        """
+        targets = [replica for replica in self._replicas[si] if replica.alive]
+        results = await asyncio.gather(
+            *(
+                self._request(replica, op, {**payload, "seq": seq})
+                for replica in targets
+            ),
+            return_exceptions=True,
+        )
+        ack: Optional[dict] = None
+        for replica, result in zip(targets, results):
+            if isinstance(result, ReplicaRequestError):
+                # Deterministic rejection after router-side validation
+                # means the replica's sequencer refused a gap: it missed
+                # a write while marked alive.  Quarantine + catch up.
+                self._counters["write_rejects"] += 1
+                self._mark_dead(replica)
+            elif isinstance(result, Exception):
+                pass  # transport failure; _request already marked it dead
+            elif ack is None:
+                ack = result
+            elif not result.get("duplicate") and (
+                result.get("ids") != ack.get("ids")
+                or result.get("live") != ack.get("live")
+                or result.get("id_space") != ack.get("id_space")
+            ):
+                self._counters["divergence"] += 1
+        if ack is None:
+            raise ShardUnavailableError(
+                f"shard {si}: write seq {seq} reached no live replica "
+                "(logged; replicas will catch up, but the write is unconfirmed)"
+            )
+        return ack
+
+    # -- queries -----------------------------------------------------------
+    @staticmethod
+    def _merge_one(
+        responses: Sequence[dict], offsets: Sequence[int], inner: str, label: str
+    ) -> dict:
+        """Merge one query's per-shard responses, bitwise-identically to
+        ``ShardedANNIndex.query_batch``: probes fold round-by-round
+        (parallel shards), best ``(true distance, global id)`` wins."""
+        probes_per_round: List[int] = []
+        best: Optional[Tuple[int, int, int, dict]] = None
+        answered = 0
+        for si, response in enumerate(responses):
+            for i, p in enumerate(response.get("probes_per_round", [])):
+                if i >= len(probes_per_round):
+                    probes_per_round.extend([0] * (i + 1 - len(probes_per_round)))
+                probes_per_round[i] += int(p)
+            if response.get("answer_index") is None:
+                continue
+            answered += 1
+            distance = response.get("distance")
+            if distance is None:
+                raise ClusterError(
+                    f"shard {si} answered without a distance field; "
+                    "its server predates distributed serving"
+                )
+            global_id = offsets[si] + int(response["answer_index"])
+            if best is None or (int(distance), global_id) < (best[0], best[1]):
+                best = (int(distance), global_id, si, response)
+        meta: Dict[str, object] = {
+            "shards": len(responses),
+            "shards_answered": answered,
+            "inner": inner,
+        }
+        if best is not None:
+            meta.update(
+                {
+                    "shard": best[2],
+                    "distance": best[0],
+                    "winner_meta": dict(best[3].get("meta", {})),
+                }
+            )
+        return {
+            "ok": True,
+            "answered": best is not None,
+            "answer_index": None if best is None else best[1],
+            "probes": sum(probes_per_round),
+            "rounds": sum(1 for p in probes_per_round if p > 0),
+            "probes_per_round": probes_per_round,
+            "scheme": label,
+            "distance": None if best is None else best[0],
+            "meta": meta,
+        }
+
+    def _check_query(self, bits) -> None:
+        if not isinstance(bits, list) or not bits:
+            raise ValueError("'query' needs a 'bits' array of 0/1 values")
+        if len(bits) != self.d:
+            raise ValueError(
+                f"query has {len(bits)} bits, index dimension is {self.d}"
+            )
+
+    async def query(self, bits) -> dict:
+        """One query through every shard; best true distance wins."""
+        self._check_query(bits)
+        async with self._lock.read_locked():
+            offsets = self._offsets()
+            responses = await asyncio.gather(
+                *(
+                    self._shard_read(si, "query", {"bits": bits}, hedge=True)
+                    for si in range(self.num_shards)
+                )
+            )
+            self._counters["queries"] += 1
+            return self._merge_one(
+                responses, offsets, self._inner_scheme, self.scheme_label
+            )
+
+    async def query_batch(self, queries) -> List[dict]:
+        """A whole batch through every shard's batched path, then merge."""
+        if not isinstance(queries, list) or not queries:
+            raise ValueError(
+                "'query_batch' needs a non-empty 'queries' list of bit rows"
+            )
+        for bits in queries:
+            self._check_query(bits)
+        async with self._lock.read_locked():
+            offsets = self._offsets()
+            per_shard = await asyncio.gather(
+                *(
+                    self._shard_read(
+                        si, "query_batch", {"queries": queries}, hedge=True
+                    )
+                    for si in range(self.num_shards)
+                )
+            )
+            self._counters["query_batches"] += 1
+            self._counters["batched_queries"] += len(queries)
+            return [
+                self._merge_one(
+                    [per_shard[si]["results"][qi] for si in range(self.num_shards)],
+                    offsets,
+                    self._inner_scheme,
+                    self.scheme_label,
+                )
+                for qi in range(len(queries))
+            ]
+
+    # -- writes ------------------------------------------------------------
+    async def insert(self, points) -> dict:
+        """Insert bit rows; greedy per-point routing to the emptiest shard.
+
+        Routing replicates ``ShardedANNIndex.insert`` against the
+        mirror: each point goes to the shard with the fewest live rows
+        at that moment (ties → smallest shard index), and returned
+        global ids are computed against the post-insert offsets.
+        """
+        arr = np.asarray(points, dtype=np.uint8)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(
+                f"bit rows need shape (m, {self.d}), got {tuple(arr.shape)}"
+            )
+        async with self._lock.write_locked():
+            if arr.shape[0] == 0:
+                return {
+                    "ok": True,
+                    "ids": [],
+                    "live": self._live_total(),
+                    "id_space": self._id_space(),
+                }
+            live = [mirror.live for mirror in self._mirror]
+            routed: List[List[list]] = [[] for _ in range(self.num_shards)]
+            routing: List[Tuple[int, int]] = []
+            for i in range(arr.shape[0]):
+                si = min(range(self.num_shards), key=lambda s: (live[s], s))
+                routing.append((si, len(routed[si])))
+                routed[si].append([int(b) for b in arr[i]])
+                live[si] += 1
+            pending = [
+                (si, self._append_log(si, "insert", {"points": batch}), batch)
+                for si, batch in enumerate(routed)
+                if batch
+            ]
+            results = await asyncio.gather(
+                *(
+                    self._replicated_write(si, "insert", {"points": batch}, seq)
+                    for si, seq, batch in pending
+                ),
+                return_exceptions=True,
+            )
+            acks: Dict[int, dict] = {}
+            failure: Optional[Exception] = None
+            for (si, _, _), result in zip(pending, results):
+                if isinstance(result, Exception):
+                    failure = failure or result
+                else:
+                    acks[si] = result
+                    self._mirror[si] = _Mirror(
+                        live=int(result["live"]), id_space=int(result["id_space"])
+                    )
+            if failure is not None:
+                raise failure
+            offsets = self._offsets()
+            self._counters["inserts"] += 1
+            return {
+                "ok": True,
+                "ids": [
+                    offsets[si] + int(acks[si]["ids"][pos]) for si, pos in routing
+                ],
+                "live": self._live_total(),
+                "id_space": self._id_space(),
+            }
+
+    def _locate(self, gid: int, offsets: List[int]) -> Tuple[int, int]:
+        """Global id → (shard, local id), mirroring
+        ``ShardedANNIndex._locate`` (same errors included)."""
+        for si in range(self.num_shards - 1, -1, -1):
+            if offsets[si] <= gid:
+                local = gid - offsets[si]
+                if local >= self._mirror[si].id_space:
+                    break
+                return si, local
+        raise ValueError(f"id {gid} out of range [0, {self._id_space()})")
+
+    async def delete(self, ids) -> dict:
+        """Delete by global id, pre-validated across every shard.
+
+        Validation replicates ``ShardedANNIndex.delete``: all ids are
+        located through the current offsets and checked live (via the
+        ``check_ids`` verb on a live replica) *before* anything is
+        logged, so a bad id leaves the whole cluster unchanged.
+        """
+        id_arr = coerce_delete_ids(ids)
+        async with self._lock.write_locked():
+            if id_arr.size == 0:
+                return {
+                    "ok": True,
+                    "deleted": 0,
+                    "live": self._live_total(),
+                    "id_space": self._id_space(),
+                }
+            offsets = self._offsets()
+            per_shard: List[List[Tuple[int, int]]] = [
+                [] for _ in range(self.num_shards)
+            ]
+            for gid in id_arr:
+                si, local = self._locate(int(gid), offsets)
+                per_shard[si].append((int(gid), local))
+            for si, pairs in enumerate(per_shard):
+                if not pairs:
+                    continue
+                check = await self._shard_read(
+                    si, "check_ids", {"ids": [local for _, local in pairs]}
+                )
+                for (gid, _), is_live in zip(pairs, check["live"]):
+                    if not is_live:
+                        raise ValueError(f"id {gid} is already deleted")
+            pending = [
+                (
+                    si,
+                    self._append_log(
+                        si, "delete", {"ids": [local for _, local in pairs]}
+                    ),
+                    [local for _, local in pairs],
+                )
+                for si, pairs in enumerate(per_shard)
+                if pairs
+            ]
+            results = await asyncio.gather(
+                *(
+                    self._replicated_write(si, "delete", {"ids": locals_}, seq)
+                    for si, seq, locals_ in pending
+                ),
+                return_exceptions=True,
+            )
+            failure: Optional[Exception] = None
+            for (si, _, _), result in zip(pending, results):
+                if isinstance(result, Exception):
+                    failure = failure or result
+                else:
+                    self._mirror[si] = _Mirror(
+                        live=int(result["live"]), id_space=int(result["id_space"])
+                    )
+            if failure is not None:
+                raise failure
+            self._counters["deletes"] += 1
+            return {
+                "ok": True,
+                "deleted": int(id_arr.size),
+                "live": self._live_total(),
+                "id_space": self._id_space(),
+            }
+
+    # -- health + catch-up -------------------------------------------------
+    async def _catch_up(self, replica: _Replica) -> None:
+        """Replay the write-log tail to a recovered replica, then revive it.
+
+        Runs under the write lock, so the log cannot grow mid-replay:
+        after the replay the replica has applied exactly the log head
+        and is bitwise-identical to its live siblings.  Duplicate
+        sequence numbers (writes the replica applied from its socket
+        buffer before dying) are acked idempotently by its sequencer.
+        """
+        si = replica.shard
+        async with self._lock.write_locked():
+            info = await replica.client.request("info", timeout=self.timeout)
+            last = int(info["replication"]["last_seq"])
+            base = self._log_base[si]
+            head = base + len(self._log[si])
+            if last > head:
+                raise ClusterError(
+                    f"replica {replica.client.address} applied seq {last}, "
+                    f"ahead of the router log head {head} — stale router?"
+                )
+            if last < base:
+                raise ClusterError(
+                    f"replica {replica.client.address} is at seq {last}, "
+                    f"behind the router's log base {base}; restart it from "
+                    "a newer snapshot"
+                )
+            replayed = 0
+            for entry in self._log[si][last - base:]:
+                await replica.client.request(
+                    entry["op"],
+                    timeout=self.timeout,
+                    seq=entry["seq"],
+                    **entry["payload"],
+                )
+                replayed += 1
+            self._counters["catch_ups"] += 1
+            self._counters["replayed_writes"] += replayed
+            self._mark_alive(replica)
+
+    async def _health_loop(self) -> None:
+        """Ping live replicas (mark dead on failure); revive dead ones."""
+        while True:
+            await asyncio.sleep(self.health_interval)
+
+            async def check(replica: _Replica) -> None:
+                try:
+                    if replica.alive:
+                        await replica.client.request("ping", timeout=self.timeout)
+                    else:
+                        await self._catch_up(replica)
+                except (ReplicaUnavailableError, ReplicaRequestError):
+                    self._mark_dead(replica)
+                except ClusterError:
+                    pass  # unrecoverable by replay; stays dead, stays counted
+
+            await asyncio.gather(
+                *(
+                    check(replica)
+                    for group in self._replicas
+                    for replica in group
+                ),
+                return_exceptions=True,
+            )
+
+    # -- introspection -----------------------------------------------------
+    async def describe(self) -> dict:
+        """The router's ``info`` response body (index + cluster views)."""
+        async with self._lock.read_locked():
+            generations: List[Optional[int]] = []
+            for si in range(self.num_shards):
+                try:
+                    info = await self._shard_read(si, "info", {})
+                    shard_gens = info["index"].get("generations") or [None]
+                    generations.append(shard_gens[0])
+                except ClusterError:
+                    generations.append(None)
+            return {
+                "index": {
+                    "n": self._live_total(),
+                    "d": self.d,
+                    "scheme": self.scheme_label,
+                    "shards": self.num_shards,
+                    "generations": generations,
+                    "id_space": self._id_space(),
+                    "spec": None,
+                },
+                "policy": None,
+                "cluster": self._topology(),
+            }
+
+    def _topology(self) -> dict:
+        return {
+            "shards": [
+                {
+                    "shard": si,
+                    "replicas": [r.client.address for r in group],
+                    "alive": [r.alive for r in group],
+                    "log_base": self._log_base[si],
+                    "log_head": self._log_base[si] + len(self._log[si]),
+                    "live": self._mirror[si].live if self._mirror else None,
+                    "id_space": self._mirror[si].id_space if self._mirror else None,
+                }
+                for si, group in enumerate(self._replicas)
+            ],
+            "timeout_s": self.timeout,
+            "hedge_ms": self.hedge_ms,
+            "health_interval_s": self.health_interval,
+        }
+
+    def stats(self) -> dict:
+        """Router counters + per-replica latency/failure metrics."""
+        uptime = time.monotonic() - self._started_at if self._started_at else 0.0
+        return {
+            "role": "router",
+            **self._counters,
+            "uptime_s": round(uptime, 3),
+            "shards": [
+                {
+                    "shard": si,
+                    "log_head": self._log_base[si] + len(self._log[si]),
+                    "replicas": [replica.metrics() for replica in group],
+                }
+                for si, group in enumerate(self._replicas)
+            ],
+        }
+
+
+# -- the wire layer --------------------------------------------------------
+async def _handle_router_request(
+    router: ShardRouter,
+    shutdown: "asyncio.Event",
+    line: bytes,
+    writer: "asyncio.StreamWriter",
+    write_lock: "asyncio.Lock",
+) -> None:
+    """One router request: same protocol (and error contract) as
+    :func:`repro.service.server._handle_request`, dispatched to the
+    router instead of a local service."""
+    request_id = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "query":
+            bits = request.get("bits")
+            if bits is None:
+                raise ValueError("'query' needs a 'bits' array of 0/1 values")
+            response = await router.query(bits)
+        elif op == "query_batch":
+            queries = request.get("queries")
+            results = await router.query_batch(queries)
+            response = {"ok": True, "results": results}
+        elif op == "insert":
+            points = request.get("points")
+            if not points:
+                raise ValueError("'insert' needs a non-empty 'points' list of bit rows")
+            response = await router.insert(points)
+        elif op == "delete":
+            ids = request.get("ids")
+            if not ids:
+                raise ValueError("'delete' needs a non-empty 'ids' list")
+            response = await router.delete(ids)
+        elif op == "stats":
+            response = {"ok": True, "stats": router.stats()}
+        elif op == "info":
+            body = await router.describe()
+            response = {"ok": True, **body}
+        elif op == "ping":
+            response = {"ok": True, "op": "ping"}
+        elif op == "shutdown":
+            response = {"ok": True, "stopping": True}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except Exception as exc:
+        response = {"ok": False, "error": str(exc)}
+        op = None
+    response["id"] = request_id
+    payload = (json.dumps(_jsonable(response), sort_keys=True) + "\n").encode()
+    try:
+        async with write_lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+    finally:
+        if op == "shutdown":
+            shutdown.set()
+
+
+async def serve_router(
+    shard_map: Sequence[Sequence[Tuple[str, int]]],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = DEFAULT_TIMEOUT_S,
+    hedge_ms: float = DEFAULT_HEDGE_MS,
+    health_interval: float = DEFAULT_HEALTH_INTERVAL_S,
+    ready_cb: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Serve a :class:`ShardRouter` over TCP until ``shutdown``.
+
+    Clients speak to it exactly like to a single ``repro serve``
+    process — :class:`~repro.service.client.ServiceClient` works
+    unchanged — but every answer is merged from the shard servers in
+    ``shard_map``.  ``ready_cb(host, port)`` fires once listening (the
+    CLI writes ``--ready-file`` from it).
+    """
+    router = ShardRouter(
+        shard_map,
+        timeout=timeout,
+        hedge_ms=hedge_ms,
+        health_interval=health_interval,
+    )
+    await router.start()
+    shutdown = asyncio.Event()
+
+    def handler(line, writer, write_lock):
+        return _handle_router_request(router, shutdown, line, writer, write_lock)
+
+    server = None
+    try:
+        server = await asyncio.start_server(
+            lambda r, w: _connection_loop(handler, r, w),
+            host,
+            port,
+            limit=WIRE_LINE_LIMIT,
+        )
+        bound = server.sockets[0].getsockname()
+        if ready_cb is not None:
+            ready_cb(bound[0], bound[1])
+        await shutdown.wait()
+    finally:
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await router.stop()

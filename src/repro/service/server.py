@@ -57,6 +57,7 @@ from repro.hamming.packing import pack_bits, packed_words
 __all__ = [
     "AsyncANNService",
     "ServiceMetrics",
+    "WriteSequencer",
     "describe_index",
     "serve",
 ]
@@ -141,8 +142,8 @@ class _PendingQuery(NamedTuple):
 class _PendingWrite(NamedTuple):
     """A queued mutation: a barrier in the request FIFO."""
 
-    op: str  # "insert" | "delete"
-    payload: object  # packed (m, W) rows, or a list of global ids
+    op: str  # "insert" | "delete" | "call"
+    payload: object  # packed (m, W) rows, a list of global ids, or a callable
     future: "asyncio.Future"
     arrival: float
 
@@ -165,6 +166,7 @@ def describe_index(index) -> Dict[str, object]:
         "scheme": name,
         "shards": shards,
         "generations": generations,
+        "id_space": int(getattr(index, "id_space", len(index))),
         "spec": None if spec is None else spec.to_dict(),
     }
 
@@ -282,29 +284,39 @@ class AsyncANNService:
         self._wake.set()
         return await future
 
-    async def insert(self, points) -> List[int]:
-        """Insert points; resolves with their assigned global ids.
+    def submit_insert(self, points) -> "asyncio.Future":
+        """Enqueue an insert *synchronously*; returns its future.
 
-        The insert is a barrier in the request FIFO: every query
-        submitted before it completes against the pre-insert index,
-        every query submitted after it sees the new points (exactly
-        searchable from the memtable).  Shape/dimension validation
-        happens here, before enqueueing.
+        The split from :meth:`insert` matters for sequenced replication:
+        a caller that validates a write-log sequence number and enqueues
+        in the same event-loop step guarantees queue order matches
+        sequence order — an ``await`` between the two would let another
+        task's write interleave.  Shape/dimension validation happens
+        here, before enqueueing.
         """
         self._check_accepting()
         rows = self.index._coerce_rows(points)
         future = self._loop.create_future()
         self._queue.append(_PendingWrite("insert", rows, future, self._loop.time()))
         self._wake.set()
-        return await future
+        return future
 
-    async def delete(self, ids) -> int:
-        """Delete rows by global id; resolves with the deleted count.
+    async def insert(self, points) -> List[int]:
+        """Insert points; resolves with their assigned global ids.
 
-        Same barrier semantics as :meth:`insert`; an invalid id rejects
-        the whole call when it applies (atomically, between batches) and
-        leaves the index unchanged.  Shape/integrality validation happens
-        here, before enqueueing — float ids are rejected, never truncated.
+        The insert is a barrier in the request FIFO: every query
+        submitted before it completes against the pre-insert index,
+        every query submitted after it sees the new points (exactly
+        searchable from the memtable).
+        """
+        return await self.submit_insert(points)
+
+    def submit_delete(self, ids) -> "asyncio.Future":
+        """Enqueue a delete synchronously; returns its future.
+
+        Shape/integrality validation happens here, before enqueueing —
+        float ids are rejected, never truncated (same ordering rationale
+        as :meth:`submit_insert`).
         """
         self._check_accepting()
         from repro.core.mutable import coerce_delete_ids
@@ -313,7 +325,40 @@ class AsyncANNService:
         future = self._loop.create_future()
         self._queue.append(_PendingWrite("delete", id_list, future, self._loop.time()))
         self._wake.set()
-        return await future
+        return future
+
+    async def delete(self, ids) -> int:
+        """Delete rows by global id; resolves with the deleted count.
+
+        Same barrier semantics as :meth:`insert`; an invalid id rejects
+        the whole call when it applies (atomically, between batches) and
+        leaves the index unchanged.
+        """
+        return await self.submit_delete(ids)
+
+    def submit_call(self, fn, count_as: Optional[str] = None) -> "asyncio.Future":
+        """Enqueue ``fn`` to run as a write barrier; returns its future.
+
+        ``fn`` executes between micro-batches with the same fence as
+        :meth:`insert`/:meth:`delete` — every earlier query resolved
+        against the pre-call state, no later query runs until it returns.
+        The shard server uses this for sequenced replicated writes (apply
+        + advance the acked sequence number atomically) and consistent
+        snapshots.  ``count_as`` ("insert"/"delete") attributes the call
+        to the write counters; None leaves the metrics untouched.
+        """
+        self._check_accepting()
+        if not callable(fn):
+            raise TypeError(f"submit_call needs a callable, got {type(fn).__name__}")
+        future = self._loop.create_future()
+        item = _PendingWrite("call", (fn, count_as), future, self._loop.time())
+        self._queue.append(item)
+        self._wake.set()
+        return future
+
+    async def barrier(self, fn):
+        """Run ``fn`` between micro-batches; resolves with its result."""
+        return await self.submit_call(fn)
 
     def _pack_query(self, x) -> np.ndarray:
         arr = np.asarray(x)
@@ -438,9 +483,16 @@ class AsyncANNService:
             if item.op == "insert":
                 value: object = self.index.insert(item.payload)
                 self._inserts += 1
-            else:
+            elif item.op == "delete":
                 value = self.index.delete(item.payload)
                 self._deletes += 1
+            else:  # "call": a barrier callable (sequenced write / snapshot)
+                fn, count_as = item.payload
+                value = fn()
+                if count_as == "insert":
+                    self._inserts += 1
+                elif count_as == "delete":
+                    self._deletes += 1
         except Exception as exc:
             if not item.future.done():
                 item.future.set_exception(exc)
@@ -479,6 +531,79 @@ class AsyncANNService:
 
 
 # -- the wire protocol -----------------------------------------------------
+#: StreamReader line limit for the NDJSON protocol.  Large enough for a
+#: query_batch of thousands of bit rows; a line beyond it is answered
+#: with an error response and the connection is closed (the stream can
+#: no longer be re-synchronized mid-line).
+WIRE_LINE_LIMIT = 2 ** 24
+
+
+class WriteSequencer:
+    """Orders replicated writes on one shard server.
+
+    The router stamps every insert/delete with a per-shard, monotonically
+    increasing write-log sequence number (``docs/DISTRIBUTED.md``).  The
+    sequencer admits exactly the next number, acknowledges anything
+    already admitted as an idempotent duplicate (a suspended replica can
+    receive the same write from its stale TCP buffer *and* a catch-up
+    replay), and refuses gaps loudly — applying ``seq`` without
+    ``seq - 1`` would silently diverge from every sibling replica.
+
+    ``accepted`` advances synchronously at admission (it gates queue
+    order); ``applied`` advances inside the write barrier itself, so a
+    ``snapshot`` barrier always records the exact sequence number the
+    saved state reflects.
+    """
+
+    def __init__(self, initial: int = 0):
+        self.accepted = int(initial)
+        self.applied = int(initial)
+        self._acks: Dict[int, dict] = {}
+        self._ack_window = 32
+
+    def admit(self, seq) -> bool:
+        """True when ``seq`` must be applied, False for a duplicate.
+
+        Raises ``ValueError`` on a sequence gap.
+        """
+        seq = int(seq)
+        if seq <= self.accepted:
+            return False
+        if seq != self.accepted + 1:
+            raise ValueError(
+                f"write sequence gap: expected {self.accepted + 1}, got {seq} "
+                "(replica out of sync; needs catch-up from the router log)"
+            )
+        self.accepted = seq
+        return True
+
+    def record(self, seq: int, response: dict) -> None:
+        """Remember an ack so an exact duplicate can replay it."""
+        self._acks[int(seq)] = response
+        while len(self._acks) > self._ack_window:
+            del self._acks[min(self._acks)]
+
+    def duplicate_ack(self, seq: int) -> dict:
+        """The response for an already-admitted sequence number."""
+        recorded = self._acks.get(int(seq))
+        if recorded is not None:
+            return {**recorded, "duplicate": True}
+        return {
+            "ok": True,
+            "duplicate": True,
+            "seq": int(seq),
+            "applied_seq": self.applied,
+        }
+
+
+class _ServerState(NamedTuple):
+    """Everything one serving process shares across connections."""
+
+    service: AsyncANNService
+    sequencer: WriteSequencer
+    shard_id: Optional[int]
+
+
 def _jsonable(value):
     """Best-effort conversion of result metadata to JSON-able values."""
     if isinstance(value, dict):
@@ -496,7 +621,7 @@ def _jsonable(value):
     return repr(value)
 
 
-def _result_response(result) -> Dict[str, object]:
+def _result_response(result, distance: Optional[int] = None) -> Dict[str, object]:
     return {
         "ok": True,
         "answered": result.answer_index is not None,
@@ -505,17 +630,74 @@ def _result_response(result) -> Dict[str, object]:
         "rounds": result.rounds,
         "probes_per_round": list(result.probes_per_round),
         "scheme": result.scheme,
+        "distance": None if distance is None else int(distance),
         "meta": _jsonable(result.meta),
     }
 
 
+def _packed_query(service: AsyncANNService, bits) -> np.ndarray:
+    return service._pack_query(np.asarray(bits, dtype=np.uint8))
+
+
+def _query_distance(row: np.ndarray, result) -> Optional[int]:
+    """True Hamming distance from the query to the answered point — what
+    a router needs to merge shard answers exactly like
+    :meth:`~repro.service.sharded.ShardedANNIndex.query_batch` does."""
+    if result.answer_packed is None:
+        return None
+    from repro.hamming.distance import hamming_distance
+
+    return int(hamming_distance(row, result.answer_packed))
+
+
+def _write_ack(state: _ServerState, seq: Optional[int], **fields) -> Dict[str, object]:
+    index = state.service.index
+    ack: Dict[str, object] = {
+        "ok": True,
+        "live": len(index),
+        "id_space": int(getattr(index, "id_space", len(index))),
+        **fields,
+    }
+    if seq is not None:
+        ack["seq"] = int(seq)
+        ack["applied_seq"] = state.sequencer.applied
+    return ack
+
+
+async def _sequenced_write(
+    state: _ServerState, seq, apply_fn, count_as: str
+) -> Dict[str, object]:
+    """Run one replicated write through the sequencer + write barrier.
+
+    ``apply_fn`` mutates the index and returns the ack payload fields;
+    it runs inside the service's barrier together with the ``applied``
+    advance, so snapshots taken at any barrier see a consistent
+    (state, sequence) pair.
+    """
+    gate = state.sequencer
+    seq_int = int(seq)
+    if not gate.admit(seq_int):  # raises on gaps
+        return gate.duplicate_ack(seq_int)
+
+    def apply():
+        fields = apply_fn()
+        gate.applied = seq_int
+        return fields
+
+    fields = await state.service.submit_call(apply, count_as=count_as)
+    ack = _write_ack(state, seq_int, **fields)
+    gate.record(seq_int, ack)
+    return ack
+
+
 async def _handle_request(
-    service: AsyncANNService,
+    state: _ServerState,
     shutdown: "asyncio.Event",
     line: bytes,
     writer: "asyncio.StreamWriter",
     write_lock: "asyncio.Lock",
 ) -> None:
+    service = state.service
     request_id = None
     try:
         request = json.loads(line)
@@ -527,28 +709,98 @@ async def _handle_request(
             bits = request.get("bits")
             if bits is None:
                 raise ValueError("'query' needs a 'bits' array of 0/1 values")
-            result = await service.query(np.asarray(bits, dtype=np.uint8))
-            response = _result_response(result)
+            row = _packed_query(service, bits)
+            result = await service.query(row)
+            response = _result_response(result, distance=_query_distance(row, result))
+        elif op == "query_batch":
+            queries = request.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise ValueError(
+                    "'query_batch' needs a non-empty 'queries' list of bit rows"
+                )
+            # Validate every row before submitting any, so one malformed
+            # row fails the whole batch without half-submitting it (the
+            # same atomicity ANNIndex.query_batch has).
+            rows = [_packed_query(service, bits) for bits in queries]
+            results = await asyncio.gather(*(service.query(row) for row in rows))
+            response = {
+                "ok": True,
+                "results": [
+                    _result_response(result, distance=_query_distance(row, result))
+                    for row, result in zip(rows, results)
+                ],
+            }
         elif op == "insert":
             points = request.get("points")
             if not points:
                 raise ValueError("'insert' needs a non-empty 'points' list of bit rows")
-            ids = await service.insert(np.asarray(points, dtype=np.uint8))
-            response = {
-                "ok": True,
-                "ids": [int(i) for i in ids],
-                "live": len(service.index),
-            }
+            arr = np.asarray(points, dtype=np.uint8)
+            seq = request.get("seq")
+            if seq is None:
+                ids = await service.insert(arr)
+                response = _write_ack(state, None, ids=[int(i) for i in ids])
+            else:
+                rows = service.index._coerce_rows(arr)  # validate pre-admission
+
+                def apply_insert(rows=rows):
+                    return {"ids": [int(i) for i in service.index.insert(rows)]}
+
+                response = await _sequenced_write(state, seq, apply_insert, "insert")
         elif op == "delete":
             ids = request.get("ids")
             if not ids:
                 raise ValueError("'delete' needs a non-empty 'ids' list")
-            # service.delete validates (flat, integer, no duplicates) —
-            # a JSON float id is rejected here, never truncated.
-            deleted = await service.delete(ids)
-            response = {"ok": True, "deleted": int(deleted), "live": len(service.index)}
+            # Validated up front (flat, integer, no duplicates) — a JSON
+            # float id is rejected here, never truncated.
+            from repro.core.mutable import coerce_delete_ids
+
+            id_list = [int(i) for i in coerce_delete_ids(ids)]
+            seq = request.get("seq")
+            if seq is None:
+                deleted = await service.delete(id_list)
+                response = _write_ack(state, None, deleted=int(deleted))
+            else:
+
+                def apply_delete(id_list=id_list):
+                    return {"deleted": int(service.index.delete(id_list))}
+
+                response = await _sequenced_write(state, seq, apply_delete, "delete")
+        elif op == "check_ids":
+            ids = request.get("ids")
+            if not isinstance(ids, list) or not ids:
+                raise ValueError("'check_ids' needs a non-empty 'ids' list")
+            index = service.index
+            id_space = int(getattr(index, "id_space", len(index)))
+            response = {
+                "ok": True,
+                "live": [
+                    bool(0 <= int(i) < id_space and index.is_live(int(i)))
+                    for i in ids
+                ],
+                "id_space": id_space,
+            }
+        elif op == "snapshot":
+            path = request.get("path")
+            if not path or not isinstance(path, str):
+                raise ValueError("'snapshot' needs a 'path' directory string")
+            gate = state.sequencer
+
+            def snap():
+                # Runs at a write barrier: gate.applied is exactly the
+                # last write folded into the saved state.
+                return (
+                    service.index.save(path, write_seq=gate.applied),
+                    gate.applied,
+                )
+
+            saved, write_seq = await service.barrier(snap)
+            response = {"ok": True, "path": str(saved), "write_seq": int(write_seq)}
         elif op == "stats":
-            response = {"ok": True, "stats": service.metrics().as_dict()}
+            response = {
+                "ok": True,
+                "stats": service.metrics().as_dict(),
+                "replication": _replication_info(state),
+            }
         elif op == "info":
             response = {
                 "ok": True,
@@ -557,6 +809,7 @@ async def _handle_request(
                     "max_batch": service.max_batch,
                     "max_wait_ms": service.max_wait_ms,
                 },
+                "replication": _replication_info(state),
             }
         elif op == "ping":
             response = {"ok": True, "op": "ping"}
@@ -583,29 +836,67 @@ async def _handle_request(
             shutdown.set()
 
 
-async def _serve_connection(
-    service: AsyncANNService,
-    shutdown: "asyncio.Event",
+def _replication_info(state: _ServerState) -> Dict[str, object]:
+    return {
+        "shard": state.shard_id,
+        "last_seq": state.sequencer.applied,
+        "accepted_seq": state.sequencer.accepted,
+    }
+
+
+async def _connection_loop(
+    handler,
     reader: "asyncio.StreamReader",
     writer: "asyncio.StreamWriter",
 ) -> None:
-    """One NDJSON connection: each line is handled as its own task, so a
-    client pipelining requests gets them micro-batched together;
-    responses carry the request's ``id`` and may arrive out of order."""
+    """One NDJSON connection: each line is handled as its own task
+    (``handler(line, writer, write_lock)``), so a client pipelining
+    requests gets them processed concurrently; responses carry the
+    request's ``id`` and may arrive out of order.  Shared by the shard
+    server here and the router in :mod:`repro.service.cluster`."""
     write_lock = asyncio.Lock()
     tasks = set()
     try:
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                # A line beyond WIRE_LINE_LIMIT: the stream cannot be
+                # re-synchronized mid-line, so answer with an error and
+                # drop only this connection — the service (and every
+                # other connection) keeps running.
+                async with write_lock:
+                    writer.write(
+                        (
+                            json.dumps(
+                                {
+                                    "ok": False,
+                                    "error": "request line exceeds "
+                                    f"{WIRE_LINE_LIMIT} bytes",
+                                    "id": None,
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                break
             if not line:
                 break
             if not line.strip():
                 continue
-            task = asyncio.create_task(
-                _handle_request(service, shutdown, line, writer, write_lock)
-            )
+            task = asyncio.create_task(handler(line, writer, write_lock))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
+    except asyncio.CancelledError:
+        # Process shutting down with this connection still open; finish
+        # cleanly — 3.11's streams done-callback calls task.exception()
+        # without a cancelled() guard and would log a spurious traceback.
+        pass
     finally:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
@@ -623,20 +914,37 @@ async def serve(
     max_batch: int = DEFAULT_MAX_BATCH,
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
     ready_cb: Optional[Callable[[str, int], None]] = None,
+    shard_id: Optional[int] = None,
+    initial_seq: int = 0,
 ) -> None:
     """Serve ``index`` over TCP until a client sends ``shutdown``.
 
     ``port=0`` binds an ephemeral port; ``ready_cb(host, port)`` fires
     with the bound address once the server is listening (the CLI uses it
     to print the address and write ``--ready-file``).
+
+    ``shard_id``/``initial_seq`` turn the process into a **shard server**
+    (``python -m repro shard-serve``): ``info``/``stats`` report the
+    shard id and the last applied write-log sequence number, and
+    sequenced ``insert``/``delete`` requests are gated through a
+    :class:`WriteSequencer` starting at ``initial_seq`` (the snapshot's
+    recorded ``write_seq``).  A plain ``repro serve`` accepts sequenced
+    writes too — the gate simply starts at 0.
     """
     service = AsyncANNService(index, max_batch=max_batch, max_wait_ms=max_wait_ms)
     await service.start()
+    state = _ServerState(service, WriteSequencer(initial_seq), shard_id)
     shutdown = asyncio.Event()
     server = None
+    def handler(line, writer, write_lock):
+        return _handle_request(state, shutdown, line, writer, write_lock)
+
     try:
         server = await asyncio.start_server(
-            lambda r, w: _serve_connection(service, shutdown, r, w), host, port
+            lambda r, w: _connection_loop(handler, r, w),
+            host,
+            port,
+            limit=WIRE_LINE_LIMIT,
         )
         bound = server.sockets[0].getsockname()
         if ready_cb is not None:

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# tests/ has no package __init__; make the shared test utilities under
+# tests/utils importable (``import cluster_harness``) from any test.
+sys.path.insert(0, str(Path(__file__).resolve().parent / "utils"))
 
 from repro.core.params import BaseParameters
 from repro.hamming.points import PackedPoints

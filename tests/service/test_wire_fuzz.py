@@ -1,0 +1,275 @@
+"""Fuzzing the NDJSON wire protocol, plus the client-timeout regression.
+
+The server's contract under malformed input is *per-request error,
+never a wedge*: whatever bytes arrive — truncated JSON, binary garbage,
+non-object JSON, unknown verbs, oversized lines, half-written frames —
+the connection (or at worst that one connection) answers or closes, and
+the server keeps serving everyone else.  Each fuzz case therefore ends
+by asserting the same server still answers a real query.
+
+The regression half pins the :class:`ServiceTimeoutError` behavior:
+a client whose server dies or stops answering *mid-request* must raise,
+not block forever (the pre-1.6 client hung on ``readline``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import random_points
+from repro.service import ServiceClient, ServiceError, ServiceTimeoutError
+from repro.service.server import WIRE_LINE_LIMIT, serve
+
+N, D = 60, 128
+SPEC = IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=31)
+
+
+@pytest.fixture(scope="module")
+def endpoint():
+    """One live server shared by every fuzz case — surviving all of
+    them on a single process is exactly the property under test."""
+    gen = np.random.default_rng(17)
+    index = ANNIndex.from_spec(PackedPoints(random_points(gen, N, D), D), SPEC)
+    ready: "queue.Queue" = queue.Queue()
+
+    def run():
+        asyncio.run(
+            serve(
+                index,
+                port=0,
+                max_batch=8,
+                max_wait_ms=1.0,
+                ready_cb=lambda host, port: ready.put((host, port)),
+            )
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    host, port = ready.get(timeout=10)
+    yield host, port
+    try:
+        with ServiceClient(host=host, port=port, timeout=5.0) as client:
+            client.shutdown()
+    except (ServiceError, OSError):
+        pass
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def raw_exchange(endpoint, payload: bytes, timeout: float = 10.0):
+    """Send raw bytes on a fresh socket; return the response lines the
+    server sends before EOF/timeout (parsed where they are JSON)."""
+    host, port = endpoint
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)  # EOF: server answers, then closes
+        sock.settimeout(timeout)
+        buf = b""
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            buf += chunk
+    lines = [line for line in buf.split(b"\n") if line]
+    parsed = []
+    for line in lines:
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            parsed.append(line)
+    return parsed
+
+
+def assert_still_serving(endpoint):
+    """The server must answer a real query after whatever we just sent."""
+    host, port = endpoint
+    bits = [i % 2 for i in range(D)]
+    with ServiceClient(host=host, port=port, timeout=10.0) as client:
+        assert client.ping()
+        result = client.query(bits)
+        assert result.probes >= 0
+
+
+# -- malformed frames --------------------------------------------------------
+@given(
+    junk=st.one_of(
+        st.binary(min_size=1, max_size=200),
+        st.text(min_size=1, max_size=200).map(lambda s: s.encode("utf-8", "ignore")),
+    ).filter(lambda b: b.strip())
+)
+@settings(max_examples=25, deadline=None)
+def test_garbage_bytes_get_errors_not_wedges(endpoint, junk):
+    """Arbitrary garbage: every line is answered (ok: false) or the
+    connection is closed — and the server keeps serving afterwards."""
+    responses = raw_exchange(endpoint, junk + b"\n")
+    for response in responses:
+        if isinstance(response, dict) and "op" not in response:
+            assert response.get("ok") is False
+            assert "error" in response
+    assert_still_serving(endpoint)
+
+
+@pytest.mark.parametrize(
+    "frame",
+    [
+        b'{"op": "query", "bits": [1, 0',  # truncated JSON
+        b'{"op": "query"}',  # missing bits
+        b'{"op": "query", "bits": "nope"}',  # wrong type
+        b'{"op": "query", "bits": [1, 2, 3]}',  # non-binary values
+        b'{"op": "frobnicate", "id": 9}',  # unknown verb
+        b"[1, 2, 3]",  # non-object JSON
+        b'"just a string"',
+        b"42",
+        b"null",
+        b'{"op": "insert", "points": []}',  # empty write
+        b'{"op": "delete", "ids": [1, 1]}',  # duplicate ids in one delete
+        b'{"op": "delete", "ids": [999999]}',  # out-of-range id
+        b'{"op": "insert", "points": [[1, 0]]}',  # wrong dimension
+    ],
+)
+def test_bad_requests_get_per_request_errors(endpoint, frame):
+    responses = raw_exchange(endpoint, frame + b"\n")
+    dicts = [r for r in responses if isinstance(r, dict)]
+    assert dicts, f"no JSON response to {frame!r}"
+    assert all(r.get("ok") is False and r.get("error") for r in dicts)
+    assert_still_serving(endpoint)
+
+
+def test_unknown_verb_echoes_request_id(endpoint):
+    (response,) = raw_exchange(endpoint, b'{"op": "frobnicate", "id": 7}\n')
+    assert response["ok"] is False
+    assert response["id"] == 7
+    assert "frobnicate" in response["error"]
+
+
+def test_oversized_line_is_refused_without_wedging(endpoint):
+    """A line past WIRE_LINE_LIMIT can't be buffered; the server must
+    refuse it (error or close) and keep serving everyone else."""
+    big = b'{"op": "query", "bits": "' + b"a" * (WIRE_LINE_LIMIT + 64) + b'"}\n'
+    responses = raw_exchange(endpoint, big)
+    for response in responses:
+        if isinstance(response, dict):
+            assert response.get("ok") is False
+    assert_still_serving(endpoint)
+
+
+def test_partial_writes_reassemble_into_one_request(endpoint):
+    """A frame dribbled out in pieces is still one request."""
+    host, port = endpoint
+    bits = [i % 2 for i in range(D)]
+    frame = json.dumps({"op": "query", "id": 0, "bits": bits}).encode() + b"\n"
+    with socket.create_connection((host, port), timeout=10) as sock:
+        for i in range(0, len(frame), 7):
+            sock.sendall(frame[i : i + 7])
+            time.sleep(0.001)
+        sock.settimeout(10)
+        response = json.loads(sock.makefile("rb").readline())
+    assert response["ok"] is True
+    assert response["id"] == 0
+    assert_still_serving(endpoint)
+
+
+def test_pipelined_duplicate_request_ids_both_answered(endpoint):
+    """The protocol echoes ids verbatim; two in-flight requests sharing
+    an id both get answers (matching them is the client's problem)."""
+    bits = [0] * D
+    frame = json.dumps({"op": "query", "id": 5, "bits": bits}).encode() + b"\n"
+    responses = raw_exchange(endpoint, frame * 2)
+    assert len(responses) == 2
+    assert all(r["ok"] and r["id"] == 5 for r in responses)
+
+
+# -- client timeout regression ----------------------------------------------
+@pytest.fixture()
+def black_hole():
+    """A server that accepts and reads but never answers — what a
+    SIGSTOPped or wedged process looks like from the client side."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    conns = []
+    stop = threading.Event()
+
+    def run():
+        listener.settimeout(0.1)
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            conn.settimeout(0.1)
+            conns.append(conn)
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    yield listener.getsockname()
+    stop.set()
+    thread.join(timeout=5)
+    for conn in conns:
+        conn.close()
+    listener.close()
+
+
+def test_query_raises_timeout_when_server_never_answers(black_hole):
+    host, port = black_hole
+    with ServiceClient(host=host, port=port, timeout=0.3) as client:
+        with pytest.raises(ServiceTimeoutError, match="did not answer 'query'"):
+            client.query([0] * D)
+
+
+def test_per_request_timeout_overrides_client_default(black_hole):
+    host, port = black_hole
+    start = time.monotonic()
+    with ServiceClient(host=host, port=port, timeout=30.0) as client:
+        with pytest.raises(ServiceTimeoutError):
+            client.ping(timeout=0.3)
+    assert time.monotonic() - start < 5.0  # did not wait out the default
+
+
+def test_timeout_error_is_a_service_error(black_hole):
+    host, port = black_hole
+    with ServiceClient(host=host, port=port, timeout=0.3) as client:
+        with pytest.raises(ServiceError):  # existing handlers keep working
+            client.stats()
+
+
+def test_server_killed_mid_request_raises_instead_of_hanging():
+    """Kill the connection between request and response: the client
+    must surface a ServiceError immediately, not block on readline."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def accept_then_slam():
+        conn, _ = listener.accept()
+        conn.settimeout(5)
+        reader = conn.makefile("rb")
+        reader.readline()  # swallow the request...
+        conn.close()  # ...and die without answering
+
+    thread = threading.Thread(target=accept_then_slam, daemon=True)
+    thread.start()
+    host, port = listener.getsockname()
+    start = time.monotonic()
+    with ServiceClient(host=host, port=port, timeout=30.0) as client:
+        with pytest.raises(ServiceError, match="closed the connection"):
+            client.query([0] * D)
+    assert time.monotonic() - start < 5.0
+    thread.join(timeout=5)
+    listener.close()
