@@ -10,10 +10,17 @@ Schema (one file per experiment)::
 
     {
       "bench": "e18_cluster",
-      "repro_version": "1.6.0",
+      "repro_version": "1.7.0",
       "env": {"python": "...", "numpy": "...", "cpu_count": 8},
-      "metrics": {"serve_p50_ms": 1.9, ...}          # flat name -> number
+      "load_mode": "heap",                           # how indexes were resident
+      "metrics": {"serve_p50_ms": 1.9,
+                  "peak_rss_mb": 312.4, ...}         # flat name -> number
     }
+
+Every artifact automatically records the process's peak RSS
+(``resource.getrusage``) as the ``peak_rss_mb`` metric and the index
+residency mode as ``load_mode`` — so the E16–E19 memory claims ride the
+same diffed trajectory as the timing numbers.
 
 Only ``metrics`` is diffed; everything else is provenance.  Run
 ``python benchmarks/artifacts.py diff OLD NEW`` for the comparison CI
@@ -26,10 +33,15 @@ import json
 import os
 import platform
 import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
 from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["artifact_path", "diff_artifacts", "format_diff", "write_artifact"]
+__all__ = ["artifact_path", "diff_artifacts", "format_diff", "peak_rss_mb", "write_artifact"]
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -53,22 +65,52 @@ def _env() -> dict:
     }
 
 
-def write_artifact(bench: str, metrics: Dict[str, float], extras: Optional[dict] = None) -> Path:
+def peak_rss_mb() -> Optional[float]:
+    """This process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS — normalized
+    here); None where the ``resource`` module is unavailable.  Note the
+    *lifetime* peak: a benchmark that must show a low-memory
+    configuration stays low has to measure in a fresh subprocess (see
+    ``bench_e19_out_of_core.py``).
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return maxrss / divisor
+
+
+def write_artifact(
+    bench: str,
+    metrics: Dict[str, float],
+    extras: Optional[dict] = None,
+    load_mode: str = "heap",
+) -> Path:
     """Write ``results/BENCH_<bench>.json``; returns the path.
 
     ``metrics`` must be a flat name→number mapping (that is what the CI
     diff compares run over run); anything non-numeric belongs in
-    ``extras``.
+    ``extras``.  The process's peak RSS is recorded automatically as the
+    ``peak_rss_mb`` metric (pass an explicit value to override — e.g. a
+    subprocess measurement), and ``load_mode`` names how the benchmark's
+    indexes were resident.
     """
     for key, value in metrics.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise TypeError(f"metric {key!r} is not a number: {value!r}")
+    metrics = dict(metrics)
+    if "peak_rss_mb" not in metrics:
+        rss = peak_rss_mb()
+        if rss is not None:
+            metrics["peak_rss_mb"] = round(rss, 2)
     import repro
 
     payload = {
         "bench": bench,
         "repro_version": repro.__version__,
         "env": _env(),
+        "load_mode": load_mode,
         "metrics": {k: metrics[k] for k in sorted(metrics)},
     }
     if extras:

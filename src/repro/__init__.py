@@ -65,8 +65,9 @@ from repro.service import (
     ServiceMetrics,
     ShardedANNIndex,
 )
+from repro.storage import ResidencyManager, ResidencyStats
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ANNIndex",
@@ -82,6 +83,8 @@ __all__ = [
     "OneProbeNearNeighborScheme",
     "PackedPoints",
     "QueryResult",
+    "ResidencyManager",
+    "ResidencyStats",
     "ServiceClient",
     "ServiceMetrics",
     "ShardedANNIndex",

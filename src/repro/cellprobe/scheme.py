@@ -109,6 +109,23 @@ class SketchStateMixin:
                     f"unknown array scope {scope!r} for {self.scheme_name}"
                 )
 
+    def adopt_arrays(self, arrays: Dict[str, "np.ndarray"]) -> None:
+        """Trusted restore for zero-copy loads: install the payloads
+        without the seed-rebuild verification, so nothing beyond array
+        headers is read until a query probes it.  Family masks go first —
+        the level caches validate their shapes against the adopted family.
+        """
+        groups = split_arrays(arrays)
+        unknown = set(groups) - {"family", "levels"}
+        if unknown:
+            raise ValueError(
+                f"unknown array scope {sorted(unknown)[0]!r} for {self.scheme_name}"
+            )
+        if "family" in groups:
+            self.family.adopt_arrays(groups["family"])
+        if "levels" in groups:
+            self.level_sketches.adopt_arrays(groups["levels"])
+
     def prewarm(self) -> None:
         """Materialize all levels' masks and database sketches now."""
         self.level_sketches.materialize_all()
@@ -229,6 +246,16 @@ class CellProbingScheme(abc.ABC):
                 f"{type(self).__name__} cannot restore array payloads: "
                 f"{', '.join(sorted(arrays))}"
             )
+
+    def adopt_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Install payloads for a zero-copy (memory-mapped) load.
+
+        Schemes with a cheap header-only validation path override this to
+        skip content verification that would read every payload in full;
+        the default falls back to :meth:`restore_arrays`, which is always
+        correct — just eager.
+        """
+        self.restore_arrays(arrays)
 
     def prewarm(self) -> None:
         """Materialize deferred preprocessing now (no-op by default).

@@ -149,7 +149,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
         if not args.cold:
             index.prepare()
         cells = index.size_report().table_cells
-    path = index.save(args.out, extras=_workload_extras(args))
+    path = index.save(
+        args.out, extras=_workload_extras(args), format_version=args.format_version
+    )
     print_table(
         f"Built index → {path}",
         [{
@@ -249,12 +251,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.persistence import load_any
     from repro.service.server import describe_index, serve
 
-    index = load_any(args.index)
+    index = load_any(
+        args.index, load_mode=args.load_mode, memory_budget=args.memory_budget
+    )
     info = describe_index(index)
 
     def ready(host: str, port: int) -> None:
+        budget = (
+            f", budget={args.memory_budget}B" if args.memory_budget else ""
+        )
         print(
-            f"serving {info['scheme']} (n={info['n']}, d={info['d']}) "
+            f"serving {info['scheme']} (n={info['n']}, d={info['d']}, "
+            f"load_mode={args.load_mode}{budget}) "
             f"on {host}:{port}  [max_batch={args.max_batch}, "
             f"max_wait_ms={args.max_wait_ms:g}] — send {{\"op\": \"shutdown\"}} "
             "or Ctrl-C to stop",
@@ -294,14 +302,22 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     from repro.persistence import snapshot_write_seq
     from repro.service.server import describe_index, serve
 
-    index = ANNIndex.load(args.index)
+    if args.memory_budget:
+        print(
+            "note: --memory-budget is inert for shard-serve (one shard per "
+            "process leaves nothing to evict); use --load-mode mmap to keep "
+            "this shard out-of-core",
+            file=sys.stderr,
+        )
+    index = ANNIndex.load(args.index, load_mode=args.load_mode)
     initial_seq = snapshot_write_seq(args.index)
     info = describe_index(index)
 
     def ready(host: str, port: int) -> None:
         print(
             f"shard {args.shard}: serving {info['scheme']} "
-            f"(n={info['n']}, d={info['d']}, write_seq={initial_seq}) "
+            f"(n={info['n']}, d={info['d']}, write_seq={initial_seq}, "
+            f"load_mode={args.load_mode}) "
             f"on {host}:{port}",
             flush=True,
         )
@@ -377,7 +393,13 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         raise SystemExit(
             "mutate needs --insert-random M, --delete ID ..., and/or --compact"
         )
-    extras = read_manifest(args.index).get("extras", {})
+    manifest = read_manifest(args.index)
+    extras = manifest.get("extras", {})
+    # Re-save in the snapshot's own layout (a mutated v3 snapshot stays
+    # mmap-loadable); pre-v3 snapshots keep writing the v2 default.
+    format_version = (
+        manifest["format_version"] if manifest["format_version"] >= 3 else None
+    )
     index = load_any(args.index)
     # Deletes run first: --delete ids refer to the on-disk snapshot's
     # numbering, and an insert that trips the amortized compaction would
@@ -390,7 +412,9 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         inserted = index.insert(random_points(rng, args.insert_random, index.d))
     if args.compact:
         index.compact()
-    path = index.save(args.out or args.index, extras=extras)
+    path = index.save(
+        args.out or args.index, extras=extras, format_version=format_version
+    )
     parts = getattr(index, "shards", None) or [index]
     generations = [shard.generation for shard in parts]
     print_table(
@@ -551,6 +575,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="skip preprocessing warm-up before saving")
     p.add_argument("--out", required=True, metavar="DIR",
                    help="snapshot directory to write")
+    p.add_argument("--format-version", type=int, default=None, choices=(2, 3),
+                   help="snapshot layout: 2 (default, compressed .npz) or 3 "
+                        "(raw .npy payloads, required for --load-mode mmap)")
     p.set_defaults(fn=_cmd_build)
 
     p = sub.add_parser(
@@ -571,6 +598,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="RNG seed for --insert-random points")
     p.set_defaults(fn=_cmd_mutate)
 
+    def out_of_core(p: argparse.ArgumentParser, inert: str = "") -> None:
+        note = f" ({inert})" if inert else ""
+        p.add_argument("--load-mode", choices=("heap", "mmap"), default="heap",
+                       help="how snapshot payloads load: heap materializes "
+                            "everything, mmap maps format-v3 payloads "
+                            f"zero-copy{note}")
+        p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                       help="evict least-recently-queried clean shards once "
+                            f"resident bytes exceed this{note}")
+
     p = sub.add_parser(
         "serve", help="serve a saved index over TCP with adaptive micro-batching"
     )
@@ -585,6 +622,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flush when the oldest pending query has waited this long")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    out_of_core(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -603,6 +641,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flush when the oldest pending query has waited this long")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    out_of_core(p, inert="inert here: a single shard has nothing to evict")
     p.set_defaults(fn=_cmd_shard_serve)
 
     p = sub.add_parser(
@@ -622,6 +661,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seconds between replica health sweeps")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    out_of_core(p, inert="accepted for launch-script symmetry; the router "
+                         "holds no index, so both are inert here")
     p.set_defaults(fn=_cmd_route)
 
     p = sub.add_parser("tradeoff", help="probes vs rounds k (E1/E2)")

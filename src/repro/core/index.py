@@ -90,6 +90,9 @@ class ANNIndex:
         self.scheme = scheme
         #: the spec this index was built from (None for hand-built schemes)
         self.spec = spec
+        #: how the payloads are resident: "heap" (built or materialized
+        #: load) or "mmap" (zero-copy snapshot mapping; set by load())
+        self.load_mode = "heap"
         self._last_batch_stats: Optional[BatchStats] = None
         # One engine per prefetch flag: the engine's table classification
         # is warm after the first batch, so reuse it across calls.
@@ -182,29 +185,42 @@ class ANNIndex:
         )
 
     # -- persistence -------------------------------------------------------
-    def save(self, path, extras=None, write_seq=0) -> "str":
+    def save(self, path, extras=None, write_seq=0, format_version=None) -> "str":
         """Snapshot this index to a directory (see :mod:`repro.persistence`).
 
         Writes a JSON manifest (format version + spec + seed), the packed
         database, and the scheme's array payloads.  ``extras`` (JSON-able
         mapping) lands in the manifest for harnesses to read back;
         ``write_seq`` records the replicated write-log position for shard
-        replicas (``docs/DISTRIBUTED.md``).
+        replicas (``docs/DISTRIBUTED.md``).  ``format_version=3`` writes
+        the raw-payload layout that :meth:`load` can memory-map
+        (``load_mode="mmap"``); the default stays the v2 ``.npz`` layout.
         """
         from repro.persistence import save_index
 
-        return str(save_index(self, path, extras=extras, write_seq=write_seq))
+        return str(
+            save_index(
+                self,
+                path,
+                extras=extras,
+                write_seq=write_seq,
+                format_version=format_version,
+            )
+        )
 
     @classmethod
-    def load(cls, path) -> "ANNIndex":
+    def load(cls, path, load_mode: str = "heap") -> "ANNIndex":
         """Load a snapshot written by :meth:`save`.
 
         The loaded index answers :meth:`query`/:meth:`query_batch`
-        bitwise-identically to the index that was saved.
+        bitwise-identically to the index that was saved —
+        ``load_mode="mmap"`` (format-v3 snapshots) maps the packed
+        database and large scheme arrays zero-copy instead of
+        materializing them, with identical answers and probe accounting.
         """
         from repro.persistence import load_index
 
-        return load_index(path)
+        return load_index(path, load_mode=load_mode)
 
     def prepare(self) -> "ANNIndex":
         """Materialize deferred preprocessing now (sketch masks, per-level

@@ -59,6 +59,38 @@ class PackedPoints:
         stacked = np.vstack([np.asarray(r, dtype=np.uint64).ravel() for r in rows])
         return cls(stacked, d)
 
+    @classmethod
+    def from_validated(cls, words: np.ndarray, d: int) -> "PackedPoints":
+        """Wrap an already-validated word matrix without the padding scan.
+
+        The normal constructor scans every row's last word for stray
+        padding bits — an O(n) pass that would page the entire file into
+        memory when ``words`` is a memory-mapped snapshot payload.  This
+        constructor performs only the cheap dtype/shape checks and keeps
+        the given array (no copy), so a memmap stays a memmap.  Callers
+        must guarantee the padding invariant themselves; the persistence
+        codec does, because every saved snapshot was packed through the
+        validating path.
+        """
+        if not isinstance(words, np.ndarray) or words.dtype != np.uint64:
+            raise ValueError(
+                f"from_validated needs a uint64 ndarray, got "
+                f"{getattr(words, 'dtype', type(words).__name__)}"
+            )
+        if words.ndim != 2 or words.shape[1] != packed_words(d):
+            raise ValueError(
+                f"from_validated needs shape (n, {packed_words(d)}) for d={d}, "
+                f"got {words.shape}"
+            )
+        if not words.flags.c_contiguous:
+            raise ValueError("from_validated needs a C-contiguous word matrix")
+        obj = cls.__new__(cls)
+        if words.flags.writeable:
+            words.setflags(write=False)
+        obj._words = words
+        obj._d = int(d)
+        return obj
+
     # -- basic protocol ----------------------------------------------------
     @property
     def d(self) -> int:

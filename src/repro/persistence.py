@@ -43,6 +43,18 @@ Concrete seeds are what make this sound: :meth:`ANNIndex.from_spec
 entropy at build time, so every built index carries a seed that replays
 its exact public coins.
 
+**Format v3 (opt-in, out-of-core):** ``save(..., format_version=3)``
+replaces the two ``.npz`` archives with a raw ``.npy`` payload tree
+(``database/words.npy``, ``arrays/<key>.npy`` — see
+:mod:`repro.storage.layout`) indexed by the manifest's ``payloads``
+field.  Uncompressed payloads cost disk but buy
+``load(..., load_mode="mmap")``: the packed database and large scheme
+arrays are memory-mapped zero-copy, so a served index pages data in on
+demand instead of materializing everything at load time.  Mutation
+state (tombstones/memtable) is always loaded into heap — it mutates.
+v2 stays the default write format; loading a v2 snapshot with
+``load_mode="mmap"`` raises a clear error naming v3.
+
 The full on-disk format specification — manifest fields, the
 format-version policy, per-scheme payload keys, and the tamper checks —
 lives in ``docs/PERSISTENCE.md``, written to be consumable without
@@ -62,6 +74,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FORMAT_VERSION",
+    "MAX_FORMAT_VERSION",
+    "MMAP_FORMAT_VERSION",
     "IndexPersistenceError",
     "load_any",
     "load_index",
@@ -70,11 +84,28 @@ __all__ = [
     "snapshot_write_seq",
 ]
 
-#: Bump when the directory layout or payload semantics change.
-#: v2 (mutable indexes): database.npz grew tombstones/memtable payloads,
-#: the manifest grew generation/live_n/compact_threshold.  v1 snapshots
-#: still load (as clean generation-0 indexes).
+#: The *default* write version; bump when the directory layout or payload
+#: semantics change.  v2 (mutable indexes): database.npz grew
+#: tombstones/memtable payloads, the manifest grew
+#: generation/live_n/compact_threshold.  v1 snapshots still load (as
+#: clean generation-0 indexes).
 FORMAT_VERSION = 2
+
+#: The opt-in out-of-core layout (``save(..., format_version=3)``): the
+#: packed database and per-scheme arrays become raw ``.npy`` payload
+#: files (:mod:`repro.storage.layout`) indexed by the manifest, so
+#: ``load(..., load_mode="mmap")`` maps them zero-copy.  v2 stays the
+#: default so snapshots remain readable by v2-only deployments until
+#: mmap loading is actually wanted.
+MMAP_FORMAT_VERSION = 3
+
+#: Newest version this build can read (writes default to FORMAT_VERSION).
+MAX_FORMAT_VERSION = 3
+
+#: Load modes :func:`load_index` accepts: ``"heap"`` materializes every
+#: payload; ``"mmap"`` (format v3 only) maps the packed database and
+#: scheme arrays zero-copy.  Answers are bitwise-identical either way.
+LOAD_MODES = ("heap", "mmap")
 
 FORMAT_NAME = "repro-ann-index"
 MANIFEST_FILE = "manifest.json"
@@ -120,12 +151,69 @@ def read_manifest(path: PathLike) -> Dict[str, object]:
             f"expected {FORMAT_NAME!r}"
         )
     version = manifest.get("format_version")
-    if not isinstance(version, int) or version < 1 or version > FORMAT_VERSION:
+    if not isinstance(version, int) or version < 1 or version > MAX_FORMAT_VERSION:
         raise IndexPersistenceError(
             f"unsupported index format version {version!r} in {manifest_path} "
-            f"(this build reads versions 1..{FORMAT_VERSION})"
+            f"(this build reads versions 1..{MAX_FORMAT_VERSION})"
         )
     return manifest
+
+
+def check_load_mode(load_mode: str) -> str:
+    """Validate a load-mode string (:data:`LOAD_MODES`)."""
+    if load_mode not in LOAD_MODES:
+        raise IndexPersistenceError(
+            f"unknown load_mode {load_mode!r}; expected one of {LOAD_MODES}"
+        )
+    return load_mode
+
+
+def _require_mmap_version(directory: Path, version: int) -> None:
+    """The satellite contract: v2 + mmap is a clear error, not a KeyError."""
+    if version < MMAP_FORMAT_VERSION:
+        raise IndexPersistenceError(
+            f"snapshot {directory} is format v{version}, whose compressed "
+            f".npz payloads cannot be memory-mapped; load_mode='mmap' needs "
+            f"format v{MMAP_FORMAT_VERSION} — re-save the index with "
+            f"save(..., format_version={MMAP_FORMAT_VERSION}) "
+            f"(CLI: build --format-version {MMAP_FORMAT_VERSION})"
+        )
+
+
+def check_format_version(format_version: Optional[int]) -> int:
+    """Resolve a ``format_version`` argument to a writable version."""
+    version = FORMAT_VERSION if format_version is None else int(format_version)
+    if version not in (FORMAT_VERSION, MMAP_FORMAT_VERSION):
+        raise IndexPersistenceError(
+            f"cannot write format version {version!r}; this build writes "
+            f"v{FORMAT_VERSION} (default) or v{MMAP_FORMAT_VERSION} (mmap)"
+        )
+    return version
+
+
+def _clear_stale_payloads(directory: Path, version: int) -> None:
+    """Remove the other layout's files so a re-saved snapshot is unambiguous.
+
+    Saving v2 over a v3 directory (or vice versa) must not leave both
+    layouts behind — a later load would silently pick whichever the new
+    manifest names while stale bytes linger.  Unlinking files that an
+    mmap'd index currently maps is safe (POSIX keeps the inode alive for
+    existing mappings), which is what lets an mmap-loaded index re-save
+    over its own snapshot.
+    """
+    import shutil
+
+    from repro.storage import layout
+
+    if version >= MMAP_FORMAT_VERSION:
+        for filename in (DATABASE_FILE, ARRAYS_FILE):
+            stale = directory / filename
+            if stale.is_file():
+                stale.unlink()
+    for group in (layout.DATABASE_DIR, layout.ARRAYS_DIR):
+        stale_dir = directory / group
+        if stale_dir.is_dir():
+            shutil.rmtree(stale_dir)
 
 
 def save_index(
@@ -133,6 +221,7 @@ def save_index(
     path: PathLike,
     extras: Optional[Mapping[str, object]] = None,
     write_seq: int = 0,
+    format_version: Optional[int] = None,
 ) -> Path:
     """Snapshot a built :class:`~repro.core.index.ANNIndex` to ``path``.
 
@@ -142,8 +231,15 @@ def save_index(
     sequence number this index has applied (see ``docs/DISTRIBUTED.md``);
     a replica restarted from the snapshot resumes catch-up from there.
     Snapshots written before the field existed read back as 0 through
-    :func:`snapshot_write_seq`.  Returns the directory path.
+    :func:`snapshot_write_seq`.
+
+    ``format_version`` selects the layout: ``None``/:data:`FORMAT_VERSION`
+    writes the default v2 ``.npz`` snapshot (readable by every v2
+    deployment); :data:`MMAP_FORMAT_VERSION` writes the raw ``.npy``
+    payload tree that ``load(..., load_mode="mmap")`` maps zero-copy.
+    Returns the directory path.
     """
+    version = check_format_version(format_version)
     spec = index.spec
     if spec is None:
         raise IndexPersistenceError(
@@ -160,32 +256,47 @@ def save_index(
     db = index.database
     state = index.mutation
     arrays = index.scheme.export_arrays()
-    np.savez_compressed(
-        directory / DATABASE_FILE,
-        words=db.words,
-        d=np.int64(db.d),
-        **state.export_arrays(),
-    )
-    np.savez_compressed(directory / ARRAYS_FILE, **arrays)
-    _write_manifest(
-        directory,
-        {
-            "format": FORMAT_NAME,
-            "format_version": FORMAT_VERSION,
-            "kind": KIND_INDEX,
-            "spec": spec.to_dict(),
-            "seed": spec.seed,
-            "n": len(db),
-            "d": db.d,
-            "live_n": state.live_count,
-            "generation": state.generation,
-            "compact_threshold": state.compact_threshold,
-            "scheme_name": index.scheme.scheme_name,
-            "array_keys": sorted(arrays),
-            "write_seq": int(write_seq),
-            "extras": dict(extras or {}),
-        },
-    )
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": version,
+        "kind": KIND_INDEX,
+        "spec": spec.to_dict(),
+        "seed": spec.seed,
+        "n": len(db),
+        "d": db.d,
+        "live_n": state.live_count,
+        "generation": state.generation,
+        "compact_threshold": state.compact_threshold,
+        "scheme_name": index.scheme.scheme_name,
+        "array_keys": sorted(arrays),
+        "write_seq": int(write_seq),
+        "extras": dict(extras or {}),
+    }
+    _clear_stale_payloads(directory, version)
+    if version >= MMAP_FORMAT_VERSION:
+        from repro.storage import layout
+
+        try:
+            payloads = layout.write_payloads(
+                directory,
+                layout.DATABASE_DIR,
+                {"words": db.words, **state.export_arrays()},
+            )
+            payloads.update(
+                layout.write_payloads(directory, layout.ARRAYS_DIR, arrays)
+            )
+        except layout.StorageLayoutError as exc:
+            raise IndexPersistenceError(str(exc)) from exc
+        manifest["payloads"] = payloads
+    else:
+        np.savez_compressed(
+            directory / DATABASE_FILE,
+            words=db.words,
+            d=np.int64(db.d),
+            **state.export_arrays(),
+        )
+        np.savez_compressed(directory / ARRAYS_FILE, **arrays)
+    _write_manifest(directory, manifest)
     return directory
 
 
@@ -255,7 +366,79 @@ def _load_database(directory: Path, version: int):
     return database, tuple(payload[key] for key in _MUTATION_KEYS)
 
 
-def load_index(path: PathLike) -> "ANNIndex":
+def payload_index(directory: Path, manifest: Mapping[str, object]) -> Dict[str, dict]:
+    """The manifest's format-v3 ``payloads`` file index (relpath → info)."""
+    payloads = manifest.get("payloads")
+    if not isinstance(payloads, dict) or not payloads:
+        raise IndexPersistenceError(
+            f"snapshot {directory} manifest is missing the format-v3 "
+            "payloads index"
+        )
+    return payloads
+
+
+def _load_database_v3(directory: Path, manifest: Mapping[str, object], load_mode: str):
+    """The packed database + mutation triple from the v3 payload tree.
+
+    The word matrix honors ``load_mode``; the mutation triple is always
+    materialized in heap — it is *mutable* state (tombstone flips,
+    memtable appends), so it can never alias a read-only mapping.
+    Mapped words skip the O(n) padding re-scan
+    (:meth:`PackedPoints.from_validated`): paging in the whole file to
+    re-check an invariant the packer already enforced would defeat the
+    lazy load.
+    """
+    from repro.hamming.points import PackedPoints
+    from repro.storage import layout
+
+    payloads = payload_index(directory, manifest)
+    try:
+        words_rel = layout.payload_relpath(layout.DATABASE_DIR, "words")
+        if words_rel not in payloads:
+            raise IndexPersistenceError(
+                f"snapshot {directory} payload index is missing {words_rel}"
+            )
+        words = layout.read_payload(
+            directory, words_rel, payloads[words_rel], load_mode
+        )
+        mutation = []
+        for key in _MUTATION_KEYS:
+            rel = layout.payload_relpath(layout.DATABASE_DIR, key)
+            if rel not in payloads:
+                raise IndexPersistenceError(
+                    f"snapshot {directory} payload index is missing {rel}"
+                )
+            mutation.append(layout.read_payload(directory, rel, payloads[rel], "heap"))
+    except layout.StorageLayoutError as exc:
+        raise IndexPersistenceError(str(exc)) from exc
+    d = int(manifest["d"])
+    try:
+        if load_mode == "mmap":
+            database = PackedPoints.from_validated(words, d)
+        else:
+            database = PackedPoints(words, d)
+    except Exception as exc:
+        raise IndexPersistenceError(
+            f"snapshot {directory} holds an invalid packed database: {exc}"
+        ) from exc
+    return database, tuple(mutation)
+
+
+def _read_arrays_v3(
+    directory: Path, manifest: Mapping[str, object], load_mode: str
+) -> Dict[str, np.ndarray]:
+    """The scheme's array payloads from the v3 tree, keyed like the npz."""
+    from repro.storage import layout
+
+    try:
+        return layout.read_group(
+            directory, payload_index(directory, manifest), layout.ARRAYS_DIR, load_mode
+        )
+    except layout.StorageLayoutError as exc:
+        raise IndexPersistenceError(str(exc)) from exc
+
+
+def load_index(path: PathLike, load_mode: str = "heap") -> "ANNIndex":
     """Load a snapshot written by :func:`save_index`.
 
     The returned index answers bitwise-identically to the one saved: the
@@ -263,12 +446,18 @@ def load_index(path: PathLike) -> "ANNIndex":
     recorded compaction generation, same registry factory), the array
     payloads are installed on top, and any tombstones/memtable state is
     restored and checked against the manifest's ``live_n``.
+
+    ``load_mode="mmap"`` (format v3 only) maps the packed database and
+    large scheme arrays zero-copy instead of materializing them; answers
+    and probe accounting stay bitwise-identical to ``"heap"``, the
+    default.
     """
     from repro.api import IndexSpec
     from repro.core.index import ANNIndex
     from repro.core.mutable import DEFAULT_COMPACT_THRESHOLD, generation_seed
     from repro.registry import build_scheme
 
+    check_load_mode(load_mode)
     directory = Path(path)
     manifest = read_manifest(directory)
     if manifest.get("kind") != KIND_INDEX:
@@ -277,7 +466,12 @@ def load_index(path: PathLike) -> "ANNIndex":
             f"single index; use repro.persistence.load_any"
         )
     version = int(manifest["format_version"])
-    database, mutation_payload = _load_database(directory, version)
+    if load_mode == "mmap":
+        _require_mmap_version(directory, version)
+    if version >= MMAP_FORMAT_VERSION:
+        database, mutation_payload = _load_database_v3(directory, manifest, load_mode)
+    else:
+        database, mutation_payload = _load_database(directory, version)
     spec = IndexSpec.from_dict(manifest["spec"])
     if int(manifest["n"]) != len(database) or int(manifest["d"]) != database.d:
         raise IndexPersistenceError(
@@ -290,9 +484,18 @@ def load_index(path: PathLike) -> "ANNIndex":
     if generation > 0:
         scheme_spec = spec.replace(seed=generation_seed(spec.seed, generation))
     scheme = build_scheme(database, scheme_spec)
-    arrays = _read_npz(directory, ARRAYS_FILE)
+    if version >= MMAP_FORMAT_VERSION:
+        arrays = _read_arrays_v3(directory, manifest, load_mode)
+    else:
+        arrays = _read_npz(directory, ARRAYS_FILE)
     try:
-        scheme.restore_arrays(arrays)
+        # mmap loads adopt the payloads (header-validated, content
+        # trusted) so no array is read in full before a query probes it;
+        # heap loads keep the eager rebuild-and-verify restore.
+        if load_mode == "mmap":
+            scheme.adopt_arrays(arrays)
+        else:
+            scheme.restore_arrays(arrays)
     except ValueError as exc:
         raise IndexPersistenceError(
             f"snapshot {directory} payload rejected: {exc}"
@@ -317,22 +520,41 @@ def load_index(path: PathLike) -> "ANNIndex":
             f"records {manifest['live_n']} live rows, payload restores "
             f"{index.live_count}"
         )
+    index.load_mode = load_mode
     return index
 
 
-def load_any(path: PathLike):
+def load_any(
+    path: PathLike,
+    load_mode: str = "heap",
+    memory_budget: Optional[int] = None,
+    pin=(),
+):
     """Load whatever index kind a snapshot directory holds.
 
     Returns an :class:`~repro.core.index.ANNIndex` for single-index
     snapshots and a :class:`~repro.service.sharded.ShardedANNIndex` for
-    sharded ones — the CLI's ``bench --index DIR`` entry point.
+    sharded ones — the CLI's ``bench --index DIR`` / ``serve`` entry
+    point.  ``load_mode``/``memory_budget``/``pin`` forward to the
+    loaders; a ``memory_budget`` on a single-index snapshot is an error
+    (residency eviction is per shard — there is nothing to evict below
+    one index).
     """
     manifest = read_manifest(path)
     kind = manifest.get("kind")
     if kind == KIND_INDEX:
-        return load_index(path)
+        if memory_budget is not None:
+            raise IndexPersistenceError(
+                f"snapshot {path} holds a single index; memory_budget "
+                "controls per-shard residency and needs a sharded snapshot "
+                "(use load_mode='mmap' alone to keep a single index "
+                "out-of-core)"
+            )
+        return load_index(path, load_mode=load_mode)
     if kind == KIND_SHARDED:
         from repro.service.sharded import ShardedANNIndex
 
-        return ShardedANNIndex.load(path)
+        return ShardedANNIndex.load(
+            path, load_mode=load_mode, memory_budget=memory_budget, pin=pin
+        )
     raise IndexPersistenceError(f"unknown snapshot kind {kind!r} in {path}")

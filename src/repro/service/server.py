@@ -160,7 +160,7 @@ def describe_index(index) -> Dict[str, object]:
         name = index.scheme_label  # same label merged QueryResults carry
         generations = list(getattr(index, "generations", []))
     spec = getattr(index, "spec", None)
-    return {
+    out = {
         "n": len(index),
         "d": index.d,
         "scheme": name,
@@ -168,7 +168,25 @@ def describe_index(index) -> Dict[str, object]:
         "generations": generations,
         "id_space": int(getattr(index, "id_space", len(index))),
         "spec": None if spec is None else spec.to_dict(),
+        "load_mode": getattr(index, "load_mode", "heap"),
     }
+    residency = _residency_info(index)
+    if residency is not None:
+        out["memory_budget"] = residency["memory_budget"]
+    return out
+
+
+def _residency_info(index) -> Optional[Dict[str, object]]:
+    """The residency layer's counters, when the index has one.
+
+    Single indexes have no residency manager (nothing to evict below one
+    index), so this is None for them and the stats/info verbs omit the
+    block instead of faking zeros.
+    """
+    stats_fn = getattr(index, "residency_stats", None)
+    if stats_fn is None:
+        return None
+    return stats_fn().to_dict()
 
 
 class AsyncANNService:
@@ -801,6 +819,9 @@ async def _handle_request(
                 "stats": service.metrics().as_dict(),
                 "replication": _replication_info(state),
             }
+            residency = _residency_info(service.index)
+            if residency is not None:
+                response["residency"] = residency
         elif op == "info":
             response = {
                 "ok": True,
@@ -811,6 +832,9 @@ async def _handle_request(
                 },
                 "replication": _replication_info(state),
             }
+            residency = _residency_info(service.index)
+            if residency is not None:
+                response["residency"] = residency
         elif op == "ping":
             response = {"ok": True, "op": "ping"}
         elif op == "shutdown":

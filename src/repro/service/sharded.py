@@ -17,6 +17,16 @@ LSH/ANN services, on top of this package's existing layers:
   its shard's preprocessing (:meth:`ANNIndex.prepare`) and snapshots it
   through :mod:`repro.persistence`, and the parent loads the snapshots —
   the warmed arrays transfer, so parallel build time is real build time.
+* **Residency** (:mod:`repro.storage.residency`): every shard lives
+  behind a :class:`~repro.storage.residency.ShardHandle` driven by a
+  :class:`~repro.storage.residency.ResidencyManager`.  In-memory builds
+  keep every shard attached; :meth:`load` with ``load_mode="mmap"``
+  and/or a ``memory_budget`` attaches shards lazily on first use, maps
+  format-v3 payloads zero-copy, and evicts the least-recently-queried
+  clean shards when the resident total exceeds the budget (pinned and
+  dirty shards are exempt).  The first *write* to a clean mmap'd shard
+  transparently promotes it to a heap reload (copy-on-write at shard
+  granularity), so the mutation layer's bitwise guarantees are untouched.
 * **Querying** runs each shard's existing
   :class:`~repro.service.engine.BatchQueryEngine` over the whole batch
   and merges per query by *true Hamming distance* between the query and
@@ -36,7 +46,9 @@ LSH/ANN services, on top of this package's existing layers:
   shard ``i``'s ids occupy ``[offsets[i], offsets[i] + shard.id_space)``
   where the offsets are the running sum of the shards' *allocated* id
   spaces — so, like single-index ids, they remap when a shard grows or
-  compacts.
+  compacts.  (Cold shards report id spaces from their manifests, which
+  is exact: a shard can only diverge from its snapshot by being written,
+  and written shards are dirty, hence never evicted.)
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ from __future__ import annotations
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -55,8 +67,15 @@ from repro.core.index import ANNIndex, DatabaseLike, _coerce_database
 from repro.core.mutable import coerce_delete_ids
 from repro.core.result import QueryResult
 from repro.hamming.distance import hamming_distance
-from repro.hamming.packing import pack_bits
+from repro.hamming.packing import pack_bits, packed_words
+from repro.hamming.points import PackedPoints
 from repro.service.engine import BatchStats
+from repro.storage.residency import (
+    ResidencyManager,
+    ResidencyStats,
+    ShardHandle,
+    ShardMeta,
+)
 from repro.utils.rng import RngTree
 
 __all__ = ["ShardedANNIndex", "shard_bounds", "shard_seed"]
@@ -97,7 +116,6 @@ def _build_shard(payload) -> str:
     compaction threshold rides along in the manifest).
     """
     words, d, spec_dict, out_dir, warm, compact_threshold = payload
-    from repro.hamming.points import PackedPoints
 
     index = ANNIndex.from_spec(
         PackedPoints(words, d),
@@ -107,6 +125,54 @@ def _build_shard(payload) -> str:
     if warm:
         index.prepare()
     return index.save(out_dir)
+
+
+def _meta_from_index(shard: ANNIndex) -> ShardMeta:
+    """Cold metadata for an in-memory shard (resident-size estimate only:
+    such handles have no snapshot path, so they can never be evicted and
+    the byte count only feeds the stats display)."""
+    return ShardMeta(
+        n=len(shard.database),
+        d=shard.database.d,
+        live_n=shard.live_count,
+        generation=shard.generation,
+        id_space=shard.id_space,
+        scheme_name=shard.scheme.scheme_name,
+        nbytes=int(shard.database.words.nbytes),
+    )
+
+
+def _meta_from_manifest(shard_dir: Path, manifest: Mapping[str, object]) -> ShardMeta:
+    """Cold metadata from a format-v3 shard manifest — no payload I/O.
+
+    The id space needs the memtable row count, which only the v3
+    ``payloads`` index records without opening ``database.npz``; this is
+    why lazy residency requires v3 snapshots.
+    """
+    from repro import persistence
+    from repro.storage import layout
+
+    payloads = persistence.payload_index(shard_dir, manifest)
+    mem_rel = layout.payload_relpath(layout.DATABASE_DIR, "memtable_words")
+    if mem_rel not in payloads:
+        raise persistence.IndexPersistenceError(
+            f"snapshot {shard_dir} payload index is missing {mem_rel}"
+        )
+    n = int(manifest["n"])
+    return ShardMeta(
+        n=n,
+        d=int(manifest["d"]),
+        live_n=int(manifest.get("live_n", n)),
+        generation=int(manifest.get("generation", 0)),
+        id_space=n + int(payloads[mem_rel]["shape"][0]),
+        scheme_name=str(manifest.get("scheme_name", "?")),
+        nbytes=layout.payload_nbytes(payloads),
+    )
+
+
+def _snapshot_loader(handle: ShardHandle) -> ANNIndex:
+    """The residency manager's loader: (re)load a shard from its snapshot."""
+    return ANNIndex.load(handle.path, load_mode=handle.load_mode)
 
 
 class ShardedANNIndex:
@@ -128,15 +194,18 @@ class ShardedANNIndex:
             raise ValueError(
                 f"{len(shards)} shards but {len(offsets)} offsets"
             )
-        dims = {shard.database.d for shard in shards}
-        if len(dims) != 1:
-            raise ValueError(f"shards disagree on dimension: {sorted(dims)}")
-        self.shards: List[ANNIndex] = list(shards)
+        handles = [
+            ShardHandle(
+                shard_id=i,
+                meta=_meta_from_index(shard),
+                path=None,
+                load_mode=getattr(shard, "load_mode", "heap"),
+                index=shard,
+            )
+            for i, shard in enumerate(shards)
+        ]
+        self._init_state(handles, spec=spec, memory_budget=None, load_mode="heap")
         supplied = [int(o) for o in offsets]
-        #: the root spec sharding was derived from (None for hand-assembled)
-        self.spec = spec
-        self.d = self.shards[0].database.d
-        self._last_batch_stats: Optional[BatchStats] = None
         # Offsets are derived state (running sum of shard id spaces); the
         # constructor argument survives for snapshot/caller validation.
         if supplied != self.offsets:
@@ -145,16 +214,68 @@ class ShardedANNIndex:
                 f"(expected {self.offsets})"
             )
 
+    def _init_state(
+        self,
+        handles: List[ShardHandle],
+        spec: Optional[IndexSpec],
+        memory_budget: Optional[int],
+        load_mode: str,
+    ) -> None:
+        dims = {handle.meta.d for handle in handles}
+        if len(dims) != 1:
+            raise ValueError(f"shards disagree on dimension: {sorted(dims)}")
+        self._handles = handles
+        self._residency = ResidencyManager(
+            handles, _snapshot_loader, memory_budget=memory_budget
+        )
+        #: the root spec sharding was derived from (None for hand-assembled)
+        self.spec = spec
+        self.d = handles[0].meta.d
+        #: the mode shards load with ("mmap" keeps payloads zero-copy)
+        self.load_mode = load_mode
+        self._last_batch_stats: Optional[BatchStats] = None
+
+    # -- residency ---------------------------------------------------------
+    def _attach(self, shard_id: int, for_write: bool = False) -> ANNIndex:
+        """The shard's live index, loading/evicting/promoting as needed."""
+        return self._residency.attach(shard_id, for_write=for_write)
+
+    @property
+    def shards(self) -> List[ANNIndex]:
+        """Every shard's live index (attaching all of them).
+
+        The historical fully-resident surface: iterating or indexing this
+        list forces cold shards in.  Residency-aware code should go
+        through per-shard attaches instead and let the manager evict.
+        """
+        return [self._attach(i) for i in range(len(self._handles))]
+
+    def residency_stats(self) -> ResidencyStats:
+        """Hit/miss/eviction counters and per-shard occupancy."""
+        return self._residency.stats()
+
+    def pin(self, shard_id: int) -> None:
+        """Exempt one shard from budget eviction."""
+        self._residency.pin(shard_id)
+
+    def unpin(self, shard_id: int) -> None:
+        self._residency.unpin(shard_id)
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        return self._residency.memory_budget
+
     @property
     def offsets(self) -> List[int]:
         """Each shard's first global id: the running sum of the shards'
         allocated id spaces (static rows + memtable entries).  Recomputed
-        on demand because inserts and compactions resize shards."""
+        on demand because inserts and compactions resize shards; cold
+        shards answer from their manifests without attaching."""
         out: List[int] = []
         total = 0
-        for shard in self.shards:
+        for handle in self._handles:
             out.append(total)
-            total += shard.id_space
+            total += handle.id_space
         return out
 
     # -- construction ------------------------------------------------------
@@ -224,19 +345,26 @@ class ShardedANNIndex:
         return cls(built, [start for start, _ in bounds], spec=spec)
 
     # -- persistence -------------------------------------------------------
-    def save(self, path, extras=None) -> str:
-        """Snapshot every shard plus a parent manifest to a directory."""
+    def save(self, path, extras=None, format_version=None) -> str:
+        """Snapshot every shard plus a parent manifest to a directory.
+
+        ``format_version=3`` writes every shard in the raw-payload layout
+        :meth:`load` can memory-map; the default stays format v2.
+        """
         from repro import persistence
 
+        version = persistence.check_format_version(format_version)
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
         shard_dirs = []
-        for i, shard in enumerate(self.shards):
+        for i in range(self.num_shards):
             shard_dirs.append(f"shard-{i:04d}")
-            shard.save(directory / shard_dirs[-1])
+            self._attach(i).save(
+                directory / shard_dirs[-1], format_version=version
+            )
         manifest = {
             "format": persistence.FORMAT_NAME,
-            "format_version": persistence.FORMAT_VERSION,
+            "format_version": version,
             "kind": persistence.KIND_SHARDED,
             "spec": None if self.spec is None else self.spec.to_dict(),
             "shards": shard_dirs,
@@ -248,10 +376,29 @@ class ShardedANNIndex:
         return str(directory)
 
     @classmethod
-    def load(cls, path) -> "ShardedANNIndex":
-        """Load a snapshot written by :meth:`save`."""
+    def load(
+        cls,
+        path,
+        load_mode: str = "heap",
+        memory_budget: Optional[int] = None,
+        pin: Sequence[int] = (),
+    ) -> "ShardedANNIndex":
+        """Load a snapshot written by :meth:`save`.
+
+        The default (``load_mode="heap"``, no budget) attaches every
+        shard eagerly, exactly as before.  ``load_mode="mmap"`` and/or a
+        ``memory_budget`` (bytes) switch to *lazy residency*: shards
+        attach on first query, map format-v3 payloads zero-copy, and the
+        least-recently-used clean shards are evicted whenever the
+        resident total exceeds the budget.  ``pin`` names shard indexes
+        exempt from eviction.  Lazy loading requires every shard to be a
+        format-v3 snapshot (the manifest payload index is what lets cold
+        shards report sizes and id spaces without touching payload
+        files); answers are bitwise-identical in every mode.
+        """
         from repro import persistence
 
+        persistence.check_load_mode(load_mode)
         directory = Path(path)
         manifest = persistence.read_manifest(directory)
         if manifest.get("kind") != persistence.KIND_SHARDED:
@@ -259,18 +406,59 @@ class ShardedANNIndex:
                 f"snapshot {directory} holds a {manifest.get('kind')!r}, "
                 "not a sharded index"
             )
-        shards = [
-            ANNIndex.load(directory / shard_dir) for shard_dir in manifest["shards"]
-        ]
+        lazy = load_mode == "mmap" or memory_budget is not None
+        handles: List[ShardHandle] = []
+        for i, shard_dir in enumerate(manifest["shards"]):
+            shard_path = directory / shard_dir
+            shard_manifest = persistence.read_manifest(shard_path)
+            shard_version = int(shard_manifest["format_version"])
+            if lazy and shard_version < persistence.MMAP_FORMAT_VERSION:
+                raise persistence.IndexPersistenceError(
+                    f"shard snapshot {shard_path} is format v{shard_version}; "
+                    f"lazy out-of-core loading (load_mode='mmap' or a "
+                    f"memory_budget) needs format "
+                    f"v{persistence.MMAP_FORMAT_VERSION} — re-save with "
+                    f"save(..., format_version="
+                    f"{persistence.MMAP_FORMAT_VERSION})"
+                )
+            if lazy:
+                handle = ShardHandle(
+                    shard_id=i,
+                    meta=_meta_from_manifest(shard_path, shard_manifest),
+                    path=shard_path,
+                    load_mode=load_mode,
+                )
+            else:
+                index = ANNIndex.load(shard_path, load_mode=load_mode)
+                handle = ShardHandle(
+                    shard_id=i,
+                    meta=_meta_from_index(index),
+                    path=shard_path,
+                    load_mode=load_mode,
+                    index=index,
+                )
+            handles.append(handle)
+        for shard_id in pin:
+            handles[int(shard_id)].pinned = True
         spec_dict = manifest.get("spec")
         spec = None if spec_dict is None else IndexSpec.from_dict(spec_dict)
-        return cls(shards, manifest["offsets"], spec=spec)
+        self = cls.__new__(cls)
+        self._init_state(
+            handles, spec=spec, memory_budget=memory_budget, load_mode=load_mode
+        )
+        supplied = [int(o) for o in manifest["offsets"]]
+        if supplied != self.offsets:
+            raise persistence.IndexPersistenceError(
+                f"snapshot {directory} offsets {supplied} do not match the "
+                f"shards' id spaces (expected {self.offsets})"
+            )
+        return self
 
     # -- querying ----------------------------------------------------------
     def _coerce_batch(self, queries: Union[np.ndarray, list]) -> np.ndarray:
         arr = np.asarray(queries)
         if arr.size == 0:
-            return np.empty((0, self.shards[0].database.word_count), dtype=np.uint64)
+            return np.empty((0, packed_words(self.d)), dtype=np.uint64)
         if arr.dtype != np.uint64:
             if arr.ndim == 1:
                 arr = arr[None, :]
@@ -292,12 +480,20 @@ class ShardedANNIndex:
         distance to the query; the smallest distance wins (ties: smallest
         global row id).  Shards run in parallel rounds, so merged
         accounting sums probes and takes the max of rounds.
+
+        Shards attach (and, under a memory budget, evict each other) one
+        at a time as the fan-out walks them — per-shard stats are
+        captured inside the walk, while the shard is certainly resident.
         """
         arr = self._coerce_batch(queries)
         offsets = self.offsets
-        per_shard = [shard.query_batch(arr, prefetch=prefetch) for shard in self.shards]
-        shard_stats = [shard.last_batch_stats for shard in self.shards]
-        inner = self.shards[0].scheme.scheme_name
+        per_shard: List[List[QueryResult]] = []
+        shard_stats: List[Optional[BatchStats]] = []
+        for si in range(self.num_shards):
+            shard = self._attach(si)
+            per_shard.append(shard.query_batch(arr, prefetch=prefetch))
+            shard_stats.append(shard.last_batch_stats)
+        inner = self._handles[0].scheme_name
         scheme_name = self.scheme_label
         merged: List[QueryResult] = []
         total_rounds = 0
@@ -317,7 +513,7 @@ class ShardedANNIndex:
                     best = (dist, global_id, si, res)
             total_rounds += accountant.total_rounds
             meta = {
-                "shards": len(self.shards),
+                "shards": self.num_shards,
                 "shards_answered": answered,
                 "inner": inner,
             }
@@ -359,8 +555,34 @@ class ShardedANNIndex:
 
     # -- mutation ----------------------------------------------------------
     def _coerce_rows(self, points) -> np.ndarray:
-        """Packed ``(m, W)`` rows (delegates to a shard's coercion)."""
-        return self.shards[0]._coerce_rows(points)
+        """Packed ``(m, W)`` rows from bits/(packed) points of any shape.
+
+        Standalone (mirrors :meth:`ANNIndex._coerce_rows`) so that shaping
+        an input batch never forces a cold shard to attach.
+        """
+        if isinstance(points, PackedPoints):
+            if points.d != self.d:
+                raise ValueError(
+                    f"points have d={points.d}, index has d={self.d}"
+                )
+            return points.words
+        arr = np.asarray(points)
+        if arr.dtype == np.uint64:
+            if arr.ndim == 1:
+                arr = arr[None, :]
+            if arr.ndim != 2 or arr.shape[1] != packed_words(self.d):
+                raise ValueError(
+                    f"packed rows need shape (m, {packed_words(self.d)}), "
+                    f"got {arr.shape}"
+                )
+            return arr
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(
+                f"bit rows need shape (m, {self.d}), got {arr.shape}"
+            )
+        return pack_bits(arr.astype(np.uint8), self.d)
 
     def insert(self, points) -> List[int]:
         """Insert points, each routed to the shard with the fewest live
@@ -370,21 +592,23 @@ class ShardedANNIndex:
         a batch spreads across shards as their live counts equalize —
         and each shard may run its own amortized compaction, so the
         returned ids are computed against the post-insert offsets.
+        Receiving shards attach for write: a clean mmap'd shard is
+        promoted to heap first (see :mod:`repro.storage.residency`).
         """
         rows = self._coerce_rows(points)
         if rows.shape[0] == 0:
             return []
-        live = [len(shard) for shard in self.shards]
-        routed: List[List[np.ndarray]] = [[] for _ in self.shards]
+        live = [handle.live_count for handle in self._handles]
+        routed: List[List[np.ndarray]] = [[] for _ in self._handles]
         routing: List[Tuple[int, int]] = []  # input row -> (shard, batch pos)
         for i in range(rows.shape[0]):
-            si = min(range(len(self.shards)), key=lambda s: (live[s], s))
+            si = min(range(len(self._handles)), key=lambda s: (live[s], s))
             routing.append((si, len(routed[si])))
             routed[si].append(rows[i])
             live[si] += 1
         local_ids: List[List[int]] = [
-            shard.insert(np.vstack(batch)) if batch else []
-            for shard, batch in zip(self.shards, routed)
+            self._attach(si, for_write=True).insert(np.vstack(batch)) if batch else []
+            for si, batch in enumerate(routed)
         ]
         offsets = self.offsets
         return [offsets[si] + local_ids[si][pos] for si, pos in routing]
@@ -398,10 +622,10 @@ class ShardedANNIndex:
         """
         gid = int(global_id)
         offsets = self.offsets if offsets is None else offsets
-        for si in range(len(self.shards) - 1, -1, -1):
+        for si in range(len(self._handles) - 1, -1, -1):
             if offsets[si] <= gid:
                 local = gid - offsets[si]
-                if local >= self.shards[si].id_space:
+                if local >= self._handles[si].id_space:
                     break
                 return si, local
         raise ValueError(f"id {gid} out of range [0, {self.id_space})")
@@ -412,20 +636,23 @@ class ShardedANNIndex:
         Ids are mapped to ``(shard, local id)`` through the current
         offsets and pre-validated across every shard before any shard is
         touched, so a bad id leaves the whole sharded index unchanged.
+        (Validation needs each target shard's mutation state, so targets
+        attach read-only during the check and for-write only once the
+        whole batch is known good.)
         """
         arr = coerce_delete_ids(ids)
         if arr.size == 0:
             return 0
         offsets = self.offsets
-        per_shard: List[List[int]] = [[] for _ in self.shards]
+        per_shard: List[List[int]] = [[] for _ in self._handles]
         for gid in arr:
             si, local = self._locate(gid, offsets)
-            if not self.shards[si].is_live(local):
+            if not self._attach(si).is_live(local):
                 raise ValueError(f"id {int(gid)} is already deleted")
             per_shard[si].append(local)
-        for shard, locals_ in zip(self.shards, per_shard):
+        for si, locals_ in enumerate(per_shard):
             if locals_:
-                shard.delete(locals_)
+                self._attach(si, for_write=True).delete(locals_)
         return int(arr.size)
 
     def compact(self) -> List[int]:
@@ -433,21 +660,30 @@ class ShardedANNIndex:
 
         Raises if some dirty shard cannot rebuild (e.g. fewer than 2 live
         rows); shards already compacted before the error stay compacted.
+        Shards with nothing to compact attach read-only (the no-op
+        :meth:`ANNIndex.compact` does not diverge them from their
+        snapshots, so they stay evictable).
         """
-        return [shard.compact() for shard in self.shards]
+        generations: List[int] = []
+        for si in range(self.num_shards):
+            shard = self._attach(si)
+            if shard.mutation.dirty_count:
+                shard = self._attach(si, for_write=True)
+            generations.append(shard.compact())
+        return generations
 
     @property
     def generations(self) -> List[int]:
         """Each shard's compaction generation."""
-        return [shard.generation for shard in self.shards]
+        return [handle.generation for handle in self._handles]
 
     @property
     def live_count(self) -> int:
-        return sum(shard.live_count for shard in self.shards)
+        return sum(handle.live_count for handle in self._handles)
 
     @property
     def id_space(self) -> int:
-        return sum(shard.id_space for shard in self.shards)
+        return sum(handle.id_space for handle in self._handles)
 
     def is_live(self, global_id: int) -> bool:
         """Whether a global id currently resolves to a searchable row."""
@@ -455,29 +691,30 @@ class ShardedANNIndex:
             si, local = self._locate(global_id)
         except ValueError:
             return False
-        return self.shards[si].is_live(local)
+        return self._attach(si).is_live(local)
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self.shards)
+        return sum(handle.live_count for handle in self._handles)
 
     @property
     def num_shards(self) -> int:
-        return len(self.shards)
+        return len(self._handles)
 
     @property
     def scheme_label(self) -> str:
         """The scheme name merged results carry: ``sharded(<inner>×S)``."""
-        return f"sharded({self.shards[0].scheme.scheme_name}×{len(self.shards)})"
+        return f"sharded({self._handles[0].scheme_name}×{len(self._handles)})"
 
     def size_report(self) -> SchemeSizeReport:
-        """Combined logical size accounting across all shards."""
-        reports = [shard.size_report() for shard in self.shards]
+        """Combined logical size accounting across all shards (attaches
+        every shard — sizes come from the live schemes)."""
+        reports = [self._attach(i).size_report() for i in range(self.num_shards)]
         return SchemeSizeReport(
             table_cells=sum(r.table_cells for r in reports),
             word_bits=max(r.word_bits for r in reports),
             table_names=[
                 (f"shard{i}", r.table_cells) for i, r in enumerate(reports)
             ],
-            notes=f"{len(reports)} shards of {self.shards[0].scheme.scheme_name}",
+            notes=f"{len(reports)} shards of {self._handles[0].scheme_name}",
         )

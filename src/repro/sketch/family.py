@@ -145,6 +145,35 @@ class SketchFamily:
                     "rebuilt from the manifest seed"
                 )
 
+    def adopt_arrays(self, arrays: dict) -> None:
+        """Install stored masks as this family's sketches, trusting the
+        payload instead of rebuilding it from the RNG tree.
+
+        The out-of-core counterpart of :meth:`restore_arrays`: the stored
+        mask is the randomness the index actually probed with, and
+        regenerating every level to verify it would read each (possibly
+        memory-mapped) mask in full and burn the RNG work the zero-copy
+        load exists to skip.  Shape and dtype are still checked per level;
+        content is adopted as-is, so answers follow the snapshot's coins
+        bit for bit.
+        """
+        for key, mask in arrays.items():
+            kind, _, level = key.partition("/")
+            i = self._check_level(int(level))
+            p = bernoulli_rate(self.alpha, i)
+            if kind == "accurate":
+                self._accurate[i] = ParitySketch.from_mask(
+                    self.accurate_rows, self.d, p, mask
+                )
+            elif kind == "coarse":
+                if self.coarse_rows is None:
+                    raise ValueError("coarse mask for a family without coarse sketches")
+                self._coarse[i] = ParitySketch.from_mask(
+                    self.coarse_rows, self.d, p, mask
+                )
+            else:
+                raise ValueError(f"unknown sketch-family array key {key!r}")
+
     # -- query-side helpers --------------------------------------------------
     def accurate_address(self, i: int, x: np.ndarray) -> tuple:
         """``M_i x`` as a hashable table address (tuple of packed words)."""

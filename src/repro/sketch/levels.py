@@ -103,6 +103,35 @@ class LevelSketches:
                 )
             cache[i] = payload
 
+    def adopt_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Install the per-level database-sketch caches trusting the payload.
+
+        The out-of-core counterpart of :meth:`restore_arrays`: the
+        spot-check would sketch a few database rows through the family
+        masks, which reads every (possibly memory-mapped) mask in full —
+        exactly the page-in the zero-copy load avoids.  Shapes and dtypes
+        are still validated against the (adopted) family; contents are
+        admitted as-is and page in lazily at the levels a query probes.
+        """
+        n = len(self.database)
+        for key, arr in arrays.items():
+            kind, _, level = key.partition("/")
+            cache = {"accurate_db": self._accurate_db, "coarse_db": self._coarse_db}.get(kind)
+            if cache is None:
+                raise ValueError(f"unknown level-sketch array key {key!r}")
+            i = int(level)
+            sketch = (
+                self.family.accurate(i) if kind == "accurate_db" else self.family.coarse(i)
+            )
+            payload = np.asarray(arr)
+            if payload.dtype != np.uint64 or payload.shape != (n, sketch.out_words):
+                raise ValueError(
+                    f"snapshot database sketches {key!r} have dtype "
+                    f"{payload.dtype} shape {payload.shape}, expected uint64 "
+                    f"{(n, sketch.out_words)}"
+                )
+            cache[i] = payload
+
     def materialize_all(self) -> None:
         """Compute every level's database sketches now (build-time warm-up;
         this is the real preprocessing cost the lazy path defers)."""

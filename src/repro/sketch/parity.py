@@ -60,6 +60,40 @@ class ParitySketch:
         self.out_words = packed_words(rows)
         self._out_tail = np.uint64(tail_mask(rows))
 
+    @classmethod
+    def from_mask(
+        cls, rows: int, d: int, p: float, mask: np.ndarray
+    ) -> "ParitySketch":
+        """Adopt an already-packed mask without regenerating it from RNG.
+
+        The trusted counterpart of ``__init__`` for zero-copy snapshot
+        loads: the stored mask *is* the public randomness the index was
+        built with, so it is installed as-is (shape- and dtype-checked
+        against the parameters, content untouched).  ``mask`` may be a
+        read-only memmap; it is never copied or written.
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if not (0.0 <= p <= 0.5):
+            raise ValueError(f"p must be in [0, 1/2], got {p}")
+        mask = np.asarray(mask)
+        if mask.dtype != np.uint64 or mask.shape != (int(rows), packed_words(d)):
+            raise ValueError(
+                f"mask payload has dtype {mask.dtype} shape {mask.shape}, "
+                f"expected uint64 {(int(rows), packed_words(d))}"
+            )
+        obj = cls.__new__(cls)
+        obj.rows = int(rows)
+        obj.d = int(d)
+        obj.p = float(p)
+        obj._mask = mask
+        obj.in_words = packed_words(d)
+        obj.out_words = packed_words(rows)
+        obj._out_tail = np.uint64(tail_mask(rows))
+        return obj
+
     @property
     def mask(self) -> np.ndarray:
         """The packed mask rows (read-only use only)."""

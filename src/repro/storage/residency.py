@@ -1,0 +1,285 @@
+"""Per-shard residency: lazy attach, LRU eviction, write promotion.
+
+:class:`ResidencyManager` owns the set of :class:`ShardHandle` objects a
+:class:`~repro.service.sharded.ShardedANNIndex` serves from.  A handle is
+either **attached** (its :class:`~repro.core.index.ANNIndex` is live in
+this process) or **cold** (only the snapshot-manifest metadata is held —
+row counts, id space, payload bytes — so routing, offsets, and ``len()``
+work without touching a payload file).
+
+The contract, in order of precedence:
+
+* **Attach on demand.**  ``attach(i)`` loads a cold shard through the
+  injected loader (a snapshot load, heap or mmap) and counts a *miss*;
+  an already-attached shard counts a *hit*.  Every attach stamps the
+  handle with a logical clock — the LRU order is by last use, not wall
+  time.
+* **Budget.**  When ``memory_budget`` is set and the resident total
+  exceeds it after an attach, evictable shards are detached in LRU
+  order until the total fits (or nothing evictable remains — the shard
+  just attached is never evicted to make room for itself, so a budget
+  smaller than one shard degrades to "one shard at a time" instead of
+  thrashing or failing).  A shard's resident size is its payload bytes
+  from the manifest — the bytes it occupies fully paged-in — identical
+  for heap and mmap loads, so budget arithmetic does not depend on which
+  pages the OS happens to have faulted in.
+* **Never evict state that exists nowhere else.**  Evictable means: the
+  handle has a snapshot path to reload from, is not pinned, and is not
+  *dirty*.  Dirty — attached for write at least once — marks in-memory
+  state that has diverged from the snapshot (memtable inserts,
+  tombstones, compactions); evicting it would lose writes.
+* **Writes promote mmap to heap.**  ``attach(i, for_write=True)`` on a
+  clean mmap-loaded shard first reloads it heap-resident (copy-on-write
+  at shard granularity), then marks it dirty.  Promotion is sound
+  exactly while the shard is clean: its in-memory state equals the
+  snapshot, so a fresh heap load answers bitwise-identically.  After
+  the first write the shard is dirty and stays attached, so the
+  question never arises again.  (A clean *heap* shard skips the reload
+  and is just marked dirty.)
+
+The loader is injected (``loader(handle) -> ANNIndex``), so the eviction
+policy is unit-testable with stub indexes — see
+``tests/storage/test_residency.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ResidencyManager", "ResidencyStats", "ShardHandle", "ShardMeta"]
+
+
+@dataclass(frozen=True)
+class ShardMeta:
+    """Cold facts about a shard, read from its snapshot manifest.
+
+    Valid whenever the shard is detached: a shard can only diverge from
+    its snapshot by being written, writes mark it dirty, and dirty shards
+    are never evicted — so a cold shard always matches its manifest.
+    """
+
+    n: int
+    d: int
+    live_n: int
+    generation: int
+    id_space: int
+    scheme_name: str
+    nbytes: int
+
+
+@dataclass
+class ShardHandle:
+    """One shard's residency state: an attached index or a cold snapshot."""
+
+    shard_id: int
+    meta: ShardMeta
+    path: Optional[Path] = None
+    load_mode: str = "heap"
+    index: Optional[object] = None  # the attached ANNIndex, if any
+    pinned: bool = False
+    dirty: bool = False
+    last_used: int = 0
+    heap_promoted: bool = False
+
+    @property
+    def attached(self) -> bool:
+        return self.index is not None
+
+    @property
+    def evictable(self) -> bool:
+        """Whether detaching would lose nothing: reloadable, unpinned, clean."""
+        return self.attached and self.path is not None and not self.pinned and not self.dirty
+
+    # -- cold-safe accessors (prefer live state, fall back to manifest) ----
+    @property
+    def live_count(self) -> int:
+        return self.index.live_count if self.index is not None else self.meta.live_n
+
+    @property
+    def id_space(self) -> int:
+        return self.index.id_space if self.index is not None else self.meta.id_space
+
+    @property
+    def generation(self) -> int:
+        return self.index.generation if self.index is not None else self.meta.generation
+
+    @property
+    def scheme_name(self) -> str:
+        if self.index is not None:
+            return self.index.scheme.scheme_name
+        return self.meta.scheme_name
+
+    @property
+    def nbytes(self) -> int:
+        return self.meta.nbytes
+
+
+@dataclass(frozen=True)
+class ResidencyStats:
+    """A point-in-time snapshot of the manager's counters and occupancy."""
+
+    shards: int
+    attached: int
+    resident_bytes: int
+    memory_budget: Optional[int]
+    hits: int
+    misses: int
+    evictions: int
+    promotions: int
+    per_shard: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the serving layer's ``stats``/``info`` verbs)."""
+        return {
+            "shards": self.shards,
+            "attached": self.attached,
+            "resident_bytes": self.resident_bytes,
+            "memory_budget": self.memory_budget,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "promotions": self.promotions,
+            "per_shard": list(self.per_shard),
+        }
+
+
+class ResidencyManager:
+    """LRU residency over a fixed set of shard handles."""
+
+    def __init__(
+        self,
+        handles: Sequence[ShardHandle],
+        loader: Callable[[ShardHandle], object],
+        memory_budget: Optional[int] = None,
+        heap_loader: Optional[Callable[[ShardHandle], object]] = None,
+    ):
+        if memory_budget is not None and memory_budget <= 0:
+            raise ValueError(f"memory_budget must be positive, got {memory_budget}")
+        self._handles = list(handles)
+        self._loader = loader
+        # Promotion loads the same snapshot heap-resident; by default the
+        # main loader is reused with the handle's load_mode switched.
+        self._heap_loader = heap_loader
+        self.memory_budget = memory_budget
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.promotions = 0
+
+    # -- core protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    @property
+    def handles(self) -> List[ShardHandle]:
+        return self._handles
+
+    def handle(self, shard_id: int) -> ShardHandle:
+        return self._handles[shard_id]
+
+    def attach(self, shard_id: int, for_write: bool = False):
+        """The shard's live index, loading (and evicting) as needed."""
+        handle = self._handles[shard_id]
+        if handle.index is None:
+            if handle.path is None:
+                raise RuntimeError(
+                    f"shard {shard_id} is detached and has no snapshot to "
+                    "reload from"
+                )
+            self.misses += 1
+            handle.index = self._loader(handle)
+        else:
+            self.hits += 1
+        if for_write:
+            self._mark_written(handle)
+        self._touch(handle)
+        self._enforce_budget(keep=shard_id)
+        return handle.index
+
+    def _mark_written(self, handle: ShardHandle) -> None:
+        """Dirty the handle, promoting a clean mmap shard to heap first.
+
+        Promotion must precede the write that is about to happen: a heap
+        reload is bitwise-equivalent only while in-memory state still
+        equals the snapshot.
+        """
+        if not handle.dirty and handle.load_mode == "mmap" and handle.path is not None:
+            loader = self._heap_loader or self._loader
+            original_mode = handle.load_mode
+            handle.load_mode = "heap"
+            try:
+                handle.index = loader(handle)
+            finally:
+                if self._heap_loader is not None:
+                    handle.load_mode = original_mode
+            handle.heap_promoted = True
+            self.promotions += 1
+        handle.dirty = True
+
+    def _touch(self, handle: ShardHandle) -> None:
+        self._clock += 1
+        handle.last_used = self._clock
+
+    def evict(self, shard_id: int) -> bool:
+        """Detach one shard; False when it is not evictable."""
+        handle = self._handles[shard_id]
+        if not handle.evictable:
+            return False
+        handle.index = None
+        self.evictions += 1
+        return True
+
+    def pin(self, shard_id: int) -> None:
+        """Exempt a shard from eviction (it still attaches lazily)."""
+        self._handles[shard_id].pinned = True
+
+    def unpin(self, shard_id: int) -> None:
+        self._handles[shard_id].pinned = False
+
+    # -- budget ------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return sum(h.nbytes for h in self._handles if h.attached)
+
+    def _enforce_budget(self, keep: Optional[int] = None) -> None:
+        if self.memory_budget is None:
+            return
+        while self.resident_bytes > self.memory_budget:
+            victims = [
+                h
+                for h in self._handles
+                if h.evictable and h.shard_id != keep
+            ]
+            if not victims:
+                return  # nothing left to give back; stay best-effort
+            victim = min(victims, key=lambda h: h.last_used)
+            self.evict(victim.shard_id)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> ResidencyStats:
+        per_shard = [
+            {
+                "shard": h.shard_id,
+                "attached": h.attached,
+                "load_mode": h.load_mode,
+                "nbytes": h.nbytes,
+                "pinned": h.pinned,
+                "dirty": h.dirty,
+                "last_used": h.last_used,
+            }
+            for h in self._handles
+        ]
+        return ResidencyStats(
+            shards=len(self._handles),
+            attached=sum(h.attached for h in self._handles),
+            resident_bytes=self.resident_bytes,
+            memory_budget=self.memory_budget,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            promotions=self.promotions,
+            per_shard=per_shard,
+        )

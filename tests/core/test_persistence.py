@@ -20,6 +20,7 @@ from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
 from repro.persistence import (
     FORMAT_VERSION,
+    MAX_FORMAT_VERSION,
     IndexPersistenceError,
     load_any,
     load_index,
@@ -143,7 +144,7 @@ class TestManifest:
         )
         manifest_path = tmp_path / "idx" / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
-        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest["format_version"] = MAX_FORMAT_VERSION + 1
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(IndexPersistenceError, match="unsupported index format version"):
             ANNIndex.load(tmp_path / "idx")

@@ -1,0 +1,208 @@
+"""Unit suite for :class:`repro.storage.residency.ResidencyManager`.
+
+These tests drive the eviction policy with stub indexes through the
+injected loader — no snapshots, no schemes — so the LRU order, the
+budget arithmetic, the pinned/dirty exemptions, and the
+write-promotes-to-heap rule are each pinned down in isolation.  The
+integration-level guarantee (evicted-and-reattached shards answer
+bitwise-identically) lives in ``tests/storage/test_mmap_equivalence.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.storage.residency import ResidencyManager, ShardHandle, ShardMeta
+
+
+class StubIndex:
+    """Just enough of an ANNIndex for the manager's accessors."""
+
+    def __init__(self, shard_id, load_mode):
+        self.shard_id = shard_id
+        self.load_mode = load_mode
+        self.live_count = 10
+        self.id_space = 10
+        self.generation = 0
+
+
+def make_manager(
+    shards=4,
+    nbytes=100,
+    budget=None,
+    load_mode="mmap",
+    with_paths=True,
+):
+    loads = []
+
+    def loader(handle):
+        loads.append((handle.shard_id, handle.load_mode))
+        return StubIndex(handle.shard_id, handle.load_mode)
+
+    handles = [
+        ShardHandle(
+            shard_id=i,
+            meta=ShardMeta(
+                n=10,
+                d=64,
+                live_n=10,
+                generation=0,
+                id_space=10,
+                scheme_name="stub",
+                nbytes=nbytes,
+            ),
+            path=Path(f"/fake/shard-{i:04d}") if with_paths else None,
+            load_mode=load_mode,
+        )
+        for i in range(shards)
+    ]
+    return ResidencyManager(handles, loader, memory_budget=budget), loads
+
+
+class TestAttach:
+    def test_first_attach_is_a_miss_second_a_hit(self):
+        mgr, loads = make_manager()
+        first = mgr.attach(0)
+        again = mgr.attach(0)
+        assert first is again
+        assert loads == [(0, "mmap")]
+        assert (mgr.misses, mgr.hits) == (1, 1)
+
+    def test_attach_without_index_or_path_fails_clearly(self):
+        mgr, _ = make_manager(with_paths=False)
+        with pytest.raises(RuntimeError, match="no snapshot to reload from"):
+            mgr.attach(0)
+
+    def test_resident_bytes_track_attached_handles(self):
+        mgr, _ = make_manager(shards=3, nbytes=50)
+        assert mgr.resident_bytes == 0
+        mgr.attach(0)
+        mgr.attach(2)
+        assert mgr.resident_bytes == 100
+        assert mgr.stats().attached == 2
+
+
+class TestEvictionOrder:
+    def test_lru_shard_is_evicted_first(self):
+        # Budget fits two shards; touching 0 last should evict 1.
+        mgr, _ = make_manager(shards=3, nbytes=100, budget=200)
+        mgr.attach(0)
+        mgr.attach(1)
+        mgr.attach(0)  # refresh 0's clock: LRU order is by use, not attach
+        mgr.attach(2)
+        assert not mgr.handle(1).attached
+        assert mgr.handle(0).attached and mgr.handle(2).attached
+        assert mgr.evictions == 1
+        assert mgr.resident_bytes == 200
+
+    def test_eviction_cascades_until_under_budget(self):
+        mgr, _ = make_manager(shards=4, nbytes=100, budget=100)
+        for i in range(4):
+            mgr.attach(i)
+        # Only the most recent attach survives a one-shard budget.
+        assert [h.attached for h in mgr.handles] == [False, False, False, True]
+        assert mgr.evictions == 3
+
+    def test_just_attached_shard_is_never_its_own_victim(self):
+        # Budget below a single shard: attach must still succeed.
+        mgr, _ = make_manager(shards=2, nbytes=100, budget=50)
+        index = mgr.attach(0)
+        assert index is not None
+        assert mgr.handle(0).attached
+        assert mgr.evictions == 0
+        mgr.attach(1)  # now 0 is evictable and over-budget
+        assert not mgr.handle(0).attached
+        assert mgr.handle(1).attached
+
+    def test_reattach_after_eviction_reloads(self):
+        mgr, loads = make_manager(shards=2, nbytes=100, budget=100)
+        mgr.attach(0)
+        mgr.attach(1)
+        mgr.attach(0)
+        assert [sid for sid, _ in loads] == [0, 1, 0]
+        assert (mgr.misses, mgr.evictions) == (3, 2)
+
+
+class TestExemptions:
+    def test_pinned_shards_are_not_evicted(self):
+        mgr, _ = make_manager(shards=3, nbytes=100, budget=200)
+        mgr.pin(0)
+        mgr.attach(0)
+        mgr.attach(1)
+        mgr.attach(2)
+        assert mgr.handle(0).attached  # LRU but pinned
+        assert not mgr.handle(1).attached
+        assert mgr.handle(2).attached
+
+    def test_unpin_restores_evictability(self):
+        mgr, _ = make_manager(shards=2, nbytes=100, budget=100)
+        mgr.pin(0)
+        mgr.attach(0)
+        mgr.unpin(0)
+        mgr.attach(1)
+        assert not mgr.handle(0).attached
+
+    def test_dirty_shards_are_not_evicted(self):
+        mgr, _ = make_manager(shards=3, nbytes=100, budget=200, load_mode="heap")
+        mgr.attach(0, for_write=True)  # dirty: state exists nowhere else
+        mgr.attach(1)
+        mgr.attach(2)
+        assert mgr.handle(0).attached
+        assert not mgr.handle(1).attached
+
+    def test_manual_evict_refuses_pinned_dirty_and_detached(self):
+        mgr, _ = make_manager(shards=3, load_mode="heap")
+        mgr.pin(0)
+        mgr.attach(0)
+        mgr.attach(1, for_write=True)
+        assert not mgr.evict(0)  # pinned
+        assert not mgr.evict(1)  # dirty
+        assert not mgr.evict(2)  # not attached
+        mgr.unpin(0)
+        assert mgr.evict(0)
+        assert mgr.evictions == 1
+
+
+class TestWritePromotion:
+    def test_first_write_promotes_mmap_to_heap(self):
+        mgr, loads = make_manager(load_mode="mmap")
+        mgr.attach(0)
+        index = mgr.attach(0, for_write=True)
+        assert index.load_mode == "heap"
+        assert loads == [(0, "mmap"), (0, "heap")]
+        assert mgr.promotions == 1
+        handle = mgr.handle(0)
+        assert handle.dirty and handle.heap_promoted
+        assert handle.load_mode == "heap"
+
+    def test_second_write_does_not_promote_again(self):
+        mgr, loads = make_manager(load_mode="mmap")
+        mgr.attach(0, for_write=True)
+        mgr.attach(0, for_write=True)
+        assert mgr.promotions == 1
+        assert len(loads) == 2  # initial mmap load + one heap promotion
+
+    def test_heap_shard_write_skips_promotion(self):
+        mgr, loads = make_manager(load_mode="heap")
+        mgr.attach(0, for_write=True)
+        assert mgr.promotions == 0
+        assert loads == [(0, "heap")]
+        assert mgr.handle(0).dirty
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self):
+        mgr, _ = make_manager(shards=2, nbytes=70, budget=500)
+        mgr.attach(1)
+        stats = mgr.stats()
+        assert (stats.shards, stats.attached) == (2, 1)
+        assert stats.resident_bytes == 70
+        assert stats.memory_budget == 500
+        payload = stats.to_dict()
+        assert payload["per_shard"][1]["attached"] is True
+        assert payload["per_shard"][0]["attached"] is False
+        assert payload["per_shard"][1]["nbytes"] == 70
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="memory_budget"):
+            make_manager(budget=0)
