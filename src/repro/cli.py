@@ -524,6 +524,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.devtools import (
+        ALL_CHECKERS,
+        baseline_payload,
+        format_json,
+        format_text,
+        load_baseline,
+        rule_ids,
+        run_lint,
+    )
+
+    if args.select:
+        valid = rule_ids()
+        for rule in args.select:
+            if rule.upper() not in valid:
+                raise SystemExit(
+                    f"unknown lint rule {rule!r}; available: {', '.join(valid)}"
+                )
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    if not root.is_dir():
+        raise SystemExit(f"lint root {root} is not a directory")
+    baseline = load_baseline(Path(args.baseline)) if args.baseline else None
+    result = run_lint(root, ALL_CHECKERS, select=args.select, baseline=baseline)
+    if args.write_baseline:
+        import json as _json
+
+        Path(args.write_baseline).write_text(
+            _json.dumps(baseline_payload(result), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return 0 if result.clean else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Limited-adaptivity ANNS reproduction experiments"
@@ -688,6 +727,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("demo", help="run the quickstart example")
     p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: check project invariants (see docs/DEVTOOLS.md)",
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="package tree to lint (default: the installed repro package)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, e.g. --select R002)",
+    )
+    p.add_argument("--baseline", metavar="FILE",
+                   help="JSON baseline of grandfathered findings to ignore")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="write the current findings out as a baseline file")
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,34 @@
+"""Static-analysis tooling (``repro lint``) for project invariants.
+
+See :mod:`repro.devtools.framework` for the checker machinery,
+:mod:`repro.devtools.rules` for the R001–R006 rule suite, and
+``docs/DEVTOOLS.md`` for the catalog and the add-a-rule recipe.
+"""
+
+from repro.devtools.framework import (
+    Checker,
+    Finding,
+    LintContext,
+    LintResult,
+    baseline_payload,
+    format_json,
+    format_text,
+    load_baseline,
+    run_lint,
+)
+from repro.devtools.rules import ALL_CHECKERS, checker_for, rule_ids
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "baseline_payload",
+    "checker_for",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,482 @@
+"""AST-based lint framework for project-invariant static analysis.
+
+The serving/persistence/storage layers promise invariants (deterministic
+RNG flow, adopt-never-reads-payload, async handlers never block, typed
+error taxonomies, wire-verb agreement) that tests can only check by
+executing the offending line.  This module provides the machinery to
+check them *statically*: parse every module under a root into an
+``ast`` tree, hand the whole tree set to pluggable :class:`Checker`
+subclasses, and report :class:`Finding`s with file:line pointers.
+
+Key pieces:
+
+- :class:`LintContext` — all parsed modules plus cross-module helpers
+  (class index, import resolution, MRO-style ancestor walks, docs
+  discovery) that rules share.
+- :class:`Checker` — base class; subclasses set ``RULE``/``NAME`` and
+  implement :meth:`Checker.check`.
+- Suppressions — a ``# repro-lint: disable=R003 <reason>`` comment on
+  the finding's line suppresses that rule there.  The reason is
+  mandatory: a bare ``disable=`` comment suppresses nothing and itself
+  becomes an ``R000`` finding.
+- Baseline — a JSON file of grandfathered findings matched on
+  ``(rule, path, message)`` (line-insensitive, so unrelated edits that
+  shift lines do not resurrect old findings).
+
+See ``docs/DEVTOOLS.md`` for the rule catalog and the recipe for
+adding a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "LintContext",
+    "Checker",
+    "LintResult",
+    "run_lint",
+    "load_baseline",
+    "baseline_payload",
+    "format_text",
+    "format_json",
+    "attr_chain",
+]
+
+# Rule id reserved for framework-level hygiene findings (malformed
+# suppression comments, unparseable files).  It cannot be suppressed.
+META_RULE = "R000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]*?)(?:\s+(\S.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule: str
+    name: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source module under the lint root."""
+
+    rel: str  # posix-style path relative to the lint root
+    abspath: Path
+    source: str
+    tree: Optional[ast.Module]  # None when the file failed to parse
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def parsed(self) -> bool:
+        return self.tree is not None
+
+
+def attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """Flatten ``a.b.c`` into ``("a", "b", "c")``; empty if not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _imports_in(nodes: Iterable[ast.stmt]) -> Dict[str, Tuple[str, str]]:
+    """Map local alias -> (module, original name) for ``from X import Y``.
+
+    Only ``ImportFrom`` feeds class resolution; plain ``import X`` binds a
+    module object, which cannot appear as a bare base-class name.
+    """
+    out: Dict[str, Tuple[str, str]] = {}
+    for stmt in nodes:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                out[local] = (stmt.module, alias.name)
+    return out
+
+
+class LintContext:
+    """All parsed modules under a root, plus cross-module lookups."""
+
+    def __init__(self, root: Path, docs_dir: Optional[Path] = None) -> None:
+        self.root = Path(root).resolve()
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.parse_failures: List[Finding] = []
+        self._load_modules()
+        self.docs_dir = docs_dir if docs_dir is not None else self._find_docs_dir()
+        # (module_rel, class_name) -> ClassDef, top-level classes only.
+        self._class_index: Dict[Tuple[str, str], ast.ClassDef] = {}
+        self._module_imports: Dict[str, Dict[str, Tuple[str, str]]] = {}
+        self._build_class_index()
+
+    # ------------------------------------------------------------------
+    # loading
+
+    def _load_modules(self) -> None:
+        for path in sorted(self.root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree: Optional[ast.Module] = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                tree = None
+                self.parse_failures.append(
+                    Finding(
+                        rule=META_RULE,
+                        name="parse-error",
+                        message=f"file does not parse: {exc.msg}",
+                        path=rel,
+                        line=exc.lineno or 1,
+                    )
+                )
+            self.modules[rel] = ModuleInfo(
+                rel=rel,
+                abspath=path,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+            )
+
+    def _find_docs_dir(self) -> Optional[Path]:
+        """Locate the docs/ directory belonging to this tree.
+
+        Searches the root itself, then up to two parents — covers both the
+        real layout (root=src/repro, docs at repo/docs) and self-contained
+        fixture trees (docs inside the fixture root).
+        """
+        candidates = [self.root, self.root.parent, self.root.parent.parent]
+        for base in candidates:
+            docs = base / "docs"
+            if docs.is_dir():
+                return docs
+        return None
+
+    # ------------------------------------------------------------------
+    # cross-module class resolution
+
+    def _build_class_index(self) -> None:
+        for rel, mod in self.modules.items():
+            if mod.tree is None:
+                continue
+            self._module_imports[rel] = _imports_in(mod.tree.body)
+            for stmt in mod.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    self._class_index[(rel, stmt.name)] = stmt
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        for mod in self.modules.values():
+            if mod.parsed:
+                yield mod
+
+    def module_rel_for(self, dotted: str) -> Optional[str]:
+        """Resolve a dotted import path to a module rel path in this tree.
+
+        Strips the root package's own name when present, so inside root
+        ``src/repro`` the name ``repro.core.algorithm1`` resolves to
+        ``core/algorithm1.py``.
+        """
+        parts = dotted.split(".")
+        pkg = self.root.name
+        if parts and parts[0] == pkg:
+            parts = parts[1:]
+        if not parts:
+            return "__init__.py" if "__init__.py" in self.modules else None
+        stem = "/".join(parts)
+        for candidate in (stem + ".py", stem + "/__init__.py"):
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def resolve_class(
+        self,
+        module_rel: str,
+        name: str,
+        local_imports: Optional[Mapping[str, Tuple[str, str]]] = None,
+    ) -> Optional[Tuple[str, ast.ClassDef]]:
+        """Find the ClassDef a bare name refers to inside ``module_rel``.
+
+        Checks function-local ``from X import Y`` bindings first (the
+        registry's factories import lazily inside the function body),
+        then module-level imports, then same-module classes.
+        """
+        for imports in (local_imports or {}, self._module_imports.get(module_rel, {})):
+            if name in imports:
+                src_module, orig = imports[name]
+                target_rel = self.module_rel_for(src_module)
+                if target_rel is None:
+                    return None
+                node = self._class_index.get((target_rel, orig))
+                if node is not None:
+                    return (target_rel, node)
+                # re-exported through a package __init__: follow one hop
+                follow = self.resolve_class(target_rel, orig)
+                if follow is not None:
+                    return follow
+                return None
+        node = self._class_index.get((module_rel, name))
+        if node is not None:
+            return (module_rel, node)
+        return None
+
+    def ancestors(
+        self, module_rel: str, class_name: str
+    ) -> List[Tuple[str, ast.ClassDef]]:
+        """The class plus every statically-resolvable base, MRO-ish order."""
+        out: List[Tuple[str, ast.ClassDef]] = []
+        seen: set = set()
+        stack: List[Tuple[str, str]] = [(module_rel, class_name)]
+        while stack:
+            mod_rel, name = stack.pop(0)
+            if (mod_rel, name) in seen:
+                continue
+            seen.add((mod_rel, name))
+            resolved = self.resolve_class(mod_rel, name)
+            if resolved is None:
+                continue
+            res_rel, node = resolved
+            out.append((res_rel, node))
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    stack.append((res_rel, base.id))
+                # Attribute bases (abc.ABC, typing.Generic) are external.
+        return out
+
+    # ------------------------------------------------------------------
+    # suppressions
+
+    def suppressions_for(self, module_rel: str) -> Dict[int, Tuple[frozenset, str]]:
+        """line -> (rule ids disabled on that line, reason)."""
+        mod = self.modules.get(module_rel)
+        if mod is None:
+            return {}
+        out: Dict[int, Tuple[frozenset, str]] = {}
+        for lineno, text in enumerate(mod.lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if m is None:
+                continue
+            rules = frozenset(
+                r.strip().upper() for r in m.group(1).split(",") if r.strip()
+            )
+            reason = (m.group(2) or "").strip()
+            out[lineno] = (rules, reason)
+        return out
+
+
+class Checker:
+    """Base class for lint rules.
+
+    Subclasses set ``RULE`` (stable id like ``"R003"``), ``NAME`` (short
+    kebab-case label) and ``DESCRIPTION``, then implement :meth:`check`
+    returning findings.  Use :meth:`finding` to build them so rule id and
+    name are filled in consistently.
+    """
+
+    RULE: str = "R999"
+    NAME: str = "unnamed"
+    DESCRIPTION: str = ""
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, message: str, path: str, node: Optional[ast.AST] = None, line: int = 1
+    ) -> Finding:
+        if node is not None:
+            line = getattr(node, "lineno", line)
+            col = getattr(node, "col_offset", 0)
+        else:
+            col = 0
+        return Finding(
+            rule=self.RULE, name=self.NAME, message=message,
+            path=path, line=line, col=col,
+        )
+
+
+@dataclass
+class LintResult:
+    root: Path
+    findings: List[Finding]
+    suppressed: int
+    baselined: int
+    rules_run: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _suppression_findings(ctx: LintContext) -> List[Finding]:
+    out = []
+    for mod in ctx.iter_modules():
+        for lineno, (rules, reason) in ctx.suppressions_for(mod.rel).items():
+            if not reason or not rules:
+                out.append(
+                    Finding(
+                        rule=META_RULE,
+                        name="suppression-hygiene",
+                        message=(
+                            "malformed suppression: "
+                            "'# repro-lint: disable=RXXX <reason>' requires both "
+                            "a rule id and a reason; nothing is suppressed here"
+                        ),
+                        path=mod.rel,
+                        line=lineno,
+                    )
+                )
+    return out
+
+
+def run_lint(
+    root: Path,
+    checkers: Sequence[Checker],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Sequence[Mapping[str, object]]] = None,
+    docs_dir: Optional[Path] = None,
+) -> LintResult:
+    """Run ``checkers`` over every module under ``root``.
+
+    ``select`` restricts to the given rule ids (validated by the CLI).
+    ``baseline`` is a sequence of ``{"rule", "path", "message"}`` dicts;
+    matching findings are dropped (grandfathered), counted in
+    ``LintResult.baselined``.
+    """
+    ctx = LintContext(root, docs_dir=docs_dir)
+    active = list(checkers)
+    if select:
+        wanted = {s.upper() for s in select}
+        active = [c for c in active if c.RULE in wanted]
+
+    raw: List[Finding] = list(ctx.parse_failures)
+    raw.extend(_suppression_findings(ctx))
+    for checker in active:
+        raw.extend(checker.check(ctx))
+
+    suppressed = 0
+    kept: List[Finding] = []
+    supp_cache: Dict[str, Dict[int, Tuple[frozenset, str]]] = {}
+    for f in raw:
+        if f.rule != META_RULE and f.path in ctx.modules:
+            if f.path not in supp_cache:
+                supp_cache[f.path] = ctx.suppressions_for(f.path)
+            entry = supp_cache[f.path].get(f.line)
+            if entry is not None:
+                rules, reason = entry
+                if reason and f.rule in rules:
+                    suppressed += 1
+                    continue
+        kept.append(f)
+
+    baselined = 0
+    if baseline:
+        keys = {
+            (str(b.get("rule")), str(b.get("path")), str(b.get("message")))
+            for b in baseline
+        }
+        still: List[Finding] = []
+        for f in kept:
+            if (f.rule, f.path, f.message) in keys:
+                baselined += 1
+            else:
+                still.append(f)
+        kept = still
+
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        root=ctx.root,
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        rules_run=[c.RULE for c in active],
+    )
+
+
+# ----------------------------------------------------------------------
+# baseline I/O and output formatting
+
+
+def load_baseline(path: Path) -> List[Mapping[str, object]]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        entries = data.get("findings", [])
+    else:
+        entries = data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: expected a list of findings")
+    return entries
+
+
+def baseline_payload(result: LintResult) -> Dict[str, object]:
+    """A baseline document grandfathering every current finding."""
+    return {
+        "version": 1,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in result.findings
+        ],
+    }
+
+
+def format_text(result: LintResult) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} [{f.name}] {f.message}"
+        for f in result.findings
+    ]
+    tally = f"{len(result.findings)} finding(s)"
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        tally += " (" + ", ".join(extras) + ")"
+    lines.append("clean" if result.clean and not extras else tally)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    counts: Dict[str, int] = {}
+    for f in result.findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    doc = {
+        "root": str(result.root),
+        "rules_run": result.rules_run,
+        "findings": [f.to_json() for f in result.findings],
+        "counts": counts,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "clean": result.clean,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

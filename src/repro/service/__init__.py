@@ -45,6 +45,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
+    "ServiceStateError",
     "ServiceTimeoutError",
     "ShardRouter",
     "ShardUnavailableError",
@@ -68,6 +69,7 @@ _LAZY_EXPORTS = {
     "shard_seed": "repro.service.sharded",
     "AsyncANNService": "repro.service.server",
     "ServiceMetrics": "repro.service.server",
+    "ServiceStateError": "repro.service.server",
     "WriteSequencer": "repro.service.server",
     "serve": "repro.service.server",
     "RemoteResult": "repro.service.client",

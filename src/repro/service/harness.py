@@ -28,11 +28,17 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-__all__ = ["ClusterHarness", "ManagedProcess", "ProcessDiedError"]
+__all__ = ["ClusterHarness", "HarnessStateError", "ManagedProcess", "ProcessDiedError"]
 
 
 class ProcessDiedError(RuntimeError):
     """A managed process exited before (or instead of) becoming ready."""
+
+
+class HarnessStateError(RuntimeError):
+    """A lifecycle call hit a managed process in the wrong state (spawning
+    a live process, signalling a dead one).  Subclasses
+    :class:`RuntimeError` so untyped callers keep working."""
 
 
 def free_port() -> int:
@@ -74,7 +80,7 @@ class ManagedProcess:
     def spawn(self, timeout: float = 30.0) -> "ManagedProcess":
         """Start the process and wait for its ready-file handshake."""
         if self.alive:
-            raise RuntimeError(f"{self.name} is already running")
+            raise HarnessStateError(f"{self.name} is already running")
         self.ready_file.unlink(missing_ok=True)
         log = open(self.log_file, "ab")
         try:
@@ -112,13 +118,13 @@ class ManagedProcess:
     def suspend(self) -> None:
         """SIGSTOP — the replica freezes mid-whatever (gray failure)."""
         if not self.alive:
-            raise RuntimeError(f"{self.name} is not running")
+            raise HarnessStateError(f"{self.name} is not running")
         os.kill(self.proc.pid, signal.SIGSTOP)
 
     def resume(self) -> None:
         """SIGCONT a suspended replica."""
         if self.proc is None or self.proc.poll() is not None:
-            raise RuntimeError(f"{self.name} is not running")
+            raise HarnessStateError(f"{self.name} is not running")
         os.kill(self.proc.pid, signal.SIGCONT)
 
     def restart(self, timeout: float = 30.0) -> "ManagedProcess":

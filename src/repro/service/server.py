@@ -57,6 +57,7 @@ from repro.hamming.packing import pack_bits, packed_words
 __all__ = [
     "AsyncANNService",
     "ServiceMetrics",
+    "ServiceStateError",
     "WriteSequencer",
     "describe_index",
     "serve",
@@ -65,6 +66,15 @@ __all__ = [
 #: Default policy knobs, shared with the CLI's ``serve`` flags.
 DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_WAIT_MS = 2.0
+
+
+class ServiceStateError(RuntimeError):
+    """A request hit the service in a lifecycle state that cannot take it
+    (not started, already started, or draining for shutdown).
+
+    Subclasses :class:`RuntimeError` so pre-existing callers that caught
+    the untyped form keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -257,7 +267,7 @@ class AsyncANNService:
     async def start(self) -> "AsyncANNService":
         """Start the batcher task on the running event loop."""
         if self._batcher is not None:
-            raise RuntimeError("service already started")
+            raise ServiceStateError("service already started")
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._closing = False
@@ -283,9 +293,9 @@ class AsyncANNService:
     # -- the request surface -----------------------------------------------
     def _check_accepting(self) -> None:
         if self._batcher is None:
-            raise RuntimeError("service not started (use 'async with' or start())")
+            raise ServiceStateError("service not started (use 'async with' or start())")
         if self._closing:
-            raise RuntimeError("service is stopping; no new requests accepted")
+            raise ServiceStateError("service is stopping; no new requests accepted")
 
     async def query(self, x) -> object:
         """Submit one query; resolves with its :class:`QueryResult`.

@@ -18,6 +18,7 @@ format, ``docs/SERVING.md`` the serving-side behavior.
 
 from repro.storage.layout import StorageLayoutError
 from repro.storage.residency import (
+    ResidencyError,
     ResidencyManager,
     ResidencyStats,
     ShardHandle,
@@ -25,6 +26,7 @@ from repro.storage.residency import (
 )
 
 __all__ = [
+    "ResidencyError",
     "ResidencyManager",
     "ResidencyStats",
     "ShardHandle",

@@ -48,7 +48,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["ResidencyManager", "ResidencyStats", "ShardHandle", "ShardMeta"]
+__all__ = [
+    "ResidencyError",
+    "ResidencyManager",
+    "ResidencyStats",
+    "ShardHandle",
+    "ShardMeta",
+]
+
+
+class ResidencyError(RuntimeError):
+    """A shard is in a residency state the requested operation cannot
+    serve (e.g. detached with no snapshot path to reload from).
+    Subclasses :class:`RuntimeError` so untyped callers keep working."""
 
 
 @dataclass(frozen=True)
@@ -185,7 +197,7 @@ class ResidencyManager:
         handle = self._handles[shard_id]
         if handle.index is None:
             if handle.path is None:
-                raise RuntimeError(
+                raise ResidencyError(
                     f"shard {shard_id} is detached and has no snapshot to "
                     "reload from"
                 )

@@ -23,6 +23,7 @@ import numpy as np
 from repro.hamming.packing import packed_words
 from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
+from repro.utils.rng import as_generator
 from repro.workloads.spec import Workload, WorkloadSpec, register
 
 __all__ = [
@@ -36,7 +37,7 @@ __all__ = [
 @register("uniform")
 def uniform_workload(spec: WorkloadSpec) -> Workload:
     """Uniform database, uniform queries."""
-    rng = np.random.default_rng(spec.seed)
+    rng = as_generator(spec.seed)
     db = PackedPoints(random_points(rng, spec.n, spec.d), spec.d)
     queries = random_points(rng, spec.num_queries, spec.d)
     return Workload(
@@ -54,7 +55,7 @@ def planted_workload(
     max_flips: int | None = None,
 ) -> Workload:
     """Queries are database points with ``[min_flips, max_flips]`` flips."""
-    rng = np.random.default_rng(spec.seed)
+    rng = as_generator(spec.seed)
     if max_flips is None:
         max_flips = max(1, spec.d // 8)
     if not (0 <= min_flips <= max_flips <= spec.d):
@@ -80,7 +81,7 @@ def planted_workload(
 def shell_workload(spec: WorkloadSpec, alpha: float = 2.0, centers: int = 4) -> Workload:
     """Geometric shells of radius ``αⁱ`` around hidden centers; queries at
     the centers (their exact nearest distance is the innermost shell)."""
-    rng = np.random.default_rng(spec.seed)
+    rng = as_generator(spec.seed)
     if centers < 1:
         raise ValueError("need at least one center")
     levels = max(1, int(math.log(spec.d, alpha)))
@@ -116,7 +117,7 @@ def clustered_workload(
     noise_fraction: float = 0.25,
 ) -> Workload:
     """Tight clusters plus uniform background noise; queries near centers."""
-    rng = np.random.default_rng(spec.seed)
+    rng = as_generator(spec.seed)
     if cluster_radius is None:
         cluster_radius = max(1, spec.d // 32)
     noise = int(spec.n * noise_fraction)

@@ -1,0 +1,21 @@
+"""Planted R001 violations (each marked with LINT-EXPECT)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+GLOBAL_RNG = np.random.default_rng(0)  # LINT-EXPECT: R001
+
+
+def make_streams(seed):
+    rng = np.random.default_rng(seed)  # LINT-EXPECT: R001
+    np.random.seed(123)  # LINT-EXPECT: R001
+    legacy = np.random.RandomState(seed)  # LINT-EXPECT: R001
+    x = random.random()  # LINT-EXPECT: R001
+    token = os.urandom(8)  # LINT-EXPECT: R001
+    wall = as_generator(time.time_ns())  # LINT-EXPECT: R001
+    return rng, legacy, x, token, wall

@@ -1,0 +1,10 @@
+"""R001-clean: all randomness flows through the RngTree helpers."""
+
+from repro.utils.rng import RngTree, as_generator
+
+
+def make_streams(seed):
+    tree = RngTree(seed)
+    rng = as_generator(seed)
+    child = tree.child("workload")
+    return rng, child

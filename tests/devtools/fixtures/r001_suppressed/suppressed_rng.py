@@ -1,0 +1,10 @@
+"""Suppression cases for R001: a reasoned disable suppresses; a bare
+disable suppresses nothing and is itself flagged (R000)."""
+
+import numpy as np
+
+
+def entropy_probe(seed):
+    rng = np.random.default_rng(seed)  # repro-lint: disable=R001 measuring raw generator cost
+    bad = np.random.default_rng(seed)  # repro-lint: disable=R001
+    return rng, bad

@@ -1,0 +1,19 @@
+"""Planted R002 violations: an adopt_arrays that reads payload contents."""
+
+import numpy as np
+
+
+class ContentReadingScheme:
+    def adopt_arrays(self, arrays):
+        for key, arr in arrays.items():
+            payload = np.asarray(arr, dtype=np.uint64)  # LINT-EXPECT: R002
+            total = payload.sum()  # LINT-EXPECT: R002
+            if np.array_equal(arr, arr):  # LINT-EXPECT: R002
+                pass
+            values = arr.tolist()  # LINT-EXPECT: R002
+            for row in arr:  # LINT-EXPECT: R002
+                pass
+            if arr == 0:  # LINT-EXPECT: R002
+                pass
+            listed = list(arr)  # LINT-EXPECT: R002
+            self._cache[key] = arr

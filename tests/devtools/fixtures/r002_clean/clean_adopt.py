@@ -1,0 +1,29 @@
+"""R002-clean adopt_arrays: header checks, installs, and delegation only
+(the idiom of sketch/levels.py and cellprobe/scheme.py)."""
+
+import numpy as np
+
+from somewhere import split_arrays  # noqa: F401 - never imported at lint time
+
+
+class HeaderOnlyScheme:
+    def adopt_arrays(self, arrays):
+        groups = split_arrays(arrays)
+        unknown = set(groups) - {"family", "levels"}
+        if unknown:
+            raise ValueError(f"unknown scope {sorted(unknown)[0]!r}")
+        if "family" in groups:
+            self.family.adopt_arrays(groups["family"])
+        for key, arr in arrays.items():
+            payload = np.asarray(arr)
+            if payload.dtype != np.uint64 or payload.shape != (4, 2):
+                raise ValueError(
+                    f"bad payload {key!r}: dtype {payload.dtype} "
+                    f"shape {payload.shape}"
+                )
+            self._cache[key] = payload
+
+
+class DelegatingScheme:
+    def adopt_arrays(self, arrays):
+        self.restore_arrays(arrays)

@@ -1,0 +1,8 @@
+"""Suppression case for R002."""
+
+
+class AuditedScheme:
+    def adopt_arrays(self, arrays):
+        for key, arr in arrays.items():
+            checksum = arr.sum()  # repro-lint: disable=R002 integrity probe reads one page by design
+            self._cache[key] = arr

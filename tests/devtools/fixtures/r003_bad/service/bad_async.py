@@ -1,0 +1,20 @@
+"""Planted R003 violations: blocking calls and a sync lock across await."""
+
+import asyncio
+import subprocess
+import threading
+import time
+
+
+class BlockingHandler:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+
+    async def tick(self):
+        time.sleep(0.1)  # LINT-EXPECT: R003
+        subprocess.run(["true"])  # LINT-EXPECT: R003
+        log = open("service.log")  # LINT-EXPECT: R003
+        guard = threading.Lock()  # LINT-EXPECT: R003
+        with self._state_lock:  # LINT-EXPECT: R003
+            await asyncio.sleep(0)
+        return log, guard

@@ -1,0 +1,31 @@
+"""R003-clean service module.
+
+Sync functions may block; nested sync defs (executor callbacks) inside a
+coroutine may block; coroutines use asyncio primitives.
+"""
+
+import asyncio
+import time
+
+
+class NonBlockingHandler:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def tick(self):
+        await asyncio.sleep(0.1)
+        async with self._lock:
+            await asyncio.sleep(0)
+
+        def blocking_callback():  # runs in an executor thread, not the loop
+            time.sleep(0.5)
+            with open("service.log") as fh:
+                return fh.read()
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, blocking_callback)
+
+    def sync_helper(self):
+        time.sleep(0.01)  # not a coroutine: blocking is fine here
+        with self._lock:
+            pass

@@ -1,0 +1,9 @@
+"""Suppression case for R003."""
+
+import time
+
+
+class CalibratedHandler:
+    async def tick(self):
+        time.sleep(0.001)  # repro-lint: disable=R003 sub-ms calibration spin, measured cheaper than a loop hop
+        return None

@@ -1,0 +1,83 @@
+"""Planted R004 violations: half-wired registered schemes."""
+
+import abc
+
+
+def register_scheme(name, **kwargs):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+class BaseScheme(abc.ABC):
+    """Stand-in for CellProbingScheme: abstract core + default hooks."""
+
+    @abc.abstractmethod
+    def query(self, x):
+        ...
+
+    @abc.abstractmethod
+    def size_report(self):
+        ...
+
+    def query_plan(self, x):
+        raise NotImplementedError
+
+    def export_arrays(self):
+        return {}
+
+    def restore_arrays(self, arrays):
+        if arrays:
+            raise ValueError("no arrays expected")
+
+    def adopt_arrays(self, arrays):
+        self.restore_arrays(arrays)
+
+    def batch_prepare(self, queries):
+        return None
+
+    def prewarm(self):
+        return None
+
+
+class MissingPlanScheme(BaseScheme):  # LINT-EXPECT: R004
+    """Implements the abstract pair but never query_plan."""
+
+    def query(self, x):
+        return None
+
+    def size_report(self):
+        return {}
+
+
+class HalfWiredScheme(BaseScheme):  # LINT-EXPECT: R004
+    """export_arrays without restore_arrays: saves but cannot load."""
+
+    def query(self, x):
+        return None
+
+    def size_report(self):
+        return {}
+
+    def query_plan(self, x):
+        return None
+
+    def export_arrays(self):
+        return {"payload": None}
+
+
+@register_scheme("missing-plan")
+def _build_missing_plan(database, params, rng):
+    return MissingPlanScheme()
+
+
+@register_scheme("half-wired")
+def _build_half_wired(database, params, rng):
+    return HalfWiredScheme()
+
+
+@register_scheme("dynamic")
+def _build_dynamic(database, params, rng):  # LINT-EXPECT: R004
+    cls = globals()["MissingPlanScheme"]
+    return cls()

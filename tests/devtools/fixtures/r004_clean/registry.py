@@ -1,0 +1,16 @@
+"""R004-clean registry: the factory lazy-imports the scheme class inside
+its body, exactly like the real repro.registry factories."""
+
+
+def register_scheme(name, **kwargs):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+@register_scheme("complete")
+def _build_complete(database, params, rng):
+    from schemes import CompleteScheme
+
+    return CompleteScheme(database, params, seed=rng)

@@ -1,0 +1,60 @@
+"""A scheme carrying the full hook surface below the ABC defaults."""
+
+import abc
+
+
+class BaseScheme(abc.ABC):
+    @abc.abstractmethod
+    def query(self, x):
+        ...
+
+    @abc.abstractmethod
+    def size_report(self):
+        ...
+
+    def query_plan(self, x):
+        raise NotImplementedError
+
+    def export_arrays(self):
+        return {}
+
+    def restore_arrays(self, arrays):
+        if arrays:
+            raise ValueError("no arrays expected")
+
+    def adopt_arrays(self, arrays):
+        self.restore_arrays(arrays)
+
+    def batch_prepare(self, queries):
+        return None
+
+    def prewarm(self):
+        return None
+
+
+class StateMixin:
+    """Like SketchStateMixin: a concrete (non-ABC) provider of the
+    persistence trio, shared across schemes."""
+
+    def export_arrays(self):
+        return {"state": None}
+
+    def restore_arrays(self, arrays):
+        return None
+
+    def adopt_arrays(self, arrays):
+        return None
+
+
+class CompleteScheme(StateMixin, BaseScheme):
+    def __init__(self, database, params, seed=None):
+        self.database = database
+
+    def query(self, x):
+        return None
+
+    def size_report(self):
+        return {}
+
+    def query_plan(self, x):
+        return None

@@ -1,0 +1,51 @@
+"""Suppression case for R004 (anchored at the class line)."""
+
+import abc
+
+
+def register_scheme(name, **kwargs):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+class BaseScheme(abc.ABC):
+    @abc.abstractmethod
+    def query(self, x):
+        ...
+
+    @abc.abstractmethod
+    def size_report(self):
+        ...
+
+    def query_plan(self, x):
+        raise NotImplementedError
+
+    def export_arrays(self):
+        return {}
+
+    def restore_arrays(self, arrays):
+        return None
+
+    def adopt_arrays(self, arrays):
+        return None
+
+    def batch_prepare(self, queries):
+        return None
+
+    def prewarm(self):
+        return None
+
+
+class PlanlessScheme(BaseScheme):  # repro-lint: disable=R004 plan support lands with the next migration
+    def query(self, x):
+        return None
+
+    def size_report(self):
+        return {}
+
+
+@register_scheme("planless")
+def _build_planless(database, params, rng):
+    return PlanlessScheme()

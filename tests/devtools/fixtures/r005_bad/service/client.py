@@ -1,0 +1,12 @@
+"""Fixture client sending a verb the server does not handle."""
+
+
+class Client:
+    def query(self, bits):
+        return self._request("query", bits=bits)
+
+    def snapshot(self, path):
+        return self._request("snapshot", path=path)  # LINT-EXPECT: R005
+
+    def _request(self, op, **payload):
+        return {"op": op, **payload}

@@ -1,0 +1,11 @@
+"""Fixture router forwarding a verb the server does not handle."""
+
+
+class Router:
+    async def _handle_router_request(self, request):
+        op = request.get("op")
+        if op == "query":
+            return {"ok": True}
+        if op == "stats":  # LINT-EXPECT: R005
+            return {"ok": True}
+        return {"ok": False}

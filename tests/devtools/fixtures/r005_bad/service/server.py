@@ -1,0 +1,13 @@
+"""Fixture server handling a deliberately small verb set."""
+
+
+class Service:
+    async def _handle_request(self, request):
+        op = request.get("op")
+        if op == "query":
+            return {"ok": True}
+        if op == "ping":
+            return {"ok": True}
+        if op == "shutdown":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}

@@ -1,0 +1,12 @@
+"""Fixture client: sends a subset of the server's verbs."""
+
+
+class Client:
+    def query(self, bits):
+        return self._request("query", bits=bits)
+
+    def ping(self):
+        return self._request("ping")
+
+    def _request(self, op, **payload):
+        return {"op": op, **payload}

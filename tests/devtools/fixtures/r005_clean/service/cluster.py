@@ -1,0 +1,11 @@
+"""Fixture router: forwards a subset of the server's verbs."""
+
+
+class Router:
+    async def _handle_router_request(self, request):
+        op = request.get("op")
+        if op == "query":
+            return {"ok": True}
+        if op == "ping":
+            return {"ok": True}
+        return {"ok": False}

@@ -1,0 +1,15 @@
+"""Fixture server: verb set consistent with router, client, and docs."""
+
+
+class Service:
+    async def _handle_request(self, request):
+        op = request.get("op")
+        if op == "query":
+            return {"ok": True}
+        if op == "ping":
+            return {"ok": True}
+        if op == "snapshot":
+            return {"ok": True}
+        if op == "shutdown":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}

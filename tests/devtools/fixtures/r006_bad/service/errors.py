@@ -1,0 +1,17 @@
+"""Planted R006 violations in a wire-facing module."""
+
+
+class ServiceError(Exception):
+    pass
+
+
+def start(started):
+    if started:
+        raise RuntimeError("already started")  # LINT-EXPECT: R006
+    raise Exception("unreachable")  # LINT-EXPECT: R006
+
+
+def validate(payload):
+    if not payload:
+        raise ValueError("empty payload")  # allowed: argument validation
+    raise ServiceError("typed: allowed")

@@ -1,0 +1,6 @@
+"""Planted R006 violation in a snapshot-facing module."""
+
+
+def attach(handle):
+    if handle is None:
+        raise RuntimeError("detached shard")  # LINT-EXPECT: R006

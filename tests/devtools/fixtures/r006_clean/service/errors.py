@@ -1,0 +1,21 @@
+"""R006-clean: only typed-taxonomy (or validation) raises."""
+
+
+class ServiceError(Exception):
+    pass
+
+
+class ServiceStateError(RuntimeError):
+    pass
+
+
+def start(started):
+    if started:
+        raise ServiceStateError("already started")
+    raise ValueError("bad flag")
+
+
+def reraise(exc):
+    if isinstance(exc, ServiceError):
+        raise
+    raise ServiceError("wrapped") from exc

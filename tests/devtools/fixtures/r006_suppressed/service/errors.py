@@ -1,0 +1,6 @@
+"""Suppression case for R006."""
+
+
+def crash_inject(flag):
+    if flag:
+        raise RuntimeError("boom")  # repro-lint: disable=R006 crash-injection hook must be untyped

@@ -1,0 +1,91 @@
+"""Framework-level behavior: suppression hygiene, baselines, selection,
+and output formats — independent of any particular rule's logic."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools import (
+    ALL_CHECKERS,
+    baseline_payload,
+    format_json,
+    format_text,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_suppression_without_reason_does_not_suppress():
+    result = run_lint(FIXTURES / "r001_suppressed", ALL_CHECKERS, select=["R001"])
+    # The reasoned disable suppresses its line; the bare one does not:
+    # its R001 finding survives and the comment itself is flagged R000.
+    assert result.suppressed == 1
+    r001 = [f for f in result.findings if f.rule == "R001"]
+    assert len(r001) == 1
+    hygiene = [f for f in result.findings if f.rule == "R000"]
+    assert len(hygiene) == 1
+    assert hygiene[0].line == r001[0].line
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    # A disable=R001 comment cannot silence an R006 finding on its line.
+    result = run_lint(FIXTURES / "r006_bad", ALL_CHECKERS, select=["R006"])
+    assert len(result.findings) == 3
+
+
+def test_baseline_grandfathers_findings_line_insensitively():
+    root = FIXTURES / "r006_bad"
+    first = run_lint(root, ALL_CHECKERS, select=["R006"])
+    assert not first.clean
+    payload = baseline_payload(first)
+    # Shift every line number: matching is on (rule, path, message).
+    for entry in payload["findings"]:
+        assert "line" not in entry
+    second = run_lint(root, ALL_CHECKERS, select=["R006"], baseline=payload["findings"])
+    assert second.clean
+    assert second.baselined == len(first.findings)
+
+
+def test_baseline_does_not_hide_new_findings():
+    root = FIXTURES / "r006_bad"
+    baseline = [
+        {"rule": "R006", "path": "storage/store.py",
+         "message": "some stale message that matches nothing"}
+    ]
+    result = run_lint(root, ALL_CHECKERS, select=["R006"], baseline=baseline)
+    assert len(result.findings) == 3 and result.baselined == 0
+
+
+def test_select_restricts_rules():
+    result = run_lint(FIXTURES / "r006_bad", ALL_CHECKERS, select=["R001"])
+    assert [f for f in result.findings if f.rule == "R006"] == []
+
+
+def test_text_and_json_formats():
+    result = run_lint(FIXTURES / "r006_bad", ALL_CHECKERS, select=["R006"])
+    text = format_text(result)
+    assert "service/errors.py" in text and "R006" in text
+    assert text.splitlines()[-1].startswith(f"{len(result.findings)} finding")
+    doc = json.loads(format_json(result))
+    assert doc["clean"] is False
+    assert doc["counts"]["R006"] == len(result.findings)
+    assert {f["rule"] for f in doc["findings"]} == {"R006"}
+    assert all({"path", "line", "message"} <= set(f) for f in doc["findings"])
+
+
+def test_findings_sorted_by_location():
+    result = run_lint(FIXTURES / "r001_bad", ALL_CHECKERS, select=["R001"])
+    keys = [(f.path, f.line, f.col) for f in result.findings]
+    assert keys == sorted(keys)
+
+
+def test_unparseable_file_is_reported_not_fatal(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n", encoding="utf-8")
+    (tmp_path / "fine.py").write_text("x = 1\n", encoding="utf-8")
+    result = run_lint(tmp_path, ALL_CHECKERS)
+    assert any(
+        f.rule == "R000" and f.name == "parse-error" and f.path == "broken.py"
+        for f in result.findings
+    )

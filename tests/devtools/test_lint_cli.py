@@ -1,0 +1,69 @@
+"""CLI surface of ``repro lint``: exit codes, formats, --select
+validation, and baseline round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_unknown_select_rule_lists_valid_ids_and_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", "--select", "R999"])
+    message = str(excinfo.value)
+    assert "R999" in message
+    for rule in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        assert rule in message
+    # SystemExit with a message exits non-zero.
+    assert excinfo.value.code != 0
+
+
+def test_select_is_case_insensitive(capsys):
+    rc = main(["lint", "--root", str(FIXTURES / "r006_clean"), "--select", "r006"])
+    assert rc == 0
+
+
+def test_findings_exit_1_with_locations(capsys):
+    rc = main(["lint", "--root", str(FIXTURES / "r006_bad"), "--select", "R006"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "service/errors.py" in out and "R006" in out
+    # text findings look like path:line:col: RULE [name] message
+    first = out.splitlines()[0]
+    path, line, col, rest = first.split(":", 3)
+    assert path.endswith(".py") and line.isdigit() and col.isdigit()
+
+
+def test_json_format_is_machine_readable(capsys):
+    rc = main(["lint", "--root", str(FIXTURES / "r006_bad"), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["clean"] is False and doc["counts"]["R006"] >= 1
+
+
+def test_baseline_roundtrip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    rc = main(
+        ["lint", "--root", str(FIXTURES / "r006_bad"), "--select", "R006",
+         "--write-baseline", str(baseline)]
+    )
+    assert rc == 1 and baseline.is_file()
+    capsys.readouterr()
+    rc = main(
+        ["lint", "--root", str(FIXTURES / "r006_bad"), "--select", "R006",
+         "--baseline", str(baseline)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "baselined" in out
+
+
+def test_bad_root_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["lint", "--root", "/nonexistent/path"])

@@ -1,0 +1,147 @@
+"""Per-rule self-tests: each checker fires on its planted fixture at the
+exact file:line, stays silent on the clean fixture, and honors reasoned
+suppression comments.
+
+Fixture files mark every expected violation with a ``LINT-EXPECT: RXXX``
+comment on the offending line; the tests assert the reported
+``(path, line)`` set equals the marked set, so the anchors are checked
+without hard-coding line numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import ALL_CHECKERS, run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+RULES = ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+
+def lint(tree: str, rule: str):
+    return run_lint(FIXTURES / tree, ALL_CHECKERS, select=[rule])
+
+
+def marked_lines(tree: str, rule: str):
+    """(rel path, line) pairs carrying a LINT-EXPECT marker for rule."""
+    expected = set()
+    root = FIXTURES / tree
+    for path in root.rglob("*.py"):
+        rel = path.relative_to(root).as_posix()
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if f"LINT-EXPECT: {rule}" in text:
+                expected.add((rel, lineno))
+    return expected
+
+
+def found_lines(result, rule):
+    return {(f.path, f.line) for f in result.findings if f.rule == rule}
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_rule_fires_on_planted_fixture_at_marked_lines(rule):
+    tree = f"{rule.lower()}_bad"
+    expected = marked_lines(tree, rule)
+    assert expected, f"fixture {tree} has no LINT-EXPECT markers"
+    result = lint(tree, rule)
+    assert found_lines(result, rule) >= expected
+    # Nothing fires on unmarked lines of .py fixture files (R005 also
+    # reports doc-side findings against SERVING.md, checked separately).
+    py_findings = {
+        (f.path, f.line) for f in result.findings
+        if f.rule == rule and f.path.endswith(".py")
+    }
+    assert py_findings == expected
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_rule_silent_on_clean_fixture(rule):
+    result = lint(f"{rule.lower()}_clean", rule)
+    assert [f for f in result.findings if f.rule == rule] == []
+
+
+@pytest.mark.parametrize("rule", ["R001", "R002", "R003", "R004", "R006"])
+def test_reasoned_suppression_silences_rule(rule):
+    tree = f"{rule.lower()}_suppressed"
+    result = lint(tree, rule)
+    assert result.suppressed >= 1
+    # No finding survives on a line carrying a reasoned disable (lines
+    # with a *bare* disable keep theirs — see test_framework).
+    root = FIXTURES / tree
+    reasoned = set()
+    for path in root.rglob("*.py"):
+        rel = path.relative_to(root).as_posix()
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if f"repro-lint: disable={rule} " in text:
+                reasoned.add((rel, lineno))
+    assert reasoned, f"fixture {tree} has no reasoned suppression"
+    assert found_lines(result, rule).isdisjoint(reasoned)
+
+
+def test_r001_exempts_cli_but_not_module_level_state():
+    result = lint("r001_bad", "R001")
+    cli_findings = [f for f in result.findings if f.path == "cli.py"]
+    assert cli_findings == []
+    assert any(
+        "module-level" in f.message and f.path == "bad_rng.py"
+        for f in result.findings
+    )
+
+
+def test_r002_message_names_the_invariant():
+    result = lint("r002_bad", "R002")
+    assert all("invariant #5" in f.message for f in result.findings)
+
+
+def test_r004_distinguishes_missing_plan_half_wired_and_unresolvable():
+    result = lint("r004_bad", "R004")
+    messages = " | ".join(f.message for f in result.findings)
+    assert "must implement query_plan()" in messages
+    assert "half-wired" in messages
+    assert "statically-resolvable" in messages
+    # The fully-wired abstract base itself is never flagged.
+    assert not any("BaseScheme" in f.message.split("(")[0] for f in result.findings)
+
+
+def test_r005_reports_doc_side_drift():
+    result = lint("r005_bad", "R005")
+    doc_findings = [f for f in result.findings if f.path.endswith("SERVING.md")]
+    doc_messages = " | ".join(f.message for f in doc_findings)
+    # server handles ping/shutdown, doc omits them; doc invents 'flush'.
+    assert "'ping'" in doc_messages and "'shutdown'" in doc_messages
+    assert "'flush'" in doc_messages
+    # The phantom verb is anchored at its table row.
+    flush = [f for f in doc_findings if "'flush'" in f.message]
+    doc_text = (FIXTURES / "r005_bad/docs/SERVING.md").read_text().splitlines()
+    assert flush and "flush" in doc_text[flush[0].line - 1]
+
+
+def test_r005_requires_a_verb_matrix(tmp_path):
+    import shutil
+
+    result_with = lint("r005_clean", "R005")
+    assert result_with.clean
+    # Same tree, no docs: the missing matrix is itself a finding.  Nest
+    # the copy so the upward docs/ search stays inside the tempdir.
+    root = tmp_path / "nested" / "tree"
+    shutil.copytree(FIXTURES / "r005_clean" / "service", root / "service")
+    result_without = run_lint(root, ALL_CHECKERS, select=["R005"])
+    assert any("no verb matrix" in f.message for f in result_without.findings)
+
+
+def test_r006_allows_value_and_typed_errors():
+    result = lint("r006_bad", "R006")
+    assert result.findings, "planted raises must fire"
+    # Only the untyped raises are flagged; ValueError (validation) and
+    # the module's own typed ServiceError stay legal.
+    assert all(
+        f.message.startswith(("raise RuntimeError", "raise Exception"))
+        for f in result.findings
+    )
