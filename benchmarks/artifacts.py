@@ -22,9 +22,12 @@ Every artifact automatically records the process's peak RSS
 residency mode as ``load_mode`` — so the E16–E19 memory claims ride the
 same diffed trajectory as the timing numbers.
 
-Only ``metrics`` is diffed; everything else is provenance.  Run
+Only ``metrics`` is diffed; everything else is provenance (including
+``env.kernel``, the active popcount/distance backend).  Run
 ``python benchmarks/artifacts.py diff OLD NEW`` for the comparison CI
-prints (always exit 0 — timing on shared runners is informational).
+prints; add ``--gate-qps-drop 30`` to turn a >30% drop in any ``qps``
+metric into exit 1 — but only on like-for-like provenance (same env,
+kernel, and load_mode); any other diff stays informational.
 """
 
 from __future__ import annotations
@@ -41,7 +44,14 @@ except ImportError:  # pragma: no cover - non-POSIX
 from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["artifact_path", "diff_artifacts", "format_diff", "peak_rss_mb", "write_artifact"]
+__all__ = [
+    "artifact_path",
+    "diff_artifacts",
+    "format_diff",
+    "gate_regressions",
+    "peak_rss_mb",
+    "write_artifact",
+]
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -54,6 +64,8 @@ def artifact_path(bench: str) -> Path:
 def _env() -> dict:
     import numpy
 
+    from repro.hamming.kernels import active_kernel
+
     try:
         cores = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -62,6 +74,10 @@ def _env() -> dict:
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "cpu_count": cores,
+        # The active popcount/distance backend: q/s numbers are only
+        # comparable between runs that used the same kernel, so the
+        # regression gate below treats it as provenance.
+        "kernel": active_kernel(),
     }
 
 
@@ -152,18 +168,66 @@ def format_diff(old: dict, new: dict) -> str:
     return "\n".join(lines)
 
 
+def gate_regressions(old: dict, new: dict, max_drop_pct: float) -> list:
+    """Throughput regressions worth failing CI over, as message strings.
+
+    Only ``qps`` metrics gate (latency on shared runners is too noisy
+    even for a soft gate), and only when the runs are *like for like*:
+    identical ``env`` provenance (python/numpy/cpu_count/kernel) and
+    ``load_mode``.  A runner change, version bump, or kernel switch makes
+    the comparison informational again — per the ROADMAP note on runner
+    variance, trajectory first, gate second.
+    """
+    if old.get("env") != new.get("env") or old.get("load_mode") != new.get("load_mode"):
+        return []
+    regressions = []
+    for name, before, after, _pct in diff_artifacts(old, new):
+        if "qps" not in name or not before or after is None:
+            continue
+        drop = 100.0 * (before - after) / abs(before)
+        if drop > max_drop_pct:
+            regressions.append(
+                f"{name}: {before:.4g} -> {after:.4g} "
+                f"({drop:.1f}% drop > {max_drop_pct:g}% gate)"
+            )
+    return regressions
+
+
 def main(argv) -> int:
-    if len(argv) != 4 or argv[1] != "diff":
+    args = list(argv[1:])
+    gate_pct = None
+    if "--gate-qps-drop" in args:
+        at = args.index("--gate-qps-drop")
+        try:
+            gate_pct = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("--gate-qps-drop needs a numeric percentage")
+            return 2
+        del args[at : at + 2]
+    if len(args) != 3 or args[0] != "diff":
         print(__doc__)
-        print("usage: python benchmarks/artifacts.py diff OLD.json NEW.json")
+        print(
+            "usage: python benchmarks/artifacts.py diff "
+            "[--gate-qps-drop PCT] OLD.json NEW.json"
+        )
         return 2
-    old_path, new_path = Path(argv[2]), Path(argv[3])
+    old_path, new_path = Path(args[1]), Path(args[2])
     if not old_path.exists():
         print(f"no previous artifact at {old_path}; nothing to diff")
         return 0
     old = json.loads(old_path.read_text())
     new = json.loads(new_path.read_text())
     print(format_diff(old, new))
+    if gate_pct is not None:
+        regressions = gate_regressions(old, new, gate_pct)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}")
+            return 1
+        if old.get("env") != new.get("env") or old.get("load_mode") != new.get(
+            "load_mode"
+        ):
+            print("provenance differs; qps gate skipped (informational diff only)")
     return 0
 
 

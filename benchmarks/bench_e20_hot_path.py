@@ -1,0 +1,174 @@
+"""E20 — the popcount/XOR hot path, per kernel backend.
+
+Not a paper claim: this experiment measures the kernel seam added in
+v1.9 (``repro.hamming.kernels``).  Every adaptive round bottoms out in
+screening a micro-batch of packed queries against packed table rows —
+``cross_distances`` for the lockstep sweep, ``hamming_distance_many``
+for a single query — so those two calls against an out-of-cache database
+are the per-kernel unit measured here, alongside an end-to-end
+``ANNIndex.query_batch`` equality check under each backend.
+
+Criteria (asserted):
+
+* every backend's distance matrices are **bitwise-equal** to the
+  reference backend's in the same run, and ``query_batch`` answers and
+  probe/round accounting are field-by-field identical;
+* with a compiled backend registered, batch throughput at batch ≥ 256
+  is at least 1.5× the reference backend's queries/sec (self-skips when
+  only ``reference`` is available, e.g. no C compiler on the runner).
+
+The table is persisted via ``artifacts.py`` as
+``results/BENCH_e20_hot_path.json`` with per-kernel ``*_qps_*`` metrics,
+which the CI perf gate (``--gate-qps-drop``) compares run over run on
+like-for-like provenance.
+
+Catalog of all experiments: ``docs/BENCHMARKS.md``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import IndexSpec
+from repro.core.index import ANNIndex
+from repro.hamming.distance import cross_distances, hamming_distance_many
+from repro.hamming.kernels import available_kernels, use_kernel
+from repro.hamming.points import PackedPoints
+from repro.hamming.sampling import flip_random_bits, random_points
+
+# A database big enough that one sweep leaves the L2 cache: 8192 rows of
+# 16 words (d=1024) is 1 MiB of packed points per full screen.
+N, D = 8192, 1024
+BATCH_SIZES = [1, 256, 512]
+REPS = 5  # best-of timing per (kernel, batch) cell
+SPEEDUP_FLOOR = 1.5
+
+# Small end-to-end workload for the engine-level equality check.
+INDEX_SPEC = IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=20)
+INDEX_N, INDEX_D, INDEX_QUERIES = 300, 512, 32
+
+
+@pytest.fixture(scope="module")
+def e20_workload():
+    gen = np.random.default_rng(2020)
+    db = random_points(gen, N, D)
+    queries = random_points(gen, max(BATCH_SIZES), D)
+    return db, queries
+
+
+def _best_qps(fn, batch_size):
+    best = 0.0
+    result = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = max(best, batch_size / elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def e20_rows(e20_workload, report_table):
+    db, queries = e20_workload
+    kernels = available_kernels()
+    rows = []
+    reference_answers = {}
+    for kernel in kernels:
+        with use_kernel(kernel):
+            row = {"kernel": kernel}
+            for batch_size in BATCH_SIZES:
+                if batch_size == 1:
+                    q = queries[0]
+                    qps, answer = _best_qps(
+                        lambda: hamming_distance_many(q, db), batch_size
+                    )
+                    row["latency b1 (ms)"] = round(1000.0 / qps, 3)
+                else:
+                    batch = queries[:batch_size]
+                    qps, answer = _best_qps(
+                        lambda: cross_distances(batch, db), batch_size
+                    )
+                row[f"q/s b{batch_size}"] = round(qps, 1)
+                # Bitwise equality across backends, same run, same inputs.
+                if kernel == "reference":
+                    reference_answers[batch_size] = answer
+                else:
+                    assert np.array_equal(answer, reference_answers[batch_size]), (
+                        f"kernel {kernel!r} diverged from reference at "
+                        f"batch {batch_size}"
+                    )
+            rows.append(row)
+    report_table(f"E20: hot-path throughput per kernel (n={N}, d={D})", rows)
+    return rows
+
+
+def _qps(rows, kernel, batch_size):
+    row = next(r for r in rows if r["kernel"] == kernel)
+    return row[f"q/s b{batch_size}"]
+
+
+def test_e20_engine_answers_identical_under_every_kernel():
+    gen = np.random.default_rng(42)
+    db = PackedPoints(random_points(gen, INDEX_N, INDEX_D), INDEX_D)
+    queries = np.vstack(
+        [
+            flip_random_bits(
+                gen, db.row(int(gen.integers(0, INDEX_N))), 3, INDEX_D
+            )
+            for _ in range(INDEX_QUERIES)
+        ]
+    )
+    baseline = None
+    for kernel in available_kernels():
+        with use_kernel(kernel):
+            index = ANNIndex.from_spec(db, INDEX_SPEC)
+            results = [
+                (r.answer_index, r.probes, r.rounds)
+                for r in index.query_batch(queries)
+            ]
+        if baseline is None:
+            baseline = results
+        else:
+            assert results == baseline, f"kernel {kernel!r} changed answers"
+
+
+def test_e20_compiled_speedup_at_batch_256(e20_rows):
+    compiled = [k for k in available_kernels() if k != "reference"]
+    if not compiled:
+        pytest.skip("no compiled kernel backend registered on this machine")
+    reference_qps = _qps(e20_rows, "reference", 256)
+    best = max(_qps(e20_rows, k, 256) for k in compiled)
+    speedup = best / reference_qps
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected compiled >= {SPEEDUP_FLOOR}x reference q/s at batch 256, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_e20_artifact(e20_rows):
+    from artifacts import write_artifact
+
+    metrics = {}
+    for row in e20_rows:
+        kernel = row["kernel"]
+        metrics[f"{kernel}_latency_b1_ms"] = row["latency b1 (ms)"]
+        for batch_size in BATCH_SIZES[1:]:
+            metrics[f"{kernel}_qps_b{batch_size}"] = row[f"q/s b{batch_size}"]
+    compiled = [k for k in available_kernels() if k != "reference"]
+    if compiled:
+        best = max(_qps(e20_rows, k, 256) for k in compiled)
+        metrics["compiled_speedup_b256"] = round(
+            best / _qps(e20_rows, "reference", 256), 3
+        )
+    path = write_artifact(
+        "e20_hot_path",
+        metrics,
+        extras={
+            "n": N,
+            "d": D,
+            "batch_sizes": BATCH_SIZES,
+            "kernels": available_kernels(),
+        },
+    )
+    assert path.exists()

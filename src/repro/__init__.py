@@ -67,7 +67,7 @@ from repro.service import (
 )
 from repro.storage import ResidencyManager, ResidencyStats
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ANNIndex",

@@ -579,6 +579,13 @@ def _build_parser() -> argparse.ArgumentParser:
         # Default matches Algorithm2Params / the registry's c2 default.
         p.add_argument("--c2", type=float, default=6.0)
 
+    def kernel_opt(p: argparse.ArgumentParser) -> None:
+        from repro.hamming.kernels import available_kernels
+
+        p.add_argument("--kernel", choices=available_kernels(), default=None,
+                       help="popcount/distance kernel backend "
+                            "(default: env REPRO_KERNEL, else 'reference')")
+
     p = sub.add_parser("schemes", help="list the scheme registry")
     p.set_defaults(fn=_cmd_schemes)
 
@@ -597,6 +604,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="serve each scheme through a ShardedANNIndex with S shards")
     p.add_argument("--workers", type=int, default=None,
                    help="parallel shard-build worker processes")
+    kernel_opt(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("build", help="build an index and snapshot it to a directory")
@@ -661,6 +669,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flush when the oldest pending query has waited this long")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    kernel_opt(p)
     out_of_core(p)
     p.set_defaults(fn=_cmd_serve)
 
@@ -680,6 +689,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flush when the oldest pending query has waited this long")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    kernel_opt(p)
     out_of_core(p, inert="inert here: a single shard has nothing to evict")
     p.set_defaults(fn=_cmd_shard_serve)
 
@@ -700,6 +710,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seconds between replica health sweeps")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    kernel_opt(p)
     out_of_core(p, inert="accepted for launch-script symmetry; the router "
                          "holds no index, so both are inert here")
     p.set_defaults(fn=_cmd_route)
@@ -755,6 +766,14 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    # --kernel is applied here, centrally, so command handlers (and every
+    # call site below them) stay backend-agnostic — the kernel seam's one
+    # runtime switch (repro.hamming.set_kernel).
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        from repro.hamming.kernels import set_kernel
+
+        set_kernel(kernel)
     return args.fn(args)
 
 

@@ -9,6 +9,7 @@ Each rule guards an invariant documented in ``docs/ARCHITECTURE.md`` /
 - R004 registry-contract — registered schemes carry the full hook surface
 - R005 wire-verb-sync   — server/router/client/docs verb tables agree
 - R006 typed-errors     — wire/snapshot paths raise typed errors only
+- R007 kernel-seam      — popcount/XOR distances go through repro.hamming
 
 Rules are pure AST analyses: nothing here imports or executes the code
 under inspection.
@@ -994,6 +995,88 @@ class TypedErrorsChecker(Checker):
 
 
 # ======================================================================
+# R007 kernel-seam
+
+
+class KernelSeamChecker(Checker):
+    RULE = "R007"
+    NAME = "kernel-seam"
+    DESCRIPTION = (
+        "Popcount/XOR-distance work must flow through the repro.hamming "
+        "kernel seam (ARCHITECTURE invariant #7): direct np.bitwise_count — "
+        "or an XOR distance assembled at the call site and fed to a popcount "
+        "helper — outside repro/hamming/ bypasses backend selection "
+        "(set_kernel/REPRO_KERNEL/--kernel), the scratch pools, and the "
+        "bitwise kernel-equivalence gate."
+    )
+
+    # The seam's home: backends and dispatchers may use the primitives.
+    EXEMPT_PREFIX = "hamming/"
+    # Seam popcount helpers: calling them is legal, but XOR-ing packed
+    # arrays *into* them re-implements a distance outside the backends —
+    # hamming_distance/_many/cross_distances/paired_distances exist for that.
+    SEAM_POPCOUNT_FNS = frozenset({"popcount_rows", "popcount_sum"})
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        out: List[Finding] = []
+        for mod in ctx.iter_modules():
+            if mod.rel.startswith(self.EXEMPT_PREFIX):
+                continue
+            imports = _imports_in(mod.tree.body)
+            for node in _walk_skipping_strings(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if not chain:
+                    continue
+                tail = chain[-1]
+                if tail == "bitwise_count" and self._is_numpy(chain, imports):
+                    out.append(
+                        self.finding(
+                            "direct np.bitwise_count outside repro/hamming/: "
+                            "call the kernel seam (popcount_rows/popcount_sum "
+                            "or a distance function) so the active backend, "
+                            "scratch pooling, and the equivalence gate apply",
+                            mod.rel,
+                            node,
+                        )
+                    )
+                elif tail in self.SEAM_POPCOUNT_FNS and self._has_xor_arg(node):
+                    out.append(
+                        self.finding(
+                            f"XOR distance assembled at the call site of "
+                            f"{tail}: use hamming_distance/"
+                            f"hamming_distance_many/cross_distances/"
+                            f"paired_distances so compiled backends can fuse "
+                            f"the XOR+popcount loop",
+                            mod.rel,
+                            node,
+                        )
+                    )
+        return out
+
+    @staticmethod
+    def _is_numpy(chain: Tuple[str, ...], imports: Dict[str, Tuple[str, str]]) -> bool:
+        if len(chain) >= 2:
+            return chain[0] in ("np", "numpy")
+        origin = imports.get(chain[0])
+        return origin is not None and origin[0].split(".")[0] == "numpy"
+
+    @staticmethod
+    def _has_xor_arg(call: ast.Call) -> bool:
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitXor):
+                    return True
+                if isinstance(sub, ast.Call):
+                    sub_chain = attr_chain(sub.func)
+                    if sub_chain and sub_chain[-1] == "bitwise_xor":
+                        return True
+        return False
+
+
+# ======================================================================
 
 ALL_CHECKERS: Tuple[Checker, ...] = (
     UnseededRngChecker(),
@@ -1002,6 +1085,7 @@ ALL_CHECKERS: Tuple[Checker, ...] = (
     RegistryContractChecker(),
     WireVerbSyncChecker(),
     TypedErrorsChecker(),
+    KernelSeamChecker(),
 )
 
 

@@ -16,8 +16,19 @@ from repro.hamming.balls import (
 from repro.hamming.distance import (
     hamming_distance,
     hamming_distance_many,
+    paired_distances,
     pairwise_distances,
     popcount_rows,
+    popcount_sum,
+)
+from repro.hamming.kernels import (
+    KernelBackend,
+    active_kernel,
+    available_kernels,
+    kernel_info,
+    set_kernel,
+    unavailable_kernels,
+    use_kernel,
 )
 from repro.hamming.packing import (
     PackedArrayError,
@@ -35,23 +46,31 @@ from repro.hamming.sampling import (
 )
 
 __all__ = [
+    "KernelBackend",
     "PackedArrayError",
     "PackedPoints",
+    "active_kernel",
+    "available_kernels",
     "ball_members",
     "ball_sizes_by_level",
     "flip_random_bits",
     "hamming_distance",
     "hamming_distance_many",
+    "kernel_info",
     "min_distance",
     "nearest_neighbor",
     "pack_bits",
     "packed_words",
+    "paired_distances",
     "pairwise_distances",
     "point_at_distance",
     "popcount_rows",
+    "popcount_sum",
     "random_packed",
     "random_points",
-    "shell_points",
+    "set_kernel",
+    "unavailable_kernels",
     "unpack_bits",
+    "use_kernel",
     "within_distance_one",
 ]

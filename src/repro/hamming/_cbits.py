@@ -1,0 +1,228 @@
+"""The ``cbits`` kernel backend: fused C popcount/XOR loops via ctypes.
+
+No new Python dependency: a ~60-line C source embedded below is compiled
+once per (source, compiler, flags) digest with the *system* C compiler
+into a shared library cached under the temp directory, then loaded with
+``ctypes``.  ``__builtin_popcountll`` maps to the hardware popcount, and
+fusing XOR+popcount+accumulate into one loop removes the intermediate
+XOR/count arrays the NumPy reference has to materialize per chunk.
+
+OpenMP is used when the compiler supports it (``-fopenmp`` is tried
+first, then dropped): every parallel loop writes disjoint ``out[i]``
+slots with integer-only arithmetic, so results are deterministic and
+bitwise-identical regardless of thread count.
+
+Availability is decided at import by :mod:`repro.hamming.kernels`'
+discovery: ``build_backend()`` raising (no compiler, sandboxed tmp,
+``REPRO_NO_CBITS=1``) just records the reason and leaves the seam on
+``reference``.  A successfully built library must still pass the
+differential self-check before it registers.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.hamming.kernels import KernelBackend
+
+__all__ = ["CBitsBackend", "build_backend"]
+
+_SOURCE = r"""
+#include <stdint.h>
+
+#define PAR_THRESHOLD 262144  /* words; below this, threading overhead loses */
+
+void repro_popcount_rows(const uint64_t *rows, int64_t m, int64_t w,
+                         int64_t *out) {
+#pragma omp parallel for schedule(static) if (m * w > PAR_THRESHOLD)
+    for (int64_t i = 0; i < m; i++) {
+        const uint64_t *row = rows + i * w;
+        int64_t acc = 0;
+        for (int64_t j = 0; j < w; j++)
+            acc += __builtin_popcountll(row[j]);
+        out[i] = acc;
+    }
+}
+
+int64_t repro_hamming_distance(const uint64_t *x, const uint64_t *y,
+                               int64_t w) {
+    int64_t acc = 0;
+    for (int64_t j = 0; j < w; j++)
+        acc += __builtin_popcountll(x[j] ^ y[j]);
+    return acc;
+}
+
+void repro_one_to_many(const uint64_t *x, const uint64_t *rows, int64_t m,
+                       int64_t w, int64_t *out) {
+#pragma omp parallel for schedule(static) if (m * w > PAR_THRESHOLD)
+    for (int64_t i = 0; i < m; i++) {
+        const uint64_t *row = rows + i * w;
+        int64_t acc = 0;
+        for (int64_t j = 0; j < w; j++)
+            acc += __builtin_popcountll(x[j] ^ row[j]);
+        out[i] = acc;
+    }
+}
+
+void repro_cross(const uint64_t *a, int64_t ma, const uint64_t *b, int64_t mb,
+                 int64_t w, int64_t *out) {
+#pragma omp parallel for schedule(static) if (ma * mb * w > PAR_THRESHOLD)
+    for (int64_t i = 0; i < ma; i++) {
+        const uint64_t *ra = a + i * w;
+        int64_t *row_out = out + i * mb;
+        for (int64_t k = 0; k < mb; k++) {
+            const uint64_t *rb = b + k * w;
+            int64_t acc = 0;
+            for (int64_t j = 0; j < w; j++)
+                acc += __builtin_popcountll(ra[j] ^ rb[j]);
+            row_out[k] = acc;
+        }
+    }
+}
+
+void repro_paired(const uint64_t *a, const uint64_t *b, int64_t m, int64_t w,
+                  int64_t *out) {
+#pragma omp parallel for schedule(static) if (m * w > PAR_THRESHOLD)
+    for (int64_t i = 0; i < m; i++) {
+        const uint64_t *ra = a + i * w;
+        const uint64_t *rb = b + i * w;
+        int64_t acc = 0;
+        for (int64_t j = 0; j < w; j++)
+            acc += __builtin_popcountll(ra[j] ^ rb[j]);
+        out[i] = acc;
+    }
+}
+"""
+
+_BASE_FLAGS = ["-O3", "-std=c11", "-shared", "-fPIC"]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CBITS_CACHE")
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else "na"
+    return Path(tempfile.gettempdir()) / f"repro-cbits-{uid}"
+
+
+def _compilers() -> list:
+    ordered = []
+    env_cc = os.environ.get("CC")
+    for cc in ([env_cc] if env_cc else []) + ["cc", "gcc", "clang"]:
+        if cc not in ordered:
+            ordered.append(cc)
+    return ordered
+
+
+def _compile() -> Path:
+    """Build (or reuse) the cached shared library; returns its path."""
+    if os.environ.get("REPRO_NO_CBITS"):
+        raise RuntimeError("disabled by REPRO_NO_CBITS")
+    digest = hashlib.sha256(
+        (_SOURCE + repr(_BASE_FLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"cbits-{digest}.so"
+    if target.exists():
+        return target
+    cache.mkdir(parents=True, exist_ok=True)
+    source = cache / f"cbits-{digest}.c"
+    source.write_text(_SOURCE)
+    errors = []
+    for cc in _compilers():
+        for extra in (["-fopenmp"], []):
+            scratch = cache / f"cbits-{digest}.{os.getpid()}.tmp.so"
+            cmd = [cc, *_BASE_FLAGS, *extra, "-o", str(scratch), str(source)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                errors.append(f"{cc}: {exc}")
+                continue
+            if proc.returncode == 0 and scratch.exists():
+                os.replace(scratch, target)  # atomic vs concurrent builders
+                return target
+            errors.append(f"{' '.join(cmd)}: {proc.stderr.strip()[:200]}")
+    raise RuntimeError("no working C compiler: " + "; ".join(errors[:3]))
+
+
+class CBitsBackend(KernelBackend):
+    name = "cbits"
+
+    def __init__(self, lib: ctypes.CDLL, path: Path) -> None:
+        self.description = f"compiled C popcount/XOR fusion ({path.name})"
+        self._lib = lib
+        u64p = ctypes.POINTER(ctypes.c_uint64)
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        i64 = ctypes.c_int64
+        lib.repro_popcount_rows.argtypes = [u64p, i64, i64, i64p]
+        lib.repro_popcount_rows.restype = None
+        lib.repro_hamming_distance.argtypes = [u64p, u64p, i64]
+        lib.repro_hamming_distance.restype = i64
+        lib.repro_one_to_many.argtypes = [u64p, u64p, i64, i64, i64p]
+        lib.repro_one_to_many.restype = None
+        lib.repro_cross.argtypes = [u64p, i64, u64p, i64, i64, i64p]
+        lib.repro_cross.restype = None
+        lib.repro_paired.argtypes = [u64p, u64p, i64, i64, i64p]
+        lib.repro_paired.restype = None
+
+    @staticmethod
+    def _u64(arr: np.ndarray):
+        flat = np.ascontiguousarray(arr)
+        return flat.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)), flat
+
+    @staticmethod
+    def _out(shape) -> tuple:
+        out = np.empty(shape, dtype=np.int64)
+        return out, out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+    def popcount_rows(self, rows: np.ndarray) -> np.ndarray:
+        m, w = rows.shape
+        ptr, keep = self._u64(rows)
+        out, optr = self._out(m)
+        self._lib.repro_popcount_rows(ptr, m, w, optr)
+        return out
+
+    def hamming_distance(self, x: np.ndarray, y: np.ndarray) -> int:
+        xp, keep_x = self._u64(x)
+        yp, keep_y = self._u64(y)
+        return int(self._lib.repro_hamming_distance(xp, yp, x.shape[0]))
+
+    def hamming_distance_many(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        m, w = rows.shape
+        xp, keep_x = self._u64(x)
+        rp, keep_r = self._u64(rows)
+        out, optr = self._out(m)
+        self._lib.repro_one_to_many(xp, rp, m, w, optr)
+        return out
+
+    def cross_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ma, w = a.shape
+        mb = b.shape[0]
+        ap, keep_a = self._u64(a)
+        bp, keep_b = self._u64(b)
+        out, optr = self._out((ma, mb))
+        self._lib.repro_cross(ap, ma, bp, mb, w, optr)
+        return out
+
+    def paired_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        m, w = a.shape
+        ap, keep_a = self._u64(a)
+        bp, keep_b = self._u64(b)
+        out, optr = self._out(m)
+        self._lib.repro_paired(ap, bp, m, w, optr)
+        return out
+
+
+def build_backend() -> CBitsBackend:
+    """Compile/load the library; raises with the reason when impossible."""
+    path = _compile()
+    return CBitsBackend(ctypes.CDLL(str(path)), path)

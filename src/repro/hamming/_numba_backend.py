@@ -1,0 +1,119 @@
+"""The ``numba`` kernel backend: ``@njit(parallel=True)`` SWAR popcount.
+
+Import-gated: this module raises ``ImportError`` where numba is absent,
+and :mod:`repro.hamming.kernels` discovery records that as the backend's
+unavailability reason — nothing else in the project imports numba.
+
+numba has no ``np.bitwise_count`` lowering, so the per-word popcount is
+the classic SWAR reduction (exact for all 64-bit values, including the
+deliberate wraparound of the final multiply).  ``prange`` loops write
+disjoint output slots with integer arithmetic only, so parallel results
+are deterministic and bitwise-identical to the reference backend — the
+registration self-check and the differential suite both enforce that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange  # noqa: F401 - ImportError gates the backend
+
+from repro.hamming.kernels import KernelBackend
+
+__all__ = ["NumbaBackend", "build_backend"]
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+@njit(inline="always")
+def _popcnt64(x):
+    x = x - ((x >> np.uint64(1)) & _M1)
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return np.int64((x * _H01) >> np.uint64(56))
+
+
+@njit(parallel=True, nogil=True, cache=False)
+def _popcount_rows(rows):
+    m, w = rows.shape
+    out = np.empty(m, dtype=np.int64)
+    for i in prange(m):
+        acc = np.int64(0)
+        for j in range(w):
+            acc += _popcnt64(rows[i, j])
+        out[i] = acc
+    return out
+
+
+@njit(nogil=True, cache=False)
+def _hamming_distance(x, y):
+    acc = np.int64(0)
+    for j in range(x.shape[0]):
+        acc += _popcnt64(x[j] ^ y[j])
+    return acc
+
+
+@njit(parallel=True, nogil=True, cache=False)
+def _one_to_many(x, rows):
+    m, w = rows.shape
+    out = np.empty(m, dtype=np.int64)
+    for i in prange(m):
+        acc = np.int64(0)
+        for j in range(w):
+            acc += _popcnt64(x[j] ^ rows[i, j])
+        out[i] = acc
+    return out
+
+
+@njit(parallel=True, nogil=True, cache=False)
+def _cross(a, b):
+    ma, w = a.shape
+    mb = b.shape[0]
+    out = np.empty((ma, mb), dtype=np.int64)
+    for i in prange(ma):
+        for k in range(mb):
+            acc = np.int64(0)
+            for j in range(w):
+                acc += _popcnt64(a[i, j] ^ b[k, j])
+            out[i, k] = acc
+    return out
+
+
+@njit(parallel=True, nogil=True, cache=False)
+def _paired(a, b):
+    m, w = a.shape
+    out = np.empty(m, dtype=np.int64)
+    for i in prange(m):
+        acc = np.int64(0)
+        for j in range(w):
+            acc += _popcnt64(a[i, j] ^ b[i, j])
+        out[i] = acc
+    return out
+
+
+class NumbaBackend(KernelBackend):
+    name = "numba"
+    description = "numba @njit(parallel=True) SWAR popcount/XOR fusion"
+
+    def popcount_rows(self, rows: np.ndarray) -> np.ndarray:
+        return _popcount_rows(np.ascontiguousarray(rows))
+
+    def hamming_distance(self, x: np.ndarray, y: np.ndarray) -> int:
+        return int(
+            _hamming_distance(np.ascontiguousarray(x), np.ascontiguousarray(y))
+        )
+
+    def hamming_distance_many(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        return _one_to_many(np.ascontiguousarray(x), np.ascontiguousarray(rows))
+
+    def cross_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return _cross(np.ascontiguousarray(a), np.ascontiguousarray(b))
+
+    def paired_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return _paired(np.ascontiguousarray(a), np.ascontiguousarray(b))
+
+
+def build_backend() -> NumbaBackend:
+    return NumbaBackend()

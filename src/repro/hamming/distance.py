@@ -1,34 +1,71 @@
-"""Vectorized Hamming distances on packed uint64 arrays.
+"""Vectorized Hamming distances on packed uint64 arrays (the seam's API).
 
-All distances are exact integers computed as ``popcount(x XOR y)`` over the
-packed words.  ``np.bitwise_count`` (NumPy >= 2.0) provides the hardware
-popcount; every function chunks its work so peak memory stays bounded even
-for one-vs-a-million queries.
+All distances are exact integers computed as ``popcount(x XOR y)`` over
+the packed words.  Since v1.9 these functions are thin *dispatchers*:
+each one normalizes dtypes/shapes, enforces the shared error contract,
+answers the degenerate shapes (zero rows / zero words) directly, and
+hands real work to the active :class:`~repro.hamming.kernels.KernelBackend`
+(``reference`` = NumPy ``np.bitwise_count``; see
+:mod:`repro.hamming.kernels` for ``set_kernel``/``REPRO_KERNEL``).
+Validation living here — not in backends — is what makes the error
+contract identical under every backend by construction.
+
+Every backend chunks its work so peak memory stays bounded even for
+one-vs-a-million queries; ``_CHUNK_WORD_BUDGET`` below remains the knob.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+# Rows processed per chunk in one-vs-many computations; 1<<18 words keeps
+# the temporary XOR buffer around 2 MB regardless of database size.  The
+# reference backend reads this at call time, so patching it still works.
+# Assigned *before* the kernels import: backend discovery below runs a
+# differential self-check whose reference side already needs the knob.
+_CHUNK_WORD_BUDGET = 1 << 18
+
+from repro.hamming import kernels  # noqa: E402
+
 __all__ = [
     "cross_distances",
     "hamming_distance",
     "hamming_distance_many",
+    "paired_distances",
     "pairwise_distances",
     "popcount_rows",
+    "popcount_sum",
 ]
 
-# Rows processed per chunk in one-vs-many computations; 1<<18 words keeps
-# the temporary XOR buffer around 2 MB regardless of database size.
-_CHUNK_WORD_BUDGET = 1 << 18
+
+def _as_rows(arr) -> np.ndarray:
+    rows = np.asarray(arr, dtype=np.uint64)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    return rows
 
 
 def popcount_rows(words: np.ndarray) -> np.ndarray:
     """Sum of set bits in each row of a 2-D uint64 array (returns int64)."""
-    arr = np.asarray(words, dtype=np.uint64)
-    if arr.ndim == 1:
-        arr = arr[None, :]
-    return np.bitwise_count(arr).sum(axis=1, dtype=np.int64)
+    arr = _as_rows(words)
+    m, w = arr.shape
+    if m == 0 or w == 0:
+        return np.zeros(m, dtype=np.int64)
+    return kernels.active_backend().popcount_rows(arr)
+
+
+def popcount_sum(words: np.ndarray, axis=-1, dtype=np.int64) -> np.ndarray:
+    """Popcount reduced along ``axis`` with an explicit accumulator dtype.
+
+    The escape hatch for *non-distance* bit counting (e.g. the sketch
+    layer's parity sums, which deliberately accumulate mod 256 in uint8).
+    Always computed by the NumPy reference path — backend dispatch covers
+    the five distance kernels only — but living here keeps every popcount
+    behind ``repro/hamming/`` (rule R007).
+    """
+    return np.bitwise_count(np.asarray(words, dtype=np.uint64)).sum(
+        axis=axis, dtype=dtype
+    )
 
 
 def hamming_distance(x: np.ndarray, y: np.ndarray) -> int:
@@ -37,7 +74,9 @@ def hamming_distance(x: np.ndarray, y: np.ndarray) -> int:
     yv = np.asarray(y, dtype=np.uint64).ravel()
     if xv.shape != yv.shape:
         raise ValueError(f"shape mismatch: {xv.shape} vs {yv.shape}")
-    return int(np.bitwise_count(xv ^ yv).sum(dtype=np.int64))
+    if xv.shape[0] == 0:
+        return 0
+    return int(kernels.active_backend().hamming_distance(xv, yv))
 
 
 def hamming_distance_many(x: np.ndarray, batch: np.ndarray) -> np.ndarray:
@@ -53,19 +92,13 @@ def hamming_distance_many(x: np.ndarray, batch: np.ndarray) -> np.ndarray:
     int64 array of shape ``(m,)``
     """
     xv = np.asarray(x, dtype=np.uint64).ravel()
-    rows = np.asarray(batch, dtype=np.uint64)
-    if rows.ndim == 1:
-        rows = rows[None, :]
+    rows = _as_rows(batch)
     if rows.shape[1] != xv.shape[0]:
         raise ValueError(f"word-count mismatch: point {xv.shape[0]}, batch {rows.shape[1]}")
     m, w = rows.shape
-    out = np.empty(m, dtype=np.int64)
-    chunk = max(1, _CHUNK_WORD_BUDGET // max(1, w))
-    for start in range(0, m, chunk):
-        stop = min(m, start + chunk)
-        xored = rows[start:stop] ^ xv[None, :]
-        out[start:stop] = np.bitwise_count(xored).sum(axis=1, dtype=np.int64)
-    return out
+    if m == 0 or w == 0:
+        return np.zeros(m, dtype=np.int64)
+    return kernels.active_backend().hamming_distance_many(xv, rows)
 
 
 def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -76,32 +109,34 @@ def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     loop per row, which is what makes batched table prefetching pay off.
     Results are exact integers, identical to per-row calls.
     """
-    av = np.asarray(a, dtype=np.uint64)
-    bv = np.asarray(b, dtype=np.uint64)
-    if av.ndim == 1:
-        av = av[None, :]
-    if bv.ndim == 1:
-        bv = bv[None, :]
+    av = _as_rows(a)
+    bv = _as_rows(b)
     if av.shape[1] != bv.shape[1]:
         raise ValueError(f"word-count mismatch: {av.shape[1]} vs {bv.shape[1]}")
     ma, w = av.shape
     mb = bv.shape[0]
     if ma == 0 or mb == 0:
         return np.empty((ma, mb), dtype=np.int64)
-    if w <= 4:
-        # Few words: accumulate per-word 2-D popcounts, no 3-D buffer.
-        acc = np.bitwise_count(av[:, 0][:, None] ^ bv[None, :, 0]).astype(np.int64)
-        for j in range(1, w):
-            acc += np.bitwise_count(av[:, j][:, None] ^ bv[None, :, j])
-        return acc
-    out = np.empty((ma, mb), dtype=np.int64)
-    # Chunk rows of `a` so the (chunk, mb, w) XOR buffer stays bounded.
-    chunk = max(1, _CHUNK_WORD_BUDGET // max(1, mb * w))
-    for start in range(0, ma, chunk):
-        stop = min(ma, start + chunk)
-        xored = av[start:stop, None, :] ^ bv[None, :, :]
-        out[start:stop] = np.bitwise_count(xored).sum(axis=2, dtype=np.int64)
-    return out
+    if w == 0:
+        return np.zeros((ma, mb), dtype=np.int64)
+    return kernels.active_backend().cross_distances(av, bv)
+
+
+def paired_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-paired distances: ``out[i] = d(a[i], b[i])`` (int64, shape ``(m,)``).
+
+    The third sibling — one-to-one where ``hamming_distance_many`` is
+    one-vs-many and ``cross_distances`` is many-vs-many.  Used where
+    candidate pairs are gathered first (e.g. the perfect-hash screen).
+    """
+    av = _as_rows(a)
+    bv = _as_rows(b)
+    if av.shape != bv.shape:
+        raise ValueError(f"shape mismatch: {av.shape} vs {bv.shape}")
+    m, w = av.shape
+    if m == 0 or w == 0:
+        return np.zeros(m, dtype=np.int64)
+    return kernels.active_backend().paired_distances(av, bv)
 
 
 def pairwise_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:

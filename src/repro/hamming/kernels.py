@@ -1,0 +1,291 @@
+"""Pluggable popcount/XOR-distance kernel backends (the *kernel seam*).
+
+Every layer of the project — lockstep sweeps, the batch engine, sharded
+and out-of-core serving — ultimately bottoms out in ``popcount(x XOR y)``
+over packed uint64 words.  This module turns that hot path into a seam:
+:mod:`repro.hamming.distance` validates arguments and dispatches to the
+*active* :class:`KernelBackend`, so accelerated implementations can be
+swapped in without touching a single call site (ARCHITECTURE invariant
+#7; rule R007 keeps call sites from bypassing the seam).
+
+Backends
+--------
+``reference``
+    The NumPy ``np.bitwise_count`` implementation — always available and
+    the bitwise ground truth every other backend is checked against.
+``cbits``
+    A small C library compiled on demand with the system C compiler and
+    loaded through ``ctypes``: fused XOR+popcount loops, no Python-level
+    temporaries.  Registers only when a working compiler is found (set
+    ``REPRO_NO_CBITS=1`` to skip the build entirely).
+``numba``
+    ``@njit(parallel=True)`` SWAR popcount kernels.  Registers only when
+    numba is importable.
+
+Selection flows through exactly one runtime surface:
+
+* :func:`set_kernel` / :func:`use_kernel` in process,
+* env ``REPRO_KERNEL`` at import (unknown names warn and fall back to
+  ``reference`` — loud but graceful),
+* ``--kernel`` on the ``bench``/``serve``/``shard-serve``/``route`` CLI
+  verbs, which just calls :func:`set_kernel`.
+
+The hard contract: every registered backend returns **bitwise-identical**
+results to ``reference`` for all five seam functions.  A quick
+differential self-check runs before any optional backend registers, and
+``tests/hamming/test_kernel_equivalence.py`` holds the full property
+suite over adversarial shapes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ENV_VAR",
+    "KNOWN_KERNELS",
+    "KernelBackend",
+    "ScratchPool",
+    "active_backend",
+    "active_kernel",
+    "available_kernels",
+    "get_kernel",
+    "kernel_info",
+    "register_kernel",
+    "set_kernel",
+    "unavailable_kernels",
+    "use_kernel",
+]
+
+ENV_VAR = "REPRO_KERNEL"
+
+# Every backend name this build knows how to construct, available or not.
+# Test suites parametrize over this tuple so missing backends show up as
+# explicit skips instead of silently shrinking coverage.
+KNOWN_KERNELS: Tuple[str, ...] = ("reference", "cbits", "numba")
+
+
+class ScratchPool:
+    """Reusable flat scratch buffers, one growable arena per dtype.
+
+    ``take(count, dtype)`` returns a length-``count`` view into a pooled
+    allocation, growing it only when a request exceeds the high-water
+    mark — so a steady stream of same-shaped kernel calls (the batch
+    engine's per-flush sweeps) allocates exactly once instead of once
+    per call.  Views alias the pool: a buffer is dead the moment the
+    next ``take`` of the same dtype happens, which is exactly the
+    lifetime of a per-chunk XOR/count temporary.
+    """
+
+    def __init__(self) -> None:
+        self._arenas: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, count: int, dtype) -> np.ndarray:
+        key = np.dtype(dtype).str
+        arena = self._arenas.get(key)
+        if arena is None or arena.size < count:
+            self._arenas[key] = arena = np.empty(count, dtype=dtype)
+            self.misses += 1
+        else:
+            self.hits += 1
+        return arena[:count]
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes": sum(a.nbytes for a in self._arenas.values()),
+        }
+
+
+class KernelBackend:
+    """One popcount/XOR-distance implementation behind the seam.
+
+    Subclasses implement the four primitive kernels below.  Inputs are
+    pre-validated by :mod:`repro.hamming.distance`: uint64 ndarrays
+    (possibly non-contiguous views) with ``m >= 1`` rows and ``w >= 1``
+    words — the degenerate shapes are answered by the dispatchers, so a
+    backend never sees them.  Outputs must be exact int64 counts,
+    bitwise-identical to the ``reference`` backend.
+    """
+
+    name = "abstract"
+    description = ""
+
+    def popcount_rows(self, rows: np.ndarray) -> np.ndarray:
+        """``(m, w) -> (m,)`` set-bit count per row."""
+        raise NotImplementedError
+
+    def hamming_distance(self, x: np.ndarray, y: np.ndarray) -> int:
+        """Distance between two ``(w,)`` points."""
+        raise NotImplementedError
+
+    def hamming_distance_many(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """``(w,) vs (m, w) -> (m,)`` one-vs-many distances."""
+        raise NotImplementedError
+
+    def cross_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(ma, w) vs (mb, w) -> (ma, mb)`` all-pairs distances."""
+        raise NotImplementedError
+
+    def paired_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(m, w) vs (m, w) -> (m,)`` row-paired distances."""
+        return self.popcount_rows(np.bitwise_xor(a, b))
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_UNAVAILABLE: Dict[str, str] = {}
+_ACTIVE: KernelBackend
+
+
+def register_kernel(backend: KernelBackend) -> KernelBackend:
+    """Add a backend to the registry (last registration of a name wins)."""
+    _REGISTRY[backend.name] = backend
+    _UNAVAILABLE.pop(backend.name, None)
+    return backend
+
+
+def available_kernels() -> List[str]:
+    """Names of the backends that registered successfully, in order."""
+    return [name for name in KNOWN_KERNELS if name in _REGISTRY] + [
+        name for name in _REGISTRY if name not in KNOWN_KERNELS
+    ]
+
+
+def unavailable_kernels() -> Dict[str, str]:
+    """``name -> reason`` for every known backend that failed to register."""
+    return dict(_UNAVAILABLE)
+
+
+def get_kernel(name: str) -> KernelBackend:
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        detail = ""
+        if name in _UNAVAILABLE:
+            detail = f" ({name!r} unavailable: {_UNAVAILABLE[name]})"
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {', '.join(available_kernels())}"
+            + detail
+        )
+    return backend
+
+
+def active_backend() -> KernelBackend:
+    return _ACTIVE
+
+
+def active_kernel() -> str:
+    """Name of the backend currently serving the seam (provenance)."""
+    return _ACTIVE.name
+
+
+def set_kernel(name: str) -> str:
+    """Select the active backend; returns the previous backend's name.
+
+    The ONE runtime switch: CLI ``--kernel`` and env ``REPRO_KERNEL``
+    both land here.  Raises ``ValueError`` (naming the available
+    backends and why the requested one is missing) on unknown names.
+    """
+    global _ACTIVE
+    previous = _ACTIVE.name
+    _ACTIVE = get_kernel(name)
+    return previous
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[KernelBackend]:
+    """Scoped :func:`set_kernel` — restores the previous backend on exit."""
+    previous = set_kernel(name)
+    try:
+        yield _ACTIVE
+    finally:
+        set_kernel(previous)
+
+
+def kernel_info() -> dict:
+    """Provenance snapshot: active backend, alternatives, failure reasons."""
+    return {
+        "active": _ACTIVE.name,
+        "available": available_kernels(),
+        "unavailable": unavailable_kernels(),
+    }
+
+
+def _self_check(backend: KernelBackend) -> None:
+    """Cheap differential gate run before an optional backend registers.
+
+    Not the full property suite (tests/hamming/test_kernel_equivalence.py
+    is), just enough to refuse a miscompiled library at import time.
+    """
+    reference = _REGISTRY["reference"]
+    # Deterministic well-mixed words (a Weyl sequence) — no RNG needed,
+    # the check is differential, not statistical.
+    base = np.arange(36, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    a = (base[:15] ^ np.uint64(0xDEADBEEFCAFEBABE)).reshape(5, 3)
+    b = base[15:36].reshape(7, 3).copy()
+    b[0] = ~np.uint64(0)
+    b[1] = 0
+    checks = [
+        (backend.popcount_rows(a), reference.popcount_rows(a)),
+        (backend.hamming_distance(a[0], a[1]), reference.hamming_distance(a[0], a[1])),
+        (backend.hamming_distance_many(a[0], b), reference.hamming_distance_many(a[0], b)),
+        (backend.cross_distances(a, b), reference.cross_distances(a, b)),
+        (backend.paired_distances(a, a[::-1]), reference.paired_distances(a, a[::-1])),
+    ]
+    for got, want in checks:
+        if not np.array_equal(np.asarray(got), np.asarray(want)):
+            raise RuntimeError(
+                f"kernel {backend.name!r} failed the differential self-check "
+                f"against 'reference': {got!r} != {want!r}"
+            )
+
+
+def _discover() -> None:
+    """Register the reference backend, then try each optional one.
+
+    Optional backends fail *loudly but gracefully*: any exception during
+    import/build/self-check is recorded in :func:`unavailable_kernels`
+    (surfaced by ``set_kernel`` errors and ``kernel_info``) instead of
+    breaking import — the seam always works on ``reference``.
+    """
+    global _ACTIVE
+    from repro.hamming._reference import ReferenceBackend
+
+    _ACTIVE = register_kernel(ReferenceBackend())
+
+    for name, module in (
+        ("cbits", "repro.hamming._cbits"),
+        ("numba", "repro.hamming._numba_backend"),
+    ):
+        try:
+            backend = importlib.import_module(module).build_backend()
+            _self_check(backend)
+            register_kernel(backend)
+        except Exception as exc:  # noqa: BLE001 - record, never break import
+            _UNAVAILABLE[name] = f"{type(exc).__name__}: {exc}"
+
+
+def _apply_env() -> None:
+    choice = os.environ.get(ENV_VAR, "").strip()
+    if not choice:
+        return
+    try:
+        set_kernel(choice)
+    except ValueError as exc:
+        warnings.warn(
+            f"{ENV_VAR}={choice!r} ignored ({exc}); staying on 'reference'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+_discover()
+_apply_env()

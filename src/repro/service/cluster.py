@@ -49,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.mutable import coerce_delete_ids
+from repro.hamming.kernels import active_kernel
 from repro.service.replica import (
     AsyncReplicaClient,
     ReplicaRequestError,
@@ -855,6 +856,7 @@ class ShardRouter:
                     "generations": generations,
                     "id_space": self._id_space(),
                     "spec": None,
+                    "kernel": active_kernel(),
                 },
                 "policy": None,
                 "cluster": self._topology(),
@@ -884,6 +886,7 @@ class ShardRouter:
         uptime = time.monotonic() - self._started_at if self._started_at else 0.0
         return {
             "role": "router",
+            "kernel": active_kernel(),
             **self._counters,
             "uptime_s": round(uptime, 3),
             "shards": [

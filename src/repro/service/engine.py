@@ -179,6 +179,13 @@ class BatchQueryEngine:
         # which pins every classified table and guarantees no id is ever
         # recycled onto a stale entry.
         self._prefetchable: Dict[int, tuple] = {}
+        # Pooled per-sweep address buffers, keyed like _prefetchable.  A
+        # steady stream of flushes re-walks the same tables every sweep;
+        # reusing the list objects (cleared after each prefetch) removes
+        # the per-sweep dict/list churn.  The XOR/count temporaries of the
+        # distance kernels themselves are pooled one layer down, in the
+        # active backend's ScratchPool (repro.hamming.kernels).
+        self._addr_scratch: Dict[int, List[object]] = {}
 
     def run(self, queries: np.ndarray) -> List[object]:
         """Answer a packed batch; returns per-query results in order."""
@@ -249,7 +256,8 @@ class BatchQueryEngine:
     def _prefetch_sweep(self, request_lists: Iterable[List[ProbeRequest]]) -> int:
         """Batch-materialize the sweep's missing cells, grouped by table."""
         classify = self._prefetchable
-        addresses: Dict[int, List[object]] = {}  # id(table) -> sweep addresses
+        scratch = self._addr_scratch
+        touched: List[int] = []  # tables with addresses this sweep, in order
         for requests in request_lists:
             for req in requests:
                 table = req.table
@@ -259,8 +267,17 @@ class BatchQueryEngine:
                     entry = (table, bool(getattr(table, "supports_prefetch", False)))
                     classify[tid] = entry
                 if entry[1]:
-                    addresses.setdefault(tid, []).append(req.address)
+                    addrs = scratch.get(tid)
+                    if addrs is None:
+                        addrs = scratch[tid] = []
+                    if not addrs:
+                        touched.append(tid)
+                    addrs.append(req.address)
         filled = 0
-        for tid, addrs in addresses.items():
-            filled += classify[tid][0].prefetch(addrs)
+        try:
+            for tid in touched:
+                filled += classify[tid][0].prefetch(scratch[tid])
+        finally:
+            for tid in touched:
+                scratch[tid].clear()
         return filled

@@ -52,6 +52,7 @@ from typing import Callable, Deque, Dict, List, NamedTuple, Optional
 
 import numpy as np
 
+from repro.hamming.kernels import active_kernel
 from repro.hamming.packing import pack_bits, packed_words
 
 __all__ = [
@@ -179,6 +180,10 @@ def describe_index(index) -> Dict[str, object]:
         "id_space": int(getattr(index, "id_space", len(index))),
         "spec": None if spec is None else spec.to_dict(),
         "load_mode": getattr(index, "load_mode", "heap"),
+        # Provenance: which popcount/distance backend answered (the
+        # kernel seam, repro.hamming.kernels) — bitwise-equal across
+        # backends, but perf numbers are only comparable like for like.
+        "kernel": active_kernel(),
     }
     residency = _residency_info(index)
     if residency is not None:
@@ -824,9 +829,15 @@ async def _handle_request(
             saved, write_seq = await service.barrier(snap)
             response = {"ok": True, "path": str(saved), "write_seq": int(write_seq)}
         elif op == "stats":
+            # The kernel rides inside the stats payload: ServiceClient
+            # unwraps response["stats"], so provenance outside it would
+            # be invisible to every caller.
             response = {
                 "ok": True,
-                "stats": service.metrics().as_dict(),
+                "stats": {
+                    **service.metrics().as_dict(),
+                    "kernel": active_kernel(),
+                },
                 "replication": _replication_info(state),
             }
             residency = _residency_info(service.index)

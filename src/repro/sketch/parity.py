@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hamming.distance import popcount_rows, popcount_sum
 from repro.hamming.packing import pack_bits, packed_words, tail_mask
 
 __all__ = ["ParitySketch"]
@@ -101,7 +102,7 @@ class ParitySketch:
 
     def mask_density(self) -> float:
         """Empirical fraction of set mask entries (≈ p)."""
-        return float(np.bitwise_count(self._mask).sum()) / (self.rows * self.d)
+        return float(popcount_rows(self._mask).sum()) / (self.rows * self.d)
 
     # -- application ---------------------------------------------------------
     def apply(self, x: np.ndarray) -> np.ndarray:
@@ -134,7 +135,7 @@ class ParitySketch:
                 # Summing uint8 popcounts wraps mod 256, which preserves
                 # the parity bit while moving 8x less memory than int64.
                 anded = pts[q0:q1, None, :] & band[None, :, :]
-                counts = np.bitwise_count(anded).sum(axis=2, dtype=np.uint8)
+                counts = popcount_sum(anded, axis=2, dtype=np.uint8)
                 bits[q0:q1, r0:r1] = counts & np.uint8(1)
         return pack_bits(bits, self.rows)
 

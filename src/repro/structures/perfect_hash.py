@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cellprobe.table import LazyTable
 from repro.cellprobe.words import EMPTY, PointWord
+from repro.hamming.distance import cross_distances, paired_distances
 from repro.hamming.points import PackedPoints
 
 __all__ = ["MembershipStructure"]
@@ -99,16 +100,14 @@ class MembershipStructure:
         points = np.asarray([tuple(a) for a in addresses], dtype=np.uint64)
         words = self.database.words
         radius = self.radius
-        first_word = np.bitwise_count(points[:, 0][:, None] ^ words[None, :, 0])
+        first_word = cross_distances(points[:, :1], words[:, :1])
         cand_q, cand_z = np.nonzero(first_word <= radius)
         best: dict[int, tuple[bool, int]] = {}  # query row -> (found exact, index)
         if cand_q.size:
             if points.shape[1] == 1:
                 cand_dists = first_word[cand_q, cand_z]
             else:
-                cand_dists = np.bitwise_count(
-                    points[cand_q] ^ words[cand_z]
-                ).sum(axis=1, dtype=np.int64)
+                cand_dists = paired_distances(points[cand_q], words[cand_z])
             # Candidates arrive sorted by (query, index), so the first hit
             # per query is the lowest index and the first exact hit is the
             # lowest-index exact — matching _content's selection.

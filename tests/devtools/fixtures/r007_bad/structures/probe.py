@@ -1,0 +1,15 @@
+"""A second module: the rule walks the whole tree, aliases included."""
+
+import numpy
+
+from repro.hamming.distance import popcount_rows
+
+
+def single_word(points, words):
+    return numpy.bitwise_count(points[:, 0][:, None] ^ words[None, :, 0])  # LINT-EXPECT: R007
+
+
+def mask_overlap(mask, rows):
+    # AND (not XOR) into the seam helper is fine; the raw ufunc is not.
+    legal = popcount_rows(mask & rows)
+    return legal + numpy.bitwise_count(mask).sum()  # LINT-EXPECT: R007

@@ -1,0 +1,11 @@
+"""Inside repro/hamming/ the primitives are the implementation — exempt."""
+
+import numpy as np
+
+
+def popcount_rows(rows):
+    return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+
+
+def hamming_distance(x, y):
+    return int(np.bitwise_count(x ^ y).sum(dtype=np.int64))

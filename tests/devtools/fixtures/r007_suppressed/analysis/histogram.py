@@ -1,0 +1,7 @@
+"""Suppression case for R007."""
+
+import numpy as np
+
+
+def bit_histogram(rows):
+    return np.bitwise_count(rows)  # repro-lint: disable=R007 offline analysis notebook export, not a query path

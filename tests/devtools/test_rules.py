@@ -18,7 +18,7 @@ from repro.devtools import ALL_CHECKERS, run_lint
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
-RULES = ["R001", "R002", "R003", "R004", "R005", "R006"]
+RULES = ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
 
 
 def lint(tree: str, rule: str):
@@ -65,7 +65,7 @@ def test_rule_silent_on_clean_fixture(rule):
     assert [f for f in result.findings if f.rule == rule] == []
 
 
-@pytest.mark.parametrize("rule", ["R001", "R002", "R003", "R004", "R006"])
+@pytest.mark.parametrize("rule", ["R001", "R002", "R003", "R004", "R006", "R007"])
 def test_reasoned_suppression_silences_rule(rule):
     tree = f"{rule.lower()}_suppressed"
     result = lint(tree, rule)
@@ -134,6 +134,17 @@ def test_r005_requires_a_verb_matrix(tmp_path):
     shutil.copytree(FIXTURES / "r005_clean" / "service", root / "service")
     result_without = run_lint(root, ALL_CHECKERS, select=["R005"])
     assert any("no verb matrix" in f.message for f in result_without.findings)
+
+
+def test_r007_exempts_hamming_and_distinguishes_bypass_kinds():
+    result = lint("r007_bad", "R007")
+    messages = " | ".join(f.message for f in result.findings)
+    # Both bypass kinds fire with their own guidance.
+    assert "direct np.bitwise_count" in messages
+    assert "XOR distance assembled at the call site" in messages
+    # The clean tree's hamming/ module uses np.bitwise_count legally.
+    clean = lint("r007_clean", "R007")
+    assert [f for f in clean.findings if f.rule == "R007"] == []
 
 
 def test_r006_allows_value_and_typed_errors():

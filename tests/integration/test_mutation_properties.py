@@ -40,6 +40,12 @@ from repro.api import IndexSpec
 from repro.core.index import ANNIndex
 from repro.core.mutable import generation_seed
 from repro.hamming.distance import hamming_distance
+from repro.hamming.kernels import (
+    KNOWN_KERNELS,
+    available_kernels,
+    unavailable_kernels,
+    use_kernel,
+)
 from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
 from repro.registry import available_schemes
@@ -329,3 +335,46 @@ class TestAutoCompaction:
     def test_amortized_trigger_preserves_the_oracle(self, data):
         spec = IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=303)
         run_episode(data, spec, threshold=0.3)
+
+
+def _kernel_cases():
+    cases = []
+    for name in KNOWN_KERNELS:
+        if name in available_kernels():
+            cases.append(pytest.param(name))
+        else:
+            reason = unavailable_kernels().get(name, "not registered")
+            cases.append(
+                pytest.param(name, marks=pytest.mark.skip(reason=f"{name}: {reason}"))
+            )
+    return cases
+
+
+@pytest.mark.parametrize("kernel", _kernel_cases())
+class TestKernelBackends:
+    """Full mutation episodes under each registered kernel backend.
+
+    The oracle's expectations — probe/round accounting from the shadow
+    model, answers from from-scratch rebuild indexes — are pure integers
+    with no backend dependence, so an episode passing under every kernel
+    *is* the bitwise cross-backend identity the seam promises (answers
+    AND accounting), transitively through the oracle.  Compiled-backend
+    cases self-skip with the unavailability reason when the dependency
+    is absent.
+    """
+
+    @EPISODE_SETTINGS
+    @given(data=st.data())
+    def test_episodes_identical_under_kernel(self, kernel, data):
+        with use_kernel(kernel):
+            spec = IndexSpec(scheme="algorithm1", params={"rounds": 2}, seed=404)
+            run_episode(data, spec, threshold=0.5)
+
+    @EPISODE_SETTINGS
+    @given(data=st.data())
+    def test_boosted_episodes_identical_under_kernel(self, kernel, data):
+        with use_kernel(kernel):
+            spec = IndexSpec(
+                scheme="lsh", params=SCHEME_PARAMS.get("lsh", {}), seed=505, boost=2
+            )
+            run_episode(data, spec, threshold=float("inf"))

@@ -15,6 +15,12 @@ import pytest
 from repro.api import IndexSpec
 from repro.core.index import ANNIndex
 from repro.hamming.distance import hamming_distance
+from repro.hamming.kernels import (
+    KNOWN_KERNELS,
+    available_kernels,
+    unavailable_kernels,
+    use_kernel,
+)
 from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import flip_random_bits, random_points
 from repro.persistence import load_any
@@ -90,6 +96,45 @@ class TestPartitioning:
         assert shard_seed(5, 0) == shard_seed(5, 0)
         assert shard_seed(5, 0) != shard_seed(5, 1)
         assert shard_seed(5, 0) != shard_seed(6, 0)
+
+
+def _kernel_cases():
+    cases = []
+    for name in KNOWN_KERNELS:
+        if name in available_kernels():
+            cases.append(pytest.param(name))
+        else:
+            reason = unavailable_kernels().get(name, "not registered")
+            cases.append(
+                pytest.param(name, marks=pytest.mark.skip(reason=f"{name}: {reason}"))
+            )
+    return cases
+
+
+class TestKernelEquivalence:
+    """The sharded serving path under every registered kernel backend.
+
+    Build, fan-out query, and distance-merge all run behind the kernel
+    seam; per-query answers, probe/round accounting, and merge distances
+    must be identical field by field whichever backend is active —
+    compiled cases self-skip when the dependency is absent.
+    """
+
+    @pytest.mark.parametrize("kernel", _kernel_cases())
+    def test_sharded_answers_identical_under_kernel(self, kernel, workload):
+        db, queries = workload
+        with use_kernel("reference"):
+            baseline_index = ShardedANNIndex.build(db, SPEC, shards=4)
+            baseline = baseline_index.query_batch(queries)
+        with use_kernel(kernel):
+            index = ShardedANNIndex.build(db, SPEC, shards=4)
+            results = index.query_batch(queries)
+        assert len(results) == len(baseline)
+        for got, want in zip(results, baseline):
+            assert got.answer_index == want.answer_index
+            assert got.probes == want.probes
+            assert got.rounds == want.rounds
+            assert got.meta.get("distance") == want.meta.get("distance")
 
 
 class TestDistanceMerge:
