@@ -69,6 +69,7 @@ __all__ = [
     "random_packed",
     "random_points",
     "set_kernel",
+    "shell_points",
     "unavailable_kernels",
     "unpack_bits",
     "use_kernel",

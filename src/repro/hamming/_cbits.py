@@ -1,9 +1,11 @@
 """The ``cbits`` kernel backend: fused C popcount/XOR loops via ctypes.
 
 No new Python dependency: a ~60-line C source embedded below is compiled
-once per (source, compiler, flags) digest with the *system* C compiler
-into a shared library cached under the temp directory, then loaded with
-``ctypes``.  ``__builtin_popcountll`` maps to the hardware popcount, and
+once per (source, compiler path+version, flags) digest with the *system*
+C compiler into a shared library cached under the user's cache directory
+(``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``; mode 0700 and
+ownership-checked before any cached artifact is trusted), then loaded
+with ``ctypes``.  ``__builtin_popcountll`` maps to the hardware popcount, and
 fusing XOR+popcount+accumulate into one loop removes the intermediate
 XOR/count arrays the NumPy reference has to materialize per chunk.
 
@@ -24,8 +26,9 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shutil
+import stat
 import subprocess
-import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -108,8 +111,29 @@ def _cache_dir() -> Path:
     override = os.environ.get("REPRO_CBITS_CACHE")
     if override:
         return Path(override)
-    uid = os.getuid() if hasattr(os, "getuid") else "na"
-    return Path(tempfile.gettempdir()) / f"repro-cbits-{uid}"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "cbits"
+
+
+def _assert_private(path: Path, kind: str) -> None:
+    """Refuse cache artifacts another local user could have planted.
+
+    A shared library found in the cache is loaded into this process, so
+    before trusting one (or the directory it lives in) require that it is
+    owned by the current uid and not group/world-writable.
+    """
+    st = os.stat(path)
+    if hasattr(os, "getuid") and st.st_uid != os.getuid():
+        raise RuntimeError(
+            f"cbits cache {kind} {path} is owned by uid {st.st_uid}, "
+            f"not the current user (uid {os.getuid()}); refusing to use it"
+        )
+    if st.st_mode & (stat.S_IWGRP | stat.S_IWOTH):
+        raise RuntimeError(
+            f"cbits cache {kind} {path} is group/world-writable "
+            f"(mode {stat.S_IMODE(st.st_mode):04o}); refusing to use it"
+        )
 
 
 def _compilers() -> list:
@@ -121,23 +145,50 @@ def _compilers() -> list:
     return ordered
 
 
+def _cc_fingerprint(cc: str) -> str:
+    """Resolved path + version line, or '' when the compiler is missing."""
+    path = shutil.which(cc)
+    if path is None:
+        return ""
+    try:
+        proc = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        )
+        version = proc.stdout.splitlines()[0].strip() if proc.stdout else ""
+    except (OSError, subprocess.TimeoutExpired):
+        version = ""
+    return f"{path} {version}".strip()
+
+
 def _compile() -> Path:
-    """Build (or reuse) the cached shared library; returns its path."""
+    """Build (or reuse) the cached shared library; returns its path.
+
+    The cache key digests (source, base flags, extra flags, resolved
+    compiler path + version), so a toolchain change — new CC, upgraded
+    compiler, OpenMP appearing/disappearing — rebuilds instead of
+    reusing a stale binary.
+    """
     if os.environ.get("REPRO_NO_CBITS"):
         raise RuntimeError("disabled by REPRO_NO_CBITS")
-    digest = hashlib.sha256(
-        (_SOURCE + repr(_BASE_FLAGS)).encode()
-    ).hexdigest()[:16]
     cache = _cache_dir()
-    target = cache / f"cbits-{digest}.so"
-    if target.exists():
-        return target
-    cache.mkdir(parents=True, exist_ok=True)
-    source = cache / f"cbits-{digest}.c"
-    source.write_text(_SOURCE)
+    cache.mkdir(parents=True, exist_ok=True, mode=0o700)
+    _assert_private(cache, "directory")
     errors = []
     for cc in _compilers():
+        fingerprint = _cc_fingerprint(cc)
+        if not fingerprint:
+            errors.append(f"{cc}: not found on PATH")
+            continue
         for extra in (["-fopenmp"], []):
+            digest = hashlib.sha256(
+                "\n".join([_SOURCE, repr(_BASE_FLAGS), repr(extra), fingerprint]).encode()
+            ).hexdigest()[:16]
+            target = cache / f"cbits-{digest}.so"
+            if target.exists():
+                _assert_private(target, "library")
+                return target
+            source = cache / f"cbits-{digest}.c"
+            source.write_text(_SOURCE)
             scratch = cache / f"cbits-{digest}.{os.getpid()}.tmp.so"
             cmd = [cc, *_BASE_FLAGS, *extra, "-o", str(scratch), str(source)]
             try:
@@ -148,6 +199,7 @@ def _compile() -> Path:
                 errors.append(f"{cc}: {exc}")
                 continue
             if proc.returncode == 0 and scratch.exists():
+                os.chmod(scratch, 0o700)
                 os.replace(scratch, target)  # atomic vs concurrent builders
                 return target
             errors.append(f"{' '.join(cmd)}: {proc.stderr.strip()[:200]}")

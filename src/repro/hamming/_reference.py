@@ -5,7 +5,9 @@ implementations that lived in :mod:`repro.hamming.distance` through
 v1.8, with one change: per-chunk XOR/count temporaries come from a
 :class:`~repro.hamming.kernels.ScratchPool` instead of fresh
 allocations, so the batch engine's steady stream of same-shaped sweeps
-reuses two arenas instead of allocating per flush.  Pooling only swaps
+reuses two per-thread arenas instead of allocating per flush (the pool
+keeps scratch in ``threading.local`` storage, so the module-global
+singleton backend stays safe under concurrent callers).  Pooling only swaps
 ``a ^ b`` for ``np.bitwise_xor(a, b, out=...)`` (and likewise for
 ``bitwise_count``/``sum``) — elementwise-identical, so results stay
 bitwise-equal to the historical code path.

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import importlib
 import os
+import threading
 import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Tuple
@@ -72,37 +73,61 @@ KNOWN_KERNELS: Tuple[str, ...] = ("reference", "cbits", "numba")
 
 
 class ScratchPool:
-    """Reusable flat scratch buffers, one growable arena per dtype.
+    """Reusable flat scratch buffers, one growable arena per dtype *per thread*.
 
     ``take(count, dtype)`` returns a length-``count`` view into a pooled
     allocation, growing it only when a request exceeds the high-water
     mark — so a steady stream of same-shaped kernel calls (the batch
     engine's per-flush sweeps) allocates exactly once instead of once
     per call.  Views alias the pool: a buffer is dead the moment the
-    next ``take`` of the same dtype happens, which is exactly the
-    lifetime of a per-chunk XOR/count temporary.
+    next ``take`` of the same dtype happens *on the same thread*, which
+    is exactly the lifetime of a per-chunk XOR/count temporary.
+
+    Arenas live in ``threading.local`` storage, so concurrent callers of
+    the public distance API (the default backend is a module-global
+    singleton) never see each other's temporaries — each thread pays one
+    warm-up allocation and then reuses its own arenas lock-free.  The
+    ``hits``/``misses`` counters are best-effort under concurrency
+    (unlocked increments); they are provenance, not answers.
     """
 
     def __init__(self) -> None:
-        self._arenas: Dict[str, np.ndarray] = {}
+        self._local = threading.local()
+        # Every thread's arena dict, for stats(); guarded by _lock.  Held
+        # strongly: per-thread footprint is bounded by the high-water mark.
+        self._all_arenas: List[Dict[str, np.ndarray]] = []
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
+    def _arenas(self) -> Dict[str, np.ndarray]:
+        arenas = getattr(self._local, "arenas", None)
+        if arenas is None:
+            arenas = self._local.arenas = {}
+            with self._lock:
+                self._all_arenas.append(arenas)
+        return arenas
+
     def take(self, count: int, dtype) -> np.ndarray:
+        arenas = self._arenas()
         key = np.dtype(dtype).str
-        arena = self._arenas.get(key)
+        arena = arenas.get(key)
         if arena is None or arena.size < count:
-            self._arenas[key] = arena = np.empty(count, dtype=dtype)
+            arenas[key] = arena = np.empty(count, dtype=dtype)
             self.misses += 1
         else:
             self.hits += 1
         return arena[:count]
 
     def stats(self) -> dict:
+        with self._lock:
+            nbytes = sum(
+                a.nbytes for arenas in self._all_arenas for a in arenas.values()
+            )
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "bytes": sum(a.nbytes for a in self._arenas.values()),
+            "bytes": nbytes,
         }
 
 

@@ -16,6 +16,7 @@ its unavailability reason, never as silently shrunk coverage.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import subprocess
 import sys
@@ -246,6 +247,49 @@ def test_no_cbits_env_gates_the_compiled_backend():
     assert "REPRO_NO_CBITS" in out.stdout
 
 
+# -- cbits cache hygiene --------------------------------------------------
+
+
+def test_cbits_cache_defaults_under_user_cache_dir(monkeypatch):
+    from pathlib import Path
+
+    from repro.hamming import _cbits
+
+    monkeypatch.delenv("REPRO_CBITS_CACHE", raising=False)
+    monkeypatch.setenv("XDG_CACHE_HOME", "/fake/cache")
+    assert _cbits._cache_dir() == Path("/fake/cache/repro/cbits")
+    monkeypatch.setenv("REPRO_CBITS_CACHE", "/override")
+    assert _cbits._cache_dir() == Path("/override")
+
+
+def test_cbits_cache_refuses_world_writable_artifacts(tmp_path):
+    from repro.hamming import _cbits
+
+    lib = tmp_path / "cbits-deadbeef.so"
+    lib.write_bytes(b"")
+    os.chmod(lib, 0o777)
+    with pytest.raises(RuntimeError, match="writable"):
+        _cbits._assert_private(lib, "library")
+    os.chmod(lib, 0o700)
+    _cbits._assert_private(lib, "library")  # private artifact passes
+
+
+def test_cbits_cache_digest_covers_compiler_identity():
+    # Distinct compiler fingerprints must map to distinct cache targets,
+    # so a toolchain change rebuilds instead of reusing a stale binary.
+    from repro.hamming import _cbits
+
+    digests = [
+        hashlib.sha256(
+            "\n".join(
+                [_cbits._SOURCE, repr(_cbits._BASE_FLAGS), repr([]), fp]
+            ).encode()
+        ).hexdigest()[:16]
+        for fp in ("/usr/bin/cc gcc 12.2.0", "/usr/bin/cc gcc 13.1.0")
+    ]
+    assert digests[0] != digests[1]
+
+
 # -- scratch pooling ------------------------------------------------------
 
 
@@ -263,6 +307,61 @@ def test_scratch_pool_reuses_buffers_across_shapes():
     # Per-dtype arenas never alias each other.
     other = pool.take(64, np.uint8)
     assert other.dtype == np.uint8 and pool.misses == 3
+
+
+def test_scratch_pool_arenas_are_per_thread():
+    import threading
+
+    pool = ScratchPool()
+    main_view = pool.take(64, np.uint64)
+    other_base = []
+
+    def worker():
+        other_base.append(pool.take(64, np.uint64).base)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    # Another thread must get its own arena, never a view of ours.
+    assert other_base[0] is not main_view.base
+    # stats() still accounts for every thread's arenas.
+    assert pool.stats()["bytes"] == 2 * 64 * 8
+
+
+def test_reference_backend_is_thread_safe():
+    # Regression: the module-global reference backend pooled one shared
+    # arena across threads, so concurrent distance sweeps overwrote each
+    # other's XOR temporaries and returned silently wrong counts.
+    import threading
+
+    rng = np.random.default_rng(7)
+    # Sized so the ufunc bodies release the GIL long enough for arena
+    # sharing to corrupt results: with the pre-fix shared pool this
+    # mismatches on roughly half the queries per run.
+    m, w = 20000, 16
+    rows = rng.integers(0, 2**64, size=(m, w), dtype=np.uint64)
+    queries = rng.integers(0, 2**64, size=(8, w), dtype=np.uint64)
+    with use_kernel("reference"):
+        want = [
+            np.bitwise_count(rows ^ q[None, :]).sum(axis=1, dtype=np.int64)
+            for q in queries
+        ]
+        results = [None] * len(queries)
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(tid, len(queries), 4):
+                for _ in range(5):
+                    results[i] = hamming_distance_many(queries[i], rows)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    for got, expected in zip(results, want):
+        assert np.array_equal(got, expected)
 
 
 def test_reference_pooling_is_bitwise_stable_across_calls():
