@@ -243,10 +243,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_ready_file(path, host: str, port: int) -> None:
+    """Write a ``host port`` ready file atomically (temp + rename).
+
+    Harnesses poll for this file and read it the moment it appears; a
+    bare ``write_text`` can be caught between create and write, handing
+    the reader an empty or half-written address.  The rename makes the
+    file appear with its full contents or not at all.
+    """
+    import os
+    from pathlib import Path
+
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(f"{host} {port}\n")
+    os.replace(tmp, target)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``serve --index DIR``: online serving with adaptive micro-batching."""
     import asyncio
-    from pathlib import Path
 
     from repro.persistence import load_any
     from repro.service.server import describe_index, serve
@@ -269,7 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         if args.ready_file:
-            Path(args.ready_file).write_text(f"{host} {port}\n")
+            _write_ready_file(args.ready_file, host, port)
 
     try:
         asyncio.run(
@@ -280,6 +296,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_batch=args.max_batch,
                 max_wait_ms=args.max_wait_ms,
                 ready_cb=ready,
+                snapshot_dir=args.index,
             )
         )
     except KeyboardInterrupt:
@@ -296,7 +313,6 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     a router replays exactly the log tail on catch-up.
     """
     import asyncio
-    from pathlib import Path
 
     from repro.core.index import ANNIndex
     from repro.persistence import snapshot_write_seq
@@ -322,7 +338,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         if args.ready_file:
-            Path(args.ready_file).write_text(f"{host} {port}\n")
+            _write_ready_file(args.ready_file, host, port)
 
     try:
         asyncio.run(
@@ -335,6 +351,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                 ready_cb=ready,
                 shard_id=args.shard,
                 initial_seq=initial_seq,
+                snapshot_dir=args.index,
             )
         )
     except KeyboardInterrupt:
@@ -343,27 +360,61 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    """``route --shard 0=H:P,H:P ...``: run the cluster router."""
+    """``route --shard 0=H:P,H:P ...``: run the cluster router.
+
+    ``--log-dir DIR`` makes the write log durable (one WAL segment per
+    shard); ``--recover`` replays existing segments at startup so a
+    killed router resumes exactly where it died.  ``--supervise
+    --index SNAPSHOT`` flips the command into a self-contained launcher:
+    it spawns ``--replicas`` shard servers per shard from the sharded
+    snapshot, respawns any that die (the health loop catches them up by
+    replay), and routes over them — no hand-built ``--shard`` map.
+    """
     import asyncio
-    from pathlib import Path
 
     from repro.service.cluster import parse_shard_map, serve_router
 
-    try:
-        shard_map = parse_shard_map(args.shard)
-    except ValueError as exc:
-        raise SystemExit(str(exc))
+    if args.recover and not args.log_dir:
+        raise SystemExit("--recover needs --log-dir DIR")
+    supervisor = None
+    fleet = None
+    if args.supervise:
+        if not args.index:
+            raise SystemExit("--supervise needs --index SNAPSHOT_DIR")
+        if args.shard:
+            raise SystemExit(
+                "--supervise spawns its own shard servers; drop the --shard "
+                "specs (or drop --supervise to route over external servers)"
+            )
+        from repro.service.harness import ShardFleet
+
+        fleet = ShardFleet(
+            args.index,
+            replicas=args.replicas,
+            load_mode=args.load_mode,
+            kernel=args.kernel,
+        )
+        shard_map = fleet.start()
+        supervisor = fleet.check_respawn
+    else:
+        if args.index:
+            raise SystemExit("--index only applies with --supervise")
+        try:
+            shard_map = parse_shard_map(args.shard or [])
+        except ValueError as exc:
+            raise SystemExit(str(exc))
 
     def ready(host: str, port: int) -> None:
         replicas = sum(len(group) for group in shard_map)
+        durability = f", wal={args.log_dir}" if args.log_dir else ""
         print(
             f"routing {len(shard_map)} shard(s) × {replicas} replica(s) "
             f"on {host}:{port}  [timeout={args.timeout:g}s, "
-            f"hedge_ms={args.hedge_ms:g}]",
+            f"hedge_ms={args.hedge_ms:g}{durability}]",
             flush=True,
         )
         if args.ready_file:
-            Path(args.ready_file).write_text(f"{host} {port}\n")
+            _write_ready_file(args.ready_file, host, port)
 
     try:
         asyncio.run(
@@ -375,10 +426,17 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 hedge_ms=args.hedge_ms,
                 health_interval=args.health_interval,
                 ready_cb=ready,
+                log_dir=args.log_dir,
+                recover=args.recover,
+                supervisor=supervisor,
+                supervise_interval=args.supervise_interval,
             )
         )
     except KeyboardInterrupt:
         pass
+    finally:
+        if fleet is not None:
+            fleet.stop()
     return 0
 
 
@@ -696,9 +754,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "route", help="route queries/writes across replicated shard servers"
     )
-    p.add_argument("--shard", action="append", required=True,
+    p.add_argument("--shard", action="append",
                    metavar="I=HOST:PORT[,HOST:PORT...]",
-                   help="shard I's replica endpoints (repeat per shard)")
+                   help="shard I's replica endpoints (repeat per shard; "
+                        "not used with --supervise)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (0 binds an ephemeral port)")
@@ -710,6 +769,22 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seconds between replica health sweeps")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    p.add_argument("--log-dir", metavar="DIR",
+                   help="durable write-ahead log directory (one fsync'd "
+                        "segment per shard; see docs/DISTRIBUTED.md)")
+    p.add_argument("--recover", action="store_true",
+                   help="rebuild the write log from --log-dir's segments and "
+                        "replay the gap to every replica before serving")
+    p.add_argument("--supervise", action="store_true",
+                   help="spawn and auto-respawn the shard servers from "
+                        "--index instead of routing over external ones")
+    p.add_argument("--index", metavar="DIR",
+                   help="sharded snapshot --supervise launches shard "
+                        "servers from")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per shard under --supervise")
+    p.add_argument("--supervise-interval", type=float, default=1.0,
+                   help="seconds between supervisor respawn sweeps")
     kernel_opt(p)
     out_of_core(p, inert="accepted for launch-script symmetry; the router "
                          "holds no index, so both are inert here")

@@ -50,6 +50,9 @@ __all__ = [
     "ShardRouter",
     "ShardUnavailableError",
     "ShardedANNIndex",
+    "WalCorruptionError",
+    "WalError",
+    "WriteAheadLog",
     "WriteSequencer",
     "parse_shard_map",
     "serve",
@@ -81,6 +84,9 @@ _LAZY_EXPORTS = {
     "ShardUnavailableError": "repro.service.cluster",
     "parse_shard_map": "repro.service.cluster",
     "serve_router": "repro.service.cluster",
+    "WalCorruptionError": "repro.service.wal",
+    "WalError": "repro.service.wal",
+    "WriteAheadLog": "repro.service.wal",
 }
 
 

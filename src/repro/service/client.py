@@ -24,7 +24,10 @@ connect **and** reads, and each verb takes an optional per-request
 ``timeout`` override.  A server that dies (or is suspended) between
 request and response surfaces as a typed :class:`ServiceTimeoutError`
 instead of a hung client — the regression tests kill a server mid-request
-to pin this down.
+to pin this down.  A timed-out request is *abandoned*: its id is
+remembered, its late response (if one ever comes) is discarded instead
+of parked, and the connection stays usable — reads are buffered by the
+client itself, so they resume on the exact byte the timeout interrupted.
 """
 
 from __future__ import annotations
@@ -128,11 +131,35 @@ class ServiceClient:
                 f"connect to {host}:{port} timed out after {timeout}s"
             ) from exc
         self._sock.settimeout(timeout)
-        self._file = self._sock.makefile("rwb")
+        self._wfile = self._sock.makefile("wb")
+        # Reads go through an explicit buffer instead of makefile("rb"):
+        # a timeout mid-line leaves the partial bytes in _rbuf and the
+        # next read resumes exactly where the stream left off, where a
+        # socket file object poisons itself after any timeout ("cannot
+        # read from timed out object") and would force a reconnect.
+        self._rbuf = bytearray()
         self._next_id = 0
         self._parked: Dict[object, dict] = {}
+        # Request ids whose caller gave up (ServiceTimeoutError): when
+        # their late response eventually arrives it is dropped, not
+        # parked — parking it would grow _parked without bound under
+        # repeated timeouts, since nothing ever asks for those ids.
+        self._abandoned: set = set()
 
     # -- plumbing ----------------------------------------------------------
+    def _readline(self) -> bytes:
+        """One complete response line (timeout-safe buffered reads)."""
+        while True:
+            newline = self._rbuf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._rbuf[: newline + 1])
+                del self._rbuf[: newline + 1]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return b""  # EOF; a partial buffered line is torn anyway
+            self._rbuf += chunk
+
     def _request(self, op: str, timeout: Optional[float] = None, **payload) -> dict:
         request_id = self._next_id
         self._next_id += 1
@@ -140,26 +167,30 @@ class ServiceClient:
         if timeout is not None:
             self._sock.settimeout(timeout)
         try:
-            self._file.write(line.encode() + b"\n")
-            self._file.flush()
+            self._wfile.write(line.encode() + b"\n")
+            self._wfile.flush()
             while True:
                 if request_id in self._parked:
                     response = self._parked.pop(request_id)
                 else:
-                    raw = self._file.readline()
+                    raw = self._readline()
                     if not raw:
                         raise ServiceError("server closed the connection")
                     response = json.loads(raw)
                     if response.get("id") != request_id:
-                        self._parked[response.get("id")] = response
+                        rid = response.get("id")
+                        if rid in self._abandoned:
+                            self._abandoned.discard(rid)
+                        else:
+                            self._parked[rid] = response
                         continue
                 if not response.get("ok"):
                     raise ServiceError(response.get("error", "unknown server error"))
                 return response
         except socket.timeout as exc:
-            # The reply (if it ever comes) can no longer be matched to a
-            # live reader reliably; the stream may also be mid-line.
-            # Callers should drop the client after this.
+            # The connection stays usable (see _readline); the eventual
+            # reply is matched against _abandoned and dropped.
+            self._abandoned.add(request_id)
             raise ServiceTimeoutError(
                 f"server did not answer {op!r} within "
                 f"{timeout if timeout is not None else self._timeout}s"
@@ -218,16 +249,25 @@ class ServiceClient:
         )
         return int(response["deleted"])
 
-    def snapshot(self, path, timeout: Optional[float] = None) -> dict:
-        """Ask a shard server to snapshot its index to ``path``.
+    def snapshot(self, path=None, timeout: Optional[float] = None) -> dict:
+        """Snapshot the served index.
 
-        The save runs as a write barrier and records the last applied
-        write-log sequence number in the manifest (``write_seq``), so a
-        replica restarted from it replays only the log tail.  Returns
+        Against a single server, the save runs as a write barrier and
+        records the last applied write-log sequence number in the
+        manifest (``write_seq``), so a replica restarted from it
+        replays only the log tail; ``path=None`` saves back to the
+        directory the server loaded (``--index``).  Returns
         ``{"path": ..., "write_seq": ...}``.
+
+        Against a router, ``path`` must stay ``None``: every live
+        replica snapshots in place and the durable write-ahead log is
+        truncated up to the replicas' persisted coverage
+        (``docs/DISTRIBUTED.md``).  Returns the router's checkpoint
+        report (per-replica saves, per-shard truncation counts).
         """
-        response = self._request("snapshot", timeout=timeout, path=str(path))
-        return {"path": response["path"], "write_seq": int(response["write_seq"])}
+        payload = {} if path is None else {"path": str(path)}
+        response = self._request("snapshot", timeout=timeout, **payload)
+        return {k: v for k, v in response.items() if k not in ("ok", "id")}
 
     def stats(self, timeout: Optional[float] = None) -> dict:
         """The server's metrics snapshot (service or router counters)."""
@@ -253,7 +293,7 @@ class ServiceClient:
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         try:
-            self._file.close()
+            self._wfile.close()
         except OSError:
             pass
         finally:

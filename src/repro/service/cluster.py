@@ -56,6 +56,7 @@ from repro.service.replica import (
     ReplicaUnavailableError,
 )
 from repro.service.server import WIRE_LINE_LIMIT, _connection_loop, _jsonable
+from repro.service.wal import WriteAheadLog
 
 __all__ = [
     "ClusterError",
@@ -213,6 +214,16 @@ class ShardRouter:
         (0 disables)
     health_interval : seconds between health-check sweeps (ping live
         replicas, revive dead ones via catch-up)
+    wal : a :class:`~repro.service.wal.WriteAheadLog` making the write
+        log durable — every write is fsync'd to its shard's segment
+        before any replica sees it, and ``snapshot`` truncates the
+        segments up to the replicas' persisted coverage (None keeps
+        the PR-6 in-memory-only log)
+    recover : rebuild the write log from existing WAL segments at
+        :meth:`start` and replay the gap to every lagging replica
+        (requires ``wal``); without it, pre-existing segments are an
+        error — silently appending to a log the router has not read
+        would fork history
 
     Use ``await router.start()`` / ``await router.stop()``, or serve it
     over the wire with :func:`serve_router`.
@@ -224,12 +235,18 @@ class ShardRouter:
         timeout: float = DEFAULT_TIMEOUT_S,
         hedge_ms: float = DEFAULT_HEDGE_MS,
         health_interval: float = DEFAULT_HEALTH_INTERVAL_S,
+        wal: Optional[WriteAheadLog] = None,
+        recover: bool = False,
     ):
         if not shard_map or any(not replicas for replicas in shard_map):
             raise ValueError("every shard needs at least one replica endpoint")
+        if recover and wal is None:
+            raise ValueError("recover=True needs a WriteAheadLog (--log-dir)")
         self.timeout = float(timeout)
         self.hedge_ms = float(hedge_ms)
         self.health_interval = float(health_interval)
+        self._wal = wal
+        self._recover = bool(recover)
         self._replicas: List[List[_Replica]] = [
             [
                 _Replica(si, AsyncReplicaClient(host, port, timeout=self.timeout))
@@ -240,6 +257,12 @@ class ShardRouter:
         self._mirror: List[_Mirror] = []
         self._log: List[List[dict]] = [[] for _ in self._replicas]
         self._log_base: List[int] = [0 for _ in self._replicas]
+        # Last snapshot coverage each replica reported (seeded at start,
+        # updated by the snapshot verb and catch-up) — the WAL may only
+        # truncate up to the minimum across a shard's replicas.
+        self._snapshot_seq: List[List[int]] = [
+            [0] * len(group) for group in self._replicas
+        ]
         self._rotation: List[int] = [0 for _ in self._replicas]
         self._lock = _ReadWriteLock()
         self._health_task: Optional["asyncio.Task"] = None
@@ -263,6 +286,12 @@ class ShardRouter:
                 "replayed_writes",
                 "write_rejects",
                 "divergence",
+                "wal_appends",
+                "wal_truncations",
+                "recoveries",
+                "recovered_writes",
+                "respawns",
+                "checkpoints",
             )
         }
 
@@ -300,7 +329,25 @@ class ShardRouter:
         replica, when reachable replicas of one shard disagree on their
         applied write sequence or state (they must be bitwise equal), or
         when a replica reports a different shard id than the map says.
+
+        With a WAL in ``recover`` mode, the write log is first rebuilt
+        from the on-disk segments and the gap (entries past each
+        replica's applied sequence — including writes that were logged
+        but unconfirmed when the previous router died) is replayed to
+        every reachable replica, so the strict agreement check below
+        runs against the *recovered* state.
         """
+        recovered = False
+        if self._wal is not None:
+            if self._recover and self._wal.has_segments:
+                self._wal.open_segments(self.num_shards)
+                recovered = True
+            elif not self._recover and self._wal.has_segments:
+                raise ClusterError(
+                    f"{self._wal.log_dir} already holds WAL segments; pass "
+                    "--recover to replay them or point --log-dir at a fresh "
+                    "directory"
+                )
         infos = await asyncio.gather(
             *(
                 replica.client.request("info", timeout=self.timeout)
@@ -329,6 +376,8 @@ class ShardRouter:
                 reachable.append((replica, info))
             if not reachable:
                 raise ClusterError(f"shard {si} has no reachable replica")
+            if recovered:
+                reachable = await self._recover_shard(si, reachable)
             states = {
                 (
                     int(info["replication"]["last_seq"]),
@@ -343,21 +392,98 @@ class ShardRouter:
                     f"{sorted(states)} — rebuild them from one snapshot"
                 )
             last_seq, live, id_space = states.pop()
-            self._log_base[si] = last_seq
+            if recovered:
+                head = self._wal.base(si) + len(self._wal.entries(si))
+                if last_seq != head:
+                    raise ClusterError(
+                        f"shard {si} replicas sit at seq {last_seq} after "
+                        f"recovery, WAL head is {head}"
+                    )
+                self._log_base[si] = self._wal.base(si)
+                self._log[si] = self._wal.entries(si)
+            else:
+                self._log_base[si] = last_seq
             self._mirror.append(_Mirror(live=live, id_space=id_space))
             dims.add(int(reachable[0][1]["index"]["d"]))
             if si == 0:
                 self._inner_scheme = str(reachable[0][1]["index"]["scheme"])
-            for replica, _ in reachable:
+            reached = {id(replica) for replica, _ in reachable}
+            for ri, replica in enumerate(group):
+                if id(replica) not in reached:
+                    # Unreachable: its snapshot coverage is unknown.
+                    # Pin it at the log base so truncation cannot pass
+                    # entries this replica may still need for catch-up.
+                    self._snapshot_seq[si][ri] = self._log_base[si]
+            for replica, info in reachable:
                 replica.alive = True
+                ri = group.index(replica)
+                reported = info.get("replication", {}).get("snapshot_seq")
+                self._snapshot_seq[si][ri] = (
+                    int(reported) if reported is not None else self._log_base[si]
+                )
         if len(dims) != 1:
             raise ClusterError(f"shards disagree on dimension: {sorted(dims)}")
         self.d = dims.pop()
+        if self._wal is not None and not recovered:
+            # Fresh log: segments start at the replicas' agreed sequence.
+            self._wal.create_segments(list(self._log_base))
         self._started_at = time.monotonic()
         self._health_task = asyncio.get_running_loop().create_task(
             self._health_loop(), name="router-health"
         )
         return self
+
+    async def _recover_shard(
+        self, si: int, reachable: List[Tuple[_Replica, dict]]
+    ) -> List[Tuple[_Replica, dict]]:
+        """Reconcile one shard's replicas against the recovered WAL.
+
+        Replays the entries past each replica's applied sequence (its
+        sequencer acks already-applied numbers idempotently, so a
+        replica that raced ahead of the last ack is safe), then
+        re-probes so the caller's agreement check sees post-replay
+        state.  A replica ahead of the WAL head means the log is stale
+        (wrong directory, or writes happened through another router):
+        refusing loudly beats silently forking history.
+        """
+        base = self._wal.base(si)
+        entries = self._wal.entries(si)
+        head = base + len(entries)
+        for replica, info in reachable:
+            last = int(info["replication"]["last_seq"])
+            if last > head:
+                raise ClusterError(
+                    f"replica {replica.client.address} applied seq {last}, "
+                    f"ahead of the WAL head {head} — stale or foreign log "
+                    f"under {self._wal.log_dir}"
+                )
+            if last < base:
+                raise ClusterError(
+                    f"replica {replica.client.address} is at seq {last}, "
+                    f"behind the WAL base {base}; its snapshot predates the "
+                    "log's truncation point — restart it from a newer snapshot"
+                )
+        for replica, info in reachable:
+            last = int(info["replication"]["last_seq"])
+            replayed = 0
+            for entry in entries[last - base:]:
+                await replica.client.request(
+                    entry["op"],
+                    timeout=self.timeout,
+                    seq=entry["seq"],
+                    **entry["payload"],
+                )
+                replayed += 1
+            if replayed:
+                self._counters["recoveries"] += 1
+                self._counters["recovered_writes"] += replayed
+        fresh = await asyncio.gather(
+            *(
+                replica.client.request("info", timeout=self.timeout)
+                for replica, _ in reachable
+            )
+        )
+        return [(replica, info) for (replica, _), info in zip(reachable, fresh)]
 
     async def stop(self) -> None:
         if self._health_task is not None:
@@ -370,6 +496,8 @@ class ShardRouter:
         for group in self._replicas:
             for replica in group:
                 await replica.client.close()
+        if self._wal is not None:
+            self._wal.close()
 
     async def __aenter__(self) -> "ShardRouter":
         return await self.start()
@@ -467,8 +595,20 @@ class ShardRouter:
 
     # -- the write log -----------------------------------------------------
     def _append_log(self, si: int, op: str, payload: dict) -> int:
-        """Append one entry to shard ``si``'s log; returns its seq."""
+        """Append one entry to shard ``si``'s log; returns its seq.
+
+        With a WAL, the entry is fsync'd to the shard's segment *first*
+        — no replica may see a write the log could lose.
+        """
         seq = self._log_base[si] + len(self._log[si]) + 1
+        if self._wal is not None:
+            durable = self._wal.append(si, op, payload)
+            if durable != seq:
+                raise ClusterError(
+                    f"shard {si}: WAL assigned seq {durable}, router log "
+                    f"expected {seq} — log and WAL have diverged"
+                )
+            self._counters["wal_appends"] += 1
         self._log[si].append({"seq": seq, "op": op, "payload": payload})
         return seq
 
@@ -770,6 +910,66 @@ class ShardRouter:
                 "id_space": self._id_space(),
             }
 
+    # -- checkpointing -----------------------------------------------------
+    async def snapshot(self) -> dict:
+        """Checkpoint: every live replica snapshots in place, then the
+        WAL truncates up to the minimum persisted coverage.
+
+        Runs under the write lock, so every replica saves the same
+        applied prefix.  A dead replica keeps its last known coverage —
+        truncation never passes entries it may still need for catch-up.
+        Replicas started without a default snapshot directory reject
+        the bare ``snapshot`` verb; they simply keep their old coverage
+        (and pin truncation) rather than failing the checkpoint.
+        """
+        async with self._lock.write_locked():
+            saved: List[dict] = []
+            for si, group in enumerate(self._replicas):
+                for ri, replica in enumerate(group):
+                    if not replica.alive:
+                        continue
+                    try:
+                        ack = await self._request(replica, "snapshot", {})
+                    except ReplicaUnavailableError:
+                        continue  # marked dead; coverage stays pinned
+                    except ReplicaRequestError as exc:
+                        saved.append(
+                            {
+                                "shard": si,
+                                "replica": replica.client.address,
+                                "error": str(exc),
+                            }
+                        )
+                        continue
+                    self._snapshot_seq[si][ri] = int(ack.get("write_seq", 0))
+                    saved.append(
+                        {
+                            "shard": si,
+                            "replica": replica.client.address,
+                            "path": ack.get("path"),
+                            "write_seq": self._snapshot_seq[si][ri],
+                        }
+                    )
+            truncated: List[int] = []
+            for si in range(self.num_shards):
+                upto = min(self._snapshot_seq[si])
+                dropped = 0
+                if self._wal is not None:
+                    dropped = self._wal.truncate(si, upto)
+                    if dropped:
+                        self._counters["wal_truncations"] += 1
+                        base = self._wal.base(si)
+                        self._log[si] = self._log[si][base - self._log_base[si]:]
+                        self._log_base[si] = base
+                truncated.append(dropped)
+            self._counters["checkpoints"] += 1
+            return {
+                "ok": True,
+                "replicas": saved,
+                "truncated": truncated,
+                "write_seq": [min(seqs) for seqs in self._snapshot_seq],
+            }
+
     # -- health + catch-up -------------------------------------------------
     async def _catch_up(self, replica: _Replica) -> None:
         """Replay the write-log tail to a recovered replica, then revive it.
@@ -784,6 +984,10 @@ class ShardRouter:
         async with self._lock.write_locked():
             info = await replica.client.request("info", timeout=self.timeout)
             last = int(info["replication"]["last_seq"])
+            reported = info.get("replication", {}).get("snapshot_seq")
+            if reported is not None:
+                ri = self._replicas[si].index(replica)
+                self._snapshot_seq[si][ri] = int(reported)
             base = self._log_base[si]
             head = base + len(self._log[si])
             if last > head:
@@ -879,7 +1083,12 @@ class ShardRouter:
             "timeout_s": self.timeout,
             "hedge_ms": self.hedge_ms,
             "health_interval_s": self.health_interval,
+            "wal": None if self._wal is None else self._wal.describe(),
         }
+
+    def record_respawns(self, count: int) -> None:
+        """Credit supervisor-driven replica respawns to the stats counters."""
+        self._counters["respawns"] += int(count)
 
     def stats(self) -> dict:
         """Router counters + per-replica latency/failure metrics."""
@@ -889,6 +1098,7 @@ class ShardRouter:
             "kernel": active_kernel(),
             **self._counters,
             "uptime_s": round(uptime, 3),
+            "wal": None if self._wal is None else self._wal.describe(),
             "shards": [
                 {
                     "shard": si,
@@ -937,6 +1147,14 @@ async def _handle_router_request(
             if not ids:
                 raise ValueError("'delete' needs a non-empty 'ids' list")
             response = await router.delete(ids)
+        elif op == "snapshot":
+            if request.get("path") is not None:
+                raise ValueError(
+                    "the router checkpoints replicas in place; 'snapshot' "
+                    "takes no 'path' here (snapshot a shard server directly "
+                    "to save elsewhere)"
+                )
+            response = await router.snapshot()
         elif op == "stats":
             response = {"ok": True, "stats": router.stats()}
         elif op == "info":
@@ -973,6 +1191,10 @@ async def serve_router(
     hedge_ms: float = DEFAULT_HEDGE_MS,
     health_interval: float = DEFAULT_HEALTH_INTERVAL_S,
     ready_cb: Optional[Callable[[str, int], None]] = None,
+    log_dir: Optional[str] = None,
+    recover: bool = False,
+    supervisor: Optional[Callable[[], int]] = None,
+    supervise_interval: float = 1.0,
 ) -> None:
     """Serve a :class:`ShardRouter` over TCP until ``shutdown``.
 
@@ -981,12 +1203,23 @@ async def serve_router(
     unchanged — but every answer is merged from the shard servers in
     ``shard_map``.  ``ready_cb(host, port)`` fires once listening (the
     CLI writes ``--ready-file`` from it).
+
+    ``log_dir`` makes the write log durable (one WAL segment per shard
+    there); ``recover`` replays existing segments at startup.
+    ``supervisor`` is a callable returning the number of shard-server
+    processes it respawned this sweep — it runs in an executor every
+    ``supervise_interval`` seconds (it blocks on process management),
+    and its count lands in the router's ``respawns`` stat; the health
+    loop then catches the respawned replicas up by replay.
     """
+    wal = WriteAheadLog(log_dir) if log_dir is not None else None
     router = ShardRouter(
         shard_map,
         timeout=timeout,
         hedge_ms=hedge_ms,
         health_interval=health_interval,
+        wal=wal,
+        recover=recover,
     )
     await router.start()
     shutdown = asyncio.Event()
@@ -994,7 +1227,16 @@ async def serve_router(
     def handler(line, writer, write_lock):
         return _handle_router_request(router, shutdown, line, writer, write_lock)
 
+    async def supervise() -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(supervise_interval)
+            respawned = await loop.run_in_executor(None, supervisor)
+            if respawned:
+                router.record_respawns(respawned)
+
     server = None
+    supervise_task = None
     try:
         server = await asyncio.start_server(
             lambda r, w: _connection_loop(handler, r, w),
@@ -1005,8 +1247,18 @@ async def serve_router(
         bound = server.sockets[0].getsockname()
         if ready_cb is not None:
             ready_cb(bound[0], bound[1])
+        if supervisor is not None:
+            supervise_task = asyncio.get_running_loop().create_task(
+                supervise(), name="router-supervise"
+            )
         await shutdown.wait()
     finally:
+        if supervise_task is not None:
+            supervise_task.cancel()
+            try:
+                await supervise_task
+            except asyncio.CancelledError:
+                pass
         if server is not None:
             server.close()
             await server.wait_closed()

@@ -28,7 +28,13 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-__all__ = ["ClusterHarness", "HarnessStateError", "ManagedProcess", "ProcessDiedError"]
+__all__ = [
+    "ClusterHarness",
+    "HarnessStateError",
+    "ManagedProcess",
+    "ProcessDiedError",
+    "ShardFleet",
+]
 
 
 class ProcessDiedError(RuntimeError):
@@ -98,11 +104,21 @@ class ManagedProcess:
                     f"{self.log_file.read_text()[-2000:]}"
                 )
             if self.ready_file.exists():
+                # The server writes the ready file atomically (temp +
+                # rename), but an older server — or any non-atomic
+                # writer — can be caught between create and write.
+                # Treat empty/unparseable content as "not ready yet"
+                # and keep polling instead of failing the handshake.
                 text = self.ready_file.read_text().strip()
-                if text:
-                    host, port = text.split()
-                    self.host, self.port = host, int(port)
-                    return self
+                parts = text.split()
+                if len(parts) == 2:
+                    try:
+                        port = int(parts[1])
+                    except ValueError:
+                        port = None
+                    if port is not None:
+                        self.host, self.port = parts[0], port
+                        return self
             time.sleep(0.01)
         raise TimeoutError(
             f"{self.name} did not become ready within {timeout}s; "
@@ -150,6 +166,142 @@ class ManagedProcess:
                 self.proc.wait()
 
 
+class ShardFleet:
+    """The shard-server half of a cluster: R replica processes per shard
+    of a sharded snapshot, with optional auto-respawn.
+
+    ``ClusterHarness`` composes this with an external router process;
+    ``repro route --supervise`` runs one in-process and polls
+    :meth:`check_respawn` so a crashed replica comes back on its own
+    (same snapshot, same port — the router's health loop then catches
+    it up from the write log).
+    """
+
+    def __init__(
+        self,
+        snapshot,
+        replicas: int = 2,
+        workdir=None,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        load_mode: str = "heap",
+        kernel: Optional[str] = None,
+    ):
+        from repro.persistence import KIND_SHARDED, read_manifest
+
+        self.snapshot = Path(snapshot)
+        manifest = read_manifest(self.snapshot)
+        if manifest.get("kind") != KIND_SHARDED:
+            raise ValueError(
+                f"{snapshot} is not a sharded snapshot; build one with "
+                "ShardedANNIndex.build(...).save(...)"
+            )
+        self.shard_dirs = [self.snapshot / d for d in manifest["shards"]]
+        if replicas < 1:
+            raise ValueError(f"need >= 1 replica, got {replicas}")
+        self.replicas = int(replicas)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.load_mode = str(load_mode)
+        self.kernel = kernel
+        self.workdir = Path(workdir) if workdir else Path(
+            tempfile.mkdtemp(prefix="repro-fleet-")
+        )
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.processes: List[List[ManagedProcess]] = []
+        self.respawns = 0
+        self._stopping = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_dirs)
+
+    def _build(self) -> None:
+        ports = [
+            [free_port() for _ in range(self.replicas)]
+            for _ in range(self.num_shards)
+        ]
+        self.processes = []
+        for si, shard_dir in enumerate(self.shard_dirs):
+            group = []
+            for ri in range(self.replicas):
+                name = f"shard{si}r{ri}"
+                argv = [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "shard-serve",
+                    "--index",
+                    str(shard_dir),
+                    "--shard",
+                    str(si),
+                    "--host",
+                    "127.0.0.1",
+                    "--port",
+                    str(ports[si][ri]),
+                    "--max-batch",
+                    str(self.max_batch),
+                    "--max-wait-ms",
+                    str(self.max_wait_ms),
+                    "--load-mode",
+                    self.load_mode,
+                    "--ready-file",
+                    str(self.workdir / f"{name}.ready"),
+                ]
+                if self.kernel:
+                    argv += ["--kernel", self.kernel]
+                group.append(
+                    ManagedProcess(
+                        name,
+                        argv,
+                        self.workdir / f"{name}.ready",
+                        self.workdir / f"{name}.log",
+                    )
+                )
+            self.processes.append(group)
+
+    def start(self, timeout: float = 60.0) -> List[List]:
+        """Spawn every shard server; returns the ``(host, port)`` map
+        :class:`~repro.service.cluster.ShardRouter` takes."""
+        self._stopping = False
+        if not self.processes:
+            self._build()
+        for group in self.processes:
+            for proc in group:
+                proc.spawn(timeout=timeout)
+        return [[(p.host, p.port) for p in group] for group in self.processes]
+
+    def check_respawn(self, timeout: float = 30.0) -> int:
+        """Respawn every dead replica (same argv: same snapshot, same
+        port).  Returns how many came back this sweep.  Suspended
+        (SIGSTOPped) processes still count as running and are left
+        alone; a respawn that itself fails is skipped this sweep and
+        retried on the next one."""
+        if self._stopping:
+            return 0
+        respawned = 0
+        for group in self.processes:
+            for proc in group:
+                if proc.proc is None or proc.alive:
+                    continue
+                try:
+                    proc.spawn(timeout=timeout)
+                except (ProcessDiedError, TimeoutError, OSError):
+                    continue
+                respawned += 1
+                # Visible immediately: spawn() blocks on the ready
+                # handshake, and observers poll this counter while the
+                # sweep is still working through the fleet.
+                self.respawns += 1
+        return respawned
+
+    def stop(self) -> None:
+        self._stopping = True
+        for group in self.processes:
+            for proc in group:
+                proc.stop()
+
+
 class ClusterHarness:
     """R replicas per shard of a sharded snapshot + a router, as processes.
 
@@ -165,6 +317,13 @@ class ClusterHarness:
     hedge_ms : router hedged-read delay (0 disables)
     health_interval : router health-sweep period (seconds) — also the
         order of magnitude a killed replica needs to be revived
+    log_dir : router ``--log-dir`` (a durable per-shard WAL there);
+        the router always starts with ``--recover``, so
+        :meth:`restart_router` resumes from the log exactly where a
+        killed router died
+    supervise : run a background sweep that auto-respawns dead shard
+        servers (:meth:`ShardFleet.check_respawn`); killed replicas
+        come back and catch up without an explicit ``restart_replica``
 
     Use as a context manager::
 
@@ -186,85 +345,63 @@ class ClusterHarness:
         health_interval: float = 0.2,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        log_dir=None,
+        supervise: bool = False,
+        supervise_interval: float = 0.25,
     ):
-        from repro.persistence import KIND_SHARDED, read_manifest
-
         self.snapshot = Path(snapshot)
-        manifest = read_manifest(self.snapshot)
-        if manifest.get("kind") != KIND_SHARDED:
-            raise ValueError(
-                f"{snapshot} is not a sharded snapshot; build one with "
-                "ShardedANNIndex.build(...).save(...)"
-            )
-        self.shard_dirs = [self.snapshot / d for d in manifest["shards"]]
-        if replicas < 1:
-            raise ValueError(f"need >= 1 replica, got {replicas}")
-        self.replicas = int(replicas)
         self.router_timeout = float(router_timeout)
         self.hedge_ms = float(hedge_ms)
         self.health_interval = float(health_interval)
-        self.max_batch = int(max_batch)
-        self.max_wait_ms = float(max_wait_ms)
         self._own_workdir = workdir is None
         self.workdir = Path(workdir) if workdir else Path(
             tempfile.mkdtemp(prefix="repro-cluster-")
         )
         self.workdir.mkdir(parents=True, exist_ok=True)
-        self.shard_servers: List[List[ManagedProcess]] = []
+        self.fleet = ShardFleet(
+            snapshot,
+            replicas=replicas,
+            workdir=self.workdir,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+        )
+        self.replicas = self.fleet.replicas
+        self.shard_dirs = self.fleet.shard_dirs
+        self.log_dir = Path(log_dir) if log_dir else None
+        self.supervise = bool(supervise)
+        self.supervise_interval = float(supervise_interval)
         self.router: Optional[ManagedProcess] = None
+        self._supervise_thread = None
+        self._supervise_stop = None
 
     # -- lifecycle ---------------------------------------------------------
     @property
     def num_shards(self) -> int:
         return len(self.shard_dirs)
 
+    @property
+    def shard_servers(self) -> List[List[ManagedProcess]]:
+        return self.fleet.processes
+
+    @property
+    def respawns(self) -> int:
+        """Shard servers auto-respawned by the supervision sweep."""
+        return self.fleet.respawns
+
     def start(self, timeout: float = 60.0) -> "ClusterHarness":
         """Spawn every shard server, then the router."""
-        ports = [
-            [free_port() for _ in range(self.replicas)]
-            for _ in range(self.num_shards)
-        ]
-        self.shard_servers = []
-        for si, shard_dir in enumerate(self.shard_dirs):
-            group = []
-            for ri in range(self.replicas):
-                name = f"shard{si}r{ri}"
-                group.append(
-                    ManagedProcess(
-                        name,
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro",
-                            "shard-serve",
-                            "--index",
-                            str(shard_dir),
-                            "--shard",
-                            str(si),
-                            "--host",
-                            "127.0.0.1",
-                            "--port",
-                            str(ports[si][ri]),
-                            "--max-batch",
-                            str(self.max_batch),
-                            "--max-wait-ms",
-                            str(self.max_wait_ms),
-                            "--ready-file",
-                            str(self.workdir / f"{name}.ready"),
-                        ],
-                        self.workdir / f"{name}.ready",
-                        self.workdir / f"{name}.log",
-                    )
-                )
-            self.shard_servers.append(group)
         try:
-            for group in self.shard_servers:
-                for proc in group:
-                    proc.spawn(timeout=timeout)
+            self.fleet.start(timeout=timeout)
             shard_args = []
             for si, group in enumerate(self.shard_servers):
                 endpoints = ",".join(f"{p.host}:{p.port}" for p in group)
                 shard_args += ["--shard", f"{si}={endpoints}"]
+            durability = []
+            if self.log_dir is not None:
+                # --recover from the start: on a fresh directory it is a
+                # no-op, and restart_router() then resumes from the WAL
+                # with the exact same argv.
+                durability = ["--log-dir", str(self.log_dir), "--recover"]
             self.router = ManagedProcess(
                 "router",
                 [
@@ -283,6 +420,7 @@ class ClusterHarness:
                     str(self.hedge_ms),
                     "--health-interval",
                     str(self.health_interval),
+                    *durability,
                     "--ready-file",
                     str(self.workdir / "router.ready"),
                 ],
@@ -290,17 +428,37 @@ class ClusterHarness:
                 self.workdir / "router.log",
             )
             self.router.spawn(timeout=timeout)
+            if self.supervise:
+                self._start_supervision()
         except BaseException:
             self.stop()
             raise
         return self
 
+    def _start_supervision(self) -> None:
+        import threading
+
+        self._supervise_stop = threading.Event()
+
+        def sweep() -> None:
+            while not self._supervise_stop.wait(self.supervise_interval):
+                self.fleet.check_respawn()
+
+        self._supervise_thread = threading.Thread(
+            target=sweep, name="cluster-supervise", daemon=True
+        )
+        self._supervise_thread.start()
+
     def stop(self) -> None:
+        if self._supervise_stop is not None:
+            self._supervise_stop.set()
+        if self._supervise_thread is not None:
+            self._supervise_thread.join(timeout=10)
+            self._supervise_thread = None
+            self._supervise_stop = None
         if self.router is not None:
             self.router.stop()
-        for group in self.shard_servers:
-            for proc in group:
-                proc.stop()
+        self.fleet.stop()
 
     def __enter__(self) -> "ClusterHarness":
         return self.start()
@@ -332,6 +490,23 @@ class ClusterHarness:
         """Respawn a replica from its original snapshot; the router's
         health loop replays the write-log tail and revives it."""
         self.replica(shard, replica).restart(timeout=timeout)
+
+    def kill_router(self) -> None:
+        """SIGKILL the router — the crash the WAL exists to survive."""
+        self.router.kill()
+
+    def restart_router(self, timeout: float = 30.0) -> float:
+        """Kill (if needed) and respawn the router with the same argv.
+
+        With ``log_dir`` set, the argv carries ``--log-dir/--recover``,
+        so the new router rebuilds the write log from the WAL segments
+        and replays the gap to every replica before it starts serving —
+        it may bind a new port (``--port 0``), so reconnect through
+        :meth:`connect`.  Returns the wall-clock restart-to-ready time
+        (the router-recovery metric E18 records)."""
+        start = time.monotonic()
+        self.router.restart(timeout=timeout)
+        return time.monotonic() - start
 
     def replica_alive_in_router(self, shard: int, replica: int) -> bool:
         """Whether the router currently routes to this replica."""

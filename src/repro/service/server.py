@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.hamming.kernels import active_kernel
 from repro.hamming.packing import pack_bits, packed_words
+from repro.persistence import IndexPersistenceError, read_manifest
 
 __all__ = [
     "AsyncANNService",
@@ -591,6 +592,11 @@ class WriteSequencer:
     def __init__(self, initial: int = 0):
         self.accepted = int(initial)
         self.applied = int(initial)
+        #: Last applied sequence covered by a *persisted* snapshot — the
+        #: loaded snapshot's write_seq at startup, advanced by the
+        #: ``snapshot`` verb.  The router truncates its durable WAL up
+        #: to the minimum of these across a shard's replicas.
+        self.snapshot_seq = int(initial)
         self._acks: Dict[int, dict] = {}
         self._ack_window = 32
 
@@ -635,6 +641,7 @@ class _ServerState(NamedTuple):
     service: AsyncANNService
     sequencer: WriteSequencer
     shard_id: Optional[int]
+    snapshot_dir: Optional[str] = None
 
 
 def _jsonable(value):
@@ -814,17 +821,43 @@ async def _handle_request(
             }
         elif op == "snapshot":
             path = request.get("path")
+            if path is None:
+                path = state.snapshot_dir
+                if path is None:
+                    raise ValueError(
+                        "'snapshot' needs a 'path' directory string (this "
+                        "server was started without a snapshot directory "
+                        "to save back to)"
+                    )
             if not path or not isinstance(path, str):
                 raise ValueError("'snapshot' needs a 'path' directory string")
+            in_place = path == state.snapshot_dir
             gate = state.sequencer
 
             def snap():
                 # Runs at a write barrier: gate.applied is exactly the
-                # last write folded into the saved state.
-                return (
-                    service.index.save(path, write_seq=gate.applied),
-                    gate.applied,
+                # last write folded into the saved state.  An in-place
+                # save keeps the source snapshot's format (a v3/mmap
+                # snapshot must stay mappable for the next restart) and
+                # only advances snapshot_seq once the save returned —
+                # i.e. once the manifest rename hit the disk.
+                format_version = None
+                if in_place:
+                    try:
+                        manifest = read_manifest(path)
+                        if int(manifest.get("format_version", 0)) >= 3:
+                            format_version = int(manifest["format_version"])
+                    except IndexPersistenceError:
+                        pass  # unreadable prior manifest; write the default
+                saved = service.index.save(
+                    path, write_seq=gate.applied, format_version=format_version
                 )
+                if in_place:
+                    # Only an in-place save moves the replica's durable
+                    # coverage: a restart reloads snapshot_dir, not an
+                    # export to some other path.
+                    gate.snapshot_seq = gate.applied
+                return saved, gate.applied
 
             saved, write_seq = await service.barrier(snap)
             response = {"ok": True, "path": str(saved), "write_seq": int(write_seq)}
@@ -886,6 +919,7 @@ def _replication_info(state: _ServerState) -> Dict[str, object]:
         "shard": state.shard_id,
         "last_seq": state.sequencer.applied,
         "accepted_seq": state.sequencer.accepted,
+        "snapshot_seq": state.sequencer.snapshot_seq,
     }
 
 
@@ -961,6 +995,7 @@ async def serve(
     ready_cb: Optional[Callable[[str, int], None]] = None,
     shard_id: Optional[int] = None,
     initial_seq: int = 0,
+    snapshot_dir: Optional[str] = None,
 ) -> None:
     """Serve ``index`` over TCP until a client sends ``shutdown``.
 
@@ -975,10 +1010,14 @@ async def serve(
     :class:`WriteSequencer` starting at ``initial_seq`` (the snapshot's
     recorded ``write_seq``).  A plain ``repro serve`` accepts sequenced
     writes too — the gate simply starts at 0.
+
+    ``snapshot_dir`` (the CLI passes ``--index``) is where a bare
+    ``snapshot`` request — no ``path`` — saves back to, letting the
+    router checkpoint every replica in place before truncating its WAL.
     """
     service = AsyncANNService(index, max_batch=max_batch, max_wait_ms=max_wait_ms)
     await service.start()
-    state = _ServerState(service, WriteSequencer(initial_seq), shard_id)
+    state = _ServerState(service, WriteSequencer(initial_seq), shard_id, snapshot_dir)
     shutdown = asyncio.Event()
     server = None
     def handler(line, writer, write_lock):

@@ -273,3 +273,54 @@ def test_server_killed_mid_request_raises_instead_of_hanging():
     assert time.monotonic() - start < 5.0
     thread.join(timeout=5)
     listener.close()
+
+
+def test_abandoned_late_responses_do_not_leak_into_parked():
+    """Regression: a response that arrives *after* its request timed out
+    used to be parked forever — nothing ever asks for an abandoned id,
+    so a client surviving repeated timeouts leaked one parked response
+    per timeout.  Late responses to abandoned ids must be dropped, and
+    the abandoned-id set must drain as they arrive."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    delay = 0.25
+
+    def reply_late():
+        conn, _ = listener.accept()
+        conn.settimeout(10)
+        reader = conn.makefile("rb")
+        writer = conn.makefile("wb")
+        try:
+            while True:
+                raw = reader.readline()
+                if not raw:
+                    return
+                request = json.loads(raw)
+                time.sleep(delay)  # past the hammering client's timeout
+                writer.write(
+                    json.dumps({"ok": True, "id": request["id"]}).encode() + b"\n"
+                )
+                writer.flush()
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=reply_late, daemon=True)
+    thread.start()
+    host, port = listener.getsockname()
+    hammered = 4
+    with ServiceClient(host=host, port=port, timeout=30.0) as client:
+        for _ in range(hammered):
+            with pytest.raises(ServiceTimeoutError):
+                client.ping(timeout=0.05)
+        assert len(client._abandoned) == hammered
+        # A patient request drains every late response ahead of its own:
+        # abandoned ids are dropped (not parked), then the real answer
+        # arrives.  Before the fix, _parked ended this test 4 entries big.
+        assert client.ping(timeout=(hammered + 2) * delay + 5.0)
+        assert client._parked == {}
+        assert client._abandoned == set()
+    thread.join(timeout=10)
+    listener.close()
