@@ -311,11 +311,19 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
     ``shard-0000`` subdirectory of a sharded snapshot).  The replica's
     write sequencer starts at the snapshot's recorded ``write_seq``, so
     a router replays exactly the log tail on catch-up.
+
+    ``--snapshot-dir DIR`` separates the replica's *checkpoints* from
+    the shared ``--index`` snapshot: a bare ``snapshot`` request saves
+    there, and a restart reloads the checkpoint when one exists (falling
+    back to ``--index``).  Give every replica of a shard its own
+    directory — without it, siblings serving the same ``--index`` would
+    checkpoint over each other's files.
     """
     import asyncio
+    from pathlib import Path
 
     from repro.core.index import ANNIndex
-    from repro.persistence import snapshot_write_seq
+    from repro.persistence import MANIFEST_FILE, snapshot_write_seq
     from repro.service.server import describe_index, serve
 
     if args.memory_budget:
@@ -325,8 +333,17 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
             "this shard out-of-core",
             file=sys.stderr,
         )
-    index = ANNIndex.load(args.index, load_mode=args.load_mode)
-    initial_seq = snapshot_write_seq(args.index)
+    snapshot_dir = args.snapshot_dir or args.index
+    source = args.index
+    if args.snapshot_dir and (Path(args.snapshot_dir) / MANIFEST_FILE).is_file():
+        # The replica has checkpointed before: its own snapshot is at
+        # least as recent as the shared --index one, and the router's
+        # WAL may have been truncated to the checkpoint's coverage —
+        # restarting from the older snapshot could leave a gap no log
+        # entry can fill.
+        source = args.snapshot_dir
+    index = ANNIndex.load(source, load_mode=args.load_mode)
+    initial_seq = snapshot_write_seq(source)
     info = describe_index(index)
 
     def ready(host: str, port: int) -> None:
@@ -351,7 +368,7 @@ def _cmd_shard_serve(args: argparse.Namespace) -> int:
                 ready_cb=ready,
                 shard_id=args.shard,
                 initial_seq=initial_seq,
-                snapshot_dir=args.index,
+                snapshot_dir=snapshot_dir,
             )
         )
     except KeyboardInterrupt:
@@ -747,6 +764,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="flush when the oldest pending query has waited this long")
     p.add_argument("--ready-file", metavar="PATH",
                    help="write 'host port' here once listening (for scripts)")
+    p.add_argument("--snapshot-dir", metavar="DIR",
+                   help="this replica's own checkpoint directory: bare "
+                        "'snapshot' requests save here, and a restart "
+                        "reloads the checkpoint when one exists (defaults "
+                        "to --index; required per replica when siblings "
+                        "share an --index snapshot)")
     kernel_opt(p)
     out_of_core(p, inert="inert here: a single shard has nothing to evict")
     p.set_defaults(fn=_cmd_shard_serve)

@@ -55,6 +55,19 @@ state (tombstones/memtable) is always loaded into heap — it mutates.
 v2 stays the default write format; loading a v2 snapshot with
 ``load_mode="mmap"`` raises a clear error naming v3.
 
+**Crash safety / save epochs:** the manifest is the *sole* commit
+point.  Every save writes its data files under fresh names — the first
+save into a directory (``save_epoch`` 0) uses the canonical names
+above; each overwrite bumps the epoch and writes ``database-<epoch>.npz``
+/ ``arrays-<epoch>.npz`` (v2, recorded as ``database_file`` /
+``arrays_file``) or a ``payloads-<epoch>/`` tree (v3, recorded as
+``payload_root``).  Data files are fsync'd and renamed into place, the
+manifest commits atomically last, and only then is the previous epoch
+pruned.  A save killed at any point leaves the directory loading as the
+old committed state, the new state, or (fresh directories only) a typed
+error — never a torn mixture, and an in-place checkpoint never disturbs
+the snapshot it replaces (``tests/core/test_crash_safety.py``).
+
 The full on-disk format specification — manifest fields, the
 format-version policy, per-scheme payload keys, and the tamper checks —
 lives in ``docs/PERSISTENCE.md``, written to be consumable without
@@ -217,29 +230,123 @@ def check_format_version(format_version: Optional[int]) -> int:
     return version
 
 
-def _clear_stale_payloads(directory: Path, version: int) -> None:
-    """Remove the other layout's files so a re-saved snapshot is unambiguous.
+def _next_save_epoch(directory: Path) -> int:
+    """The save epoch for the next save into ``directory``.
 
-    Saving v2 over a v3 directory (or vice versa) must not leave both
-    layouts behind — a later load would silently pick whichever the new
-    manifest names while stale bytes linger.  Unlinking files that an
-    mmap'd index currently maps is safe (POSIX keeps the inode alive for
-    existing mappings), which is what lets an mmap-loaded index re-save
-    over its own snapshot.
+    Epoch 0 (a directory with no readable manifest — fresh, or wrecked
+    beyond commitment) writes the canonical file names; every overwrite
+    bumps the committed snapshot's epoch and writes under epoch-suffixed
+    names.  Fresh names are what make overwrites crash-safe: the old
+    snapshot's data files are never touched until the new manifest has
+    committed, so a save killed at any point leaves the old state
+    bitwise intact.
+    """
+    try:
+        prior = read_manifest(directory)
+    except IndexPersistenceError:
+        return 0
+    epoch = prior.get("save_epoch", 0)
+    return (epoch if isinstance(epoch, int) and epoch >= 0 else 0) + 1
+
+
+def _epoch_file(base: str, epoch: int) -> str:
+    """``database.npz`` → ``database-00000001.npz`` for epoch 1, etc."""
+    if epoch == 0:
+        return base
+    stem, dot, suffix = base.partition(".")
+    return f"{stem}-{epoch:08d}{dot}{suffix}"
+
+
+#: Epoch-suffixed v3 payload roots: ``payloads-00000001/database/...``.
+_PAYLOAD_ROOT_PREFIX = "payloads-"
+
+
+def _payload_root_name(epoch: int) -> str:
+    return "" if epoch == 0 else f"{_PAYLOAD_ROOT_PREFIX}{epoch:08d}"
+
+
+def _write_npz_atomic(target: Path, arrays: Mapping[str, object]) -> None:
+    """Write one ``.npz`` archive via temp + fsync + ``os.replace``."""
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+
+
+def _manifest_filename(manifest: Mapping[str, object], key: str, default: str) -> str:
+    """Resolve a manifest-recorded data file name (plain names only)."""
+    name = manifest.get(key) or default
+    if not isinstance(name, str) or "/" in name or "\\" in name or name in (".", ".."):
+        raise IndexPersistenceError(
+            f"snapshot manifest has an unsafe {key} entry: {name!r}"
+        )
+    return name
+
+
+def _payload_root(directory: Path, manifest: Mapping[str, object]) -> Path:
+    """The directory a v3 snapshot's payload tree lives under."""
+    root = manifest.get("payload_root") or ""
+    if root:
+        if not isinstance(root, str) or "/" in root or "\\" in root or root in (".", ".."):
+            raise IndexPersistenceError(
+                f"snapshot {directory} manifest has an unsafe payload_root "
+                f"entry: {root!r}"
+            )
+        return directory / root
+    return directory
+
+
+def _prune_stale_payloads(directory: Path, manifest: Mapping[str, object]) -> None:
+    """Drop data files the just-committed manifest no longer references.
+
+    Runs *after* the manifest commit, so a crash anywhere in the save
+    leaves the previously committed snapshot untouched.  Covers old
+    epochs' archives/payload roots, the other layout's files after a
+    v2↔v3 re-save, and temp litter from saves that crashed mid-write.
+    Unlinking files an mmap'd index (this process or a sibling) still
+    maps is safe — POSIX keeps the inode alive for existing mappings.
+    Best-effort: the manifest no longer names these files, so a failed
+    removal costs disk, not correctness.
     """
     import shutil
 
     from repro.storage import layout
 
+    version = int(manifest["format_version"])
+    keep = set()
     if version >= MMAP_FORMAT_VERSION:
-        for filename in (DATABASE_FILE, ARRAYS_FILE):
-            stale = directory / filename
-            if stale.is_file():
-                stale.unlink()
-    for group in (layout.DATABASE_DIR, layout.ARRAYS_DIR):
-        stale_dir = directory / group
-        if stale_dir.is_dir():
-            shutil.rmtree(stale_dir)
+        root = str(manifest.get("payload_root") or "")
+        if root:
+            keep.add(root)
+        else:
+            keep.update((layout.DATABASE_DIR, layout.ARRAYS_DIR))
+    else:
+        keep.add(_manifest_filename(manifest, "database_file", DATABASE_FILE))
+        keep.add(_manifest_filename(manifest, "arrays_file", ARRAYS_FILE))
+    for entry in directory.iterdir():
+        name = entry.name
+        if name in keep:
+            continue
+        if entry.is_file():
+            stale = name.endswith(".tmp") or (
+                name.endswith(".npz")
+                and (name.startswith("database") or name.startswith("arrays"))
+            )
+        else:
+            stale = name in (layout.DATABASE_DIR, layout.ARRAYS_DIR) or (
+                name.startswith(_PAYLOAD_ROOT_PREFIX)
+            )
+        if not stale:
+            continue
+        try:
+            if entry.is_dir():
+                shutil.rmtree(entry)
+            else:
+                entry.unlink()
+        except OSError:
+            pass
 
 
 def save_index(
@@ -264,6 +371,15 @@ def save_index(
     deployment); :data:`MMAP_FORMAT_VERSION` writes the raw ``.npy``
     payload tree that ``load(..., load_mode="mmap")`` maps zero-copy.
     Returns the directory path.
+
+    Saves are crash-safe end to end, including overwrites: data files
+    go to *fresh* epoch-suffixed names (fsync'd, written via temp +
+    rename), the manifest — which records those names — commits last and
+    atomically, and only then are the previous epoch's files pruned.  A
+    process killed at any point of a save leaves a directory that loads
+    as the old committed state, the new state, or (fresh directory only)
+    fails with a typed error — never a torn mixture, and never a
+    destroyed predecessor.
     """
     version = check_format_version(format_version)
     spec = index.spec
@@ -279,6 +395,7 @@ def save_index(
         )
     directory = Path(path)
     directory.mkdir(parents=True, exist_ok=True)
+    epoch = _next_save_epoch(directory)
     db = index.database
     state = index.mutation
     arrays = index.scheme.export_arrays()
@@ -296,33 +413,38 @@ def save_index(
         "scheme_name": index.scheme.scheme_name,
         "array_keys": sorted(arrays),
         "write_seq": int(write_seq),
+        "save_epoch": epoch,
         "extras": dict(extras or {}),
     }
-    _clear_stale_payloads(directory, version)
     if version >= MMAP_FORMAT_VERSION:
         from repro.storage import layout
 
+        root_name = _payload_root_name(epoch)
+        root = directory / root_name if root_name else directory
+        root.mkdir(parents=True, exist_ok=True)
         try:
             payloads = layout.write_payloads(
-                directory,
+                root,
                 layout.DATABASE_DIR,
                 {"words": db.words, **state.export_arrays()},
             )
-            payloads.update(
-                layout.write_payloads(directory, layout.ARRAYS_DIR, arrays)
-            )
+            payloads.update(layout.write_payloads(root, layout.ARRAYS_DIR, arrays))
         except layout.StorageLayoutError as exc:
             raise IndexPersistenceError(str(exc)) from exc
         manifest["payloads"] = payloads
+        manifest["payload_root"] = root_name
     else:
-        np.savez_compressed(
-            directory / DATABASE_FILE,
-            words=db.words,
-            d=np.int64(db.d),
-            **state.export_arrays(),
+        db_file = _epoch_file(DATABASE_FILE, epoch)
+        arrays_file = _epoch_file(ARRAYS_FILE, epoch)
+        _write_npz_atomic(
+            directory / db_file,
+            {"words": db.words, "d": np.int64(db.d), **state.export_arrays()},
         )
-        np.savez_compressed(directory / ARRAYS_FILE, **arrays)
+        _write_npz_atomic(directory / arrays_file, arrays)
+        manifest["database_file"] = db_file
+        manifest["arrays_file"] = arrays_file
     _write_manifest(directory, manifest)
+    _prune_stale_payloads(directory, manifest)
     return directory
 
 
@@ -366,14 +488,15 @@ def _read_npz(directory: Path, filename: str) -> Dict[str, np.ndarray]:
         ) from exc
 
 
-def _load_database(directory: Path, version: int):
+def _load_database(directory: Path, version: int, manifest: Mapping[str, object]):
     """The packed database plus (for v2) the mutation payload triple."""
     from repro.hamming.points import PackedPoints
 
-    payload = _read_npz(directory, DATABASE_FILE)
+    db_file = _manifest_filename(manifest, "database_file", DATABASE_FILE)
+    payload = _read_npz(directory, db_file)
     if "words" not in payload or "d" not in payload:
         raise IndexPersistenceError(
-            f"snapshot {directory} {DATABASE_FILE} is missing words/d"
+            f"snapshot {directory} {db_file} is missing words/d"
         )
     try:
         database = PackedPoints(payload["words"], int(payload["d"]))
@@ -386,7 +509,7 @@ def _load_database(directory: Path, version: int):
     missing = [key for key in _MUTATION_KEYS if key not in payload]
     if missing:
         raise IndexPersistenceError(
-            f"snapshot {directory} {DATABASE_FILE} is missing format-v2 "
+            f"snapshot {directory} {db_file} is missing format-v2 "
             f"mutation payload(s): {', '.join(missing)}"
         )
     return database, tuple(payload[key] for key in _MUTATION_KEYS)
@@ -418,15 +541,14 @@ def _load_database_v3(directory: Path, manifest: Mapping[str, object], load_mode
     from repro.storage import layout
 
     payloads = payload_index(directory, manifest)
+    root = _payload_root(directory, manifest)
     try:
         words_rel = layout.payload_relpath(layout.DATABASE_DIR, "words")
         if words_rel not in payloads:
             raise IndexPersistenceError(
                 f"snapshot {directory} payload index is missing {words_rel}"
             )
-        words = layout.read_payload(
-            directory, words_rel, payloads[words_rel], load_mode
-        )
+        words = layout.read_payload(root, words_rel, payloads[words_rel], load_mode)
         mutation = []
         for key in _MUTATION_KEYS:
             rel = layout.payload_relpath(layout.DATABASE_DIR, key)
@@ -434,7 +556,7 @@ def _load_database_v3(directory: Path, manifest: Mapping[str, object], load_mode
                 raise IndexPersistenceError(
                     f"snapshot {directory} payload index is missing {rel}"
                 )
-            mutation.append(layout.read_payload(directory, rel, payloads[rel], "heap"))
+            mutation.append(layout.read_payload(root, rel, payloads[rel], "heap"))
     except layout.StorageLayoutError as exc:
         raise IndexPersistenceError(str(exc)) from exc
     d = int(manifest["d"])
@@ -458,7 +580,10 @@ def _read_arrays_v3(
 
     try:
         return layout.read_group(
-            directory, payload_index(directory, manifest), layout.ARRAYS_DIR, load_mode
+            _payload_root(directory, manifest),
+            payload_index(directory, manifest),
+            layout.ARRAYS_DIR,
+            load_mode,
         )
     except layout.StorageLayoutError as exc:
         raise IndexPersistenceError(str(exc)) from exc
@@ -497,7 +622,7 @@ def load_index(path: PathLike, load_mode: str = "heap") -> "ANNIndex":
     if version >= MMAP_FORMAT_VERSION:
         database, mutation_payload = _load_database_v3(directory, manifest, load_mode)
     else:
-        database, mutation_payload = _load_database(directory, version)
+        database, mutation_payload = _load_database(directory, version, manifest)
     spec = IndexSpec.from_dict(manifest["spec"])
     if int(manifest["n"]) != len(database) or int(manifest["d"]) != database.d:
         raise IndexPersistenceError(
@@ -513,7 +638,9 @@ def load_index(path: PathLike, load_mode: str = "heap") -> "ANNIndex":
     if version >= MMAP_FORMAT_VERSION:
         arrays = _read_arrays_v3(directory, manifest, load_mode)
     else:
-        arrays = _read_npz(directory, ARRAYS_FILE)
+        arrays = _read_npz(
+            directory, _manifest_filename(manifest, "arrays_file", ARRAYS_FILE)
+        )
     try:
         # mmap loads adopt the payloads (header-validated, content
         # trusted) so no array is read in full before a query probes it;

@@ -25,9 +25,11 @@ connect **and** reads, and each verb takes an optional per-request
 request and response surfaces as a typed :class:`ServiceTimeoutError`
 instead of a hung client — the regression tests kill a server mid-request
 to pin this down.  A timed-out request is *abandoned*: its id is
-remembered, its late response (if one ever comes) is discarded instead
-of parked, and the connection stays usable — reads are buffered by the
-client itself, so they resume on the exact byte the timeout interrupted.
+remembered (in a bounded set — a server that never answers must not leak
+one id per timeout forever), its late response (if one ever comes) is
+discarded instead of parked, and the connection stays usable — reads are
+buffered by the client itself, so they resume on the exact byte the
+timeout interrupted.
 """
 
 from __future__ import annotations
@@ -122,6 +124,14 @@ class ServiceClient:
     ``timeout`` arguments override it for one request.
     """
 
+    #: Cap on remembered abandoned request ids.  A server that never
+    #: answers (died, wedged) would otherwise grow the set by one id per
+    #: timeout forever on a long-lived client.  Ids evicted here can no
+    #: longer be recognized if their response *does* eventually arrive —
+    #: that response is parked instead, and the stale-parked sweep in
+    #: :meth:`_request` reclaims it on the next call.
+    ABANDONED_LIMIT = 1024
+
     def __init__(self, host: str = "127.0.0.1", port: int = 7878, timeout: float = 30.0):
         self._timeout = timeout
         try:
@@ -163,6 +173,16 @@ class ServiceClient:
     def _request(self, op: str, timeout: Optional[float] = None, **payload) -> dict:
         request_id = self._next_id
         self._next_id += 1
+        # Ids are handed out once, in order, so a parked response for any
+        # older id can never be claimed again — reclaim them now.  (Late
+        # responses for ids evicted from _abandoned land in _parked; this
+        # sweep is what keeps that bounded too.)
+        stale = [
+            rid for rid in self._parked
+            if not isinstance(rid, int) or rid < request_id
+        ]
+        for rid in stale:
+            del self._parked[rid]
         line = json.dumps({"op": op, "id": request_id, **payload})
         if timeout is not None:
             self._sock.settimeout(timeout)
@@ -189,8 +209,12 @@ class ServiceClient:
                 return response
         except socket.timeout as exc:
             # The connection stays usable (see _readline); the eventual
-            # reply is matched against _abandoned and dropped.
+            # reply is matched against _abandoned and dropped.  The set
+            # is capped: the oldest ids go first — they are the least
+            # likely to ever be answered.
             self._abandoned.add(request_id)
+            while len(self._abandoned) > self.ABANDONED_LIMIT:
+                self._abandoned.discard(min(self._abandoned))
             raise ServiceTimeoutError(
                 f"server did not answer {op!r} within "
                 f"{timeout if timeout is not None else self._timeout}s"
@@ -260,10 +284,11 @@ class ServiceClient:
         ``{"path": ..., "write_seq": ...}``.
 
         Against a router, ``path`` must stay ``None``: every live
-        replica snapshots in place and the durable write-ahead log is
-        truncated up to the replicas' persisted coverage
-        (``docs/DISTRIBUTED.md``).  Returns the router's checkpoint
-        report (per-replica saves, per-shard truncation counts).
+        replica snapshots to its own snapshot directory and the durable
+        write-ahead log is truncated up to the replicas' persisted
+        coverage (``docs/DISTRIBUTED.md``).  Returns the router's
+        checkpoint report (per-replica saves, per-shard truncation
+        counts).
         """
         payload = {} if path is None else {"path": str(path)}
         response = self._request("snapshot", timeout=timeout, **payload)

@@ -912,8 +912,9 @@ class ShardRouter:
 
     # -- checkpointing -----------------------------------------------------
     async def snapshot(self) -> dict:
-        """Checkpoint: every live replica snapshots in place, then the
-        WAL truncates up to the minimum persisted coverage.
+        """Checkpoint: every live replica snapshots to its own snapshot
+        directory, then the WAL truncates up to the minimum persisted
+        coverage.
 
         Runs under the write lock, so every replica saves the same
         applied prefix.  A dead replica keeps its last known coverage —
@@ -1150,9 +1151,9 @@ async def _handle_router_request(
         elif op == "snapshot":
             if request.get("path") is not None:
                 raise ValueError(
-                    "the router checkpoints replicas in place; 'snapshot' "
-                    "takes no 'path' here (snapshot a shard server directly "
-                    "to save elsewhere)"
+                    "the router checkpoints each replica to its own "
+                    "snapshot directory; 'snapshot' takes no 'path' here "
+                    "(snapshot a shard server directly to save elsewhere)"
                 )
             response = await router.snapshot()
         elif op == "stats":

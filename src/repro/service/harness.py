@@ -247,6 +247,15 @@ class ShardFleet:
                     self.load_mode,
                     "--ready-file",
                     str(self.workdir / f"{name}.ready"),
+                    # Each replica checkpoints into its own directory:
+                    # replicas of a shard share the --index snapshot, so
+                    # saving back to it from several processes would
+                    # rewrite files siblings are serving (fatal under
+                    # mmap) and make per-replica snapshot_seq accounting
+                    # fictional.  A restart reloads the checkpoint when
+                    # one exists.
+                    "--snapshot-dir",
+                    str(self.workdir / f"{name}.snap"),
                 ]
                 if self.kernel:
                     argv += ["--kernel", self.kernel]
@@ -310,7 +319,8 @@ class ClusterHarness:
     snapshot : directory written by ``ShardedANNIndex.save`` (the
         ``shard-%04d`` subdirectories become the shard servers' indexes;
         all replicas of a shard load the same snapshot, so they start
-        bitwise-identical)
+        bitwise-identical — but each checkpoints into its *own*
+        ``--snapshot-dir`` under ``workdir``, never back into here)
     replicas : R, the replication factor
     workdir : where ready-files and logs go (a temp dir by default)
     router_timeout : router→replica request timeout (seconds)
@@ -345,6 +355,7 @@ class ClusterHarness:
         health_interval: float = 0.2,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        load_mode: str = "heap",
         log_dir=None,
         supervise: bool = False,
         supervise_interval: float = 0.25,
@@ -364,6 +375,7 @@ class ClusterHarness:
             workdir=self.workdir,
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
+            load_mode=load_mode,
         )
         self.replicas = self.fleet.replicas
         self.shard_dirs = self.fleet.shard_dirs
@@ -487,8 +499,10 @@ class ClusterHarness:
         self.replica(shard, replica).resume()
 
     def restart_replica(self, shard: int, replica: int, timeout: float = 30.0) -> None:
-        """Respawn a replica from its original snapshot; the router's
-        health loop replays the write-log tail and revives it."""
+        """Respawn a replica from its latest checkpoint (its own snapshot
+        directory) or, if it never checkpointed, the original snapshot;
+        the router's health loop replays the write-log tail and revives
+        it."""
         self.replica(shard, replica).restart(timeout=timeout)
 
     def kill_router(self) -> None:

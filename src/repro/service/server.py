@@ -54,7 +54,11 @@ import numpy as np
 
 from repro.hamming.kernels import active_kernel
 from repro.hamming.packing import pack_bits, packed_words
-from repro.persistence import IndexPersistenceError, read_manifest
+from repro.persistence import (
+    MMAP_FORMAT_VERSION,
+    IndexPersistenceError,
+    read_manifest,
+)
 
 __all__ = [
     "AsyncANNService",
@@ -848,7 +852,13 @@ async def _handle_request(
                         if int(manifest.get("format_version", 0)) >= 3:
                             format_version = int(manifest["format_version"])
                     except IndexPersistenceError:
-                        pass  # unreadable prior manifest; write the default
+                        # No prior checkpoint here (e.g. a replica's own
+                        # fresh snapshot directory).  An mmap-loaded
+                        # index must checkpoint as v3 anyway — a restart
+                        # reloads this directory with the same
+                        # --load-mode, and v2 cannot be mapped.
+                        if getattr(service.index, "load_mode", "heap") == "mmap":
+                            format_version = MMAP_FORMAT_VERSION
                 saved = service.index.save(
                     path, write_seq=gate.applied, format_version=format_version
                 )
@@ -1011,9 +1021,12 @@ async def serve(
     recorded ``write_seq``).  A plain ``repro serve`` accepts sequenced
     writes too — the gate simply starts at 0.
 
-    ``snapshot_dir`` (the CLI passes ``--index``) is where a bare
-    ``snapshot`` request — no ``path`` — saves back to, letting the
-    router checkpoint every replica in place before truncating its WAL.
+    ``snapshot_dir`` is where a bare ``snapshot`` request — no ``path``
+    — saves to, letting the router checkpoint every replica before
+    truncating its WAL.  The CLI passes ``--snapshot-dir`` when given
+    (each replica gets its *own* checkpoint directory, so siblings
+    sharing a loaded snapshot never rewrite each other's files) and
+    falls back to ``--index``.
     """
     service = AsyncANNService(index, max_batch=max_batch, max_wait_ms=max_wait_ms)
     await service.start()

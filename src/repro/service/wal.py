@@ -17,9 +17,12 @@ applied sequence.  :class:`WriteAheadLog` makes the log durable:
   that replays to a prefix of the acknowledged history plus at most
   the in-flight write.
 * **Torn-tail tolerance**: a crash mid-append can leave a truncated
-  final line.  On open, the last line is dropped (and counted) when it
-  fails to parse or its checksum does not match; the same damage on
-  any *earlier* line means external corruption and raises loudly.
+  final line — recognizable because the file then lacks a trailing
+  newline (an entry is one sequential write ending in ``\\n``).  On
+  open, such an unterminated tail is dropped (and counted).  A
+  *newline-terminated* line that fails to parse or checksum — even the
+  final one — was fully appended and later damaged: that is external
+  corruption of possibly acknowledged history and raises loudly.
 * **Atomic header/truncation writes**: segment creation and
   :meth:`truncate` build the new file next to the target and
   ``os.replace`` it into place (temp + fsync + rename, like the
@@ -110,8 +113,10 @@ def read_segment(path: Path) -> Dict[str, object]:
     """Parse one segment: ``{"shard", "base_seq", "entries", "torn_tail"}``.
 
     Entries come back as ``{"seq", "op", "payload"}`` dicts (checksums
-    verified and stripped).  A torn final line is dropped and reported;
-    damage anywhere else raises :class:`WalCorruptionError`.
+    verified and stripped).  A torn final line — one the file does not
+    newline-terminate, i.e. an append a crash cut short — is dropped
+    and reported; damage anywhere else, including a terminated final
+    line, raises :class:`WalCorruptionError`.
     """
     path = Path(path)
     try:
@@ -158,7 +163,14 @@ def read_segment(path: Path) -> Dict[str, object]:
     if tail:
         body = body + [tail]  # no trailing newline: the tail is suspect
     for i, line in enumerate(body):
-        last = i == len(body) - 1
+        # Torn-tail tolerance applies only to the unterminated tail
+        # piece: entry lines are single sequential writes ending in a
+        # newline, so a crash mid-append can never persist the newline
+        # without the bytes before it.  A *terminated* final line that
+        # fails to parse or checksum was fully appended and then damaged
+        # — possibly an acknowledged, replicated write — and silently
+        # dropping it would be data loss, not crash tolerance.
+        tearable = bool(tail) and i == len(body) - 1
         try:
             record = parse(line, f"entry line {i + 2}")
             seq = int(record["seq"])
@@ -173,9 +185,9 @@ def read_segment(path: Path) -> Dict[str, object]:
                     f"WAL segment {path}: entry line {i + 2} checksum mismatch"
                 )
         except (WalCorruptionError, KeyError, TypeError, ValueError):
-            if last:
-                # Torn tail: a crash mid-append left a truncated or
-                # garbled final line.  Never replayed.
+            if tearable:
+                # Torn tail: a crash mid-append left a truncated final
+                # line.  Never replayed.
                 torn_tail = True
                 break
             raise

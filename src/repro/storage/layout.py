@@ -36,6 +36,7 @@ named arrays to and from disk.  The persistence codec
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 from typing import Dict, Mapping
@@ -103,6 +104,20 @@ def key_from_relpath(group: str, relpath: str) -> str:
     return relpath[len(prefix) : -len(".npy")]
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so a rename survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds; the rename still happened
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # unsupported on this filesystem; best effort
+    finally:
+        os.close(fd)
+
+
 def write_payloads(
     directory: Path, group: str, arrays: Mapping[str, np.ndarray]
 ) -> Dict[str, Dict[str, object]]:
@@ -111,6 +126,14 @@ def write_payloads(
     The returned mapping (relpath → shape/dtype/nbytes) goes into the
     manifest, where it serves both as the read-side file list and as the
     cold-size oracle for the residency layer.
+
+    Each file is written to a temp name, fsync'd, and ``os.replace``\\ d
+    into place, so the final path always holds a *fresh, complete* inode:
+    a process (this one or a sibling replica) that has the old file
+    mmap'd keeps reading the old bytes — POSIX keeps a replaced inode
+    alive for existing mappings — instead of seeing pages change (or
+    zero out) under a live query, and a crash mid-write never leaves a
+    half-written payload at the final name.
     """
     index: Dict[str, Dict[str, object]] = {}
     for key in sorted(arrays):
@@ -118,7 +141,13 @@ def write_payloads(
         relpath = payload_relpath(group, key)
         target = directory / relpath
         target.parent.mkdir(parents=True, exist_ok=True)
-        np.save(target, arr, allow_pickle=False)
+        tmp = target.with_name(target.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.save(fh, arr, allow_pickle=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        _fsync_dir(target.parent)
         index[relpath] = {
             "shape": [int(s) for s in arr.shape],
             "dtype": arr.dtype.str,

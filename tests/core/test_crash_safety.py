@@ -61,6 +61,7 @@ from repro.hamming.points import PackedPoints
 from repro.hamming.sampling import random_points
 
 target, mutated = sys.argv[1], sys.argv[2] == "1"
+fmt = int(sys.argv[3])
 db = PackedPoints(random_points(np.random.default_rng({db_seed}), {n}, {d}), {d})
 index = ANNIndex.from_spec(
     db, IndexSpec(scheme="algorithm1", params={{"rounds": 2}}, seed={spec_seed})
@@ -71,12 +72,14 @@ if mutated:
     index.delete([0])
 print("READY", flush=True)
 sys.stdin.readline()  # parent says go; the kill timer starts now
-index.save(target)
+index.save(target, format_version=fmt if fmt else None)
 print("SAVED", flush=True)
 """.format(n=N, d=D, db_seed=DB_SEED, spec_seed=SPEC_SEED)
 
 
-def _save_in_subprocess(target: Path, mutated: bool, kill_after: float) -> bool:
+def _save_in_subprocess(
+    target: Path, mutated: bool, kill_after: float, format_version: int = 0
+) -> bool:
     """Run a save in a subprocess, SIGKILL it ``kill_after`` seconds in.
 
     Returns whether the save reported completion before the kill.  The
@@ -89,7 +92,14 @@ def _save_in_subprocess(target: Path, mutated: bool, kill_after: float) -> bool:
     src = str(Path(__file__).resolve().parents[2] / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [sys.executable, "-c", _SAVE_SCRIPT, str(target), "1" if mutated else "0"],
+        [
+            sys.executable,
+            "-c",
+            _SAVE_SCRIPT,
+            str(target),
+            "1" if mutated else "0",
+            str(format_version),
+        ],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         env=env,
@@ -160,6 +170,54 @@ def test_overwrite_killed_midway_is_old_new_or_error(tmp_path, fraction):
     except IndexPersistenceError:
         return  # torn overwrite detected loudly: acceptable
     assert _answers(loaded) in (old, new)
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.3, 0.6, 0.9, 1.2])
+def test_v3_overwrite_killed_midway_is_old_new_or_error(tmp_path, fraction):
+    """The in-place checkpoint path replicas use (format v3, mmap'able):
+    killed anywhere, the directory loads as old, new, or a typed error —
+    the previous checkpoint is never destroyed by the interrupted one."""
+    duration = _time_one_save(tmp_path)
+    target = tmp_path / "overwrite3"
+    _reference_index().save(target, format_version=3)
+    old = _answers(load_index(target))
+    new = _answers(_reference_index(mutated=True))
+    assert old != new
+    _save_in_subprocess(target, True, kill_after=fraction * duration, format_version=3)
+    try:
+        loaded = load_index(target)
+    except IndexPersistenceError:
+        return  # torn overwrite detected loudly: acceptable
+    assert _answers(loaded) in (old, new)
+
+
+def test_overwrite_leaves_old_snapshot_untouched_until_commit(tmp_path):
+    """Deterministic pin of the commit rule: a new save's data files land
+    under fresh epoch names, so anything a crashed save leaves there —
+    even garbage — cannot disturb the committed snapshot."""
+    target = tmp_path / "epoch"
+    _reference_index().save(target)
+    old = _answers(load_index(target))
+    # what a save killed after its data writes but before the manifest
+    # commit could leave behind: epoch-1 files next to the old manifest
+    (target / "database-00000001.npz").write_bytes(b"not an archive")
+    (target / "arrays-00000001.npz").write_bytes(b"not an archive")
+    assert _answers(load_index(target)) == old
+
+
+def test_second_save_prunes_the_previous_epoch(tmp_path):
+    """After a committed overwrite the stale epoch's files are gone and
+    the directory loads as the new state."""
+    target = tmp_path / "prune"
+    _reference_index().save(target)
+    _reference_index(mutated=True).save(target)
+    names = {p.name for p in target.iterdir()}
+    assert names == {
+        "manifest.json",
+        "database-00000001.npz",
+        "arrays-00000001.npz",
+    }
+    assert _answers(load_index(target)) == _answers(_reference_index(mutated=True))
 
 
 def test_truncated_manifest_is_a_typed_error(tmp_path):

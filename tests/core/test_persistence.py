@@ -229,13 +229,18 @@ def _make_snapshot(workload, tmp_path, name="idx"):
 
 
 def _rewrite_database_npz(snapshot_dir, drop=(), mutate=None):
-    with np.load(snapshot_dir / "database.npz") as payload:
+    # Resolve the archive name through the manifest: overwrites save
+    # under epoch-suffixed names, so "database.npz" only holds for a
+    # directory's first save.
+    manifest = json.loads((snapshot_dir / "manifest.json").read_text())
+    target = snapshot_dir / manifest.get("database_file", "database.npz")
+    with np.load(target) as payload:
         arrays = {key: payload[key] for key in payload.files}
     for key in drop:
         arrays.pop(key)
     if mutate:
         mutate(arrays)
-    np.savez_compressed(snapshot_dir / "database.npz", **arrays)
+    np.savez_compressed(target, **arrays)
 
 
 class TestDatabaseTamper:

@@ -86,8 +86,11 @@ class TestAppendAndReopen:
 
 
 class TestTornTail:
-    """A crash mid-append may tear the FINAL line only; recovery drops
-    it (the write was never acknowledged) and rewrites the file clean."""
+    """A crash mid-append may tear the FINAL line only — leaving it
+    without its trailing newline; recovery drops it (the write was never
+    acknowledged) and rewrites the file clean.  Any damage to a
+    newline-*terminated* line, even the last, is external corruption of
+    a completed (possibly acknowledged) append and must raise."""
 
     def _truncated(self, path, drop: int):
         raw = path.read_bytes()
@@ -108,7 +111,10 @@ class TestTornTail:
         assert not clean["torn_tail"]
         assert [e["op"] for e in clean["entries"]] == ["insert", "delete"]
 
-    def test_corrupt_checksum_on_final_line_is_a_torn_tail(self, wal):
+    def test_corrupt_checksum_on_terminated_final_line_raises(self, wal):
+        """The fsync'd append completed (the newline is there); a bad
+        checksum on it is bit-rot of acknowledged history, not a torn
+        tail — dropping it silently would lose a replicated write."""
         wal.append(1, "insert", {"points": [[1]]})
         wal.close()
         path = segment_path(wal.log_dir, 1)
@@ -117,6 +123,20 @@ class TestTornTail:
         record["checksum"] = "00000000"
         lines[-1] = json.dumps(record).encode()
         path.write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(WalCorruptionError, match="checksum mismatch"):
+            read_segment(path)
+
+    def test_corrupt_checksum_on_unterminated_final_line_is_torn(self, wal):
+        """The same damage without the trailing newline *is* the torn
+        shape a killed append leaves, and stays tolerated."""
+        wal.append(1, "insert", {"points": [[1]]})
+        wal.close()
+        path = segment_path(wal.log_dir, 1)
+        lines = path.read_bytes().splitlines()
+        record = json.loads(lines[-1])
+        record["checksum"] = "00000000"
+        lines[-1] = json.dumps(record).encode()
+        path.write_bytes(b"\n".join(lines))  # no trailing newline
         parsed = read_segment(path)
         assert parsed["torn_tail"] and parsed["entries"] == []
 

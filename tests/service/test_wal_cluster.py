@@ -134,14 +134,14 @@ def test_recovery_replays_writes_a_stale_replica_missed(snapshot, tmp_path):
 
 
 def test_checkpoint_truncates_the_wal(snapshot, tmp_path):
-    """``snapshot`` against the router saves every replica in place and
-    truncates the WAL to the persisted coverage; recovery from the
-    truncated log still works because the snapshots now carry the
-    prefix."""
+    """``snapshot`` against the router saves every replica to its own
+    snapshot directory and truncates the WAL to the persisted coverage;
+    recovery from the truncated log still works because restarted
+    replicas load their checkpoints, which carry the prefix."""
     import shutil
 
     snap_src, queries = snapshot
-    snap = tmp_path / "snap"  # private copy: the checkpoint rewrites it
+    snap = tmp_path / "snap"  # private copy, pure test isolation
     shutil.copytree(snap_src, snap)
     oracle = ShardedANNIndex.load(snap)
     rng = np.random.default_rng(29)
@@ -174,6 +174,68 @@ def test_checkpoint_truncates_the_wal(snapshot, tmp_path):
         cluster.kill_router()
         for si in range(cluster.num_shards):
             cluster.restart_replica(si, 0)
+        cluster.restart_router()
+        with cluster.connect() as client:
+            for si in range(cluster.num_shards):
+                cluster.kill_replica(si, 1)
+            for bits in queries[:4]:
+                ch.assert_query_equivalent(client, oracle, bits)
+
+
+def test_checkpoint_never_touches_the_shared_snapshot(snapshot, tmp_path):
+    """Replicas of a shard all load the same ``--index`` snapshot;
+    checkpoints must land in per-replica ``--snapshot-dir`` directories
+    and leave the shared snapshot byte-identical — a replica saving in
+    place would rewrite files its siblings are serving."""
+    from pathlib import Path
+
+    snap = Path(snapshot[0])
+    oracle = ShardedANNIndex.load(snap)
+    rng = np.random.default_rng(41)
+    files = sorted(p for p in snap.rglob("*") if p.is_file())
+    before = {p: p.read_bytes() for p in files}
+    with ch.ClusterHarness(snap, replicas=2, log_dir=tmp_path / "wal") as cluster:
+        with cluster.connect() as client:
+            apply_writes(client, oracle, rng, oracle.d)
+            client.snapshot()
+        snap_dirs = sorted(cluster.workdir.glob("shard*r*.snap"))
+        assert len(snap_dirs) == cluster.num_shards * 2
+        for directory in snap_dirs:
+            assert (directory / "manifest.json").is_file()
+    assert sorted(p for p in snap.rglob("*") if p.is_file()) == files
+    assert all(p.read_bytes() == before[p] for p in files)
+
+
+def test_mmap_cluster_checkpoints_and_restarts_from_v3(snapshot, tmp_path):
+    """Under ``--load-mode mmap`` a checkpoint into a fresh per-replica
+    directory must come out as format v3 (the restart reloads it with
+    the same load mode), and the restarted replica must carry its shard
+    alone after recovery."""
+    import json
+
+    snap_v3 = tmp_path / "snap-v3"
+    ShardedANNIndex.load(snapshot[0]).save(snap_v3, format_version=3)
+    queries = snapshot[1]
+    oracle = ShardedANNIndex.load(snap_v3)
+    rng = np.random.default_rng(43)
+    with ch.ClusterHarness(
+        snap_v3, replicas=2, log_dir=tmp_path / "wal", load_mode="mmap"
+    ) as cluster:
+        with cluster.connect() as client:
+            apply_writes(client, oracle, rng, oracle.d)
+            client.snapshot()
+            for si in range(cluster.num_shards):
+                for ri in range(2):
+                    manifest = json.loads(
+                        (cluster.workdir / f"shard{si}r{ri}.snap" / "manifest.json")
+                        .read_text()
+                    )
+                    assert manifest["format_version"] == 3
+            apply_writes(client, oracle, rng, oracle.d)
+
+        cluster.kill_router()
+        for si in range(cluster.num_shards):
+            cluster.restart_replica(si, 0)  # reloads its own v3 checkpoint
         cluster.restart_router()
         with cluster.connect() as client:
             for si in range(cluster.num_shards):

@@ -324,3 +324,73 @@ def test_abandoned_late_responses_do_not_leak_into_parked():
         assert client._abandoned == set()
     thread.join(timeout=10)
     listener.close()
+
+
+def test_abandoned_set_stays_bounded_when_server_never_answers(black_hole):
+    """Regression: against a server that will never answer (the common
+    timeout cause), every timeout used to leave one id in _abandoned
+    forever — the same slow leak the set was introduced to fix for
+    _parked.  The set is capped, evicting the oldest ids first."""
+    host, port = black_hole
+    with ServiceClient(host=host, port=port, timeout=30.0) as client:
+        client.ABANDONED_LIMIT = 8  # shadow the class default for the test
+        for _ in range(3 * client.ABANDONED_LIMIT):
+            with pytest.raises(ServiceTimeoutError):
+                client.ping(timeout=0.02)
+        assert len(client._abandoned) == client.ABANDONED_LIMIT
+        # the newest ids survive — they are the ones a slow server could
+        # still answer late
+        assert max(client._abandoned) == client._next_id - 1
+        assert min(client._abandoned) == client._next_id - client.ABANDONED_LIMIT
+
+
+def test_late_responses_for_evicted_ids_are_reclaimed_from_parked():
+    """A late response whose id was already evicted from _abandoned is
+    parked (it looks like any unrecognized id); the next request must
+    sweep it out — parked responses for past ids can never be claimed."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    delay = 0.25
+
+    def reply_late():
+        conn, _ = listener.accept()
+        conn.settimeout(10)
+        reader = conn.makefile("rb")
+        writer = conn.makefile("wb")
+        try:
+            while True:
+                raw = reader.readline()
+                if not raw:
+                    return
+                request = json.loads(raw)
+                time.sleep(delay)  # past the hammering client's timeout
+                writer.write(
+                    json.dumps({"ok": True, "id": request["id"]}).encode() + b"\n"
+                )
+                writer.flush()
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=reply_late, daemon=True)
+    thread.start()
+    host, port = listener.getsockname()
+    hammered = 4
+    with ServiceClient(host=host, port=port, timeout=30.0) as client:
+        client.ABANDONED_LIMIT = 2
+        for _ in range(hammered):
+            with pytest.raises(ServiceTimeoutError):
+                client.ping(timeout=0.05)
+        assert len(client._abandoned) == 2  # ids 0 and 1 were evicted
+        # The patient ping drains all four late responses before its own:
+        # ids still in _abandoned are dropped; the evicted ones are
+        # parked (they are indistinguishable from unknown ids).
+        assert client.ping(timeout=(hammered + 2) * delay + 5.0)
+        assert set(client._parked) <= {0, 1}
+        # the next request sweeps the unreachable parked entries
+        assert client.ping(timeout=delay + 5.0)
+        assert client._parked == {}
+    thread.join(timeout=10)
+    listener.close()
